@@ -1,0 +1,60 @@
+// §5.4.1 — accuracy of the cost model: compare E[Cost] from Formula 1
+// (the decomposed expectation over the fitted failure-rate functions)
+// against the Monte-Carlo trace-replay estimate, for SOMPI plans across
+// workloads and deadlines. The paper: 20% of relative differences < 5%,
+// 40% in 5–10%, worst 15%.
+#include <cmath>
+
+#include "bench_util.h"
+
+using namespace sompi;
+
+int main() {
+  bench::banner("Accuracy A2", "Formula 1 vs Monte-Carlo replay");
+
+  const Experiment env;
+  const SompiOptimizer opt(&env.catalog(), &env.estimator(), env.sompi_config());
+
+  MonteCarloConfig mc;
+  mc.runs = std::max<std::size_t>(60, env.options().runs * 2);
+  mc.reserve_h = 96.0;
+  mc.seed = env.options().seed ^ 0xACC;
+  const MonteCarloRunner runner(&env.market(), {}, mc);
+
+  Table t("Model expectation vs replay mean (same-trace distribution)");
+  t.header({"app", "deadline", "model E[cost]", "replay mean", "rel diff", "model E[time]",
+            "replay time"});
+  std::vector<double> diffs;
+  for (const AppProfile& app : paper_profiles()) {
+    for (const bool loose : {true, false}) {
+      const double deadline = env.deadline(app, loose);
+      const Plan plan = opt.optimize(app, env.market(), deadline);
+      if (!plan.uses_spot()) continue;
+      const MonteCarloStats stats = runner.run_plan(plan, deadline);
+      const double rel =
+          std::abs(stats.cost.mean - plan.expected.cost_usd) / stats.cost.mean;
+      diffs.push_back(rel);
+      t.row({app.name, loose ? "loose" : "tight", Table::num(plan.expected.cost_usd, 2),
+             Table::num(stats.cost.mean, 2), Table::num(100.0 * rel, 1) + "%",
+             Table::num(plan.expected.time_h, 1), Table::num(stats.time.mean, 1)});
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  if (!diffs.empty()) {
+    std::size_t below5 = 0, below10 = 0, below15 = 0;
+    for (double d : diffs) {
+      if (d < 0.05) ++below5;
+      if (d < 0.10) ++below10;
+      if (d < 0.15) ++below15;
+    }
+    const auto n = static_cast<double>(diffs.size());
+    std::printf("relative differences: %.0f%% < 5%%, %.0f%% < 10%%, %.0f%% < 15%%, max %.1f%%\n",
+                100.0 * below5 / n, 100.0 * below10 / n, 100.0 * below15 / n,
+                100.0 * percentile(diffs, 1.0));
+  }
+  bench::note("expected shape (paper): most plans within ~10% and the worst near 15% — the "
+              "model charges each group its own lifetime (no truncation at the winner's "
+              "completion) and uses the expected sub-bid price, both mild simplifications.");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 4 — changing trends of the failure-rate function f_i(P, t) and the
+// expected spot price S_i(P) with the bid price, for m1.small and c3.xlarge
+// in us-east-1a. The paper's shape: both are sensitive to the bid but not
+// uniformly — f drops steeply over a narrow bid band while S rises in jumps
+// where price mass sits.
+#include "bench_util.h"
+#include "core/failure_model.h"
+#include "trace/market.h"
+
+using namespace sompi;
+
+int main() {
+  bench::banner("Figure 4", "failure rate f(P,t) and expected spot price S(P) vs bid");
+
+  const Catalog catalog = paper_catalog();
+  const Market market =
+      generate_market(catalog, paper_market_profile(catalog), /*days=*/14.0, 0.25, 2014);
+
+  for (const char* type : {"m1.small", "c3.xlarge"}) {
+    const CircleGroupSpec g{catalog.type_index(type), catalog.zone_index("us-east-1a")};
+    const SpotTrace& trace = market.trace(g);
+
+    FailureEstimationConfig cfg;
+    cfg.samples = 20000;
+    cfg.horizon_steps = 96;  // 24 h
+    const auto bids = logarithmic_bid_grid(trace.max_price(), 9);
+    const FailureModel fm(trace, bids, cfg);
+
+    Table t(std::string(type) + "@us-east-1a  (H = " + Table::num(trace.max_price(), 3) +
+            " USD/h)");
+    t.header({"bid", "bid/H", "S(P)", "P[fail<6h]", "P[fail<12h]", "P[fail<24h]", "MTBF(h)"});
+    for (std::size_t b = 0; b < fm.bid_count(); ++b) {
+      t.row({Table::num(fm.bid(b), 4), Table::num(fm.bid(b) / trace.max_price(), 3),
+             Table::num(fm.expected_price(b), 4), Table::num(1.0 - fm.survival(b, 24), 3),
+             Table::num(1.0 - fm.survival(b, 48), 3), Table::num(1.0 - fm.survival(b, 96), 3),
+             Table::num(fm.mtbf(b) * 0.25, 1)});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+  bench::note("expected shape: failure probability decreases monotonically in the bid and "
+              "collapses once the bid clears the spike band; S(P) grows only where "
+              "historical price mass lies (§4.2.2, Figure 4).");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 6 — comparison with simple utilizations of on-demand and spot
+// instances: On-demand / Spot-Inf (bid $999) / Spot-Avg (bid = historical
+// average) / SOMPI per workload category under loose and tight deadlines.
+// The paper's shape: both heuristics beat On-demand, SOMPI beats both
+// (28%/38% loose, 20%/22% tight), and Spot-Inf's variance is far larger
+// than SOMPI's (it rides the spikes instead of capping them).
+#include <map>
+
+#include "bench_util.h"
+
+using namespace sompi;
+
+namespace {
+
+struct CategoryAgg {
+  double od = 0, inf = 0, avg = 0, sompi = 0;
+  double inf_std = 0, sompi_std = 0;
+  int n = 0;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 6", "simple on-demand/spot heuristics vs SOMPI");
+
+  const Experiment env;
+  const auto apps = paper_profiles();
+
+  for (const bool loose : {true, false}) {
+    std::map<AppCategory, CategoryAgg> agg;
+    for (const AppProfile& app : apps) {
+      auto& a = agg[app.category];
+      a.od += env.eval_on_demand(app, loose).norm_cost;
+      const MethodResult inf = env.eval_spot_inf(app, loose);
+      a.inf += inf.norm_cost;
+      a.inf_std += inf.norm_cost_std;
+      a.avg += env.eval_spot_avg(app, loose).norm_cost;
+      const MethodResult s = env.eval_sompi(app, loose);
+      a.sompi += s.norm_cost;
+      a.sompi_std += s.norm_cost_std;
+      ++a.n;
+    }
+
+    Table t(std::string("Normalized cost per category — ") + (loose ? "loose" : "tight") +
+            " deadline");
+    t.header({"category", "On-demand", "Spot-Inf", "Spot-Avg", "SOMPI", "Spot-Inf ±", "SOMPI ±"});
+    for (const auto& [cat, a] : agg) {
+      const auto n = static_cast<double>(a.n);
+      const std::string label = category_label(cat) == "comp"    ? "Computation"
+                                : category_label(cat) == "comm" ? "Communication"
+                                                                : "IO";
+      t.row({label, Table::num(a.od / n, 3), Table::num(a.inf / n, 3),
+             Table::num(a.avg / n, 3), Table::num(a.sompi / n, 3),
+             Table::num(a.inf_std / n, 3), Table::num(a.sompi_std / n, 3)});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+  bench::note("expected shape (paper): Spot-Inf and Spot-Avg below On-demand, SOMPI below "
+              "both, and Spot-Inf's cost variance ≫ SOMPI's — the suitable bid cap avoids "
+              "the worst case (§5.3.2).");
+  return 0;
+}

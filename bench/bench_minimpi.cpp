@@ -1,0 +1,92 @@
+// Substrate micro-benchmarks (google-benchmark): mini-MPI point-to-point
+// and collective performance across world sizes and payloads. Sanity for
+// the runtime every kernel and checkpoint runs on.
+#include <benchmark/benchmark.h>
+
+#include "minimpi/runtime.h"
+
+using namespace sompi::mpi;
+
+namespace {
+
+void BM_PingPong(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const int rounds = 64;
+  for (auto _ : state) {
+    const RunResult r = Runtime::run(2, [&](Comm& comm) {
+      std::vector<std::byte> payload(bytes);
+      for (int i = 0; i < rounds; ++i) {
+        if (comm.rank() == 0) {
+          comm.send_bytes(1, 1, payload);
+          benchmark::DoNotOptimize(comm.recv_bytes(1, 2));
+        } else {
+          benchmark::DoNotOptimize(comm.recv_bytes(0, 1));
+          comm.send_bytes(0, 2, payload);
+        }
+      }
+    });
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(state.iterations() * rounds * 2 * static_cast<std::int64_t>(bytes));
+}
+
+void BM_Barrier(benchmark::State& state) {
+  const int world = static_cast<int>(state.range(0));
+  const int rounds = 64;
+  for (auto _ : state) {
+    const RunResult r = Runtime::run(world, [&](Comm& comm) {
+      for (int i = 0; i < rounds; ++i) comm.barrier();
+    });
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rounds"] = rounds;
+}
+
+void BM_Bcast(benchmark::State& state) {
+  const int world = static_cast<int>(state.range(0));
+  const int rounds = 32;
+  for (auto _ : state) {
+    const RunResult r = Runtime::run(world, [&](Comm& comm) {
+      std::vector<double> data(1024);
+      for (int i = 0; i < rounds; ++i) comm.bcast(data, 0);
+    });
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_Allreduce(benchmark::State& state) {
+  const int world = static_cast<int>(state.range(0));
+  const int rounds = 64;
+  for (auto _ : state) {
+    const RunResult r = Runtime::run(world, [&](Comm& comm) {
+      double acc = comm.rank();
+      for (int i = 0; i < rounds; ++i)
+        acc = comm.allreduce(acc, ReduceOp::kSum) / world;
+      benchmark::DoNotOptimize(acc);
+    });
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_Alltoall(benchmark::State& state) {
+  const int world = static_cast<int>(state.range(0));
+  const int rounds = 16;
+  for (auto _ : state) {
+    const RunResult r = Runtime::run(world, [&](Comm& comm) {
+      std::vector<std::vector<double>> bufs(static_cast<std::size_t>(world),
+                                            std::vector<double>(256));
+      for (int i = 0; i < rounds; ++i) benchmark::DoNotOptimize(comm.alltoall(bufs));
+    });
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_PingPong)->Arg(64)->Arg(4096)->Arg(262144)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Bcast)->Arg(2)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Allreduce)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Alltoall)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// §4.2.2 — optimization-space reduction (google-benchmark). The paper's
+// example: a naive grid over (bid × interval)^k is ~10^16 points; decoupling
+// the on-demand choice, tying F = φ(P) and searching bids logarithmically
+// shrinks it to ~2000. We time the actual optimizer under: logarithmic vs
+// uniform bid grids, with and without smaller-subset enumeration, and report
+// model-evaluation counts alongside.
+#include <benchmark/benchmark.h>
+
+#include "profile/paper_profiles.h"
+#include "sim/experiment.h"
+
+using namespace sompi;
+
+namespace {
+
+const Experiment& env() {
+  static const Experiment e(
+      [] {
+        Experiment::Options o = Experiment::defaults();
+        o.runs = 1;  // the MC harness is unused here
+        return o;
+      }());
+  return e;
+}
+
+OptimizerConfig base_config() { return env().sompi_config(); }
+
+void run_once(benchmark::State& state, const OptimizerConfig& cfg) {
+  const AppProfile bt = paper_profile("BT");
+  const double deadline = env().deadline(bt, /*loose=*/true);
+  const SompiOptimizer opt(&env().catalog(), &env().estimator(), cfg);
+  std::size_t evals = 0;
+  double cost = 0.0;
+  for (auto _ : state) {
+    const Plan plan = opt.optimize(bt, env().market(), deadline);
+    evals = plan.model_evaluations;
+    cost = plan.expected.cost_usd;
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["model_evals"] = static_cast<double>(evals);
+  state.counters["plan_cost_usd"] = cost;
+}
+
+void BM_LogarithmicSearch(benchmark::State& state) { run_once(state, base_config()); }
+
+void BM_UniformGrid16(benchmark::State& state) {
+  OptimizerConfig cfg = base_config();
+  cfg.setup.bid_grid = BidGridKind::kUniform;
+  cfg.setup.uniform_points = 16;
+  run_once(state, cfg);
+}
+
+void BM_UniformGrid32(benchmark::State& state) {
+  OptimizerConfig cfg = base_config();
+  cfg.setup.bid_grid = BidGridKind::kUniform;
+  cfg.setup.uniform_points = 32;
+  run_once(state, cfg);
+}
+
+void BM_ExactSubsetSizeOnly(benchmark::State& state) {
+  OptimizerConfig cfg = base_config();
+  cfg.enumerate_smaller_subsets = false;  // the paper's "exactly k of K"
+  run_once(state, cfg);
+}
+
+void BM_KappaSweep(benchmark::State& state) {
+  OptimizerConfig cfg = base_config();
+  cfg.max_groups = static_cast<int>(state.range(0));
+  cfg.max_candidates = static_cast<std::size_t>(state.range(0)) + 3;
+  run_once(state, cfg);
+}
+
+}  // namespace
+
+BENCHMARK(BM_LogarithmicSearch)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_UniformGrid16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_UniformGrid32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExactSubsetSizeOnly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KappaSweep)->DenseRange(1, 5)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

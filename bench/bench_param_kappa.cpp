@@ -1,0 +1,47 @@
+// §5.2 parameter study — k: how many circle groups may run in parallel.
+// The paper finds that beyond k = 4 the cost barely improves while the
+// optimization overhead explodes (k = 10 cost 2× Baseline Time in search
+// alone); at k = 4 the overhead stays under 1% of Baseline Time.
+#include "bench_util.h"
+
+using namespace sompi;
+
+int main() {
+  bench::banner("Parameter study — k", "cost & optimization overhead vs group budget (BT)");
+
+  const Experiment env;
+  const AppProfile bt = paper_profile("BT");
+  const double deadline = env.deadline(bt, /*loose=*/true);
+
+  Table t("BT under varying k (deadline 1.5×)");
+  t.header({"k", "norm cost", "miss", "opt evals", "opt seconds", "opt / BaselineTime"});
+  for (int k : {1, 2, 3, 4, 5, 6}) {
+    AdaptiveConfig ad = env.adaptive_config();
+    ad.opt.max_groups = k;
+    // Give larger k room to actually enumerate wider subsets.
+    ad.opt.max_candidates = std::max<std::size_t>(env.sompi_config().max_candidates,
+                                                  static_cast<std::size_t>(k) + 3);
+    const AdaptiveEngine engine(&env.catalog(), &env.estimator(), ad);
+
+    MonteCarloConfig mc;
+    mc.runs = std::max<std::size_t>(6, env.options().runs / 2);
+    mc.reserve_h = 96.0;
+    mc.seed = env.options().seed ^ 0x4A;
+    const MonteCarloRunner runner(&env.market(), {}, mc);
+    const MonteCarloStats stats = runner.run_adaptive(engine, bt, deadline);
+
+    // Optimization accounting from a single representative adaptive run.
+    MarketReplayOracle oracle(&env.market());
+    const AdaptiveResult one = engine.run(bt, oracle, 48.0, deadline);
+
+    t.row({std::to_string(k), Table::num(stats.cost.mean / env.baseline_cost(bt), 3),
+           Table::num(100.0 * stats.deadline_miss_rate, 0) + "%",
+           std::to_string(one.model_evaluations), Table::num(one.optimize_seconds, 2),
+           Table::num(100.0 * one.optimize_seconds / 3600.0 / env.baseline_time(bt), 4) + "%"});
+  }
+  std::printf("%s\n", t.render().c_str());
+  bench::note("expected shape: cost improvement saturates around k = 4 while the search "
+              "space (and optimization time) keeps growing; the overhead stays ≪ 1% of "
+              "Baseline Time at k = 4 (§5.2).");
+  return 0;
+}

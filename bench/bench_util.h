@@ -1,0 +1,28 @@
+// Shared helpers for the experiment-report binaries. Each binary regenerates
+// one table or figure of the paper (see DESIGN.md's per-experiment index)
+// and prints the same rows/series the paper reports, normalized to the
+// Baseline exactly as in §5.1.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.h"
+#include "sim/experiment.h"
+
+namespace sompi::bench {
+
+inline void banner(const std::string& id, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void note(const std::string& text) { std::printf("note: %s\n", text.c_str()); }
+
+/// "cost (±std)" cell.
+inline std::string cost_cell(const MethodResult& r) {
+  return Table::num(r.norm_cost, 3) + " (±" + Table::num(r.norm_cost_std, 3) + ")";
+}
+
+}  // namespace sompi::bench

@@ -1,0 +1,49 @@
+// Adaptive campaign: run a LAMMPS-style MD workload to completion with the
+// full Algorithm-1 loop (per-window re-optimization, update maintenance,
+// on-demand guard) at several process counts and deadlines — the paper's
+// §5.3.1 real-world-application study in miniature.
+//
+//   $ ./adaptive_campaign
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/adaptive.h"
+#include "profile/paper_profiles.h"
+#include "sim/replay.h"
+
+using namespace sompi;
+
+int main() {
+  const Catalog catalog = paper_catalog();
+  const Market market =
+      generate_market(catalog, paper_market_profile(catalog), /*days=*/14.0, 0.25, 99);
+  const ExecTimeEstimator estimator;
+  const OnDemandSelector od_selector(&catalog, &estimator);
+
+  AdaptiveConfig config;  // T_m = 15 h, 48 h lookback, update maintenance on
+  const AdaptiveEngine engine(&catalog, &estimator, config);
+
+  Table t("LAMMPS campaign (adaptive SOMPI, trace replay, start at hour 72)");
+  t.header({"processes", "deadline", "baseline $", "SOMPI $", "savings", "hours", "windows",
+            "od fallback"});
+  for (const int processes : {32, 64, 128}) {
+    const AppProfile app = lammps_profile(processes);
+    const OnDemandChoice baseline = od_selector.baseline(app);
+    for (const bool loose : {true, false}) {
+      const double deadline = baseline.t_h * (loose ? 1.5 : 1.05);
+      MarketReplayOracle oracle(&market);
+      const AdaptiveResult r = engine.run(app, oracle, /*start_h=*/72.0, deadline);
+      t.row({std::to_string(processes), loose ? "loose" : "tight",
+             Table::num(baseline.full_cost_usd(), 2), Table::num(r.cost_usd, 2),
+             Table::num(100.0 * (1.0 - r.cost_usd / baseline.full_cost_usd()), 0) + "%",
+             Table::num(r.hours, 1) + "/" + Table::num(deadline, 1),
+             std::to_string(r.windows), r.fell_back_to_ondemand ? "yes" : "no"});
+    }
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("\nThe paper's §5.3.1 LAMMPS shape: at small process counts the problem is\n"
+              "computation-bound and cheap instance families yield deep savings; at 128\n"
+              "processes it turns communication-bound and only cc2.8xlarge remains viable,\n"
+              "so the loose/tight gap narrows.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fault-tolerant solver, live: the end-to-end demonstration that a SOMPI
+// plan drives a REAL message-passing application. A distributed LU solver
+// runs on the mini-MPI runtime under a plan whose circle groups are killed
+// exactly when the spot trace goes out of bid; coordinated checkpoints land
+// in a simulated S3 bucket; the run either completes in a replica or is
+// recovered on demand from the most advanced snapshot — and the final
+// checksum is verified against the sequential reference either way.
+//
+//   $ ./fault_tolerant_solver
+#include <cmath>
+#include <cstdio>
+
+#include "apps/lu.h"
+#include "core/optimizer.h"
+#include "profile/paper_profiles.h"
+#include "sim/live.h"
+
+using namespace sompi;
+
+int main() {
+  const Catalog catalog = paper_catalog();
+
+  // A market whose us-east-1a is guaranteed hostile: low for 2.5 h, then a
+  // spike that kills any sane bid; the other zones stay calm.
+  std::vector<SpotTrace> traces;
+  for (const auto& g : catalog.all_groups()) {
+    std::vector<double> prices;
+    const double base = base_spot_price(catalog.type(g.type_index));
+    if (g.zone_index == 0) {
+      prices.assign(10, base);
+      prices.resize(200, base * 120.0);
+    } else {
+      prices.assign(200, base);
+    }
+    traces.emplace_back(0.25, std::move(prices));
+  }
+  const Market market(&catalog, std::move(traces));
+
+  // Hand-build a two-replica plan: m1.small in the doomed zone and in a calm
+  // one (in production the optimizer produces this; here we keep the demo
+  // deterministic).
+  Plan plan;
+  plan.app = "LU";
+  plan.step_hours = 0.25;
+  plan.od.type_index = catalog.type_index("c3.xlarge");
+  plan.od.instances = 1;
+  plan.od.rate_usd_h = 0.21;
+  plan.od.t_h = 4.0;
+  plan.od.feasible = true;
+  for (const std::size_t zone : {0u, 1u}) {
+    GroupPlan g;
+    g.spec = {catalog.type_index("m1.small"), zone};
+    g.name = catalog.group_name(g.spec);
+    g.instances = 4;
+    g.t_steps = 24;  // 6 h of productive work
+    g.o_steps = 0.1;
+    g.r_steps = 0.2;
+    g.bid_usd = 2.0 * base_spot_price(catalog.type(g.spec.type_index));
+    g.f_steps = 4;  // checkpoint every hour
+    plan.groups.push_back(g);
+  }
+
+  // The real application: 4-rank LU, 60 iterations, checkpoints per plan.
+  apps::LuConfig lu;
+  lu.nx = 32;
+  lu.ny = 32;
+  lu.iterations = 60;
+  const double reference = apps::lu_reference(lu);
+
+  S3Sim s3;
+  const LiveExecutor executor(&market);
+  const LiveRunResult run = executor.execute(
+      plan, /*start_h=*/0.0, /*world_size=*/4, lu.iterations,
+      [&lu](mpi::Comm& comm, Checkpointer* ck, int checkpoint_every) {
+        apps::LuConfig cfg = lu;
+        cfg.checkpoint_every = checkpoint_every;
+        return apps::lu_run(comm, cfg, ck);
+      },
+      s3);
+
+  std::printf("replica outcomes:\n");
+  for (const auto& g : run.groups)
+    std::printf("  %-22s %s%s, %d coordinated checkpoints in S3\n", g.name.c_str(),
+                g.completed ? "completed" : "KILLED out-of-bid",
+                g.killed ? (" at step " + std::to_string(g.kill_step)).c_str() : "",
+                g.checkpoints_saved);
+  std::printf("outcome: %s\n", run.completed_on_spot
+                                   ? "completed on spot"
+                                   : "recovered on demand from the best checkpoint");
+  std::printf("S3 bucket: %zu objects, %.1f MB stored, %llu PUTs, cost $%.6f for 24 h\n",
+              s3.list("").size(), s3.bytes_stored() / 1e6,
+              static_cast<unsigned long long>(s3.put_count()), s3.cost_usd(24.0));
+
+  const bool correct = std::abs(run.checksum - reference) < 1e-9 * std::abs(reference) + 1e-12;
+  std::printf("checksum %.12f vs sequential reference %.12f → %s\n", run.checksum, reference,
+              correct ? "MATCH" : "MISMATCH");
+  return correct ? 0 : 1;
+}

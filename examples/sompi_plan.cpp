@@ -1,0 +1,131 @@
+// sompi_plan — command-line planning tool over the library's public API.
+//
+//   $ ./sompi_plan <app> [--deadline-factor F] [--tight] [--days D]
+//                  [--seed S] [--k K] [--runs N]
+//
+//   app: BT SP LU FT IS BTIO LAMMPS32 LAMMPS128
+//
+// Prints the optimized plan, the model expectation, and a Monte-Carlo
+// replay evaluation against the synthetic market.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/table.h"
+#include "core/optimizer.h"
+#include "profile/paper_profiles.h"
+#include "sim/monte_carlo.h"
+
+using namespace sompi;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: sompi_plan <BT|SP|LU|FT|IS|BTIO|LAMMPS32|LAMMPS128>\n"
+               "                  [--deadline-factor F=1.5] [--tight]\n"
+               "                  [--days D=14] [--seed S=42] [--k K=4] [--runs N=30]\n");
+  std::exit(2);
+}
+
+AppProfile resolve_app(const std::string& name) {
+  if (name == "LAMMPS32") return lammps_profile(32);
+  if (name == "LAMMPS128") return lammps_profile(128);
+  return paper_profile(name);  // throws with a clear message when unknown
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  double deadline_factor = 1.5;
+  double days = 14.0;
+  std::uint64_t seed = 42;
+  int k = 4;
+  std::size_t runs = 30;
+
+  const std::string app_name = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--deadline-factor") {
+      deadline_factor = std::atof(next());
+    } else if (arg == "--tight") {
+      deadline_factor = 1.05;
+    } else if (arg == "--days") {
+      days = std::atof(next());
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--k") {
+      k = std::atoi(next());
+    } else if (arg == "--runs") {
+      runs = static_cast<std::size_t>(std::atoll(next()));
+    } else {
+      usage();
+    }
+  }
+
+  try {
+    const AppProfile app = resolve_app(app_name);
+    const Catalog catalog = paper_catalog();
+    const Market market =
+        generate_market(catalog, paper_market_profile(catalog), days, 0.25, seed);
+    const ExecTimeEstimator estimator;
+
+    const OnDemandSelector selector(&catalog, &estimator);
+    const OnDemandChoice baseline = selector.baseline(app);
+    const double deadline_h = baseline.t_h * deadline_factor;
+
+    OptimizerConfig cfg;
+    cfg.max_groups = k;
+    const SompiOptimizer optimizer(&catalog, &estimator, cfg);
+    const Plan plan = optimizer.optimize(app, market, deadline_h);
+
+    std::printf("workload   : %s (%d processes, %s)\n", app.name.c_str(), app.processes,
+                category_label(app.category).c_str());
+    std::printf("baseline   : %s × %d — %.1f h, $%.2f\n",
+                catalog.type(baseline.type_index).name.c_str(), baseline.instances,
+                baseline.t_h, baseline.full_cost_usd());
+    std::printf("deadline   : %.1f h (%.2f× baseline)\n\n", deadline_h, deadline_factor);
+
+    if (!plan.uses_spot()) {
+      std::printf("plan: on-demand only (%s × %d) — the spot market cannot beat it under "
+                  "this deadline.\n",
+                  catalog.type(plan.od.type_index).name.c_str(), plan.od.instances);
+    } else {
+      Table t("plan");
+      t.header({"circle group", "instances", "bid $/h", "checkpoint every", "run time"});
+      for (const auto& g : plan.groups)
+        t.row({g.name, std::to_string(g.instances), Table::num(g.bid_usd, 4),
+               Table::num(g.f_steps * plan.step_hours, 2) + " h",
+               Table::num(g.t_steps * plan.step_hours, 1) + " h"});
+      std::printf("%s", t.render().c_str());
+      std::printf("fallback   : %s × %d on demand\n",
+                  catalog.type(plan.od.type_index).name.c_str(), plan.od.instances);
+    }
+    std::printf("expected   : $%.2f in %.1f h (P[spot completion] %.2f)\n",
+                plan.expected.cost_usd, plan.expected.time_h,
+                plan.expected.p_complete_on_spot);
+    std::printf("optimizer  : %zu evaluations, %.2f s\n\n", plan.model_evaluations,
+                plan.optimize_seconds);
+
+    MonteCarloConfig mc;
+    mc.runs = runs;
+    mc.reserve_h = 96.0;
+    const MonteCarloRunner runner(&market, {}, mc);
+    const MonteCarloStats stats = runner.run_plan(plan, deadline_h);
+    std::printf("replay(%zu) : $%.2f ± %.2f, %.1f h mean, %.0f%% deadline misses\n",
+                stats.runs, stats.cost.mean, stats.cost.stddev, stats.time.mean,
+                100.0 * stats.deadline_miss_rate);
+    std::printf("savings    : %.0f%% vs baseline on-demand\n",
+                100.0 * (1.0 - stats.cost.mean / baseline.full_cost_usd()));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

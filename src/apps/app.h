@@ -1,0 +1,36 @@
+// Common surface of the mini-NPB kernels.
+//
+// Every kernel is a real message-passing program over sompi::mpi::Comm with
+// (a) a sequential reference implementation used by the tests as an oracle,
+// (b) optional coordinated checkpointing at a configurable iteration cadence,
+// (c) a checksum summarizing the final state, comparable across run/restart
+//     boundaries and against the reference.
+#pragma once
+
+#include "checkpoint/checkpointer.h"
+#include "minimpi/comm.h"
+
+namespace sompi::apps {
+
+struct AppResult {
+  /// Order-independent digest of the final state.
+  double checksum = 0.0;
+  /// Iterations executed in THIS run (after any restore).
+  int iterations_run = 0;
+  /// The run resumed from a committed checkpoint.
+  bool resumed = false;
+  /// Checkpoints saved during this run.
+  int checkpoints_saved = 0;
+};
+
+/// Shared checkpoint cadence logic: checkpoint after iteration `it`
+/// (0-based) when a checkpointer is present, the cadence is positive, the
+/// boundary is hit, and this is not the final iteration (the paper's model
+/// never checkpoints at the very end of a run).
+inline bool should_checkpoint(const Checkpointer* ck, int checkpoint_every, int it,
+                              int total_iterations) {
+  return ck != nullptr && checkpoint_every > 0 && (it + 1) % checkpoint_every == 0 &&
+         it + 1 < total_iterations;
+}
+
+}  // namespace sompi::apps

@@ -1,0 +1,59 @@
+#include "apps/band_solver.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sompi::apps {
+
+void solve_tridiagonal(std::vector<double>& a, std::vector<double>& b, std::vector<double>& c,
+                       std::vector<double>& d) {
+  const std::size_t n = d.size();
+  SOMPI_REQUIRE(n >= 1);
+  SOMPI_REQUIRE(a.size() == n && b.size() == n && c.size() == n);
+
+  // Forward sweep.
+  for (std::size_t i = 1; i < n; ++i) {
+    SOMPI_REQUIRE_MSG(std::abs(b[i - 1]) > 1e-300, "tridiagonal pivot underflow");
+    const double m = a[i] / b[i - 1];
+    b[i] -= m * c[i - 1];
+    d[i] -= m * d[i - 1];
+  }
+  // Back substitution.
+  d[n - 1] /= b[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) d[i] = (d[i] - c[i] * d[i + 1]) / b[i];
+}
+
+void solve_pentadiagonal(std::vector<double>& e, std::vector<double>& a, std::vector<double>& b,
+                         std::vector<double>& c, std::vector<double>& f,
+                         std::vector<double>& d) {
+  const std::size_t n = d.size();
+  SOMPI_REQUIRE(n >= 1);
+  SOMPI_REQUIRE(e.size() == n && a.size() == n && b.size() == n && c.size() == n &&
+                f.size() == n);
+
+  // Forward elimination of the two sub-diagonals using row i-1 as pivot.
+  for (std::size_t i = 1; i < n; ++i) {
+    SOMPI_REQUIRE_MSG(std::abs(b[i - 1]) > 1e-300, "pentadiagonal pivot underflow");
+    const double m1 = a[i] / b[i - 1];
+    b[i] -= m1 * c[i - 1];
+    c[i] -= m1 * f[i - 1];
+    d[i] -= m1 * d[i - 1];
+
+    if (i + 1 < n) {
+      const double m2 = e[i + 1] / b[i - 1];
+      a[i + 1] -= m2 * c[i - 1];
+      b[i + 1] -= m2 * f[i - 1];
+      d[i + 1] -= m2 * d[i - 1];
+      e[i + 1] = 0.0;
+    }
+  }
+  // Back substitution over the remaining upper-triangular band (b, c, f).
+  d[n - 1] /= b[n - 1];
+  if (n >= 2) d[n - 2] = (d[n - 2] - c[n - 2] * d[n - 1]) / b[n - 2];
+  for (std::size_t i = n - 1; i-- > 0;) {
+    if (i + 2 < n) d[i] = (d[i] - c[i] * d[i + 1] - f[i] * d[i + 2]) / b[i];
+  }
+}
+
+}  // namespace sompi::apps

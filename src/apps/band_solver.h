@@ -1,0 +1,26 @@
+// Banded linear solvers shared by the BT/SP-style kernels:
+//   * Thomas algorithm for tridiagonal systems (BT's line solves),
+//   * Gaussian elimination without pivoting for symmetric-structure
+//     pentadiagonal systems (SP is the "Scalar Penta-diagonal" solver).
+// Both assume diagonally dominant systems, which our stencils guarantee.
+#pragma once
+
+#include <vector>
+
+namespace sompi::apps {
+
+/// Solves the tridiagonal system with sub-diagonal `a`, diagonal `b`,
+/// super-diagonal `c` and right-hand side `d`, in place; the solution is
+/// returned in `d`. All vectors have length n (a[0] and c[n-1] are unused).
+/// Requires a diagonally dominant system.
+void solve_tridiagonal(std::vector<double>& a, std::vector<double>& b, std::vector<double>& c,
+                       std::vector<double>& d);
+
+/// Solves a pentadiagonal system with bands (e, a, b, c, f) — second sub,
+/// sub, main, super, second super — and right-hand side d, in place.
+/// All vectors have length n; out-of-range band entries are unused.
+void solve_pentadiagonal(std::vector<double>& e, std::vector<double>& a, std::vector<double>& b,
+                         std::vector<double>& c, std::vector<double>& f,
+                         std::vector<double>& d);
+
+}  // namespace sompi::apps

@@ -1,0 +1,44 @@
+// BT — a tri-diagonal ADI solver in the spirit of the NPB BT kernel:
+// Peaceman–Rachford alternating-direction-implicit time stepping of a 2D
+// diffusion problem. Each iteration solves one tridiagonal system per grid
+// line in both directions; the y-direction solves are made local by a full
+// distributed transpose (personalized all-to-all), which is where BT's
+// communication volume comes from.
+//
+// BTIO is BT plus periodic solution dumps to a storage backend — the NPB
+// BTIO I/O-subtype stand-in. The dump volume is what makes it I/O-bound.
+#pragma once
+
+#include "apps/app.h"
+#include "checkpoint/storage.h"
+
+namespace sompi::apps {
+
+struct BtConfig {
+  /// Grid is n × n; n must be divisible by the world size.
+  int n = 64;
+  int iterations = 20;
+  int checkpoint_every = 0;
+  /// Diffusion number λ = σ·dt/h² per half step.
+  double lambda = 0.4;
+  /// Constant volumetric source.
+  double source = 1.0;
+  /// BTIO: dump the solution every `io_every` iterations (0 = plain BT).
+  int io_every = 0;
+};
+
+/// Distributed ADI run; all ranks return the same checksum. `io_store`
+/// receives BTIO dumps when config.io_every > 0.
+AppResult bt_run(mpi::Comm& comm, const BtConfig& config, Checkpointer* ck = nullptr,
+                 StorageBackend* io_store = nullptr);
+
+/// Sequential oracle.
+double bt_reference(const BtConfig& config);
+
+/// Distributed square-matrix transpose (building block, exposed for tests):
+/// `local` is the calling rank's `rows_local × n` row-block; returns the
+/// rank's row-block of the transposed matrix. n must be divisible by the
+/// world size.
+std::vector<double> transpose_block(mpi::Comm& comm, const std::vector<double>& local, int n);
+
+}  // namespace sompi::apps

@@ -1,0 +1,190 @@
+#include "apps/cg.h"
+
+#include <cmath>
+
+#include "apps/grid_ops.h"
+#include "checkpoint/state_buffer.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace sompi::apps {
+
+namespace {
+
+/// Rows [begin, end) owned by `rank` (same block rule as the LU kernel).
+struct RowRange {
+  int begin = 0;
+  int end = 0;
+  int count() const { return end - begin; }
+};
+
+RowRange rows_for(int rank, int size, int n) {
+  const int base = n / size;
+  const int rem = n % size;
+  RowRange r;
+  r.begin = rank * base + std::min(rank, rem);
+  r.end = r.begin + base + (rank < rem ? 1 : 0);
+  return r;
+}
+
+/// Deterministic RHS entry for global cell (row, col).
+double rhs_value(std::uint64_t seed, int row, int col, int n) {
+  std::uint64_t s = seed ^ (static_cast<std::uint64_t>(row) * n + static_cast<std::uint64_t>(col));
+  return static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53 - 0.5;
+}
+
+constexpr int kTagCgUp = 41;
+constexpr int kTagCgDown = 42;
+
+/// y = A x over the owned rows, where A = (4 + shift) I − adjacency of the
+/// 5-point Laplacian; `x` is halo-padded (count+2 rows of n).
+void matvec(const std::vector<double>& x_halo, std::vector<double>& y, const RowRange& range,
+            int n, double shift) {
+  for (int l = 1; l <= range.count(); ++l) {
+    for (int c = 0; c < n; ++c) {
+      const double up = x_halo[static_cast<std::size_t>((l - 1) * n + c)];
+      const double down = x_halo[static_cast<std::size_t>((l + 1) * n + c)];
+      const double left = c > 0 ? x_halo[static_cast<std::size_t>(l * n + c - 1)] : 0.0;
+      const double right = c + 1 < n ? x_halo[static_cast<std::size_t>(l * n + c + 1)] : 0.0;
+      const double mid = x_halo[static_cast<std::size_t>(l * n + c)];
+      y[static_cast<std::size_t>((l - 1) * n + c)] =
+          (4.0 + shift) * mid - up - down - left - right;
+    }
+  }
+}
+
+/// Halo exchange tailored to CG's tags (LU uses the shared grid tags; CG
+/// runs its own so both kernels can share a world in tests).
+void exchange(mpi::Comm& comm, std::vector<double>& x_halo, int rows_local, int n) {
+  const int r = comm.rank();
+  const int p = comm.size();
+  const auto row = [&](int l) {
+    return std::span<const double>(x_halo.data() + static_cast<std::size_t>(l) * n,
+                                   static_cast<std::size_t>(n));
+  };
+  if (r > 0) comm.send_vec<double>(r - 1, kTagCgUp, row(1));
+  if (r + 1 < p) comm.send_vec<double>(r + 1, kTagCgDown, row(rows_local));
+  if (r + 1 < p) {
+    const auto halo = comm.recv_vec<double>(r + 1, kTagCgUp);
+    std::copy(halo.begin(), halo.end(),
+              x_halo.begin() + static_cast<std::ptrdiff_t>(rows_local + 1) * n);
+  }
+  if (r > 0) {
+    const auto halo = comm.recv_vec<double>(r - 1, kTagCgDown);
+    std::copy(halo.begin(), halo.end(), x_halo.begin());
+  }
+}
+
+double dot_local(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+AppResult cg_run(mpi::Comm& comm, const CgConfig& config, Checkpointer* ck) {
+  SOMPI_REQUIRE(config.n >= comm.size());
+  SOMPI_REQUIRE(config.iterations >= 1);
+  SOMPI_REQUIRE(config.shift > 0.0);
+  const int n = config.n;
+  const RowRange range = rows_for(comm.rank(), comm.size(), n);
+  const auto local = static_cast<std::size_t>(range.count()) * n;
+
+  // CG state: solution x, residual r, direction p (owned rows only).
+  std::vector<double> x(local, 0.0), res(local), dir(local);
+  for (int l = 0; l < range.count(); ++l)
+    for (int c = 0; c < n; ++c)
+      res[static_cast<std::size_t>(l * n + c)] = rhs_value(config.seed, range.begin + l, c, n);
+  dir = res;
+  double rho = comm.allreduce(dot_local(res, res), mpi::ReduceOp::kSum);
+
+  int start_iter = 0;
+  AppResult result;
+  if (ck != nullptr) {
+    if (auto blob = ck->load_latest(comm)) {
+      StateReader reader(*blob);
+      start_iter = reader.read<int>();
+      rho = reader.read<double>();
+      x = reader.read_vec<double>();
+      res = reader.read_vec<double>();
+      dir = reader.read_vec<double>();
+      SOMPI_ASSERT(x.size() == local);
+      result.resumed = true;
+    }
+  }
+
+  std::vector<double> padded(static_cast<std::size_t>(range.count() + 2) * n);
+  std::vector<double> q(local);
+  for (int it = start_iter; it < config.iterations; ++it) {
+    comm.tick();
+
+    // q = A p (halo exchange + local stencil).
+    std::fill(padded.begin(), padded.end(), 0.0);
+    std::copy(dir.begin(), dir.end(), padded.begin() + n);
+    exchange(comm, padded, range.count(), n);
+    matvec(padded, q, range, n, config.shift);
+
+    const double pq = comm.allreduce(dot_local(dir, q), mpi::ReduceOp::kSum);
+    SOMPI_ASSERT_MSG(pq > 0.0, "CG direction lost positive definiteness");
+    const double alpha = rho / pq;
+    for (std::size_t i = 0; i < local; ++i) {
+      x[i] += alpha * dir[i];
+      res[i] -= alpha * q[i];
+    }
+    const double rho_next = comm.allreduce(dot_local(res, res), mpi::ReduceOp::kSum);
+    const double beta = rho_next / rho;
+    rho = rho_next;
+    for (std::size_t i = 0; i < local; ++i) dir[i] = res[i] + beta * dir[i];
+
+    ++result.iterations_run;
+
+    if (should_checkpoint(ck, config.checkpoint_every, it, config.iterations)) {
+      StateWriter writer;
+      writer.write<int>(it + 1);
+      writer.write<double>(rho);
+      writer.write_vec(x);
+      writer.write_vec(res);
+      writer.write_vec(dir);
+      ck->save(comm, writer.take());
+      ++result.checkpoints_saved;
+    }
+  }
+
+  result.checksum = global_l2(comm, x);
+  return result;
+}
+
+double cg_reference(const CgConfig& config) {
+  const int n = config.n;
+  const RowRange all{0, n};
+  const auto local = static_cast<std::size_t>(n) * n;
+  std::vector<double> x(local, 0.0), res(local), dir(local), q(local);
+  for (int row = 0; row < n; ++row)
+    for (int c = 0; c < n; ++c)
+      res[static_cast<std::size_t>(row * n + c)] = rhs_value(config.seed, row, c, n);
+  dir = res;
+  double rho = dot_local(res, res);
+
+  std::vector<double> padded(static_cast<std::size_t>(n + 2) * n);
+  for (int it = 0; it < config.iterations; ++it) {
+    std::fill(padded.begin(), padded.end(), 0.0);
+    std::copy(dir.begin(), dir.end(), padded.begin() + n);
+    matvec(padded, q, all, n, config.shift);
+    const double pq = dot_local(dir, q);
+    const double alpha = rho / pq;
+    for (std::size_t i = 0; i < local; ++i) {
+      x[i] += alpha * dir[i];
+      res[i] -= alpha * q[i];
+    }
+    const double rho_next = dot_local(res, res);
+    const double beta = rho_next / rho;
+    rho = rho_next;
+    for (std::size_t i = 0; i < local; ++i) dir[i] = res[i] + beta * dir[i];
+  }
+  double sum = 0.0;
+  for (double v : x) sum += v * v;
+  return std::sqrt(sum);
+}
+
+}  // namespace sompi::apps

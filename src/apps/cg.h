@@ -1,0 +1,30 @@
+// CG — a conjugate-gradient kernel in the spirit of NPB CG: solve a sparse
+// symmetric positive-definite system (a shifted 5-point Laplacian on an
+// n × n grid, row-block partitioned). Each iteration costs one distributed
+// matvec (halo exchange) and two global dot products (allreduce) — CG's
+// signature latency-bound communication pattern.
+#pragma once
+
+#include "apps/app.h"
+
+namespace sompi::apps {
+
+struct CgConfig {
+  /// Grid is n × n unknowns; n must be >= the world size.
+  int n = 48;
+  int iterations = 40;
+  int checkpoint_every = 0;
+  /// Diagonal shift (> 0 keeps the operator well conditioned).
+  double shift = 0.1;
+  /// Right-hand side is a deterministic pseudo-random vector.
+  std::uint64_t seed = 0xC6;
+};
+
+/// Distributed CG; the checksum is the solution's L2 norm. All ranks return
+/// the same result.
+AppResult cg_run(mpi::Comm& comm, const CgConfig& config, Checkpointer* ck = nullptr);
+
+/// Sequential oracle.
+double cg_reference(const CgConfig& config);
+
+}  // namespace sompi::apps

@@ -1,0 +1,29 @@
+// EP — the embarrassingly parallel kernel in the spirit of NPB EP: generate
+// pairs of uniform deviates, convert the accepted ones to Gaussian pairs via
+// the Marsaglia polar method, tally them into annulus bins by magnitude, and
+// reduce the counts and sums globally. Communication is a single reduction
+// per batch — the pure-compute end of the workload spectrum.
+#pragma once
+
+#include "apps/app.h"
+
+namespace sompi::apps {
+
+struct EpConfig {
+  /// Uniform pairs per rank per batch.
+  int pairs_per_rank = 1 << 14;
+  /// Batches ("iterations"): each ends in one global reduction and is the
+  /// checkpoint granule.
+  int batches = 8;
+  int checkpoint_every = 0;
+  std::uint64_t seed = 0xE9;
+};
+
+/// Distributed EP; the checksum combines the global Gaussian sums and the
+/// annulus counts. Deterministic for a given (seed, world size).
+AppResult ep_run(mpi::Comm& comm, const EpConfig& config, Checkpointer* ck = nullptr);
+
+/// Sequential oracle at the given world size (generation is per rank).
+double ep_reference(const EpConfig& config, int processes);
+
+}  // namespace sompi::apps

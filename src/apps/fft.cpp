@@ -1,0 +1,58 @@
+#include "apps/fft.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sompi::apps {
+
+void fft_inplace(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  SOMPI_REQUIRE_MSG(n > 0 && (n & (n - 1)) == 0, "FFT length must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= inv_n;
+  }
+}
+
+std::vector<Complex> dft_reference(const std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  std::vector<Complex> out(n, Complex(0.0, 0.0));
+  const double sign = inverse ? 2.0 : -2.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = sign * M_PI * static_cast<double>(k * j) / static_cast<double>(n);
+      out[k] += data[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+  }
+  if (inverse)
+    for (auto& x : out) x /= static_cast<double>(n);
+  return out;
+}
+
+}  // namespace sompi::apps

@@ -1,0 +1,19 @@
+// Iterative radix-2 complex FFT — the numerical core of the FT kernel.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace sompi::apps {
+
+using Complex = std::complex<double>;
+
+/// In-place forward (inverse = true for backward) FFT. Length must be a
+/// power of two. The inverse includes the 1/N normalization, so
+/// fft(fft(x), inverse) == x up to rounding.
+void fft_inplace(std::vector<Complex>& data, bool inverse);
+
+/// Naive O(n²) DFT — the test oracle for fft_inplace.
+std::vector<Complex> dft_reference(const std::vector<Complex>& data, bool inverse);
+
+}  // namespace sompi::apps

@@ -1,0 +1,151 @@
+#include "apps/ft.h"
+
+#include <cmath>
+
+#include "apps/fft.h"
+#include "apps/grid_ops.h"
+#include "checkpoint/state_buffer.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace sompi::apps {
+
+namespace {
+
+/// Deterministic initial value for global cell (row, col) — every rank can
+/// generate its own block without communication.
+Complex initial_value(std::uint64_t seed, int row, int col, int n) {
+  std::uint64_t s = seed ^ (static_cast<std::uint64_t>(row) * n + static_cast<std::uint64_t>(col));
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  // Map to [-0.5, 0.5) each component.
+  const double re = static_cast<double>(a >> 11) * 0x1.0p-53 - 0.5;
+  const double im = static_cast<double>(b >> 11) * 0x1.0p-53 - 0.5;
+  return {re, im};
+}
+
+/// FFT of every local row, in place.
+void fft_rows(std::vector<Complex>& block, int rows_local, int n, bool inverse) {
+  std::vector<Complex> row(static_cast<std::size_t>(n));
+  for (int l = 0; l < rows_local; ++l) {
+    std::copy_n(block.begin() + static_cast<std::ptrdiff_t>(l) * n, n, row.begin());
+    fft_inplace(row, inverse);
+    std::copy_n(row.begin(), n, block.begin() + static_cast<std::ptrdiff_t>(l) * n);
+  }
+}
+
+/// Signed frequency index of DFT bin k of an n-point transform.
+int freq_index(int k, int n) { return k <= n / 2 ? k : k - n; }
+
+/// Spectral evolution: multiply bin (ky, kx) by exp(-alpha·t·(kx² + ky²)).
+/// In the transposed layout the local row index is the original column (kx)
+/// and the in-row index is ky.
+void evolve_spectrum(std::vector<Complex>& transposed, int rows_local, int row0, int n,
+                     double alpha, int t) {
+  for (int l = 0; l < rows_local; ++l) {
+    const int kx = freq_index(row0 + l, n);
+    for (int j = 0; j < n; ++j) {
+      const int ky = freq_index(j, n);
+      const double damp =
+          std::exp(-alpha * static_cast<double>(t) * static_cast<double>(kx * kx + ky * ky));
+      transposed[static_cast<std::size_t>(l * n + j)] *= damp;
+    }
+  }
+}
+
+double checksum_complex(mpi::Comm& comm, const std::vector<Complex>& block) {
+  double local = 0.0;
+  for (const auto& z : block) local += std::norm(z);
+  return std::sqrt(comm.allreduce(local, mpi::ReduceOp::kSum));
+}
+
+}  // namespace
+
+AppResult ft_run(mpi::Comm& comm, const FtConfig& config, Checkpointer* ck) {
+  const int p = comm.size();
+  const int n = config.n;
+  SOMPI_REQUIRE(n >= p && n % p == 0);
+  SOMPI_REQUIRE_MSG((n & (n - 1)) == 0, "FT grid size must be a power of two");
+  SOMPI_REQUIRE(config.iterations >= 1);
+  const int m = n / p;
+  const int row0 = comm.rank() * m;
+
+  std::vector<Complex> u(static_cast<std::size_t>(m) * n);
+  for (int l = 0; l < m; ++l)
+    for (int c = 0; c < n; ++c)
+      u[static_cast<std::size_t>(l * n + c)] = initial_value(config.seed, row0 + l, c, n);
+
+  int start_iter = 0;
+  AppResult result;
+  if (ck != nullptr) {
+    if (auto blob = ck->load_latest(comm)) {
+      StateReader reader(*blob);
+      start_iter = reader.read<int>();
+      u = reader.read_vec<Complex>();
+      SOMPI_ASSERT(static_cast<int>(u.size()) == m * n);
+      result.resumed = true;
+    }
+  }
+
+  for (int it = start_iter; it < config.iterations; ++it) {
+    comm.tick();
+
+    // Forward 2D FFT: rows, transpose, rows (leaves data transposed:
+    // local rows are original columns).
+    fft_rows(u, m, n, /*inverse=*/false);
+    u = transpose_block_t<Complex>(comm, u, n);
+    fft_rows(u, m, n, /*inverse=*/false);
+
+    evolve_spectrum(u, m, row0, n, config.alpha, it + 1);
+
+    // Inverse 2D FFT back to physical layout.
+    fft_rows(u, m, n, /*inverse=*/true);
+    u = transpose_block_t<Complex>(comm, u, n);
+    fft_rows(u, m, n, /*inverse=*/true);
+
+    ++result.iterations_run;
+
+    if (should_checkpoint(ck, config.checkpoint_every, it, config.iterations)) {
+      StateWriter writer;
+      writer.write<int>(it + 1);
+      writer.write_vec(u);
+      ck->save(comm, writer.take());
+      ++result.checkpoints_saved;
+    }
+  }
+
+  result.checksum = checksum_complex(comm, u);
+  return result;
+}
+
+double ft_reference(const FtConfig& config) {
+  const int n = config.n;
+  std::vector<Complex> u(static_cast<std::size_t>(n) * n);
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c)
+      u[static_cast<std::size_t>(r * n + c)] = initial_value(config.seed, r, c, n);
+
+  auto transpose_local = [n](std::vector<Complex>& x) {
+    std::vector<Complex> t(x.size());
+    for (int r = 0; r < n; ++r)
+      for (int c = 0; c < n; ++c)
+        t[static_cast<std::size_t>(c * n + r)] = x[static_cast<std::size_t>(r * n + c)];
+    x = std::move(t);
+  };
+
+  for (int it = 0; it < config.iterations; ++it) {
+    fft_rows(u, n, n, false);
+    transpose_local(u);
+    fft_rows(u, n, n, false);
+    evolve_spectrum(u, n, 0, n, config.alpha, it + 1);
+    fft_rows(u, n, n, true);
+    transpose_local(u);
+    fft_rows(u, n, n, true);
+  }
+
+  double sum = 0.0;
+  for (const auto& z : u) sum += std::norm(z);
+  return std::sqrt(sum);
+}
+
+}  // namespace sompi::apps

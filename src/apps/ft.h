@@ -1,0 +1,27 @@
+// FT — the communication-intensive spectral kernel in the spirit of NPB FT:
+// repeated 2D FFTs of a complex field with a spectral evolution step in
+// between. The 2D FFT is row FFTs + distributed transpose + row FFTs, so the
+// kernel is dominated by the full all-to-all transposes (two per iteration).
+#pragma once
+
+#include "apps/app.h"
+
+namespace sompi::apps {
+
+struct FtConfig {
+  /// Field is n × n complex; n must be a power of two divisible by the
+  /// world size.
+  int n = 64;
+  int iterations = 10;
+  int checkpoint_every = 0;
+  /// Spectral decay coefficient of the evolution operator.
+  double alpha = 1e-4;
+  /// Seed of the deterministic initial field.
+  std::uint64_t seed = 0xF7;
+};
+
+AppResult ft_run(mpi::Comm& comm, const FtConfig& config, Checkpointer* ck = nullptr);
+
+double ft_reference(const FtConfig& config);
+
+}  // namespace sompi::apps

@@ -1,0 +1,92 @@
+// Shared distributed-grid helpers for the row-block-partitioned kernels
+// (BT, SP, MD): halo exchange, halo padding and the global L2 checksum.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "minimpi/comm.h"
+
+namespace sompi::apps {
+
+inline constexpr int kGridTagHaloUp = 21;
+inline constexpr int kGridTagHaloDown = 22;
+
+/// Exchanges the first/last owned row with the rank neighbours. `u` has
+/// rows_local+2 rows of n values (halo rows 0 and rows_local+1); absent
+/// neighbours leave the halo untouched (zero = Dirichlet boundary).
+inline void exchange_grid_halos(mpi::Comm& comm, std::vector<double>& u, int rows_local,
+                                int n) {
+  const int r = comm.rank();
+  const int p = comm.size();
+  const auto row = [&](int l) {
+    return std::span<const double>(u.data() + static_cast<std::size_t>(l) * n,
+                                   static_cast<std::size_t>(n));
+  };
+  if (r > 0) comm.send_vec<double>(r - 1, kGridTagHaloUp, row(1));
+  if (r + 1 < p) comm.send_vec<double>(r + 1, kGridTagHaloDown, row(rows_local));
+  if (r + 1 < p) {
+    const auto halo = comm.recv_vec<double>(r + 1, kGridTagHaloUp);
+    std::copy(halo.begin(), halo.end(),
+              u.begin() + static_cast<std::ptrdiff_t>(rows_local + 1) * n);
+  }
+  if (r > 0) {
+    const auto halo = comm.recv_vec<double>(r - 1, kGridTagHaloDown);
+    std::copy(halo.begin(), halo.end(), u.begin());
+  }
+}
+
+/// Pads a rows_local × n block with zeroed halo rows (top and bottom).
+inline std::vector<double> pad_with_halo(const std::vector<double>& block, int rows_local,
+                                         int n) {
+  std::vector<double> padded(static_cast<std::size_t>(rows_local + 2) * n, 0.0);
+  std::copy(block.begin(), block.end(), padded.begin() + n);
+  return padded;
+}
+
+/// Distributed square-matrix transpose: `local` is the calling rank's
+/// (n/p) × n row-block; returns the rank's row-block of the transposed
+/// matrix. n must be divisible by the world size p. One personalized
+/// all-to-all — the dominant communication of the BT/SP/FT kernels.
+template <typename T>
+std::vector<T> transpose_block_t(mpi::Comm& comm, const std::vector<T>& local, int n) {
+  const int p = comm.size();
+  SOMPI_REQUIRE_MSG(n % p == 0, "transpose requires n divisible by world size");
+  const int m = n / p;  // rows per rank == columns per rank
+  SOMPI_REQUIRE(static_cast<int>(local.size()) == m * n);
+
+  // Piece for rank j: my m rows restricted to j's column range, stored
+  // column-major so the receiver can copy rows contiguously.
+  std::vector<std::vector<T>> send(static_cast<std::size_t>(p));
+  for (int j = 0; j < p; ++j) {
+    auto& buf = send[static_cast<std::size_t>(j)];
+    buf.resize(static_cast<std::size_t>(m) * m);
+    for (int c = 0; c < m; ++c)
+      for (int r = 0; r < m; ++r)
+        buf[static_cast<std::size_t>(c * m + r)] =
+            local[static_cast<std::size_t>(r * n + j * m + c)];
+  }
+  const auto recv = comm.alltoall(send);
+
+  // New row-block: my rows are the original columns [rank*m, rank*m+m).
+  std::vector<T> out(static_cast<std::size_t>(m) * n);
+  for (int i = 0; i < p; ++i) {
+    const auto& buf = recv[static_cast<std::size_t>(i)];
+    SOMPI_ASSERT(static_cast<int>(buf.size()) == m * m);
+    for (int c = 0; c < m; ++c)    // my local row index (original column)
+      for (int r = 0; r < m; ++r)  // original row within rank i's block
+        out[static_cast<std::size_t>(c * n + i * m + r)] =
+            buf[static_cast<std::size_t>(c * m + r)];
+  }
+  return out;
+}
+
+/// √(Σ v²) over all ranks' blocks — the kernels' common checksum.
+inline double global_l2(mpi::Comm& comm, const std::vector<double>& block) {
+  double local = 0.0;
+  for (double v : block) local += v * v;
+  return std::sqrt(comm.allreduce(local, mpi::ReduceOp::kSum));
+}
+
+}  // namespace sompi::apps

@@ -1,0 +1,121 @@
+#include "apps/is.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "checkpoint/state_buffer.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace sompi::apps {
+
+namespace {
+
+/// Keys for (iteration, rank) — deterministic, so reference and distributed
+/// runs generate identical global key sets.
+std::vector<std::uint32_t> generate_keys(const IsConfig& config, int iteration, int rank) {
+  Rng rng(config.seed ^ (static_cast<std::uint64_t>(iteration) << 20) ^
+          static_cast<std::uint64_t>(rank));
+  std::vector<std::uint32_t> keys(static_cast<std::size_t>(config.keys_per_rank));
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.uniform_index(config.key_range));
+  return keys;
+}
+
+/// Position-weighted digest of one rank's sorted slice, given the global
+/// offset of its first element. Weights make ordering errors visible.
+double digest_slice(const std::vector<std::uint32_t>& keys, std::uint64_t offset) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const double pos = static_cast<double>(offset + i + 1);
+    d += static_cast<double>(keys[i]) * std::fmod(pos, 64.0);
+  }
+  return d;
+}
+
+}  // namespace
+
+AppResult is_run(mpi::Comm& comm, const IsConfig& config, Checkpointer* ck) {
+  SOMPI_REQUIRE(config.keys_per_rank >= 1 && config.key_range >= 1);
+  SOMPI_REQUIRE(config.iterations >= 1);
+  const int p = comm.size();
+
+  int start_iter = 0;
+  double digest_acc = 0.0;
+  AppResult result;
+  if (ck != nullptr) {
+    if (auto blob = ck->load_latest(comm)) {
+      StateReader reader(*blob);
+      start_iter = reader.read<int>();
+      digest_acc = reader.read<double>();
+      result.resumed = true;
+    }
+  }
+
+  for (int it = start_iter; it < config.iterations; ++it) {
+    comm.tick();
+
+    const auto keys = generate_keys(config, it, comm.rank());
+
+    // Bucket by key range: bucket b owns [b·range/p, (b+1)·range/p).
+    std::vector<std::vector<std::uint32_t>> buckets(static_cast<std::size_t>(p));
+    const double inv_width = static_cast<double>(p) / config.key_range;
+    for (const auto k : keys) {
+      auto b = static_cast<std::size_t>(k * inv_width);
+      b = std::min(b, static_cast<std::size_t>(p - 1));
+      buckets[b].push_back(k);
+    }
+    auto exchanged = comm.alltoall(buckets);
+
+    std::vector<std::uint32_t> mine;
+    for (auto& part : exchanged) mine.insert(mine.end(), part.begin(), part.end());
+    std::sort(mine.begin(), mine.end());
+
+    // Global offsets of each rank's slice.
+    const auto counts = comm.allgather<std::uint64_t>(mine.size());
+    std::uint64_t offset = 0;
+    for (int r = 0; r < comm.rank(); ++r) offset += counts[static_cast<std::size_t>(r)];
+
+    // Verify the global order across rank boundaries: my max <= successor's
+    // min (empty slices skipped via sentinel exchange).
+    const std::uint32_t my_min = mine.empty() ? config.key_range : mine.front();
+    const auto mins = comm.allgather<std::uint32_t>(my_min);
+    if (!mine.empty()) {
+      for (int r = comm.rank() + 1; r < p; ++r) {
+        const auto next_min = mins[static_cast<std::size_t>(r)];
+        if (next_min != config.key_range && mine.back() > next_min)
+          throw InvariantError("IS: global sort order violated at rank boundary");
+      }
+    }
+
+    digest_acc += comm.allreduce(digest_slice(mine, offset), mpi::ReduceOp::kSum);
+    ++result.iterations_run;
+
+    if (should_checkpoint(ck, config.checkpoint_every, it, config.iterations)) {
+      StateWriter writer;
+      writer.write<int>(it + 1);
+      writer.write<double>(digest_acc);
+      ck->save(comm, writer.take());
+      ++result.checkpoints_saved;
+    }
+  }
+
+  result.checksum = digest_acc;
+  return result;
+}
+
+double is_reference(const IsConfig& config, int processes) {
+  SOMPI_REQUIRE(processes >= 1);
+  double digest_acc = 0.0;
+  for (int it = 0; it < config.iterations; ++it) {
+    std::vector<std::uint32_t> all;
+    for (int r = 0; r < processes; ++r) {
+      const auto keys = generate_keys(config, it, r);
+      all.insert(all.end(), keys.begin(), keys.end());
+    }
+    std::sort(all.begin(), all.end());
+    digest_acc += digest_slice(all, 0);
+  }
+  return digest_acc;
+}
+
+}  // namespace sompi::apps

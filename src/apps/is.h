@@ -1,0 +1,31 @@
+// IS — the integer-sort kernel in the spirit of NPB IS: each iteration
+// generates a fresh batch of uniform keys, buckets them by range, exchanges
+// buckets with a personalized all-to-all, sorts locally, and verifies the
+// global order. Communication-intensive: (almost) the whole key volume
+// crosses the network every iteration.
+#pragma once
+
+#include "apps/app.h"
+
+namespace sompi::apps {
+
+struct IsConfig {
+  /// Keys per rank per iteration.
+  int keys_per_rank = 1 << 12;
+  /// Keys are uniform in [0, key_range).
+  std::uint32_t key_range = 1u << 19;
+  int iterations = 10;
+  int checkpoint_every = 0;
+  std::uint64_t seed = 0x15;
+};
+
+/// Distributed sort; the checksum is a position-weighted digest of the
+/// globally sorted sequence accumulated across iterations. Throws if any
+/// iteration produces an incorrectly sorted global sequence.
+AppResult is_run(mpi::Comm& comm, const IsConfig& config, Checkpointer* ck = nullptr);
+
+/// Sequential oracle: identical generation and digest, std::sort as sorter.
+/// `processes` mirrors the world size (generation is per-rank).
+double is_reference(const IsConfig& config, int processes);
+
+}  // namespace sompi::apps

@@ -1,0 +1,26 @@
+// LU — a computation-intensive iterative solver in the spirit of the NPB LU
+// kernel: red-black Gauss–Seidel relaxation of a 2D Poisson problem on a
+// row-block-partitioned grid with nearest-neighbour halo exchange. The
+// parallel sweep is mathematically identical to the sequential red-black
+// sweep, so lu_reference is an exact oracle (up to reduction order).
+#pragma once
+
+#include "apps/app.h"
+
+namespace sompi::apps {
+
+struct LuConfig {
+  int nx = 64;           ///< interior columns
+  int ny = 64;           ///< interior rows (must be >= world size)
+  int iterations = 50;
+  int checkpoint_every = 0;  ///< iterations between checkpoints; 0 = never
+  double source = 1.0;       ///< constant right-hand side
+};
+
+/// Runs the distributed solver; all ranks return the same checksum.
+AppResult lu_run(mpi::Comm& comm, const LuConfig& config, Checkpointer* ck = nullptr);
+
+/// Sequential oracle: same sweep on one grid.
+double lu_reference(const LuConfig& config);
+
+}  // namespace sompi::apps

@@ -1,0 +1,43 @@
+// MD — the LAMMPS stand-in: a 2D Lennard-Jones fluid integrated with
+// velocity Verlet under periodic boundaries, decomposed into y-slabs with
+// ghost-particle exchange and inter-slab migration — the classic MD
+// communication pattern ("simulating the movement, position and other
+// attributes of atoms with interaction forces exerted on one another").
+#pragma once
+
+#include "apps/app.h"
+
+namespace sompi::apps {
+
+struct MdConfig {
+  /// Particles are initialized on a cells × cells lattice; cells must be
+  /// divisible by the world size.
+  int cells = 16;
+  /// Lattice spacing (controls density); box side L = cells · spacing.
+  double spacing = 1.3;
+  int iterations = 20;
+  int checkpoint_every = 0;
+  double dt = 0.004;
+  double cutoff = 2.5;
+  /// Jitter magnitude of the initial lattice displacement.
+  double jitter = 0.05;
+  std::uint64_t seed = 0x3D;
+};
+
+/// One particle (POD for serialization and messaging).
+struct Particle {
+  double x = 0.0, y = 0.0;
+  double vx = 0.0, vy = 0.0;
+  /// Stable global id (diagnostics and determinism checks).
+  std::int32_t id = 0;
+  std::int32_t pad = 0;
+};
+
+/// Distributed MD run; the checksum is the total energy (KE + PE).
+AppResult md_run(mpi::Comm& comm, const MdConfig& config, Checkpointer* ck = nullptr);
+
+/// Sequential oracle: all-pairs forces with minimum image in both
+/// dimensions, same integrator, same initial condition.
+double md_reference(const MdConfig& config);
+
+}  // namespace sompi::apps

@@ -1,0 +1,136 @@
+#include "apps/sp.h"
+
+#include "apps/band_solver.h"
+#include "apps/bt.h"  // transpose_block
+#include "apps/grid_ops.h"
+#include "checkpoint/state_buffer.h"
+#include "common/error.h"
+
+namespace sompi::apps {
+
+namespace {
+
+/// rhs = u + λ·δ²_cross(u) + s over owned rows of a halo-padded block.
+std::vector<double> cross_term(const std::vector<double>& padded, int rows_local, int n,
+                               double lambda, double s) {
+  std::vector<double> rhs(static_cast<std::size_t>(rows_local) * n);
+  for (int l = 1; l <= rows_local; ++l)
+    for (int c = 0; c < n; ++c) {
+      const double up = padded[static_cast<std::size_t>((l - 1) * n + c)];
+      const double mid = padded[static_cast<std::size_t>(l * n + c)];
+      const double down = padded[static_cast<std::size_t>((l + 1) * n + c)];
+      rhs[static_cast<std::size_t>((l - 1) * n + c)] =
+          mid + lambda * (up - 2.0 * mid + down) + s;
+    }
+  return rhs;
+}
+
+/// Solves (1 − λδ² + μδ⁴) along every row, in place. The δ⁴ term makes the
+/// operator pentadiagonal: stencil μ·(1, −4, 6, −4, 1) + λ·(−1, 2, −1) + 1.
+void implicit_penta_rows(std::vector<double>& block, int rows_local, int n, double lambda,
+                         double mu) {
+  std::vector<double> e(static_cast<std::size_t>(n)), a(static_cast<std::size_t>(n)),
+      b(static_cast<std::size_t>(n)), c(static_cast<std::size_t>(n)),
+      f(static_cast<std::size_t>(n)), d(static_cast<std::size_t>(n));
+  for (int l = 0; l < rows_local; ++l) {
+    for (int i = 0; i < n; ++i) {
+      e[static_cast<std::size_t>(i)] = mu;
+      a[static_cast<std::size_t>(i)] = -lambda - 4.0 * mu;
+      b[static_cast<std::size_t>(i)] = 1.0 + 2.0 * lambda + 6.0 * mu;
+      c[static_cast<std::size_t>(i)] = -lambda - 4.0 * mu;
+      f[static_cast<std::size_t>(i)] = mu;
+      d[static_cast<std::size_t>(i)] = block[static_cast<std::size_t>(l * n + i)];
+    }
+    solve_pentadiagonal(e, a, b, c, f, d);
+    for (int i = 0; i < n; ++i)
+      block[static_cast<std::size_t>(l * n + i)] = d[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace
+
+AppResult sp_run(mpi::Comm& comm, const SpConfig& config, Checkpointer* ck) {
+  const int p = comm.size();
+  SOMPI_REQUIRE(config.n >= p && config.n % p == 0);
+  SOMPI_REQUIRE(config.iterations >= 1);
+  const int n = config.n;
+  const int m = n / p;
+  const double h = 1.0 / (n + 1);
+  const double s = h * h * config.source;
+
+  std::vector<double> u(static_cast<std::size_t>(m) * n, 0.0);
+  int start_iter = 0;
+
+  AppResult result;
+  if (ck != nullptr) {
+    if (auto blob = ck->load_latest(comm)) {
+      StateReader reader(*blob);
+      start_iter = reader.read<int>();
+      u = reader.read_vec<double>();
+      SOMPI_ASSERT(static_cast<int>(u.size()) == m * n);
+      result.resumed = true;
+    }
+  }
+
+  for (int it = start_iter; it < config.iterations; ++it) {
+    comm.tick();
+
+    auto padded = pad_with_halo(u, m, n);
+    exchange_grid_halos(comm, padded, m, n);
+    auto ustar = cross_term(padded, m, n, config.lambda, s);
+    implicit_penta_rows(ustar, m, n, config.lambda, config.mu);
+
+    auto v = transpose_block(comm, ustar, n);
+    auto v_padded = pad_with_halo(v, m, n);
+    exchange_grid_halos(comm, v_padded, m, n);
+    auto vnew = cross_term(v_padded, m, n, config.lambda, s);
+    implicit_penta_rows(vnew, m, n, config.lambda, config.mu);
+    u = transpose_block(comm, vnew, n);
+
+    ++result.iterations_run;
+
+    if (should_checkpoint(ck, config.checkpoint_every, it, config.iterations)) {
+      StateWriter writer;
+      writer.write<int>(it + 1);
+      writer.write_vec(u);
+      ck->save(comm, writer.take());
+      ++result.checkpoints_saved;
+    }
+  }
+
+  result.checksum = global_l2(comm, u);
+  return result;
+}
+
+double sp_reference(const SpConfig& config) {
+  const int n = config.n;
+  const double h = 1.0 / (n + 1);
+  const double s = h * h * config.source;
+  std::vector<double> u(static_cast<std::size_t>(n) * n, 0.0);
+
+  auto transpose_local = [n](const std::vector<double>& x) {
+    std::vector<double> t(x.size());
+    for (int r = 0; r < n; ++r)
+      for (int c = 0; c < n; ++c)
+        t[static_cast<std::size_t>(c * n + r)] = x[static_cast<std::size_t>(r * n + c)];
+    return t;
+  };
+
+  for (int it = 0; it < config.iterations; ++it) {
+    auto padded = pad_with_halo(u, n, n);
+    auto ustar = cross_term(padded, n, n, config.lambda, s);
+    implicit_penta_rows(ustar, n, n, config.lambda, config.mu);
+
+    auto v = transpose_local(ustar);
+    auto v_padded = pad_with_halo(v, n, n);
+    auto vnew = cross_term(v_padded, n, n, config.lambda, s);
+    implicit_penta_rows(vnew, n, n, config.lambda, config.mu);
+    u = transpose_local(vnew);
+  }
+
+  double sum = 0.0;
+  for (double v : u) sum += v * v;
+  return std::sqrt(sum);
+}
+
+}  // namespace sompi::apps

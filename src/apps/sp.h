@@ -1,0 +1,26 @@
+// SP — a scalar penta-diagonal ADI solver in the spirit of the NPB SP
+// kernel: like BT, an alternating-direction implicit scheme with a full
+// distributed transpose per iteration, but the implicit line operator adds a
+// fourth-order artificial-dissipation term, so every line solve is
+// pentadiagonal ("scalar penta-diagonal").
+#pragma once
+
+#include "apps/app.h"
+
+namespace sompi::apps {
+
+struct SpConfig {
+  /// Grid is n × n; n must be divisible by the world size.
+  int n = 64;
+  int iterations = 20;
+  int checkpoint_every = 0;
+  double lambda = 0.4;  ///< second-order diffusion number
+  double mu = 0.05;     ///< fourth-order dissipation coefficient
+  double source = 1.0;
+};
+
+AppResult sp_run(mpi::Comm& comm, const SpConfig& config, Checkpointer* ck = nullptr);
+
+double sp_reference(const SpConfig& config);
+
+}  // namespace sompi::apps

@@ -1,0 +1,51 @@
+// The individual-fault-tolerance ablations of §5.4.2, expressed as SOMPI
+// configuration variants so each differs from the full system in exactly
+// one mechanism:
+//
+//   All-Unable — no replication (one circle group) and no checkpoints.
+//   w/o-RP     — checkpoints only: the subset search is capped at one group.
+//   w/o-CK     — replication only: φ is pinned to F_i = T_i.
+//   w/o-MT     — full SOMPI but the adaptive engine never refreshes the
+//                plan with new price history (update maintenance off).
+#pragma once
+
+#include "core/adaptive.h"
+#include "core/optimizer.h"
+
+namespace sompi {
+
+/// The full-SOMPI defaults used across the evaluation (slack 20%, k = 4,
+/// T_m = 15 h — the paper's §5.2 parameter study).
+inline OptimizerConfig sompi_optimizer_config() { return OptimizerConfig{}; }
+
+inline AdaptiveConfig sompi_adaptive_config() { return AdaptiveConfig{}; }
+
+inline OptimizerConfig without_replication_config() {
+  OptimizerConfig c;
+  c.max_groups = 1;
+  return c;
+}
+
+inline OptimizerConfig without_checkpoint_config() {
+  OptimizerConfig c;
+  c.phi_mode = PhiMode::kDisabled;
+  return c;
+}
+
+inline OptimizerConfig all_unable_config() {
+  OptimizerConfig c;
+  c.max_groups = 1;
+  c.phi_mode = PhiMode::kDisabled;
+  // No fault tolerance also means no worst-case deadline guard: the
+  // application simply runs on spot and hopes (the paper's strawman).
+  c.worst_case_guard = false;
+  return c;
+}
+
+inline AdaptiveConfig without_maintenance_config() {
+  AdaptiveConfig c;
+  c.update_maintenance = false;
+  return c;
+}
+
+}  // namespace sompi

@@ -1,0 +1,87 @@
+#include "checkpoint/checkpointer.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sompi {
+
+Checkpointer::Checkpointer(StorageBackend* store, std::string run_id)
+    : store_(store), run_id_(std::move(run_id)) {
+  SOMPI_REQUIRE(store_ != nullptr);
+  SOMPI_REQUIRE(!run_id_.empty());
+  SOMPI_REQUIRE_MSG(run_id_.find('/') == std::string::npos, "run_id must not contain '/'");
+}
+
+std::string Checkpointer::version_prefix(int version) const {
+  return run_id_ + "/v" + std::to_string(version) + "/";
+}
+
+std::string Checkpointer::rank_key(int version, int rank) const {
+  return version_prefix(version) + "rank" + std::to_string(rank);
+}
+
+std::string Checkpointer::commit_key(int version) const {
+  return version_prefix(version) + "COMMIT";
+}
+
+int Checkpointer::latest_version() const {
+  int latest = -1;
+  for (const std::string& key : store_->list(run_id_ + "/v")) {
+    // Keys look like "<run>/v<N>/COMMIT".
+    if (key.size() < 7 || key.compare(key.size() - 7, 7, "/COMMIT") != 0) continue;
+    const std::size_t v_begin = run_id_.size() + 2;  // past "<run>/v"
+    const int version = std::stoi(key.substr(v_begin, key.size() - 7 - v_begin));
+    latest = std::max(latest, version);
+  }
+  return latest;
+}
+
+int Checkpointer::save(mpi::Comm& comm, std::span<const std::byte> rank_state) {
+  // Quiesce: applications call at iteration boundaries, the barrier makes
+  // the cut globally consistent.
+  comm.barrier();
+
+  // Rank 0 assigns the version and broadcasts it.
+  int version = 0;
+  if (comm.rank() == 0) version = latest_version() + 1;
+  comm.bcast(version, /*root=*/0);
+
+  store_->put(rank_key(version, comm.rank()), rank_state);
+
+  // All blobs durable before the commit marker exists.
+  comm.barrier();
+  if (comm.rank() == 0) {
+    static constexpr std::byte kMark{1};
+    store_->put(commit_key(version), std::span<const std::byte>(&kMark, 1));
+  }
+  // Nobody proceeds until the snapshot is committed.
+  comm.barrier();
+  return version;
+}
+
+std::optional<std::vector<std::byte>> Checkpointer::load_latest(mpi::Comm& comm) {
+  int version = -1;
+  if (comm.rank() == 0) version = latest_version();
+  comm.bcast(version, /*root=*/0);
+  if (version < 0) return std::nullopt;
+
+  auto blob = store_->get(rank_key(version, comm.rank()));
+  if (!blob)
+    throw IoError("committed checkpoint missing rank blob: " + rank_key(version, comm.rank()));
+  return blob;
+}
+
+void Checkpointer::garbage_collect() {
+  const int keep = latest_version();
+  if (keep < 0) return;
+  for (const std::string& key : store_->list(run_id_ + "/v")) {
+    const std::size_t v_begin = run_id_.size() + 2;
+    const std::size_t slash = key.find('/', v_begin);
+    if (slash == std::string::npos) continue;
+    const int version = std::stoi(key.substr(v_begin, slash - v_begin));
+    if (version != keep) store_->remove(key);
+  }
+}
+
+}  // namespace sompi

@@ -1,0 +1,57 @@
+// Coordinated checkpointing over mini-MPI — the BLCR substitute.
+//
+// The paper (§2.2) argues for coordinated checkpointing because an
+// out-of-bid event terminates every process of a circle group at the same
+// instant: there is no need for message logging, only for a globally
+// consistent cut. Applications call Checkpointer::save at an iteration
+// boundary (no in-flight messages), which makes the barrier-bracketed
+// protocol below sufficient:
+//
+//   barrier → every rank uploads its state blob → barrier →
+//   rank 0 writes the commit marker → barrier.
+//
+// A kill at ANY point leaves either a fully committed snapshot or an
+// uncommitted (ignored) one — never a torn restart.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "checkpoint/storage.h"
+#include "minimpi/comm.h"
+
+namespace sompi {
+
+class Checkpointer {
+ public:
+  /// `store` is borrowed and must outlive the checkpointer. `run_id`
+  /// namespaces keys, so several applications can share one store.
+  Checkpointer(StorageBackend* store, std::string run_id);
+
+  /// Collective: saves one coordinated snapshot; every rank passes its own
+  /// serialized state. Returns the committed version number.
+  int save(mpi::Comm& comm, std::span<const std::byte> rank_state);
+
+  /// Collective: loads this rank's blob from the latest committed snapshot;
+  /// nullopt when no snapshot exists.
+  std::optional<std::vector<std::byte>> load_latest(mpi::Comm& comm);
+
+  /// Latest committed version, -1 when none. Non-collective.
+  int latest_version() const;
+
+  /// Deletes all but the latest committed snapshot (bounded storage).
+  /// Non-collective; call from a single rank (e.g. rank 0 after save).
+  void garbage_collect();
+
+  const std::string& run_id() const { return run_id_; }
+
+ private:
+  std::string version_prefix(int version) const;
+  std::string rank_key(int version, int rank) const;
+  std::string commit_key(int version) const;
+
+  StorageBackend* store_;
+  std::string run_id_;
+};
+
+}  // namespace sompi

@@ -1,0 +1,162 @@
+#include "checkpoint/storage.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace sompi {
+
+namespace fs = std::filesystem;
+
+// --- MemoryStore -----------------------------------------------------------
+
+void MemoryStore::put(const std::string& key, std::span<const std::byte> data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  blobs_[key].assign(data.begin(), data.end());
+}
+
+std::optional<std::vector<std::byte>> MemoryStore::get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = blobs_.find(key);
+  if (it == blobs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> MemoryStore::list(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  for (auto it = blobs_.lower_bound(prefix); it != blobs_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+void MemoryStore::remove(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  blobs_.erase(key);
+}
+
+std::uint64_t MemoryStore::bytes_stored() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [k, v] : blobs_) total += v.size();
+  return total;
+}
+
+// --- DiskStore ---------------------------------------------------------------
+
+DiskStore::DiskStore(std::string root) : root_(std::move(root)) {
+  SOMPI_REQUIRE(!root_.empty());
+  fs::create_directories(root_);
+}
+
+std::string DiskStore::path_for(const std::string& key) const {
+  SOMPI_REQUIRE_MSG(key.find("..") == std::string::npos, "key must not contain '..'");
+  return root_ + "/" + key;
+}
+
+void DiskStore::put(const std::string& key, std::span<const std::byte> data) {
+  const fs::path path = path_for(key);
+  fs::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("DiskStore: cannot write " + path.string());
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw IoError("DiskStore: short write to " + path.string());
+}
+
+std::optional<std::vector<std::byte>> DiskStore::get(const std::string& key) const {
+  std::ifstream in(path_for(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  std::vector<std::byte> data(raw.size());
+  std::memcpy(data.data(), raw.data(), raw.size());
+  return data;
+}
+
+std::vector<std::string> DiskStore::list(const std::string& prefix) const {
+  std::vector<std::string> keys;
+  if (!fs::exists(root_)) return keys;
+  for (const auto& entry : fs::recursive_directory_iterator(root_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string key = fs::relative(entry.path(), root_).generic_string();
+    if (key.compare(0, prefix.size(), prefix) == 0) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void DiskStore::remove(const std::string& key) {
+  std::error_code ec;
+  fs::remove(path_for(key), ec);
+}
+
+std::uint64_t DiskStore::bytes_stored() const {
+  std::uint64_t total = 0;
+  if (!fs::exists(root_)) return total;
+  for (const auto& entry : fs::recursive_directory_iterator(root_))
+    if (entry.is_regular_file()) total += entry.file_size();
+  return total;
+}
+
+// --- S3Sim -------------------------------------------------------------------
+
+void S3Sim::put(const std::string& key, std::span<const std::byte> data) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++puts_;
+    up_bytes_ += data.size();
+  }
+  inner_.put(key, data);
+}
+
+std::optional<std::vector<std::byte>> S3Sim::get(const std::string& key) const {
+  auto blob = inner_.get(key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++gets_;
+  if (blob) down_bytes_ += blob->size();
+  return blob;
+}
+
+std::vector<std::string> S3Sim::list(const std::string& prefix) const {
+  return inner_.list(prefix);
+}
+
+void S3Sim::remove(const std::string& key) { inner_.remove(key); }
+
+std::uint64_t S3Sim::bytes_stored() const { return inner_.bytes_stored(); }
+
+std::uint64_t S3Sim::put_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return puts_;
+}
+
+std::uint64_t S3Sim::get_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gets_;
+}
+
+std::uint64_t S3Sim::bytes_uploaded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return up_bytes_;
+}
+
+std::uint64_t S3Sim::bytes_downloaded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return down_bytes_;
+}
+
+double S3Sim::cost_usd(double hours) const {
+  SOMPI_REQUIRE(hours >= 0.0);
+  const double gb = static_cast<double>(inner_.bytes_stored()) / 1e9;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gb * pricing_.storage_usd_gb_month * (hours / (30.0 * 24.0)) +
+         static_cast<double>(puts_) / 1000.0 * pricing_.put_usd_per_1000 +
+         static_cast<double>(gets_) / 10000.0 * pricing_.get_usd_per_10000;
+}
+
+}  // namespace sompi

@@ -1,0 +1,27 @@
+#include "cloud/billing.h"
+
+#include <cmath>
+
+namespace sompi {
+
+double billed_cost(BillingModel model, double usd_per_hour, double hours, int instances,
+                   bool provider_killed) {
+  SOMPI_REQUIRE(usd_per_hour >= 0.0);
+  SOMPI_REQUIRE(hours >= 0.0);
+  SOMPI_REQUIRE(instances >= 0);
+  switch (model) {
+    case BillingModel::kProportional:
+      return usd_per_hour * hours * instances;
+    case BillingModel::kHourlyRoundUp:
+      return usd_per_hour * std::ceil(hours) * instances;
+    case BillingModel::kHourlyProviderKillFree: {
+      // Full hours are billed; a partial final hour is free only when the
+      // provider killed the instance.
+      const double full_hours = provider_killed ? std::floor(hours) : std::ceil(hours);
+      return usd_per_hour * full_hours * instances;
+    }
+  }
+  throw PreconditionError("unknown billing model");
+}
+
+}  // namespace sompi

@@ -1,0 +1,29 @@
+// Billing models.
+//
+// The paper's cost formulas are proportional in time (price × hours), so
+// proportional billing is the default. 2014-era Amazon actually billed whole
+// instance-hours (and refunded the last partial hour of an out-of-bid kill);
+// we provide that model too so the replay simulator can quantify the gap.
+#pragma once
+
+#include "common/error.h"
+
+namespace sompi {
+
+enum class BillingModel {
+  /// cost = price × hours, exactly (the paper's model).
+  kProportional,
+  /// cost = price × ceil(hours): whole-hour billing, user-terminated.
+  kHourlyRoundUp,
+  /// Whole-hour billing where the final partial hour is free because the
+  /// provider terminated the instance (out-of-bid kill).
+  kHourlyProviderKillFree,
+};
+
+/// Cost in USD of running `instances` machines for `hours` at `usd_per_hour`,
+/// under the given billing model. `provider_killed` marks an out-of-bid
+/// termination (only meaningful for kHourlyProviderKillFree).
+double billed_cost(BillingModel model, double usd_per_hour, double hours, int instances,
+                   bool provider_killed = false);
+
+}  // namespace sompi

@@ -1,0 +1,77 @@
+#include "cloud/catalog.h"
+
+namespace sompi {
+
+Catalog::Catalog(std::vector<InstanceType> types, std::vector<Zone> zones)
+    : types_(std::move(types)), zones_(std::move(zones)) {
+  SOMPI_REQUIRE(!types_.empty());
+  SOMPI_REQUIRE(!zones_.empty());
+  for (const auto& t : types_) {
+    SOMPI_REQUIRE_MSG(t.cores >= 1, "instance type needs at least one core: " + t.name);
+    SOMPI_REQUIRE_MSG(t.ondemand_usd_h > 0.0, "on-demand price must be positive: " + t.name);
+    SOMPI_REQUIRE_MSG(t.gips_per_core > 0.0 && t.net_gbps > 0.0 && t.io_mbps > 0.0,
+                      "capabilities must be positive: " + t.name);
+  }
+}
+
+const InstanceType& Catalog::type(std::size_t index) const {
+  SOMPI_REQUIRE(index < types_.size());
+  return types_[index];
+}
+
+const Zone& Catalog::zone(std::size_t index) const {
+  SOMPI_REQUIRE(index < zones_.size());
+  return zones_[index];
+}
+
+std::size_t Catalog::type_index(const std::string& name) const {
+  for (std::size_t i = 0; i < types_.size(); ++i)
+    if (types_[i].name == name) return i;
+  throw PreconditionError("unknown instance type: " + name);
+}
+
+std::size_t Catalog::zone_index(const std::string& name) const {
+  for (std::size_t i = 0; i < zones_.size(); ++i)
+    if (zones_[i].name == name) return i;
+  throw PreconditionError("unknown zone: " + name);
+}
+
+int Catalog::instances_for(std::size_t type_idx, int processes) const {
+  SOMPI_REQUIRE(processes >= 1);
+  const int cores = type(type_idx).cores;
+  return (processes + cores - 1) / cores;
+}
+
+std::string Catalog::group_name(const CircleGroupSpec& g) const {
+  return type(g.type_index).name + "@" + zone(g.zone_index).name;
+}
+
+std::vector<CircleGroupSpec> Catalog::all_groups() const {
+  std::vector<CircleGroupSpec> groups;
+  groups.reserve(types_.size() * zones_.size());
+  for (std::size_t t = 0; t < types_.size(); ++t)
+    for (std::size_t z = 0; z < zones_.size(); ++z) groups.push_back({t, z});
+  return groups;
+}
+
+Catalog paper_catalog() {
+  // Capabilities calibrated so that the paper's qualitative orderings hold
+  // (§5.3): per-core speed cc2.8xlarge > c3.xlarge > m1.medium > m1.small;
+  // spot cost per unit of compute m1.small < m1.medium < c3.xlarge <
+  // cc2.8xlarge; cc2.8xlarge's 10GbE + 32 cores/instance make it the clear
+  // winner for communication-bound codes; the m1 family's high instance
+  // count gives it the most aggregate I/O parallelism. On-demand prices are
+  // Amazon's 2014 us-east Linux figures.
+  std::vector<InstanceType> types = {
+      // name        cores gips/core  net  lat_us  io    $/h    spot_disc
+      {"m1.small", 1, 2.8, 0.10, 350.0, 40.0, 0.044, 0.15},
+      {"m1.medium", 1, 2.9, 0.15, 300.0, 50.0, 0.087, 0.11},
+      {"m1.large", 2, 2.85, 0.25, 250.0, 60.0, 0.175, 0.13},
+      {"c3.xlarge", 4, 3.3, 0.55, 150.0, 80.0, 0.210, 0.25},
+      {"cc2.8xlarge", 32, 3.6, 10.0, 60.0, 200.0, 2.000, 0.28},
+  };
+  std::vector<Zone> zones = {{"us-east-1a"}, {"us-east-1b"}, {"us-east-1c"}};
+  return Catalog(std::move(types), std::move(zones));
+}
+
+}  // namespace sompi

@@ -1,0 +1,92 @@
+// EC2-style instance catalog.
+//
+// The paper (SC'15) evaluates on four instance types — m1.small, m1.medium,
+// c3.xlarge and cc2.8xlarge — across the us-east-1a/1b/1c availability
+// zones (plus m1.large in the Figure 1 trace study). We reproduce that
+// catalog with capability/price figures matching Amazon's published 2014
+// values, which is all the optimizer ever sees about "hardware".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace sompi {
+
+/// One EC2 instance type: capability model + on-demand price.
+struct InstanceType {
+  std::string name;
+  /// Physical cores; one MPI process is pinned per core (paper assumption).
+  int cores = 1;
+  /// Aggregate compute throughput per core, in giga-instructions per second.
+  /// Derived from EC2 Compute Units (1 ECU ≈ 1.2 gips in our calibration).
+  double gips_per_core = 1.0;
+  /// Network bandwidth per instance, Gbit/s.
+  double net_gbps = 1.0;
+  /// One-way small-message latency between instances, microseconds.
+  double net_latency_us = 200.0;
+  /// Local/EBS I/O bandwidth per instance, MB/s.
+  double io_mbps = 50.0;
+  /// On-demand price, USD per instance-hour (us-east, Linux, 2014).
+  double ondemand_usd_h = 0.0;
+  /// Typical CALM-regime spot price as a fraction of the on-demand price.
+  /// Old-generation types idled at deeper discounts in 2014.
+  double spot_discount = 0.35;
+
+  /// Effective compute throughput of the whole instance, gips.
+  double gips() const { return gips_per_core * cores; }
+};
+
+/// An availability zone. Spot prices in different zones are independent
+/// (paper assumption, §3.1.2).
+struct Zone {
+  std::string name;
+};
+
+/// A circle group: spot instances of one type in one zone (paper §3.1.1).
+/// The group runs one full replica of the MPI application.
+struct CircleGroupSpec {
+  std::size_t type_index = 0;  ///< into Catalog::types()
+  std::size_t zone_index = 0;  ///< into Catalog::zones()
+
+  bool operator==(const CircleGroupSpec&) const = default;
+};
+
+/// The instance/zone universe for an experiment.
+class Catalog {
+ public:
+  Catalog(std::vector<InstanceType> types, std::vector<Zone> zones);
+
+  const std::vector<InstanceType>& types() const { return types_; }
+  const std::vector<Zone>& zones() const { return zones_; }
+
+  const InstanceType& type(std::size_t index) const;
+  const Zone& zone(std::size_t index) const;
+
+  /// Index of a type by name; throws when absent.
+  std::size_t type_index(const std::string& name) const;
+  /// Index of a zone by name; throws when absent.
+  std::size_t zone_index(const std::string& name) const;
+
+  /// Instances needed to host `processes` MPI ranks, one rank per core
+  /// (paper: M_j = ceil(N / cores)).
+  int instances_for(std::size_t type_index, int processes) const;
+
+  /// Human-readable name "type@zone" for a circle group.
+  std::string group_name(const CircleGroupSpec& g) const;
+
+  /// All type × zone combinations, the candidate circle-group universe.
+  std::vector<CircleGroupSpec> all_groups() const;
+
+ private:
+  std::vector<InstanceType> types_;
+  std::vector<Zone> zones_;
+};
+
+/// The paper's evaluation catalog: m1.small, m1.medium, m1.large, c3.xlarge,
+/// cc2.8xlarge across us-east-1a/1b/1c, with 2014 on-demand prices.
+Catalog paper_catalog();
+
+}  // namespace sompi

@@ -1,0 +1,61 @@
+// Subset and mixed-radix enumeration helpers for the optimizer's k-of-K
+// circle-group search and the bid-tuple product grids.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+
+namespace sompi {
+
+/// Calls fn(indices) for every size-k subset of {0, ..., n-1}, in
+/// lexicographic order. indices is reused across calls.
+template <typename Fn>
+void for_each_combination(std::size_t n, std::size_t k, Fn&& fn) {
+  SOMPI_REQUIRE(k <= n);
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  if (k == 0) {
+    fn(idx);
+    return;
+  }
+  for (;;) {
+    fn(idx);
+    // Advance: find the rightmost index that can still move right.
+    std::size_t i = k;
+    while (i-- > 0) {
+      if (idx[i] + (k - i) < n) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return;
+    }
+  }
+}
+
+/// Calls fn(digits) for every tuple in the mixed-radix product space with
+/// the given per-position radices. digits is reused across calls.
+template <typename Fn>
+void for_each_tuple(const std::vector<std::size_t>& radices, Fn&& fn) {
+  for (std::size_t r : radices) SOMPI_REQUIRE(r >= 1);
+  std::vector<std::size_t> digits(radices.size(), 0);
+  for (;;) {
+    fn(digits);
+    std::size_t i = 0;
+    while (i < radices.size() && ++digits[i] == radices[i]) digits[i++] = 0;
+    if (i == radices.size()) return;
+  }
+}
+
+/// Binomial coefficient C(n, k) in floating point (sizing estimates only).
+inline double binomial(std::size_t n, std::size_t k) {
+  if (k > n) return 0.0;
+  double r = 1.0;
+  for (std::size_t i = 0; i < k; ++i)
+    r = r * static_cast<double>(n - i) / static_cast<double>(i + 1);
+  return r;
+}
+
+}  // namespace sompi

@@ -1,0 +1,81 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace sompi {
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return i;
+  throw PreconditionError("csv column not found: " + name);
+}
+
+namespace {
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  for (char c : line) {
+    if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c != '\r') {
+      cell.push_back(c);
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+}  // namespace
+
+CsvTable parse_csv(const std::string& text) {
+  CsvTable table;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    auto cells = split_line(line);
+    if (table.header.empty()) {
+      table.header = std::move(cells);
+    } else {
+      if (cells.size() != table.header.size())
+        throw IoError("csv row width mismatch: got " + std::to_string(cells.size()) +
+                      " cells, expected " + std::to_string(table.header.size()));
+      table.rows.push_back(std::move(cells));
+    }
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open csv file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_csv(buf.str());
+}
+
+std::string to_csv(const CsvTable& table) {
+  std::ostringstream os;
+  auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      os << cells[i];
+    }
+    os << '\n';
+  };
+  emit(table.header);
+  for (const auto& r : table.rows) emit(r);
+  return os.str();
+}
+
+void write_csv_file(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot write csv file: " + path);
+  out << to_csv(table);
+  if (!out) throw IoError("write failed: " + path);
+}
+
+}  // namespace sompi

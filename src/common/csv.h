@@ -1,0 +1,32 @@
+// Minimal CSV reading/writing for spot-price traces and experiment logs.
+// Supports the subset we emit ourselves: no quoting, comma separated,
+// '#'-prefixed comment lines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sompi {
+
+/// One parsed CSV table: a header row plus data rows of equal width.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a named column; throws PreconditionError when absent.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Parses CSV text. Throws IoError on ragged rows.
+CsvTable parse_csv(const std::string& text);
+
+/// Reads and parses a CSV file. Throws IoError when unreadable.
+CsvTable read_csv_file(const std::string& path);
+
+/// Serializes a table back to CSV text.
+std::string to_csv(const CsvTable& table);
+
+/// Writes CSV text to a file. Throws IoError on failure.
+void write_csv_file(const std::string& path, const CsvTable& table);
+
+}  // namespace sompi

@@ -1,0 +1,74 @@
+// Error handling primitives shared by every sompi module.
+//
+// We deliberately use exceptions for precondition violations: the optimizer
+// and simulator are plain single-owner libraries, and a violated invariant is
+// a programming error that should abort the experiment loudly rather than
+// corrupt a cost estimate silently.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sompi {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an internal invariant does not hold (a sompi bug).
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown on I/O problems (trace files, checkpoint stores).
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file, int line,
+                                            const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file, int line,
+                                         const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace sompi
+
+/// Validate a caller-supplied precondition; throws sompi::PreconditionError.
+#define SOMPI_REQUIRE(expr)                                                      \
+  do {                                                                           \
+    if (!(expr)) ::sompi::detail::throw_precondition(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Like SOMPI_REQUIRE with a human-readable context message.
+#define SOMPI_REQUIRE_MSG(expr, msg)                                               \
+  do {                                                                             \
+    if (!(expr)) ::sompi::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Validate an internal invariant; throws sompi::InvariantError.
+#define SOMPI_ASSERT(expr)                                                    \
+  do {                                                                        \
+    if (!(expr)) ::sompi::detail::throw_invariant(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define SOMPI_ASSERT_MSG(expr, msg)                                             \
+  do {                                                                          \
+    if (!(expr)) ::sompi::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

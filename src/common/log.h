@@ -1,0 +1,48 @@
+// Tiny leveled logger. Experiments are long loops; INFO lines mark phase
+// boundaries, DEBUG is compiled in but off by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sompi {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr with a level prefix when enabled.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() <= LogLevel::kDebug) log_line(LogLevel::kDebug, detail::concat(args...));
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() <= LogLevel::kInfo) log_line(LogLevel::kInfo, detail::concat(args...));
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() <= LogLevel::kWarn) log_line(LogLevel::kWarn, detail::concat(args...));
+}
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  if (log_level() <= LogLevel::kError) log_line(LogLevel::kError, detail::concat(args...));
+}
+
+}  // namespace sompi

@@ -1,0 +1,37 @@
+// ASCII table rendering for benchmark reports: every bench binary prints the
+// same rows/series the paper's table or figure reports, via this printer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sompi {
+
+/// Column-aligned ASCII table with a header row and optional title.
+///
+/// Usage:
+///   Table t{"Fig 5 — normalized monetary cost (loose deadline)"};
+///   t.header({"App", "On-demand", "Marathe", "Marathe-Opt", "SOMPI"});
+///   t.row({"BT", "1.00", "0.83", "0.61", "0.49"});
+///   std::cout << t.render();
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision — convenience for row().
+  static std::string num(double value, int precision = 3);
+
+  /// Renders the table; pads every column to its widest cell.
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sompi

@@ -1,0 +1,119 @@
+#include "core/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace sompi {
+
+namespace {
+/// Windows are bounded: progress is monotone and every window consumes wall
+/// time, but guard against a degenerate oracle anyway.
+constexpr int kMaxWindows = 4096;
+constexpr double kMinProgress = 1e-9;
+}  // namespace
+
+AdaptiveEngine::AdaptiveEngine(const Catalog* catalog, const ExecTimeEstimator* estimator,
+                               AdaptiveConfig config)
+    : catalog_(catalog), estimator_(estimator), config_(std::move(config)) {
+  SOMPI_REQUIRE(catalog_ != nullptr && estimator_ != nullptr);
+  SOMPI_REQUIRE(config_.window_h > 0.0);
+  SOMPI_REQUIRE(config_.lookback_h > 0.0);
+  SOMPI_REQUIRE(config_.fallback_margin >= 1.0);
+}
+
+AdaptiveResult AdaptiveEngine::run(const AppProfile& app, ExecutionOracle& oracle,
+                                   double start_h, double deadline_h) const {
+  SOMPI_REQUIRE(deadline_h > 0.0);
+  const SompiOptimizer optimizer(catalog_, estimator_, config_.opt);
+  const OnDemandSelector od_selector(catalog_, estimator_);
+
+  AdaptiveResult result;
+  double remaining = 1.0;  // fraction of the application still to run
+  double now = start_h;
+
+  Plan sticky_plan;  // reused across windows when update maintenance is off
+  bool have_sticky = false;
+
+  while (remaining > kMinProgress && result.windows < kMaxWindows) {
+    const double elapsed = now - start_h;
+    const double left = deadline_h - elapsed;
+    const AppProfile residual = scale_profile(app, remaining);
+
+    // On-demand completion time for the residual work — the fallback floor.
+    const OnDemandChoice od_fast = od_selector.baseline(residual);
+    const double od_needed = od_fast.t_h * config_.fallback_margin;
+
+    // Algorithm 1 line 7: once the leftover deadline cannot cover even the
+    // residual on-demand runtime, speculation is over — finish on demand
+    // (the fastest guaranteed option, even if the deadline is already
+    // blown). While speculating, the within-deadline guarantee is the
+    // paper's expectation-level one: every per-window plan must satisfy
+    // E[Time] <= leftover deadline.
+    const double window = std::min(config_.window_h, left);
+    if (left <= od_needed || window < config_.opt.setup.step_hours) {
+      const OnDemandChoice od =
+          left > 0.0 ? od_selector.select(residual, left, 0.0) : od_fast;
+      result.cost_usd += od.rate_usd_h * od.t_h;
+      now += od.t_h;
+      result.fell_back_to_ondemand = true;
+      result.completed = true;
+      remaining = 0.0;
+      break;
+    }
+
+    // Re-optimize the residual work with fresh history (update maintenance).
+    Plan plan;
+    if (config_.update_maintenance || !have_sticky) {
+      const Market history = oracle.history_at(now, config_.lookback_h);
+      plan = optimizer.optimize(residual, history, left);
+      result.optimize_seconds += plan.optimize_seconds;
+      result.model_evaluations += plan.model_evaluations;
+      if (!config_.update_maintenance) {
+        sticky_plan = plan;
+        have_sticky = true;
+      }
+    } else {
+      // w/o-MT: keep the stale configuration, only rescale the work volume.
+      plan = sticky_plan;
+      const double shrink = remaining;
+      for (auto& g : plan.groups) {
+        g.t_steps = std::max(1, static_cast<int>(std::lround(g.t_steps * shrink)));
+        g.f_steps = std::min(g.f_steps, g.t_steps);
+      }
+    }
+
+    if (!plan.uses_spot()) {
+      // The optimizer itself decided on-demand is the best remaining move.
+      result.cost_usd += plan.od.rate_usd_h * plan.od.t_h;
+      now += plan.od.t_h;
+      result.fell_back_to_ondemand = true;
+      result.completed = true;
+      remaining = 0.0;
+      ++result.windows;
+      break;
+    }
+
+    const WindowOutcome out = oracle.run_window(plan, now, window);
+    ++result.windows;
+    result.cost_usd += out.cost_usd;
+    // Time always advances at least one model step, even if every group
+    // died instantly.
+    now += std::max(out.hours_used, plan.step_hours);
+    remaining *= (1.0 - std::clamp(out.fraction_done, 0.0, 1.0));
+    if (out.completed || remaining <= kMinProgress) {
+      result.completed = true;
+      remaining = 0.0;
+    }
+  }
+
+  result.hours = now - start_h;
+  result.met_deadline = result.completed && result.hours <= deadline_h + 1e-9;
+  log_debug("adaptive ", app.name, ": $", result.cost_usd, " in ", result.hours, "h over ",
+            result.windows, " windows");
+  return result;
+}
+
+}  // namespace sompi

@@ -1,0 +1,89 @@
+// The adaptive optimization loop (paper §4.3, Algorithm 1).
+//
+// Execution is sliced into optimization windows of T_m hours. At every
+// window boundary the engine re-estimates the failure-rate functions from
+// the spot-price history of the previous window(s), re-optimizes the
+// residual work under the leftover deadline, and executes one window of the
+// resulting plan. The final checkpoint of a window is the next window's
+// start point. If at any boundary the leftover deadline can no longer
+// accommodate a safe on-demand fallback, the engine abandons spot and
+// finishes the run on the pre-selected on-demand tier.
+#pragma once
+
+#include "core/optimizer.h"
+
+namespace sompi {
+
+/// What actually happened when one window of a plan ran against the market.
+struct WindowOutcome {
+  /// Durable progress through the *plan's* residual work, in [0, 1]
+  /// (1 = the plan's application completed in some circle group; otherwise
+  /// the best checkpointed fraction across groups).
+  double fraction_done = 0.0;
+  /// Spot dollars spent during the window.
+  double cost_usd = 0.0;
+  /// Wall-clock hours consumed (≤ the window length; shorter when the app
+  /// completed or every group died early).
+  double hours_used = 0.0;
+  bool completed = false;
+};
+
+/// How the adaptive engine touches the world. Implemented by the trace-
+/// replay simulator (sim/replay.h) and by the live mini-MPI executor.
+class ExecutionOracle {
+ public:
+  virtual ~ExecutionOracle() = default;
+
+  /// Runs `plan` against the market starting at absolute time `start_h`,
+  /// for at most `window_h` wall-clock hours.
+  virtual WindowOutcome run_window(const Plan& plan, double start_h, double window_h) = 0;
+
+  /// Spot-price history visible at `now_h`: the `lookback_h` hours before it.
+  virtual Market history_at(double now_h, double lookback_h) = 0;
+};
+
+struct AdaptiveConfig {
+  /// T_m — the optimization window, hours (paper sweet spot ≈ 15 h, §5.2).
+  double window_h = 15.0;
+  /// History used for failure-rate estimation (paper: previous two days).
+  double lookback_h = 48.0;
+  /// Safety factor on the on-demand fallback reservation. 1.0 reserves
+  /// exactly the residual on-demand runtime: the deadline guarantee is then
+  /// the paper's expectation-level guarantee (E[Time] ≤ Deadline enforced by
+  /// the per-window optimization), with Algorithm 1's line-7 guard switching
+  /// to on-demand the moment speculation would endanger even that.
+  double fallback_margin = 1.0;
+  /// Disable to get the w/o-MT ablation: the initial plan is never
+  /// re-optimized as the market drifts.
+  bool update_maintenance = true;
+  OptimizerConfig opt;
+};
+
+struct AdaptiveResult {
+  double cost_usd = 0.0;
+  double hours = 0.0;          ///< total wall-clock time to completion
+  bool completed = false;
+  bool met_deadline = false;
+  bool fell_back_to_ondemand = false;
+  int windows = 0;
+  double optimize_seconds = 0.0;      ///< total optimization overhead
+  std::size_t model_evaluations = 0;
+};
+
+class AdaptiveEngine {
+ public:
+  AdaptiveEngine(const Catalog* catalog, const ExecTimeEstimator* estimator,
+                 AdaptiveConfig config);
+
+  /// Runs `app` to completion (or deadline overrun) starting at absolute
+  /// market time `start_h` with the given deadline.
+  AdaptiveResult run(const AppProfile& app, ExecutionOracle& oracle, double start_h,
+                     double deadline_h) const;
+
+ private:
+  const Catalog* catalog_;
+  const ExecTimeEstimator* estimator_;
+  AdaptiveConfig config_;
+};
+
+}  // namespace sompi

@@ -1,0 +1,77 @@
+#include "core/ckpt_interval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "core/schedule.h"
+
+namespace sompi {
+
+int CheckpointPlanner::young_daly(const GroupSetup& group, std::size_t bid_index) {
+  const double mtbf = group.failure.mtbf(bid_index);
+  if (group.o_steps <= 0.0) return 1;  // free checkpoints: checkpoint every step
+  const double f = std::sqrt(2.0 * group.o_steps * mtbf);
+  return std::clamp(static_cast<int>(std::lround(f)), 1, group.t_steps);
+}
+
+std::vector<int> CheckpointPlanner::candidate_intervals(int t_steps, int young) const {
+  SOMPI_REQUIRE(t_steps >= 1);
+  std::vector<int> grid;
+  grid.push_back(1);
+  // Geometric sweep 1..T; the objective is smooth enough between knots.
+  const double ratio = std::pow(static_cast<double>(t_steps),
+                                1.0 / static_cast<double>(std::max<std::size_t>(config_.grid_points, 2)));
+  double x = 1.0;
+  while (grid.back() < t_steps) {
+    x *= ratio;
+    const int next = std::max(grid.back() + 1, static_cast<int>(std::lround(x)));
+    grid.push_back(std::min(next, t_steps));
+  }
+  grid.push_back(std::clamp(young, 1, t_steps));
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  return grid;
+}
+
+double CheckpointPlanner::objective(const GroupSetup& group, std::size_t bid_index, int f_steps,
+                                    const OnDemandChoice& od) const {
+  const GroupSchedule sched(group.t_steps, f_steps, group.o_steps, group.r_steps);
+  const double w = sched.wall_duration();
+  const auto& fm = group.failure;
+
+  const double spot_cost = fm.expected_price(bid_index) * group.instances *
+                           fm.expected_lifetime(bid_index, w) * config_.step_hours;
+
+  // E[Ratio] for this group alone (completion contributes ratio 0). Clamp
+  // to the estimation horizon: survival beyond it counts as completion,
+  // matching expected_lifetime's censoring.
+  double e_ratio = 0.0;
+  const auto w_ceil = std::min(static_cast<std::size_t>(std::ceil(w)), fm.horizon());
+  for (std::size_t t = 0; t < w_ceil; ++t) {
+    const double p = fm.pmf(bid_index, t);
+    if (p > 0.0) e_ratio += p * sched.ratio_at(static_cast<double>(t));
+  }
+  return spot_cost + od.rate_usd_h * od.t_h * e_ratio;
+}
+
+int CheckpointPlanner::choose(const GroupSetup& group, std::size_t bid_index,
+                              const OnDemandChoice& od) const {
+  if (config_.mode == PhiMode::kDisabled) return group.t_steps;
+  const int young = young_daly(group, bid_index);
+  if (config_.mode == PhiMode::kYoungDaly) return young;
+
+  int best_f = group.t_steps;
+  double best_j = std::numeric_limits<double>::infinity();
+  for (int f : candidate_intervals(group.t_steps, young)) {
+    const double j = objective(group, bid_index, f, od);
+    if (j < best_j) {
+      best_j = j;
+      best_f = f;
+    }
+  }
+  return best_f;
+}
+
+}  // namespace sompi

@@ -1,0 +1,176 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "core/schedule.h"
+
+namespace sompi {
+
+CostModel::CostModel(std::vector<const GroupSetup*> groups, const OnDemandChoice& od,
+                     Config config)
+    : groups_(std::move(groups)), od_(od), config_(config) {
+  SOMPI_REQUIRE(!groups_.empty());
+  for (const auto* g : groups_) SOMPI_REQUIRE(g != nullptr);
+  SOMPI_REQUIRE(config_.step_hours > 0.0);
+  SOMPI_REQUIRE(config_.ratio_bins >= 8);
+  SOMPI_REQUIRE(od_.t_h > 0.0 && od_.rate_usd_h > 0.0);
+}
+
+Expectation CostModel::evaluate(const std::vector<GroupDecision>& decisions) const {
+  SOMPI_REQUIRE(decisions.size() == groups_.size());
+  const std::size_t k = groups_.size();
+  const std::size_t bins = config_.ratio_bins;
+
+  Expectation e;
+
+  // min-Ratio integration grid: P[min_i Ratio_i > r] at bin midpoints
+  // r_j = (j + 0.5) / bins, accumulated multiplicatively across groups.
+  min_ratio_ccdf_.assign(bins, 1.0);
+
+  // Wall durations first, to size the common lifetime grid (Formula 10).
+  walls_.resize(k);
+  std::size_t max_wall = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto& g = *groups_[i];
+    const GroupSchedule sched(g.t_steps, decisions[i].f_steps, g.o_steps, g.r_steps);
+    walls_[i] = sched.wall_duration();
+    SOMPI_REQUIRE_MSG(walls_[i] <= static_cast<double>(g.failure.horizon()),
+                      "failure-model horizon too short for group wall duration");
+    max_wall = std::max(max_wall, static_cast<std::size_t>(std::ceil(walls_[i])));
+  }
+  // P[max lifetime <= t] accumulates as a product over groups.
+  max_life_cdf_.assign(max_wall, 1.0);
+
+  double p_all_fail = 1.0;
+
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto& g = *groups_[i];
+    const auto& d = decisions[i];
+    const GroupSchedule sched(g.t_steps, d.f_steps, g.o_steps, g.r_steps);
+    const double w = walls_[i];
+    const auto b = d.bid_index;
+
+    // --- Spot cost (Formula 5): S_i × M_i × E[lifetime]. ---
+    const double s_price = g.failure.expected_price(b);
+    const double e_life = g.failure.expected_lifetime(b, w);
+    e.spot_cost_usd += s_price * g.instances * e_life * config_.step_hours;
+
+    const double p_complete = g.failure.survival_at(b, w);
+    p_all_fail *= (1.0 - p_complete);
+
+    // --- Lifetime CDF on the common grid (Formula 10 via product). ---
+    // lifetime = min(first-passage, w); P[lifetime <= t] for integer t is
+    // 1 - P[fp >= t+1] below w and 1 at or above w.
+    const auto w_ceil = static_cast<std::size_t>(std::ceil(w));
+    for (std::size_t t = 0; t < std::min(w_ceil, max_wall); ++t)
+      max_life_cdf_[t] *= 1.0 - g.failure.survival(b, t + 1);
+
+    // --- Ratio complementary CDF (Formulas 6/7/11 via product). ---
+    // Failure at step t is an atom of pmf(t) at ratio_at(t). An atom at v
+    // raises P[Ratio > r] for midpoints r_j < v, i.e. bins j < v·bins − 0.5;
+    // bucket the atom at its top bin and suffix-sum once.
+    ratio_bucket_.assign(bins, 0.0);
+    for (std::size_t t = 0; t < w_ceil; ++t) {
+      const double p = g.failure.pmf(b, t);
+      if (p <= 0.0) continue;
+      const double v = sched.ratio_at(static_cast<double>(t));
+      const auto j_top = static_cast<std::ptrdiff_t>(
+          std::ceil(v * static_cast<double>(bins) - 0.5));
+      if (j_top >= 1)
+        ratio_bucket_[static_cast<std::size_t>(
+            std::min<std::ptrdiff_t>(j_top, static_cast<std::ptrdiff_t>(bins)) - 1)] += p;
+    }
+    double suffix = 0.0;
+    for (std::size_t j = bins; j-- > 0;) {
+      suffix += ratio_bucket_[j];
+      min_ratio_ccdf_[j] *= suffix;
+    }
+  }
+
+  // E[max lifetime] = Σ_t (1 − P[max <= t]); exact for integer lifetimes,
+  // a ≤ 1-step overestimate for the fractional completion atom at W_i.
+  double e_max_life = 0.0;
+  for (std::size_t t = 0; t < max_wall; ++t) e_max_life += 1.0 - max_life_cdf_[t];
+  e.spot_time_h = e_max_life * config_.step_hours;
+
+  // E[min Ratio] = ∫ P[min > r] dr over [0, 1], midpoint rule.
+  double e_min_ratio = 0.0;
+  for (std::size_t j = 0; j < bins; ++j) e_min_ratio += min_ratio_ccdf_[j];
+  e_min_ratio /= static_cast<double>(bins);
+
+  e.e_min_ratio = e_min_ratio;
+  e.p_complete_on_spot = 1.0 - p_all_fail;
+  e.od_cost_usd = od_.rate_usd_h * od_.t_h * e_min_ratio;   // Formula 16
+  e.od_time_h = od_.t_h * e_min_ratio;                      // Formula 17
+  e.cost_usd = e.spot_cost_usd + e.od_cost_usd;             // Formula 4
+  e.time_h = e.spot_time_h + e.od_time_h;                   // Formula 9
+  return e;
+}
+
+Expectation CostModel::evaluate_joint_exact(const std::vector<GroupDecision>& decisions) const {
+  SOMPI_REQUIRE(decisions.size() == groups_.size());
+  const std::size_t k = groups_.size();
+
+  std::vector<GroupSchedule> scheds;
+  std::vector<std::size_t> outcomes(k);  // wall_ceil failure slots + completion
+  scheds.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto& g = *groups_[i];
+    scheds.emplace_back(g.t_steps, decisions[i].f_steps, g.o_steps, g.r_steps);
+    outcomes[i] = static_cast<std::size_t>(std::ceil(scheds[i].wall_duration())) + 1;
+  }
+
+  Expectation e;
+  std::vector<std::size_t> t(k, 0);  // outcome index per group; last = completion
+  double p_all_fail_acc = 0.0;
+  for (;;) {
+    double p = 1.0;
+    double max_life = 0.0;
+    double min_ratio = 1.0;
+    bool any_complete = false;
+    double spot_cost = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto& g = *groups_[i];
+      const auto b = decisions[i].bid_index;
+      const double w = scheds[i].wall_duration();
+      const bool complete = (t[i] + 1 == outcomes[i]);
+      double life;
+      double ratio;
+      if (complete) {
+        p *= g.failure.survival_at(b, w);
+        life = w;
+        ratio = 0.0;
+        any_complete = true;
+      } else {
+        p *= g.failure.pmf(b, t[i]);
+        life = static_cast<double>(t[i]);
+        ratio = scheds[i].ratio_at(life);
+      }
+      spot_cost += g.failure.expected_price(b) * g.instances * life * config_.step_hours;
+      max_life = std::max(max_life, life);
+      min_ratio = std::min(min_ratio, ratio);
+    }
+    if (p > 0.0) {
+      e.spot_cost_usd += p * spot_cost;
+      e.spot_time_h += p * max_life * config_.step_hours;
+      e.od_cost_usd += p * od_.rate_usd_h * od_.t_h * min_ratio;
+      e.od_time_h += p * od_.t_h * min_ratio;
+      e.e_min_ratio += p * min_ratio;
+      if (!any_complete) p_all_fail_acc += p;
+    }
+
+    // Advance the mixed-radix counter over joint outcomes.
+    std::size_t i = 0;
+    while (i < k && ++t[i] == outcomes[i]) t[i++] = 0;
+    if (i == k) break;
+  }
+
+  e.p_complete_on_spot = 1.0 - p_all_fail_acc;
+  e.cost_usd = e.spot_cost_usd + e.od_cost_usd;
+  e.time_h = e.spot_time_h + e.od_time_h;
+  return e;
+}
+
+}  // namespace sompi

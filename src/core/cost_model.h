@@ -1,0 +1,74 @@
+// The expected-cost / expected-time model (paper §3.2, Formulas 1–11).
+//
+// The paper evaluates E[Cost] and E[Time] by summing over the joint failure-
+// time vector, which is O(prod T_i). Because group failures are independent
+// (§3.1.2) and every term is either additive per group (spot cost), a max
+// (spot time, Formula 10) or a min (recovery ratio, Formulas 6/11), the same
+// expectations factor into per-group survival curves and can be computed in
+// O(K × horizon) — we implement that decomposition, and keep the literal
+// joint enumeration as a test oracle (evaluate_joint_exact).
+//
+// The model operates on a *subset view*: a vector of pointers into the
+// optimizer's candidate-group table, so the k-of-K subset search never
+// copies failure-model tables.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/problem.h"
+
+namespace sompi {
+
+/// One evaluation of the model at a decision vector.
+struct Expectation {
+  double cost_usd = 0.0;        ///< E[Cost] (Formula 2)
+  double time_h = 0.0;          ///< E[Time] (Formula 8)
+  double spot_cost_usd = 0.0;   ///< E[Cost^s] (Formula 5)
+  double od_cost_usd = 0.0;     ///< E[Cost^od] (Formula 6/16)
+  double spot_time_h = 0.0;     ///< E[Time^s] (Formula 10)
+  double od_time_h = 0.0;       ///< E[Time^od] (Formula 11/17)
+  double p_complete_on_spot = 0.0;  ///< P[some circle group finishes]
+  double e_min_ratio = 0.0;     ///< E[min_i Ratio(t_i, F_i)]
+};
+
+class CostModel {
+ public:
+  struct Config {
+    /// Length of one model step, hours (the trace step).
+    double step_hours = 0.25;
+    /// Resolution of the min-Ratio integration grid.
+    std::size_t ratio_bins = 200;
+  };
+
+  /// The group pointers are borrowed; the pointees must outlive the model.
+  /// Every group's failure-model horizon must cover its longest possible
+  /// wall duration.
+  CostModel(std::vector<const GroupSetup*> groups, const OnDemandChoice& od, Config config);
+
+  std::size_t group_count() const { return groups_.size(); }
+  const GroupSetup& group(std::size_t i) const { return *groups_.at(i); }
+  const OnDemandChoice& od() const { return od_; }
+  const Config& config() const { return config_; }
+
+  /// Evaluates E[Cost], E[Time] and components for one decision per group
+  /// (decisions.size() must equal the group count). O(K × horizon).
+  /// Reuses internal scratch buffers: not thread-safe.
+  Expectation evaluate(const std::vector<GroupDecision>& decisions) const;
+
+  /// Literal sum over the joint failure-time grid (Formula 2/8). Exponential
+  /// in the group count — use only as a test oracle on small instances.
+  Expectation evaluate_joint_exact(const std::vector<GroupDecision>& decisions) const;
+
+ private:
+  std::vector<const GroupSetup*> groups_;
+  OnDemandChoice od_;
+  Config config_;
+  // Scratch buffers reused across evaluate() calls (single-threaded use).
+  mutable std::vector<double> min_ratio_ccdf_;
+  mutable std::vector<double> ratio_bucket_;
+  mutable std::vector<double> max_life_cdf_;
+  mutable std::vector<double> walls_;
+};
+
+}  // namespace sompi

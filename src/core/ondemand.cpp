@@ -1,0 +1,62 @@
+#include "core/ondemand.h"
+
+#include <limits>
+
+#include "common/error.h"
+
+namespace sompi {
+
+OnDemandSelector::OnDemandSelector(const Catalog* catalog, const ExecTimeEstimator* estimator)
+    : catalog_(catalog), estimator_(estimator) {
+  SOMPI_REQUIRE(catalog_ != nullptr && estimator_ != nullptr);
+}
+
+OnDemandChoice OnDemandSelector::describe(std::size_t type_index, const AppProfile& app) const {
+  const InstanceType& type = catalog_->type(type_index);
+  OnDemandChoice c;
+  c.type_index = type_index;
+  c.t_h = estimator_->hours(app, type);
+  c.instances = catalog_->instances_for(type_index, app.processes);
+  c.rate_usd_h = type.ondemand_usd_h * c.instances;
+  return c;
+}
+
+OnDemandChoice OnDemandSelector::select(const AppProfile& app, double deadline_h,
+                                        double slack) const {
+  SOMPI_REQUIRE(deadline_h > 0.0);
+  SOMPI_REQUIRE(slack >= 0.0 && slack < 1.0);
+  const double budget_h = deadline_h * (1.0 - slack);
+
+  OnDemandChoice best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t d = 0; d < catalog_->types().size(); ++d) {
+    OnDemandChoice c = describe(d, app);
+    if (c.t_h > budget_h) continue;
+    c.feasible = true;
+    if (c.full_cost_usd() < best_cost) {
+      best_cost = c.full_cost_usd();
+      best = c;
+    }
+  }
+  if (best.feasible) return best;
+  // Nothing fits: return the fastest tier, marked infeasible.
+  OnDemandChoice fastest = baseline(app);
+  fastest.feasible = false;
+  return fastest;
+}
+
+OnDemandChoice OnDemandSelector::baseline(const AppProfile& app) const {
+  OnDemandChoice best;
+  double best_t = std::numeric_limits<double>::infinity();
+  for (std::size_t d = 0; d < catalog_->types().size(); ++d) {
+    OnDemandChoice c = describe(d, app);
+    if (c.t_h < best_t) {
+      best_t = c.t_h;
+      best = c;
+      best.feasible = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace sompi

@@ -1,0 +1,243 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/combinatorics.h"
+#include "common/error.h"
+#include "common/log.h"
+#include "core/schedule.h"
+
+namespace sompi {
+
+SompiOptimizer::SompiOptimizer(const Catalog* catalog, const ExecTimeEstimator* estimator,
+                               OptimizerConfig config)
+    : catalog_(catalog), estimator_(estimator), config_(std::move(config)) {
+  SOMPI_REQUIRE(catalog_ != nullptr && estimator_ != nullptr);
+  SOMPI_REQUIRE(config_.max_groups >= 1);
+  SOMPI_REQUIRE(config_.max_candidates >= 1);
+}
+
+Plan SompiOptimizer::optimize(const AppProfile& app, const Market& history,
+                              double deadline_h) const {
+  SOMPI_REQUIRE(deadline_h > 0.0);
+  SetupBuilder builder(catalog_, estimator_);
+  std::vector<GroupSetup> candidates =
+      builder.build_candidates(app, history, config_.setup, deadline_h);
+
+  const OnDemandSelector od_selector(catalog_, estimator_);
+  const OnDemandChoice od = od_selector.select(app, deadline_h, config_.slack);
+
+  return optimize_over(app, std::move(candidates), od, deadline_h);
+}
+
+Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup> candidates,
+                                   const OnDemandChoice& od, double deadline_h) const {
+  const auto t_begin = std::chrono::steady_clock::now();
+
+  Plan plan;
+  plan.app = app.name;
+  plan.step_hours = config_.setup.step_hours;
+  plan.deadline_h = deadline_h;
+  plan.state_gb = app.state_gb;
+  plan.od = od;
+
+  // Prune the candidate pool: keep the groups with the lowest expected
+  // full-run spot cost (expected price at the top bid × instances × T_i).
+  if (candidates.size() > config_.max_candidates) {
+    std::vector<std::size_t> order(candidates.size());
+    std::iota(order.begin(), order.end(), 0);
+    auto score = [&](std::size_t i) {
+      const auto& g = candidates[i];
+      const std::size_t top = g.failure.bid_count() - 1;
+      return g.failure.expected_price(top) * g.instances * g.t_steps;
+    };
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return score(a) < score(b); });
+    std::vector<GroupSetup> kept;
+    kept.reserve(config_.max_candidates);
+    for (std::size_t i = 0; i < config_.max_candidates; ++i)
+      kept.push_back(std::move(candidates[order[i]]));
+    candidates = std::move(kept);
+  }
+
+  // Dimension reduction: F_i = φ_i(P_i), precomputed per (group, bid).
+  CheckpointPlanner::Config phi_cfg;
+  phi_cfg.mode = config_.phi_mode;
+  phi_cfg.step_hours = config_.setup.step_hours;
+  phi_cfg.ratio_bins = config_.ratio_bins;
+  const CheckpointPlanner phi(phi_cfg);
+  std::vector<std::vector<int>> f_of(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    f_of[i].resize(candidates[i].failure.bid_count());
+    for (std::size_t b = 0; b < f_of[i].size(); ++b)
+      f_of[i][b] = phi.choose(candidates[i], b, od);
+  }
+
+  const CostModel::Config model_cfg{.step_hours = config_.setup.step_hours,
+                                    .ratio_bins = config_.ratio_bins};
+  const double step_h = config_.setup.step_hours;
+
+  // Worst-case completion time of a group killed at its most damaging
+  // instant, recovering from its last checkpoint on the on-demand tier:
+  // max over t of (t + Ratio(t)·T_od). The max over all groups bounds the
+  // joint worst case of any plan: if every group dies at time t_i,
+  //   Time <= max_i t_i + T_od·min_i Ratio_i(t_i) <= max_i (t_i + T_od·Ratio_i(t_i)).
+  const auto group_worst_h = [&](const GroupSetup& g, int f_steps) {
+    const GroupSchedule sched(g.t_steps, f_steps, g.o_steps, g.r_steps);
+    const double w = sched.wall_duration();
+    double worst = w * step_h;  // clean completion
+    for (std::size_t t = 0; t < static_cast<std::size_t>(std::ceil(w)); ++t) {
+      const double candidate =
+          static_cast<double>(t) * step_h + sched.ratio_at(static_cast<double>(t)) * od.t_h;
+      worst = std::max(worst, candidate);
+    }
+    return worst;
+  };
+
+  // Largest checkpoint interval whose worst case still fits the deadline —
+  // the guard-clamped alternative tried for single-group plans. worst(F) is
+  // monotone in F (fewer checkpoints → more redone work), so binary search.
+  std::vector<int> f_guard_max(candidates.size(), 0);
+  if (config_.worst_case_guard) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const GroupSetup& g = candidates[i];
+      if (group_worst_h(g, 1) > deadline_h) continue;  // even F = 1 unsafe
+      int lo = 1, hi = g.t_steps;
+      while (lo < hi) {
+        const int mid = lo + (hi - lo + 1) / 2;
+        if (group_worst_h(g, mid) <= deadline_h) {
+          lo = mid;
+        } else {
+          hi = mid - 1;
+        }
+      }
+      f_guard_max[i] = lo;
+    }
+  }
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> best_subset;
+  std::vector<GroupDecision> best_decisions;
+  Expectation best_expectation;
+  std::size_t evaluations = 0;
+
+  const std::size_t k_max =
+      std::min<std::size_t>(config_.max_groups, candidates.size());
+  const std::size_t k_min = config_.enumerate_smaller_subsets ? 1 : k_max;
+
+  for (std::size_t k = k_min; k <= k_max; ++k) {
+    for_each_combination(candidates.size(), k, [&](const std::vector<std::size_t>& subset) {
+      std::vector<const GroupSetup*> view;
+      std::vector<std::size_t> radices;
+      view.reserve(k);
+      radices.reserve(k);
+      for (std::size_t i : subset) {
+        view.push_back(&candidates[i]);
+        radices.push_back(candidates[i].failure.bid_count());
+      }
+      const CostModel model(std::move(view), od, model_cfg);
+
+      std::vector<GroupDecision> decisions(k);
+      const auto consider = [&](const std::vector<GroupDecision>& d) {
+        if (config_.worst_case_guard) {
+          double worst = 0.0;
+          for (std::size_t i = 0; i < k; ++i)
+            worst = std::max(worst, group_worst_h(candidates[subset[i]], d[i].f_steps));
+          if (worst > deadline_h) {
+            // Worst case does not fit: only GENUINE replication may stand in
+            // — at least two replicas, each individually likely to finish
+            // (no phantom replicas whose bid dies on arrival), with the
+            // joint wipeout below the tolerance. A lone group must not pass
+            // here: a short history window can miss rare spikes entirely
+            // and report survival 1.0.
+            if (k < 2) return;
+            for (std::size_t i = 0; i < k; ++i) {
+              const GroupSetup& g = candidates[subset[i]];
+              const GroupSchedule sched(g.t_steps, d[i].f_steps, g.o_steps, g.r_steps);
+              if (g.failure.survival_at(d[i].bid_index, sched.wall_duration()) < 0.5) return;
+            }
+            const Expectation e = model.evaluate(d);
+            ++evaluations;
+            const double p_all_fail = 1.0 - e.p_complete_on_spot;
+            if (p_all_fail > config_.miss_tolerance) return;
+            if (e.time_h <= deadline_h && e.cost_usd < best_cost) {
+              best_cost = e.cost_usd;
+              best_subset.assign(subset.begin(), subset.end());
+              best_decisions = d;
+              best_expectation = e;
+            }
+            return;
+          }
+        }
+        const Expectation e = model.evaluate(d);
+        ++evaluations;
+        if (e.time_h <= deadline_h && e.cost_usd < best_cost) {
+          best_cost = e.cost_usd;
+          best_subset.assign(subset.begin(), subset.end());
+          best_decisions = d;
+          best_expectation = e;
+        }
+      };
+
+      for_each_tuple(radices, [&](const std::vector<std::size_t>& bids) {
+        for (std::size_t i = 0; i < k; ++i)
+          decisions[i] = {bids[i], f_of[subset[i]][bids[i]]};
+        consider(decisions);
+
+        // Single-group plans get a second shot with the guard-clamped
+        // interval: denser checkpoints buy worst-case deadline safety.
+        // (Not when checkpointing is ablated away — the clamp would
+        // silently re-enable it.)
+        if (config_.worst_case_guard && k == 1 && config_.phi_mode != PhiMode::kDisabled) {
+          const int clamp = f_guard_max[subset[0]];
+          if (clamp >= 1 && clamp < decisions[0].f_steps) {
+            std::vector<GroupDecision> clamped = decisions;
+            clamped[0].f_steps = clamp;
+            consider(clamped);
+          }
+        }
+      });
+    });
+  }
+
+  plan.model_evaluations = evaluations;
+  plan.spot_feasible = best_cost < std::numeric_limits<double>::infinity();
+
+  // Fall back to on-demand when no spot configuration fits the deadline or
+  // when running on demand is outright cheaper than the best hybrid.
+  if (!plan.spot_feasible || best_cost >= od.full_cost_usd()) {
+    plan.groups.clear();
+    plan.expected = Expectation{};
+    plan.expected.cost_usd = plan.expected.od_cost_usd = od.full_cost_usd();
+    plan.expected.time_h = plan.expected.od_time_h = od.t_h;
+    plan.expected.e_min_ratio = 1.0;
+  } else {
+    for (std::size_t i = 0; i < best_subset.size(); ++i) {
+      const GroupSetup& g = candidates[best_subset[i]];
+      const GroupDecision& d = best_decisions[i];
+      plan.groups.push_back(GroupPlan{
+          .spec = g.spec,
+          .name = catalog_->group_name(g.spec),
+          .instances = g.instances,
+          .t_steps = g.t_steps,
+          .o_steps = g.o_steps,
+          .r_steps = g.r_steps,
+          .bid_usd = g.failure.bid(d.bid_index),
+          .f_steps = d.f_steps,
+      });
+    }
+    plan.expected = best_expectation;
+  }
+
+  plan.optimize_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_begin).count();
+  log_debug("optimize ", app.name, ": ", evaluations, " evaluations in ",
+            plan.optimize_seconds, "s, expected $", plan.expected.cost_usd);
+  return plan;
+}
+
+}  // namespace sompi

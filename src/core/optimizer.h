@@ -1,0 +1,71 @@
+// SOMPI's two-level optimizer (paper §4).
+//
+// Level 0 (decoupled): pick the on-demand recovery tier d* (§4.1).
+// Level 1 (dimension reduction): tie each group's checkpoint interval to its
+//   bid, F_i = φ_i(P_i) (§4.2.2, Theorem 1), so the search runs over bids only.
+// Level 2 (logarithmic search): enumerate bid tuples over the logarithmic
+//   grid for every k-of-K circle-group subset (§4.2.2, §4.4) and keep the
+//   cheapest configuration whose expected time meets the deadline.
+#pragma once
+
+#include "core/ckpt_interval.h"
+#include "core/ondemand.h"
+#include "core/plan.h"
+#include "core/setup_builder.h"
+
+namespace sompi {
+
+struct OptimizerConfig {
+  /// Fraction of the deadline reserved for checkpoint/recovery when picking
+  /// the on-demand tier (paper default 20%, §5.2).
+  double slack = 0.20;
+  /// The paper's k: circle groups running in parallel (default 4, §5.2).
+  int max_groups = 4;
+  /// Also consider subsets smaller than max_groups (fewer replicas can be
+  /// cheaper when the market is calm).
+  bool enumerate_smaller_subsets = true;
+  /// Candidate circle groups kept after pruning by expected full-run spot
+  /// cost; bounds the C(K, k) enumeration.
+  std::size_t max_candidates = 8;
+  /// Problem-construction knobs (step size, bid grid, failure estimation).
+  SetupConfig setup;
+  /// min-Ratio integration resolution.
+  std::size_t ratio_bins = 200;
+  /// φ mode (numeric by default; Young/Daly for the ablation).
+  PhiMode phi_mode = PhiMode::kNumeric;
+  /// Deadline guard beyond E[Time] <= Deadline. A plan passes when either
+  ///   (a) its joint worst case fits: even if every group is killed at its
+  ///       most damaging instant, time <= max_i max_t (t + Ratio_i(t)·T_od)
+  ///       stays within the deadline — dense checkpoints achieve this; or
+  ///   (b) the model's P[every replica fails] <= miss_tolerance —
+  ///       replication achieves this.
+  /// This is what makes checkpointing and replication adaptively necessary
+  /// rather than optional (paper §1, §5.4.2).
+  bool worst_case_guard = true;
+  /// Acceptable all-replicas-fail probability under alternative (b).
+  double miss_tolerance = 0.05;
+};
+
+class SompiOptimizer {
+ public:
+  SompiOptimizer(const Catalog* catalog, const ExecTimeEstimator* estimator,
+                 OptimizerConfig config);
+
+  const OptimizerConfig& config() const { return config_; }
+
+  /// Produces the cost-minimizing plan for `app` under `deadline_h`, using
+  /// `history` as the spot-price history (the model's only market input).
+  Plan optimize(const AppProfile& app, const Market& history, double deadline_h) const;
+
+  /// Like optimize(), but over a fixed candidate-group list (used by the
+  /// adaptive engine for residual work and by ablation baselines).
+  Plan optimize_over(const AppProfile& app, std::vector<GroupSetup> candidates,
+                     const OnDemandChoice& od, double deadline_h) const;
+
+ private:
+  const Catalog* catalog_;
+  const ExecTimeEstimator* estimator_;
+  OptimizerConfig config_;
+};
+
+}  // namespace sompi

@@ -1,0 +1,51 @@
+// The optimizer's output: a complete execution plan for one MPI application —
+// which circle groups to launch, each group's bid price and checkpoint
+// interval, and the on-demand recovery tier. Plans are consumed by the
+// replay simulator (src/sim) and the live mini-MPI executor.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/problem.h"
+
+namespace sompi {
+
+/// One circle group's share of a plan.
+struct GroupPlan {
+  CircleGroupSpec spec;
+  std::string name;       ///< "type@zone", for reports
+  int instances = 0;      ///< M_i
+  int t_steps = 0;        ///< T_i (productive steps)
+  double o_steps = 0.0;   ///< O_i
+  double r_steps = 0.0;   ///< R_i
+  double bid_usd = 0.0;   ///< P_i
+  int f_steps = 0;        ///< F_i (== t_steps means no checkpoints)
+};
+
+/// A full plan plus the model's expectation for it and optimizer statistics.
+struct Plan {
+  std::string app;
+  double step_hours = 0.25;
+  double deadline_h = 0.0;
+  /// Checkpoint state volume (GB), for storage-cost accounting in replay.
+  double state_gb = 0.0;
+  OnDemandChoice od;
+  /// Spot replicas; empty = run on demand only.
+  std::vector<GroupPlan> groups;
+  /// Model expectation at the chosen decisions (for an on-demand-only plan:
+  /// cost = the od full-run cost, time = the od runtime).
+  Expectation expected;
+  /// True when at least one spot configuration met the deadline in the model.
+  bool spot_feasible = false;
+
+  // Optimizer accounting (the paper's "optimization overhead" metric).
+  std::size_t model_evaluations = 0;
+  double optimize_seconds = 0.0;
+
+  bool uses_spot() const { return !groups.empty(); }
+};
+
+}  // namespace sompi

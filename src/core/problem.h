@@ -1,0 +1,50 @@
+// Problem-instance types shared by the cost model, the optimizers and the
+// baselines: one GroupSetup per candidate circle group, one OnDemandChoice
+// for the recovery tier, and the per-group decisions (bid, checkpoint
+// interval) the optimizer searches over.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cloud/catalog.h"
+#include "core/failure_model.h"
+
+namespace sompi {
+
+/// Everything fixed about one circle group once the application and the
+/// market history are known.
+struct GroupSetup {
+  CircleGroupSpec spec;
+  /// M_i — instances in the group (one rank per core).
+  int instances = 0;
+  /// T_i — productive execution time of the app in this group, in steps.
+  int t_steps = 0;
+  /// O_i — per-checkpoint overhead, fractional steps.
+  double o_steps = 0.0;
+  /// R_i — recovery overhead, fractional steps.
+  double r_steps = 0.0;
+  /// f_i(P, t) and S_i(P), estimated from this group's price history.
+  FailureModel failure;
+};
+
+/// The optimizer's per-group decision: which bid level and which checkpoint
+/// interval to use.
+struct GroupDecision {
+  std::size_t bid_index = 0;  ///< into GroupSetup::failure.bids()
+  int f_steps = 1;            ///< F_i in [1, T_i]; F_i == T_i disables checkpoints
+};
+
+/// The selected on-demand recovery tier d* (paper §4.1).
+struct OnDemandChoice {
+  std::size_t type_index = 0;
+  double t_h = 0.0;         ///< T_d — full-application runtime on this tier, hours
+  int instances = 0;        ///< M_d
+  double rate_usd_h = 0.0;  ///< D_d × M_d — whole-cluster burn rate
+  bool feasible = false;    ///< meets Deadline × (1 - Slack)
+
+  /// Cost of running the whole application on demand (Formula 12).
+  double full_cost_usd() const { return rate_usd_h * t_h; }
+};
+
+}  // namespace sompi

@@ -1,0 +1,53 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sompi {
+
+GroupSchedule::GroupSchedule(int t_steps, int f_steps, double o_steps, double r_steps)
+    : t_(t_steps), f_(f_steps), o_(o_steps), r_(r_steps) {
+  SOMPI_REQUIRE(t_ >= 1);
+  SOMPI_REQUIRE(f_ >= 1 && f_ <= t_);
+  SOMPI_REQUIRE(o_ >= 0.0);
+  SOMPI_REQUIRE(r_ >= 0.0);
+}
+
+int GroupSchedule::checkpoints_full_run() const {
+  // ceil(T/F) cycles; the final cycle ends in completion, not a checkpoint.
+  return (t_ + f_ - 1) / f_ - 1;
+}
+
+double GroupSchedule::wall_duration() const {
+  return static_cast<double>(t_) + o_ * checkpoints_full_run();
+}
+
+int GroupSchedule::checkpoints_by(double t) const {
+  if (t <= 0.0) return 0;
+  const double cycle = static_cast<double>(f_) + o_;
+  // Checkpoint j completes at time j*cycle; count completed ones.
+  const int k = static_cast<int>(std::floor(t / cycle));
+  return std::min(k, checkpoints_full_run());
+}
+
+int GroupSchedule::saved_by(double t) const { return std::min(checkpoints_by(t) * f_, t_); }
+
+double GroupSchedule::progress_by(double t) const {
+  if (t <= 0.0) return 0.0;
+  if (t >= wall_duration()) return static_cast<double>(t_);
+  const double cycle = static_cast<double>(f_) + o_;
+  const int k = checkpoints_by(t);
+  const double into_cycle = t - k * cycle;
+  // Within a cycle, the first F steps are productive, the rest is the dump.
+  const double productive = static_cast<double>(k) * f_ + std::min(into_cycle, static_cast<double>(f_));
+  return std::min(productive, static_cast<double>(t_));
+}
+
+double GroupSchedule::ratio_at(double t) const {
+  if (t >= wall_duration()) return 0.0;  // completed: nothing left to redo
+  const int saved = saved_by(t);
+  const double remaining = static_cast<double>(t_ - saved) + (saved > 0 ? r_ : 0.0);
+  return std::clamp(remaining / static_cast<double>(t_), 0.0, 1.0);
+}
+
+}  // namespace sompi

@@ -1,0 +1,61 @@
+// Checkpoint-cycle arithmetic for one circle group.
+//
+// Time is discretized to trace steps (the paper floors failure times to
+// integers, §3.2.1). A group needs T productive steps; with a checkpoint
+// interval of F steps and a per-checkpoint overhead of O steps (fractional —
+// checkpoints are much shorter than a step), the wall-clock layout is
+//
+//   [F productive][O dump][F productive][O dump] ... [tail productive]
+//
+// checkpoint j completes at wall time j*(F+O). No checkpoint is taken at the
+// very end of the run, so a full run takes W = T + O*(ceil(T/F)-1) wall steps.
+#pragma once
+
+#include "common/error.h"
+
+namespace sompi {
+
+class GroupSchedule {
+ public:
+  /// Requires T >= 1 productive steps, F in [1, T], O >= 0, R >= 0
+  /// (checkpoint and recovery overheads in fractional steps). F == T means
+  /// "no checkpoints" (the paper's convention, §3.2).
+  GroupSchedule(int t_steps, int f_steps, double o_steps, double r_steps);
+
+  int t_steps() const { return t_; }
+  int f_steps() const { return f_; }
+  double o_steps() const { return o_; }
+  double r_steps() const { return r_; }
+
+  /// Checkpoints taken during a complete run.
+  int checkpoints_full_run() const;
+
+  /// Wall-clock duration of a complete run, in (fractional) steps.
+  double wall_duration() const;
+
+  /// Checkpoints completed by wall time `t` (capped at the full-run count).
+  int checkpoints_by(double t) const;
+
+  /// Productive steps durably saved by wall time `t` (k checkpoints save
+  /// k*F steps, capped at T).
+  int saved_by(double t) const;
+
+  /// Productive steps actually executed by wall time `t` (saved progress
+  /// plus work in the current, not-yet-checkpointed cycle). Used by the
+  /// replay simulator.
+  double progress_by(double t) const;
+
+  /// The paper's Ratio(t, F) (Formula 7): fraction of the application that
+  /// must be redone on on-demand instances if this group dies at wall time
+  /// `t`, including the recovery overhead R; 0 when the group completed
+  /// (t >= wall_duration()). Clamped to [0, 1].
+  double ratio_at(double t) const;
+
+ private:
+  int t_;
+  int f_;
+  double o_;
+  double r_;
+};
+
+}  // namespace sompi

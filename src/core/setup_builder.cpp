@@ -1,0 +1,70 @@
+#include "core/setup_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sompi {
+
+SetupBuilder::SetupBuilder(const Catalog* catalog, const ExecTimeEstimator* estimator)
+    : catalog_(catalog), estimator_(estimator) {
+  SOMPI_REQUIRE(catalog_ != nullptr && estimator_ != nullptr);
+}
+
+GroupSetup SetupBuilder::build(const AppProfile& app, const CircleGroupSpec& spec,
+                               const Market& history, const SetupConfig& config) const {
+  const SpotTrace& trace = history.trace(spec);
+  SOMPI_REQUIRE(config.max_bid_over_ondemand > 0.0);
+  const double ceiling =
+      catalog_->type(spec.type_index).ondemand_usd_h * config.max_bid_over_ondemand;
+  const double top = std::min(trace.max_price(), ceiling);
+  std::vector<double> bids = config.bid_grid == BidGridKind::kLogarithmic
+                                 ? logarithmic_bid_grid(top, config.log_levels)
+                                 : uniform_bid_grid(top, config.uniform_points);
+  return build_with_bids(app, spec, history, config, std::move(bids));
+}
+
+GroupSetup SetupBuilder::build_with_bids(const AppProfile& app, const CircleGroupSpec& spec,
+                                         const Market& history, const SetupConfig& config,
+                                         std::vector<double> bids) const {
+  SOMPI_REQUIRE(config.step_hours > 0.0);
+  const InstanceType& type = catalog_->type(spec.type_index);
+
+  const double t_h = estimator_->hours(app, type);
+  const int t_steps = std::max(1, static_cast<int>(std::ceil(t_h / config.step_hours)));
+
+  const CheckpointCosts ck = estimator_->checkpoint_costs(app, type);
+  const double o_steps = ck.checkpoint_h / config.step_hours;
+  const double r_steps = ck.recovery_h / config.step_hours;
+
+  // Horizon: the densest schedule (F = 1) checkpoints after every step, so
+  // the wall duration is at most T·(1 + O) plus rounding headroom.
+  FailureEstimationConfig fec = config.failure;
+  fec.horizon_steps = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(t_steps) * (1.0 + o_steps))) + 2;
+
+  return GroupSetup{
+      .spec = spec,
+      .instances = catalog_->instances_for(spec.type_index, app.processes),
+      .t_steps = t_steps,
+      .o_steps = o_steps,
+      .r_steps = r_steps,
+      .failure = FailureModel(history.trace(spec), std::move(bids), fec),
+  };
+}
+
+std::vector<GroupSetup> SetupBuilder::build_candidates(const AppProfile& app,
+                                                       const Market& history,
+                                                       const SetupConfig& config,
+                                                       double max_hours) const {
+  std::vector<GroupSetup> out;
+  for (const CircleGroupSpec& spec : catalog_->all_groups()) {
+    const double t_h = estimator_->hours(app, catalog_->type(spec.type_index));
+    if (t_h > max_hours) continue;  // cannot complete before the deadline
+    out.push_back(build(app, spec, history, config));
+  }
+  return out;
+}
+
+}  // namespace sompi

@@ -1,0 +1,253 @@
+#include "minimpi/comm.h"
+
+namespace sompi::mpi {
+
+World::World(int size, FailureController* failures)
+    : failures_(failures), mailboxes_(static_cast<std::size_t>(size)),
+      stats_(static_cast<std::size_t>(size)) {
+  SOMPI_REQUIRE(size >= 1);
+  SOMPI_REQUIRE(failures_ != nullptr);
+}
+
+Mailbox& World::mailbox(int rank) {
+  SOMPI_REQUIRE(rank >= 0 && rank < size());
+  return mailboxes_[static_cast<std::size_t>(rank)];
+}
+
+RankStats& World::stats(int rank) {
+  SOMPI_REQUIRE(rank >= 0 && rank < size());
+  return stats_[static_cast<std::size_t>(rank)];
+}
+
+void World::check_failure() {
+  if (!failures_->killed()) return;
+  propagate_kill();
+  throw KilledError();
+}
+
+void World::propagate_kill() {
+  {
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    if (kill_propagated_) return;
+    kill_propagated_ = true;
+  }
+  for (auto& mb : mailboxes_) mb.abort();
+  barrier_cv_.notify_all();
+}
+
+void World::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  if (kill_propagated_) throw KilledError();
+  const std::uint64_t my_generation = barrier_generation_;
+  if (++barrier_count_ == size()) {
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    lock.unlock();
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] {
+    return barrier_generation_ != my_generation || kill_propagated_;
+  });
+  if (barrier_generation_ == my_generation && kill_propagated_) throw KilledError();
+}
+
+Comm::Comm(World* world, int rank) : world_(world), rank_(rank) {
+  SOMPI_REQUIRE(world_ != nullptr);
+  SOMPI_REQUIRE(rank >= 0 && rank < world_->size());
+}
+
+Comm::Comm(World* world, int rank, std::vector<int> to_world, int context)
+    : world_(world), rank_(rank), to_world_(std::move(to_world)), context_(context) {
+  SOMPI_REQUIRE(world_ != nullptr);
+  SOMPI_REQUIRE(rank >= 0 && rank < static_cast<int>(to_world_.size()));
+}
+
+int Comm::mangle(int tag) const {
+  SOMPI_REQUIRE_MSG(tag >= 0 && tag < kMaxUserTag, "user tags must be in [0, 2^18)");
+  return (context_ << 18) | tag;
+}
+
+int Comm::world_rank(int r) const {
+  if (to_world_.empty()) return r;
+  SOMPI_REQUIRE(r >= 0 && r < static_cast<int>(to_world_.size()));
+  return to_world_[static_cast<std::size_t>(r)];
+}
+
+int Comm::sub_rank(int world_r) const {
+  if (to_world_.empty()) return world_r;
+  for (std::size_t i = 0; i < to_world_.size(); ++i)
+    if (to_world_[i] == world_r) return static_cast<int>(i);
+  return -1;
+}
+
+namespace {
+/// Roster entry exchanged during split().
+struct SplitEntry {
+  int color;
+  int key;
+  int world_rank;
+};
+}  // namespace
+
+Comm Comm::split(int color, int key) {
+  SOMPI_REQUIRE_MSG(color >= 0, "every rank must pick a non-negative color");
+  const SplitEntry mine{color, key, world_rank(rank_)};
+  const auto roster = allgather(mine);
+
+  // Members of my color, ordered by (key, world rank).
+  std::vector<SplitEntry> members;
+  for (const auto& e : roster)
+    if (e.color == color) members.push_back(e);
+  std::sort(members.begin(), members.end(), [](const SplitEntry& a, const SplitEntry& b) {
+    return a.key != b.key ? a.key < b.key : a.world_rank < b.world_rank;
+  });
+
+  std::vector<int> to_world;
+  int my_sub = -1;
+  for (const auto& e : members) {
+    if (e.world_rank == mine.world_rank) my_sub = static_cast<int>(to_world.size());
+    to_world.push_back(e.world_rank);
+  }
+  SOMPI_ASSERT(my_sub >= 0);
+
+  // All participants derive the same child context deterministically from
+  // the parent context and the per-comm split sequence (all ranks call
+  // split in the same order). Disjoint colors may share a context — their
+  // member (world-rank) sets are disjoint, so traffic cannot cross anyway.
+  ++split_seq_;
+  const int child_context = ((context_ * 131 + split_seq_) % ((1 << kContextBits) - 1)) + 1;
+  return Comm(world_, my_sub, std::move(to_world), child_context);
+}
+
+void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
+  SOMPI_REQUIRE(dest >= 0 && dest < size());
+  const int wire_tag = tag >= kCollectiveTagBase ? tag : mangle(tag);
+  world_->check_failure();
+  const int w_dest = world_rank(dest);
+  Message m;
+  m.source = world_rank(rank_);
+  m.tag = wire_tag;
+  m.payload.assign(payload.begin(), payload.end());
+  auto& st = world_->stats(world_rank(rank_));
+  ++st.messages_sent;
+  st.bytes_sent += payload.size();
+  world_->mailbox(w_dest).deliver(std::move(m));
+}
+
+Message Comm::recv_message(int source, int tag) {
+  // A tag wildcard on a split communicator could match another
+  // communicator's traffic: the context lives in the tag bits.
+  SOMPI_REQUIRE_MSG(context_ == 0 || tag != kAnyTag,
+                    "kAnyTag is not supported on split communicators");
+  const int wire_tag =
+      tag == kAnyTag ? kAnyTag : (tag >= kCollectiveTagBase ? tag : mangle(tag));
+  const int wire_source = source == kAnySource ? kAnySource : world_rank(source);
+  world_->check_failure();
+  Message m = world_->mailbox(world_rank(rank_)).receive(wire_source, wire_tag);
+  auto& st = world_->stats(world_rank(rank_));
+  ++st.messages_received;
+  st.bytes_received += m.payload.size();
+  // Translate back into this communicator's coordinates.
+  const int sub = sub_rank(m.source);
+  SOMPI_ASSERT_MSG(sub >= 0, "message crossed communicator boundaries");
+  m.source = sub;
+  if (m.tag < kCollectiveTagBase) m.tag &= (kMaxUserTag - 1);
+  return m;
+}
+
+std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
+  return recv_message(source, tag).payload;
+}
+
+bool Comm::probe(int source, int tag) {
+  SOMPI_REQUIRE_MSG(context_ == 0 || tag != kAnyTag,
+                    "kAnyTag is not supported on split communicators");
+  const int wire_tag =
+      tag == kAnyTag ? kAnyTag : (tag >= kCollectiveTagBase ? tag : mangle(tag));
+  const int wire_source = source == kAnySource ? kAnySource : world_rank(source);
+  world_->check_failure();
+  return world_->mailbox(world_rank(rank_)).probe(wire_source, wire_tag);
+}
+
+Request Comm::isend_bytes(int dest, int tag, std::span<const std::byte> payload) {
+  send_bytes(dest, tag, payload);  // eager buffering: completes immediately
+  return Request{};
+}
+
+Request Comm::irecv(int source, int tag) { return Request(this, source, tag); }
+
+Message Comm::sendrecv_bytes(int dest, int send_tag, std::span<const std::byte> payload,
+                             int source, int recv_tag) {
+  send_bytes(dest, send_tag, payload);
+  return recv_message(source, recv_tag);
+}
+
+bool Request::test() {
+  if (done_ || !receive_) return true;
+  if (!comm_->probe(source_, tag_)) return false;
+  message_ = comm_->recv_message(source_, tag_);
+  done_ = true;
+  return true;
+}
+
+Message Request::wait() {
+  if (!receive_ || done_) return std::move(message_);
+  message_ = comm_->recv_message(source_, tag_);
+  done_ = true;
+  return std::move(message_);
+}
+
+void Comm::barrier() {
+  world_->check_failure();
+  if (to_world_.empty()) {
+    world_->barrier_wait();  // world barrier: central sense-reversing
+    return;
+  }
+  // Sub-communicator barrier: a zero-byte allgather over the members.
+  (void)allgather<char>(0);
+}
+
+void Comm::bcast_bytes(std::vector<std::byte>& data, int root) {
+  SOMPI_REQUIRE(root >= 0 && root < size());
+  const int tag = next_collective_tag(0);
+  const int n = size();
+  const int rel = (rank_ - root + n) % n;
+  // Classic binomial tree: climb to the bit where this rank receives, then
+  // forward to children at decreasing bit positions.
+  int mask = 1;
+  while (mask < n) {
+    if (rel & mask) {
+      const int parent = ((rel - mask) + root) % n;
+      data = recv_bytes(parent, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask >= 1) {
+    if (rel + mask < n) {
+      const int child = ((rel + mask) + root) % n;
+      send_bytes(child, tag, data);
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::tick() {
+  world_->failures().on_tick();
+  world_->check_failure();
+}
+
+const RankStats& Comm::stats() const { return world_->stats(world_rank(rank_)); }
+
+int Comm::next_collective_tag(int op_id) {
+  SOMPI_ASSERT(op_id >= 0 && op_id < 16);
+  // Layout: base | context (10 bits) | sequence (16 bits) | op (4 bits).
+  SOMPI_ASSERT_MSG(collective_seq_ < (1 << 16), "collective sequence exhausted");
+  const int tag = kCollectiveTagBase + (context_ << 20) + collective_seq_ * 16 + op_id;
+  ++collective_seq_;
+  return tag;
+}
+
+}  // namespace sompi::mpi

@@ -1,0 +1,319 @@
+// The communicator: every mini-MPI application is a function of one Comm.
+//
+// Point-to-point sends are buffered (eager) and non-blocking; receives block
+// with (source, tag) matching. Collectives are built on point-to-point with
+// binomial trees where it matters (bcast, reduce) and use a reserved tag
+// space sequenced per collective call, so user traffic can never be matched
+// against collective traffic.
+#pragma once
+
+#include <condition_variable>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.h"
+#include "minimpi/failure.h"
+#include "minimpi/mailbox.h"
+#include "minimpi/types.h"
+
+namespace sompi::mpi {
+
+/// Shared state of one world of ranks. Owned by Runtime; applications only
+/// ever see Comm.
+class World {
+ public:
+  World(int size, FailureController* failures);
+
+  int size() const { return static_cast<int>(mailboxes_.size()); }
+  Mailbox& mailbox(int rank);
+  RankStats& stats(int rank);
+  FailureController& failures() { return *failures_; }
+
+  /// Throws KilledError (after waking every blocked rank) when the failure
+  /// controller has fired. Called at every runtime interaction.
+  void check_failure();
+
+  /// Sense-reversing central barrier; kill-aware.
+  void barrier_wait();
+
+  /// Wakes every blocked rank so KilledError propagates. Idempotent.
+  void propagate_kill();
+
+ private:
+  FailureController* failures_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<RankStats> stats_;
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  bool kill_propagated_ = false;
+};
+
+class Comm;
+
+/// Handle for a nonblocking operation (MPI_Request analogue). Sends are
+/// eager-buffered and complete immediately; receives match lazily.
+class Request {
+ public:
+  /// True when the operation can complete without blocking.
+  bool test();
+  /// Blocks until completion; for receives, returns the message.
+  Message wait();
+  bool is_receive() const { return receive_; }
+
+ private:
+  friend class Comm;
+  Request(Comm* comm, int source, int tag)  // pending receive
+      : comm_(comm), source_(source), tag_(tag), receive_(true) {}
+  Request() = default;  // completed send
+
+  Comm* comm_ = nullptr;
+  int source_ = 0;
+  int tag_ = 0;
+  bool receive_ = false;
+  bool done_ = false;
+  Message message_;
+};
+
+class Comm {
+ public:
+  /// The world communicator over all ranks.
+  Comm(World* world, int rank);
+
+  /// Sub-communicator rank (== world rank for the world communicator).
+  int rank() const { return rank_; }
+  int size() const {
+    return to_world_.empty() ? world_->size() : static_cast<int>(to_world_.size());
+  }
+
+  /// Splits this communicator: ranks with equal `color` form a new
+  /// communicator, ordered by (key, rank) — MPI_Comm_split. Collective.
+  /// Requires color >= 0 (every rank participates).
+  Comm split(int color, int key);
+
+  // --- Point-to-point -----------------------------------------------------
+  // User tags must be in [0, 2^18) — the upper bits carry the communicator
+  // context so split() traffic never crosses communicators.
+
+  void send_bytes(int dest, int tag, std::span<const std::byte> payload);
+  /// Blocking receive; wildcards kAnySource/kAnyTag allowed.
+  Message recv_message(int source, int tag);
+  std::vector<std::byte> recv_bytes(int source, int tag);
+  /// Non-blocking check for a queued matching message.
+  bool probe(int source, int tag);
+
+  /// Nonblocking send: buffered eagerly, the request is already complete.
+  Request isend_bytes(int dest, int tag, std::span<const std::byte> payload);
+  /// Nonblocking receive: matching is deferred to test()/wait().
+  Request irecv(int source, int tag);
+  /// Combined send + receive (halo-exchange convenience; deadlock-free
+  /// because sends are buffered).
+  Message sendrecv_bytes(int dest, int send_tag, std::span<const std::byte> payload,
+                         int source, int recv_tag);
+
+  template <typename T>
+  void send(int dest, int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, std::as_bytes(std::span<const T, 1>(&value, 1)));
+  }
+
+  template <typename T>
+  T recv(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto bytes = recv_bytes(source, tag);
+    SOMPI_ASSERT_MSG(bytes.size() == sizeof(T), "typed recv size mismatch");
+    T value;
+    std::memcpy(&value, bytes.data(), sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  void send_vec(int dest, int tag, std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, std::as_bytes(values));
+  }
+
+  template <typename T>
+  void send_vec(int dest, int tag, const std::vector<T>& values) {
+    send_vec<T>(dest, tag, std::span<const T>(values));
+  }
+
+  template <typename T>
+  std::vector<T> recv_vec(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto bytes = recv_bytes(source, tag);
+    SOMPI_ASSERT_MSG(bytes.size() % sizeof(T) == 0, "typed recv_vec size mismatch");
+    std::vector<T> values(bytes.size() / sizeof(T));
+    std::memcpy(values.data(), bytes.data(), bytes.size());
+    return values;
+  }
+
+  // --- Collectives (must be called by all ranks in the same order) --------
+
+  void barrier();
+
+  /// Binomial-tree broadcast of a byte buffer from root.
+  void bcast_bytes(std::vector<std::byte>& data, int root);
+
+  template <typename T>
+  void bcast(std::vector<T>& data, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes(data.size() * sizeof(T));
+    if (rank_ == root) std::memcpy(bytes.data(), data.data(), bytes.size());
+    bcast_bytes(bytes, root);
+    data.resize(bytes.size() / sizeof(T));
+    std::memcpy(data.data(), bytes.data(), bytes.size());
+  }
+
+  template <typename T>
+  void bcast(T& value, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<T> one{value};
+    bcast(one, root);
+    value = one.at(0);
+  }
+
+  /// Binomial-tree reduction; the result is valid on root only.
+  template <typename T>
+  T reduce(T value, ReduceOp op, int root) {
+    static_assert(std::is_arithmetic_v<T>);
+    const int tag = next_collective_tag(1);
+    const int n = size();
+    const int rel = (rank_ - root + n) % n;
+    T acc = value;
+    for (int mask = 1; mask < n; mask <<= 1) {
+      if (rel & mask) {
+        const int parent = ((rel - mask) + root) % n;
+        send(parent, tag, acc);
+        break;
+      }
+      if (rel + mask < n) {
+        const int child = ((rel + mask) + root) % n;
+        acc = combine(acc, recv<T>(child, tag), op);
+      }
+    }
+    return acc;
+  }
+
+  template <typename T>
+  T allreduce(T value, ReduceOp op) {
+    T result = reduce(value, op, /*root=*/0);
+    bcast(result, /*root=*/0);
+    return result;
+  }
+
+  /// Root's chunks[i] goes to rank i; returns this rank's chunk
+  /// (MPI_Scatter with per-rank payloads). chunks ignored on non-roots.
+  template <typename T>
+  std::vector<T> scatter(const std::vector<std::vector<T>>& chunks, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int tag = next_collective_tag(4);
+    if (rank_ == root) {
+      SOMPI_REQUIRE(static_cast<int>(chunks.size()) == size());
+      for (int r = 0; r < size(); ++r)
+        if (r != root) send_vec<T>(r, tag, chunks[static_cast<std::size_t>(r)]);
+      return chunks[static_cast<std::size_t>(root)];
+    }
+    return recv_vec<T>(root, tag);
+  }
+
+  /// Root receives one value per rank, in rank order; non-roots get {}.
+  template <typename T>
+  std::vector<T> gather(const T& value, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int tag = next_collective_tag(2);
+    if (rank_ != root) {
+      send(root, tag, value);
+      return {};
+    }
+    std::vector<T> all(size());
+    all[static_cast<std::size_t>(root)] = value;
+    for (int r = 0; r < size(); ++r)
+      if (r != root) all[static_cast<std::size_t>(r)] = recv<T>(r, tag);
+    return all;
+  }
+
+  template <typename T>
+  std::vector<T> allgather(const T& value) {
+    std::vector<T> all = gather(value, /*root=*/0);
+    bcast(all, /*root=*/0);
+    return all;
+  }
+
+  /// Personalized all-to-all: send[i] goes to rank i; returns one vector per
+  /// source rank. send.size() must equal size().
+  template <typename T>
+  std::vector<std::vector<T>> alltoall(const std::vector<std::vector<T>>& send_bufs) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    SOMPI_REQUIRE(static_cast<int>(send_bufs.size()) == size());
+    const int tag = next_collective_tag(3);
+    std::vector<std::vector<T>> recv_bufs(send_bufs.size());
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) {
+        recv_bufs[static_cast<std::size_t>(r)] = send_bufs[static_cast<std::size_t>(r)];
+      } else {
+        send_vec<T>(r, tag, send_bufs[static_cast<std::size_t>(r)]);
+      }
+    }
+    for (int r = 0; r < size(); ++r)
+      if (r != rank_) recv_bufs[static_cast<std::size_t>(r)] = recv_vec<T>(r, tag);
+    return recv_bufs;
+  }
+
+  // --- Runtime hooks -------------------------------------------------------
+
+  /// Progress marker for deterministic failure injection (one per app
+  /// iteration). Throws KilledError when the controller fires.
+  void tick();
+
+  /// Throws KilledError if the world has been killed.
+  void check_failure() { world_->check_failure(); }
+
+  const RankStats& stats() const;
+
+ private:
+  friend class Request;
+
+  static constexpr int kCollectiveTagBase = 1 << 30;
+  static constexpr int kMaxUserTag = 1 << 18;
+  static constexpr int kContextBits = 10;
+
+  /// Sub-communicator constructor (split()).
+  Comm(World* world, int rank, std::vector<int> to_world, int context);
+
+  template <typename T>
+  static T combine(T a, T b, ReduceOp op) {
+    switch (op) {
+      case ReduceOp::kSum: return a + b;
+      case ReduceOp::kMin: return a < b ? a : b;
+      case ReduceOp::kMax: return a > b ? a : b;
+    }
+    throw PreconditionError("unknown reduce op");
+  }
+
+  /// A fresh tag per collective call; all ranks issue collectives in the
+  /// same order, so sequences agree across the communicator.
+  int next_collective_tag(int op_id);
+
+  /// Folds the communicator context into a user tag.
+  int mangle(int tag) const;
+  /// World rank of a communicator rank (identity for the world comm).
+  int world_rank(int r) const;
+  /// Communicator rank of a world rank; -1 when not a member.
+  int sub_rank(int world_r) const;
+
+  World* world_;
+  int rank_;
+  std::vector<int> to_world_;  // empty = world communicator (identity)
+  int context_ = 0;
+  int collective_seq_ = 0;
+  int split_seq_ = 0;
+};
+
+}  // namespace sompi::mpi

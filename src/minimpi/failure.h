@@ -1,0 +1,40 @@
+// Failure injection: models an out-of-bid event, which terminates every
+// instance of a circle group at once (the paper's coordinated-termination
+// property that makes coordinated checkpointing the right protocol, §2.2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sompi::mpi {
+
+class FailureController {
+ public:
+  /// Kills the whole world: every rank unblocks with KilledError at its next
+  /// runtime interaction. Idempotent; callable from any thread.
+  void kill() { killed_.store(true, std::memory_order_release); }
+
+  bool killed() const { return killed_.load(std::memory_order_acquire); }
+
+  /// Arms a deterministic kill after `ticks` calls to on_tick() summed over
+  /// all ranks (0 disarms). Applications tick once per iteration, so this
+  /// maps an out-of-bid step from a trace replay onto an app iteration.
+  void arm_after_ticks(std::uint64_t ticks) {
+    tick_budget_.store(ticks, std::memory_order_release);
+    ticks_.store(0, std::memory_order_release);
+  }
+
+  /// Called by the runtime on rank progress; fires the armed kill.
+  void on_tick() {
+    const std::uint64_t budget = tick_budget_.load(std::memory_order_acquire);
+    if (budget == 0) return;
+    if (ticks_.fetch_add(1, std::memory_order_acq_rel) + 1 >= budget) kill();
+  }
+
+ private:
+  std::atomic<bool> killed_{false};
+  std::atomic<std::uint64_t> tick_budget_{0};
+  std::atomic<std::uint64_t> ticks_{0};
+};
+
+}  // namespace sompi::mpi

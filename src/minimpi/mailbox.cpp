@@ -1,0 +1,50 @@
+#include "minimpi/mailbox.h"
+
+#include <algorithm>
+
+namespace sompi::mpi {
+
+void Mailbox::deliver(Message message) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (aborted_) return;
+    queue_.push_back(std::move(message));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::receive(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (aborted_) throw KilledError();
+    const auto it = std::find_if(queue_.begin(), queue_.end(),
+                                 [&](const Message& m) { return matches(m, source, tag); });
+    if (it != queue_.end()) {
+      Message m = std::move(*it);
+      queue_.erase(it);
+      return m;
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::probe(int source, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(queue_.begin(), queue_.end(),
+                     [&](const Message& m) { return matches(m, source, tag); });
+}
+
+void Mailbox::abort() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::aborted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return aborted_;
+}
+
+}  // namespace sompi::mpi

@@ -1,0 +1,42 @@
+// Per-rank mailbox with (source, tag) matching and kill-aware blocking.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "minimpi/types.h"
+
+namespace sompi::mpi {
+
+class Mailbox {
+ public:
+  /// Enqueues a message; no-op after abort().
+  void deliver(Message message);
+
+  /// Blocks until a message matching (source, tag) arrives, honoring
+  /// kAnySource / kAnyTag wildcards. Messages from the same source with the
+  /// same tag are delivered in send order (MPI non-overtaking rule).
+  /// Throws KilledError if the mailbox is aborted while waiting.
+  Message receive(int source, int tag);
+
+  /// True when a matching message is already queued (non-blocking probe).
+  bool probe(int source, int tag);
+
+  /// Wakes all waiters with KilledError and drops subsequent deliveries.
+  void abort();
+
+  bool aborted() const;
+
+ private:
+  bool matches(const Message& m, int source, int tag) const {
+    return (source == kAnySource || m.source == source) && (tag == kAnyTag || m.tag == tag);
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool aborted_ = false;
+};
+
+}  // namespace sompi::mpi

@@ -1,0 +1,28 @@
+#include "minimpi/profiler.h"
+
+#include "common/error.h"
+
+namespace sompi::mpi {
+
+AppProfile profile_from_run(const std::string& name, AppCategory category, int processes,
+                            const RunResult& run, double instr_gi, double io_seq_gb,
+                            double io_rand_gb, double state_gb, double scale) {
+  SOMPI_REQUIRE(processes >= 1);
+  SOMPI_REQUIRE(scale > 0.0);
+  const RankStats total = run.total_stats();
+
+  AppProfile p;
+  p.name = name;
+  p.category = category;
+  p.processes = processes;
+  p.instr_gi = instr_gi * scale;
+  p.comm_gb = static_cast<double>(total.bytes_sent) / 1e9 * scale;
+  p.msgs_per_rank =
+      static_cast<double>(total.messages_sent) / static_cast<double>(processes) * scale;
+  p.io_seq_gb = io_seq_gb * scale;
+  p.io_rand_gb = io_rand_gb * scale;
+  p.state_gb = state_gb;
+  return p;
+}
+
+}  // namespace sompi::mpi

@@ -1,0 +1,20 @@
+// Turns a mini-MPI run into the paper's application profile tuple (§4.4):
+// run the application once on the runtime, read the aggregated traffic
+// counters, and combine them with caller-supplied compute/I/O estimates.
+#pragma once
+
+#include "minimpi/runtime.h"
+#include "profile/app_profile.h"
+
+namespace sompi::mpi {
+
+/// Builds an AppProfile from a completed run's counters. `instr_gi` and the
+/// I/O volumes cannot be observed by the message layer and are supplied by
+/// the caller (TAU would sample them on real hardware); `scale` multiplies
+/// every volume, mirroring the paper's "run each application 100–200 times"
+/// long-job construction.
+AppProfile profile_from_run(const std::string& name, AppCategory category, int processes,
+                            const RunResult& run, double instr_gi, double io_seq_gb,
+                            double io_rand_gb, double state_gb, double scale = 1.0);
+
+}  // namespace sompi::mpi

@@ -1,0 +1,87 @@
+#include "minimpi/runtime.h"
+
+#include <chrono>
+
+#include "common/error.h"
+
+namespace sompi::mpi {
+
+Runtime::Runtime(int world_size)
+    : world_size_(world_size), world_(world_size, &failures_),
+      errors_(static_cast<std::size_t>(world_size)),
+      rank_killed_(static_cast<std::size_t>(world_size), false) {
+  SOMPI_REQUIRE(world_size >= 1);
+}
+
+Runtime::~Runtime() {
+  if (launched_ && !joined_) {
+    // Never leak running rank threads: force unwind and reap.
+    kill();
+    for (auto& t : threads_)
+      if (t.joinable()) t.join();
+  }
+}
+
+void Runtime::launch(RankFn fn) {
+  SOMPI_REQUIRE_MSG(!launched_, "Runtime::launch may be called once");
+  launched_ = true;
+  start_ = std::chrono::steady_clock::now();
+  threads_.reserve(static_cast<std::size_t>(world_size_));
+  for (int r = 0; r < world_size_; ++r) {
+    threads_.emplace_back([this, fn, r] {
+      Comm comm(&world_, r);
+      try {
+        fn(comm);
+      } catch (const KilledError&) {
+        rank_killed_[static_cast<std::size_t>(r)] = 1;
+      } catch (const std::exception& e) {
+        errors_[static_cast<std::size_t>(r)] = e.what();
+        // Fail fast: one broken rank deadlocks the world otherwise.
+        failures_.kill();
+        world_.propagate_kill();
+      }
+    });
+  }
+}
+
+void Runtime::kill() {
+  failures_.kill();
+  world_.propagate_kill();
+}
+
+RunResult Runtime::join() {
+  SOMPI_REQUIRE_MSG(launched_ && !joined_, "join() requires a launched, unjoined runtime");
+  joined_ = true;
+  for (auto& t : threads_) t.join();
+
+  RunResult result;
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  bool any_killed = false;
+  for (int r = 0; r < world_size_; ++r) {
+    if (!errors_[static_cast<std::size_t>(r)].empty())
+      result.errors.push_back("rank " + std::to_string(r) + ": " +
+                              errors_[static_cast<std::size_t>(r)]);
+    any_killed = any_killed || rank_killed_[static_cast<std::size_t>(r)] != 0;
+    result.stats.push_back(world_.stats(r));
+  }
+  result.killed = any_killed && result.errors.empty();
+  result.completed = !any_killed && result.errors.empty();
+  return result;
+}
+
+RunResult Runtime::run(int world_size, const RankFn& fn) {
+  Runtime rt(world_size);
+  rt.launch(fn);
+  return rt.join();
+}
+
+RunResult Runtime::run_with_kill(int world_size, const RankFn& fn,
+                                 std::uint64_t kill_after_ticks) {
+  Runtime rt(world_size);
+  rt.failures().arm_after_ticks(kill_after_ticks);
+  rt.launch(fn);
+  return rt.join();
+}
+
+}  // namespace sompi::mpi

@@ -1,0 +1,80 @@
+// The mini-MPI runtime: spawns one thread per rank, wires them to a shared
+// World, and harvests their fates (completed / killed / errored).
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "minimpi/comm.h"
+
+namespace sompi::mpi {
+
+/// Outcome of one world execution.
+struct RunResult {
+  /// Every rank returned normally.
+  bool completed = false;
+  /// The world was killed (out-of-bid injection) before completion.
+  bool killed = false;
+  /// First application error per failed rank ("rank 3: ...").
+  std::vector<std::string> errors;
+  /// Per-rank traffic counters (profiling input).
+  std::vector<RankStats> stats;
+  double elapsed_seconds = 0.0;
+
+  RankStats total_stats() const {
+    RankStats total;
+    for (const auto& s : stats) total.merge(s);
+    return total;
+  }
+};
+
+/// One world of ranks. Construct, launch, optionally kill, then join.
+/// The object must outlive the join() call; not reusable after join().
+class Runtime {
+ public:
+  using RankFn = std::function<void(Comm&)>;
+
+  explicit Runtime(int world_size);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  int world_size() const { return world_size_; }
+  FailureController& failures() { return failures_; }
+
+  /// Starts every rank running fn(comm). Call exactly once.
+  void launch(RankFn fn);
+
+  /// Injects an out-of-bid event: every rank unwinds with KilledError.
+  /// Safe from any thread, any time after launch().
+  void kill();
+
+  /// Waits for all ranks and returns the aggregate outcome.
+  RunResult join();
+
+  /// Convenience: launch + join.
+  static RunResult run(int world_size, const RankFn& fn);
+
+  /// Convenience: launch, kill after all ranks together performed
+  /// `kill_after_ticks` Comm::tick() calls, join.
+  static RunResult run_with_kill(int world_size, const RankFn& fn,
+                                 std::uint64_t kill_after_ticks);
+
+ private:
+  int world_size_;
+  FailureController failures_;
+  World world_;
+  std::vector<std::thread> threads_;
+  std::vector<std::string> errors_;  // sized world_size_, "" = ok
+  // One byte per rank (vector<bool> would race on shared words).
+  std::vector<unsigned char> rank_killed_;
+  std::chrono::steady_clock::time_point start_;
+  bool launched_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace sompi::mpi

@@ -1,0 +1,55 @@
+// Shared message-passing primitives for the mini-MPI runtime.
+//
+// mini-MPI is the substrate substituting for OpenMPI in this reproduction:
+// an in-process, thread-per-rank message-passing runtime. Applications
+// written against sompi::mpi::Comm really exchange messages, really block on
+// collectives, can really be killed by an out-of-bid event injected through
+// FailureController, and really restart from a coordinated checkpoint.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace sompi::mpi {
+
+/// Wildcards for recv matching (like MPI_ANY_SOURCE / MPI_ANY_TAG).
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Thrown inside every rank when the runtime's failure controller fires —
+/// models the instant termination of all instances of a circle group on an
+/// out-of-bid event. Caught by Runtime::run, never by applications.
+class KilledError : public std::runtime_error {
+ public:
+  KilledError() : std::runtime_error("rank killed by failure injection") {}
+};
+
+/// One in-flight message.
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Per-rank traffic counters — the profiling hook behind the paper's
+/// <#instr, Data_send, Data_recv, ...> application profile (§4.4).
+struct RankStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+
+  void merge(const RankStats& other) {
+    messages_sent += other.messages_sent;
+    bytes_sent += other.bytes_sent;
+    messages_received += other.messages_received;
+    bytes_received += other.bytes_received;
+  }
+};
+
+/// Reduction operators for reduce/allreduce.
+enum class ReduceOp { kSum, kMin, kMax };
+
+}  // namespace sompi::mpi

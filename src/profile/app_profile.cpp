@@ -1,0 +1,28 @@
+#include "profile/app_profile.h"
+
+#include "common/error.h"
+
+namespace sompi {
+
+AppProfile scale_profile(const AppProfile& app, double fraction) {
+  SOMPI_REQUIRE(fraction > 0.0 && fraction <= 1.0);
+  AppProfile scaled = app;
+  scaled.instr_gi *= fraction;
+  scaled.comm_gb *= fraction;
+  scaled.msgs_per_rank *= fraction;
+  scaled.io_seq_gb *= fraction;
+  scaled.io_rand_gb *= fraction;
+  // The working-set (checkpoint state) size does not shrink with progress.
+  return scaled;
+}
+
+std::string category_label(AppCategory category) {
+  switch (category) {
+    case AppCategory::kComputation: return "comp";
+    case AppCategory::kCommunication: return "comm";
+    case AppCategory::kIo: return "io";
+  }
+  return "?";
+}
+
+}  // namespace sompi

@@ -1,0 +1,47 @@
+// Application profiles — the paper's 5-tuple
+//   <#instr, Data_send, Data_recv, IO_seq, IO_rand>        (§4.4 "Profiling")
+// plus the extra quantities our estimator and checkpoint model need
+// (message count, checkpoint state size).
+#pragma once
+
+#include <string>
+
+namespace sompi {
+
+/// Coarse workload category (drives the paper's per-category discussion).
+enum class AppCategory { kComputation, kCommunication, kIo };
+
+/// Profile of one MPI application at a fixed process count.
+///
+/// Obtained either from the built-in table of paper workloads
+/// (paper_profiles.h) or measured live by profiling a mini-MPI run
+/// (profiler in src/minimpi + profile/estimator.h).
+struct AppProfile {
+  std::string name;
+  AppCategory category = AppCategory::kComputation;
+  /// Number of MPI processes N; fixed for the whole execution (paper §3.1.1).
+  int processes = 0;
+  /// Total instructions across all ranks, in giga-instructions.
+  double instr_gi = 0.0;
+  /// Total bytes sent by all ranks over MPI, in GB. (Send and receive totals
+  /// are symmetric for our workloads, so one field covers the pair.)
+  double comm_gb = 0.0;
+  /// MPI messages issued per rank over the whole run (latency term).
+  double msgs_per_rank = 0.0;
+  /// Sequential I/O volume, GB.
+  double io_seq_gb = 0.0;
+  /// Random-access I/O volume, GB.
+  double io_rand_gb = 0.0;
+  /// Total checkpoint state across all ranks, GB (drives O_i and R_i).
+  double state_gb = 0.0;
+};
+
+/// Human-readable category label ("comp" / "comm" / "io").
+std::string category_label(AppCategory category);
+
+/// The residual application after completing (1 - fraction) of the work:
+/// all volume fields scale linearly, the process count stays fixed.
+/// Requires fraction in (0, 1].
+AppProfile scale_profile(const AppProfile& app, double fraction);
+
+}  // namespace sompi

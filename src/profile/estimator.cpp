@@ -1,0 +1,64 @@
+#include "profile/estimator.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sompi {
+
+double ExecTimeEstimator::inter_instance_fraction(int cores, int n) {
+  SOMPI_REQUIRE(cores >= 1);
+  SOMPI_REQUIRE(n >= 1);
+  if (n <= cores || n == 1) return 0.0;  // whole job fits on one instance
+  return static_cast<double>(n - cores) / static_cast<double>(n - 1);
+}
+
+TimeBreakdown ExecTimeEstimator::estimate(const AppProfile& app,
+                                          const InstanceType& type) const {
+  SOMPI_REQUIRE_MSG(app.processes >= 1, "profile needs a process count");
+  const int n = app.processes;
+  const int cores_used = std::min(type.cores, n);
+
+  TimeBreakdown b;
+
+  // CPU: all N ranks compute in parallel, one rank per core.
+  b.cpu_h = app.instr_gi / (static_cast<double>(n) * type.gips_per_core) / 3600.0;
+
+  // Network: each instance pushes its ranks' inter-instance share of the
+  // total traffic through its own NIC; instances transmit concurrently.
+  const double frac = inter_instance_fraction(type.cores, n);
+  const double egress_gbit_per_inst =
+      app.comm_gb * 8.0 * (static_cast<double>(cores_used) / n) * frac;
+  const double bw_s = egress_gbit_per_inst / type.net_gbps;
+  // Latency: a rank's messages are issued sequentially.
+  const double lat_s = app.msgs_per_rank * frac * type.net_latency_us * 1e-6;
+  b.net_h = (bw_s + lat_s) / 3600.0;
+
+  // I/O: aggregate bandwidth scales with the instance count.
+  const int instances = (n + type.cores - 1) / type.cores;
+  const double agg_io_gb_s = static_cast<double>(instances) * type.io_mbps / 1000.0;
+  const double io_s =
+      (app.io_seq_gb + app.io_rand_gb * kRandomIoPenalty) / agg_io_gb_s;
+  b.io_h = io_s / 3600.0;
+
+  return b;
+}
+
+double ExecTimeEstimator::hours(const AppProfile& app, const InstanceType& type) const {
+  return estimate(app, type).total_h();
+}
+
+CheckpointCosts ExecTimeEstimator::checkpoint_costs(const AppProfile& app,
+                                                    const InstanceType& type) const {
+  SOMPI_REQUIRE(app.processes >= 1);
+  const int instances = (app.processes + type.cores - 1) / type.cores;
+  // State is uploaded to object storage through every NIC in parallel.
+  const double transfer_s =
+      app.state_gb * 8.0 / (static_cast<double>(instances) * type.net_gbps);
+  CheckpointCosts c;
+  c.checkpoint_h = transfer_s / 3600.0 + kCheckpointFixedH;
+  c.recovery_h = transfer_s / 3600.0 + kRecoveryFixedH;
+  return c;
+}
+
+}  // namespace sompi

@@ -1,0 +1,57 @@
+// Execution-time estimation (paper §4.4).
+//
+// "We estimate the execution time as the summation of its CPU, networking
+//  and I/O time": CPU from the instruction count and the per-core speed,
+// networking from the inter-instance traffic through each NIC (traffic
+// between ranks on the same instance uses shared memory and is free — the
+// effect that makes cc2.8xlarge the winner for communication-bound codes),
+// I/O from the aggregate disk bandwidth of all instances (more instances =
+// more I/O parallelism — the effect that favours the m1 family for BTIO).
+#pragma once
+
+#include "cloud/catalog.h"
+#include "profile/app_profile.h"
+
+namespace sompi {
+
+/// Component breakdown of an execution-time estimate, in hours.
+struct TimeBreakdown {
+  double cpu_h = 0.0;
+  double net_h = 0.0;
+  double io_h = 0.0;
+
+  double total_h() const { return cpu_h + net_h + io_h; }
+};
+
+/// Checkpoint/recovery overheads for one app on one instance type, hours.
+struct CheckpointCosts {
+  double checkpoint_h = 0.0;  ///< the paper's O_i
+  double recovery_h = 0.0;    ///< the paper's R_i
+};
+
+class ExecTimeEstimator {
+ public:
+  /// Random I/O achieves this fraction of sequential bandwidth.
+  static constexpr double kRandomIoPenalty = 4.0;
+  /// Coordination barrier + metadata cost of one checkpoint, hours.
+  static constexpr double kCheckpointFixedH = 0.002;
+  /// Restart (relaunch + rebuild communicators) fixed cost, hours.
+  static constexpr double kRecoveryFixedH = 0.01;
+
+  /// Fraction of a rank's traffic that crosses the network when `cores`
+  /// ranks share an instance out of `n` total (uniform partner model).
+  static double inter_instance_fraction(int cores, int n);
+
+  /// Estimates the productive execution time of `app` on instances of
+  /// `type` (one rank per core).
+  TimeBreakdown estimate(const AppProfile& app, const InstanceType& type) const;
+
+  /// Convenience: total hours only.
+  double hours(const AppProfile& app, const InstanceType& type) const;
+
+  /// Checkpoint overhead O and recovery overhead R: the full application
+  /// state is pushed to (pulled from) object storage through the NICs.
+  CheckpointCosts checkpoint_costs(const AppProfile& app, const InstanceType& type) const;
+};
+
+}  // namespace sompi

@@ -1,0 +1,61 @@
+#include "profile/paper_profiles.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sompi {
+
+namespace {
+
+// Magnitudes are calibrated against the paper catalog so the per-category
+// observations of §5.3 hold (see DESIGN.md "calibration"):
+//   * BT/SP/LU: CPU-bound everywhere; slower types remain within ~1.45× of
+//     cc2.8xlarge so they become eligible as the deadline loosens (Fig 7a).
+//   * FT/IS: network-bound on the m1 family; only cc2.8xlarge (10GbE, 32
+//     ranks sharing memory per instance) and marginally c3.xlarge stay near
+//     the baseline time, so every optimizer converges on cc2.8xlarge.
+//   * BTIO: aggregate disk bandwidth scales with the instance count, so
+//     m1.medium (128 spindles) beats cc2.8xlarge (4) outright.
+const AppProfile kPaperProfiles[] = {
+    // name  category                  N    instr_gi  comm_gb  msgs/rank  io_seq io_rand state
+    {"BT", AppCategory::kComputation, 128, 19.9e6, 12000.0, 1.0e6, 10.0, 0.0, 400.0},
+    {"SP", AppCategory::kComputation, 128, 17.5e6, 14000.0, 1.2e6, 8.0, 0.0, 350.0},
+    {"LU", AppCategory::kComputation, 128, 22.0e6, 9000.0, 2.0e6, 5.0, 0.0, 300.0},
+    {"FT", AppCategory::kCommunication, 128, 9.95e6, 119000.0, 4.0e5, 4.0, 0.0, 500.0},
+    {"IS", AppCategory::kCommunication, 128, 4.0e6, 60000.0, 3.0e5, 2.0, 0.0, 200.0},
+    {"BTIO", AppCategory::kIo, 128, 15.0e6, 9000.0, 8.0e5, 80000.0, 3000.0, 400.0},
+};
+
+}  // namespace
+
+AppProfile paper_profile(const std::string& app_name) {
+  for (const auto& p : kPaperProfiles)
+    if (p.name == app_name) return p;
+  throw PreconditionError("unknown paper workload: " + app_name);
+}
+
+std::vector<AppProfile> paper_profiles() {
+  return {std::begin(kPaperProfiles), std::end(kPaperProfiles)};
+}
+
+AppProfile lammps_profile(int processes) {
+  SOMPI_REQUIRE(processes >= 1);
+  AppProfile p;
+  p.name = "LAMMPS-" + std::to_string(processes);
+  p.processes = processes;
+  // Fixed total problem: the instruction count does not depend on N, so the
+  // per-rank compute share shrinks as N grows, while exchanged ghost-atom
+  // data grows super-linearly — the paper's comp→comm transition (§5.3.1).
+  p.instr_gi = 14.0e6;
+  const double scale = static_cast<double>(processes) / 32.0;
+  p.comm_gb = 6000.0 * scale * scale;
+  p.msgs_per_rank = 5.0e5;
+  p.io_seq_gb = 6.0;
+  p.io_rand_gb = 0.0;
+  p.state_gb = 100.0;
+  p.category = processes >= 96 ? AppCategory::kCommunication : AppCategory::kComputation;
+  return p;
+}
+
+}  // namespace sompi

@@ -1,0 +1,27 @@
+// Canned profiles for the paper's evaluation workloads (§5.1): the NPB 2.4
+// kernels BT, SP, LU (computation-intensive), FT, IS (communication-
+// intensive), BTIO (I/O-intensive) and LAMMPS at a configurable process
+// count. Magnitudes are scaled the way the paper runs them — "we run each of
+// the applications multiple times (100 to 200 times) to extend to large
+// scale computing" — so that baseline executions span tens of hours and
+// hour-scale checkpoint intervals are meaningful.
+#pragma once
+
+#include <vector>
+
+#include "profile/app_profile.h"
+
+namespace sompi {
+
+/// Profile of one NPB kernel at 128 processes, repeated to long-job scale.
+AppProfile paper_profile(const std::string& app_name);
+
+/// All NPB evaluation workloads: BT, SP, LU, FT, IS, BTIO.
+std::vector<AppProfile> paper_profiles();
+
+/// LAMMPS-like MD profile at `processes` ranks with the total problem size
+/// fixed: per-rank compute shrinks and the communication share grows as the
+/// process count rises (the paper's §5.3.1 LAMMPS discussion).
+AppProfile lammps_profile(int processes);
+
+}  // namespace sompi

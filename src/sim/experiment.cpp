@@ -1,0 +1,147 @@
+#include "sim/experiment.h"
+
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace sompi {
+
+Experiment::Options Experiment::defaults() {
+  Options o;
+  if (const char* runs = std::getenv("SOMPI_BENCH_RUNS")) {
+    const long parsed = std::strtol(runs, nullptr, 10);
+    if (parsed > 0) o.runs = static_cast<std::size_t>(parsed);
+  }
+  return o;
+}
+
+Experiment::Experiment(Options options)
+    : options_(options),
+      catalog_(paper_catalog()),
+      market_(generate_market(catalog_, paper_market_profile(catalog_), options_.market_days,
+                              options_.step_hours, options_.seed)) {}
+
+OnDemandChoice Experiment::baseline(const AppProfile& app) const {
+  return OnDemandSelector(&catalog_, &est_).baseline(app);
+}
+
+double Experiment::baseline_cost(const AppProfile& app) const {
+  return baseline(app).full_cost_usd();
+}
+
+double Experiment::baseline_time(const AppProfile& app) const { return baseline(app).t_h; }
+
+double Experiment::deadline(const AppProfile& app, bool loose) const {
+  return baseline_time(app) * (loose ? options_.loose : options_.tight);
+}
+
+OptimizerConfig Experiment::sompi_config() const {
+  OptimizerConfig c = sompi_optimizer_config();  // slack 20 %, k = 4
+  c.max_candidates = 6;
+  c.setup.step_hours = options_.step_hours;
+  c.setup.log_levels = 6;
+  c.setup.failure.samples = 1000;
+  c.ratio_bins = 96;
+  return c;
+}
+
+AdaptiveConfig Experiment::adaptive_config() const {
+  AdaptiveConfig c = sompi_adaptive_config();  // T_m = 15 h, lookback 48 h
+  c.opt = sompi_config();
+  return c;
+}
+
+MonteCarloRunner Experiment::runner() const {
+  MonteCarloConfig mc;
+  mc.runs = options_.runs;
+  mc.lookback_h = 48.0;
+  mc.reserve_h = 96.0;
+  mc.seed = options_.seed ^ 0xEC2;
+  return MonteCarloRunner(&market_, ReplayConfig{}, mc);
+}
+
+MethodResult Experiment::normalized(const AppProfile& app, const std::string& name,
+                                    const MonteCarloStats& stats) const {
+  MethodResult r;
+  r.method = name;
+  const double base_cost = baseline_cost(app);
+  const double base_time = baseline_time(app);
+  r.norm_cost = stats.cost.mean / base_cost;
+  r.norm_cost_std = stats.cost.stddev / base_cost;
+  r.norm_time = stats.time.mean / base_time;
+  r.miss_rate = stats.deadline_miss_rate;
+  return r;
+}
+
+MethodResult Experiment::eval_planner(const AppProfile& app, bool loose,
+                                      const std::string& name,
+                                      const MonteCarloRunner::Planner& planner) const {
+  const double dl = deadline(app, loose);
+  return normalized(app, name, runner().run_planned(planner, dl));
+}
+
+MethodResult Experiment::eval_on_demand(const AppProfile& app, bool loose) const {
+  const BaselineFactory factory(&catalog_, &est_, sompi_config().setup);
+  const Plan plan = factory.on_demand_only(app, deadline(app, loose));
+  return normalized(app, "On-demand", runner().run_plan(plan, deadline(app, loose)));
+}
+
+MethodResult Experiment::eval_marathe(const AppProfile& app, bool loose,
+                                      bool optimize_type) const {
+  const BaselineFactory factory(&catalog_, &est_, sompi_config().setup);
+  return eval_planner(app, loose, optimize_type ? "Marathe-Opt" : "Marathe",
+                      [&factory, &app, optimize_type](const Market& history, double dl) {
+                        return factory.marathe(app, history, dl, optimize_type);
+                      });
+}
+
+MethodResult Experiment::eval_spot_inf(const AppProfile& app, bool loose) const {
+  const BaselineFactory factory(&catalog_, &est_, sompi_config().setup);
+  return eval_planner(app, loose, "Spot-Inf",
+                      [&factory, &app](const Market& history, double dl) {
+                        return factory.spot_inf(app, history, dl);
+                      });
+}
+
+MethodResult Experiment::eval_spot_avg(const AppProfile& app, bool loose) const {
+  const BaselineFactory factory(&catalog_, &est_, sompi_config().setup);
+  return eval_planner(app, loose, "Spot-Avg",
+                      [&factory, &app](const Market& history, double dl) {
+                        return factory.spot_avg(app, history, dl);
+                      });
+}
+
+MethodResult Experiment::eval_sompi(const AppProfile& app, bool loose) const {
+  const AdaptiveEngine engine(&catalog_, &est_, adaptive_config());
+  const double dl = deadline(app, loose);
+  return normalized(app, "SOMPI", runner().run_adaptive(engine, app, dl));
+}
+
+MethodResult Experiment::eval_sompi_static(const AppProfile& app, bool loose) const {
+  // w/o-MT: the adaptive execution loop (windows, on-demand guard) still
+  // runs, but the initial plan is never refreshed with new price history.
+  AdaptiveConfig ad = adaptive_config();
+  ad.update_maintenance = false;
+  const AdaptiveEngine engine(&catalog_, &est_, ad);
+  const double dl = deadline(app, loose);
+  MethodResult r = normalized(app, "w/o-MT", runner().run_adaptive(engine, app, dl));
+  return r;
+}
+
+MethodResult Experiment::eval_ablation(const AppProfile& app, bool loose,
+                                       const OptimizerConfig& config,
+                                       const std::string& name) const {
+  OptimizerConfig cfg = config;
+  // Keep the bench-speed knobs; the ablation only changes mechanisms.
+  cfg.max_candidates = sompi_config().max_candidates;
+  cfg.setup = sompi_config().setup;
+  cfg.ratio_bins = sompi_config().ratio_bins;
+  AdaptiveConfig ad = adaptive_config();
+  ad.opt = cfg;
+  const AdaptiveEngine engine(&catalog_, &est_, ad);
+  const double dl = deadline(app, loose);
+  MethodResult r = normalized(app, name, runner().run_adaptive(engine, app, dl));
+  return r;
+}
+
+}  // namespace sompi

@@ -1,0 +1,91 @@
+// Canonical experiment environment shared by every bench binary and the
+// examples: the paper catalog, a long synthetic market with the Figure-1
+// profile, the Baseline normalization (§5.1 "Comparisons") and Monte-Carlo
+// evaluation of each method, normalized the way the paper reports it.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "baselines/ablations.h"
+#include "baselines/baselines.h"
+#include "profile/paper_profiles.h"
+#include "sim/monte_carlo.h"
+
+namespace sompi {
+
+/// One normalized evaluation of a method on a workload.
+struct MethodResult {
+  std::string method;
+  double norm_cost = 0.0;      ///< mean cost / Baseline Cost
+  double norm_cost_std = 0.0;  ///< cost stddev / Baseline Cost
+  double norm_time = 0.0;      ///< mean time / Baseline Time
+  double miss_rate = 0.0;      ///< fraction of runs past the deadline
+};
+
+class Experiment {
+ public:
+  struct Options {
+    double market_days = 14.0;
+    double step_hours = 0.25;
+    std::uint64_t seed = 2014;
+    /// Monte-Carlo runs per (app, method, deadline). The paper uses 100+;
+    /// the default keeps the full bench suite minutes-scale. Override with
+    /// the SOMPI_BENCH_RUNS environment variable.
+    std::size_t runs = 30;
+    /// Loose/tight deadline factors over Baseline Time (§5.1).
+    double loose = 1.5;
+    double tight = 1.05;
+  };
+
+  explicit Experiment(Options options = defaults());
+
+  /// Options with SOMPI_BENCH_RUNS applied.
+  static Options defaults();
+
+  const Catalog& catalog() const { return catalog_; }
+  const Market& market() const { return market_; }
+  const ExecTimeEstimator& estimator() const { return est_; }
+  const Options& options() const { return options_; }
+
+  /// The paper's Baseline: fastest on-demand tier (cost and time of it).
+  OnDemandChoice baseline(const AppProfile& app) const;
+  double baseline_cost(const AppProfile& app) const;
+  double baseline_time(const AppProfile& app) const;
+  double deadline(const AppProfile& app, bool loose) const;
+
+  /// The evaluation-wide optimizer configuration (fast enough for benches,
+  /// faithful in structure: slack 20%, k = 4, log search).
+  OptimizerConfig sompi_config() const;
+  AdaptiveConfig adaptive_config() const;
+
+  // --- Methods (each returns normalized results over the Monte Carlo) ----
+
+  MethodResult eval_on_demand(const AppProfile& app, bool loose) const;
+  MethodResult eval_marathe(const AppProfile& app, bool loose, bool optimize_type) const;
+  MethodResult eval_spot_inf(const AppProfile& app, bool loose) const;
+  MethodResult eval_spot_avg(const AppProfile& app, bool loose) const;
+  /// Full SOMPI: the adaptive Algorithm-1 loop per Monte-Carlo start.
+  MethodResult eval_sompi(const AppProfile& app, bool loose) const;
+  /// SOMPI with a static plan (no update maintenance): the w/o-MT ablation.
+  MethodResult eval_sompi_static(const AppProfile& app, bool loose) const;
+  /// Ablations of §5.4.2 driven by optimizer-config variants.
+  MethodResult eval_ablation(const AppProfile& app, bool loose,
+                             const OptimizerConfig& config, const std::string& name) const;
+
+  /// Evaluates an arbitrary planner through the standard Monte Carlo.
+  MethodResult eval_planner(const AppProfile& app, bool loose, const std::string& name,
+                            const MonteCarloRunner::Planner& planner) const;
+
+ private:
+  MonteCarloRunner runner() const;
+  MethodResult normalized(const AppProfile& app, const std::string& name,
+                          const MonteCarloStats& stats) const;
+
+  Options options_;
+  Catalog catalog_;
+  ExecTimeEstimator est_;
+  Market market_;
+};
+
+}  // namespace sompi

@@ -1,0 +1,109 @@
+#include "sim/live.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "core/schedule.h"
+#include "minimpi/runtime.h"
+
+namespace sompi {
+
+LiveExecutor::LiveExecutor(const Market* market) : market_(market) {
+  SOMPI_REQUIRE(market_ != nullptr);
+}
+
+LiveRunResult LiveExecutor::execute(const Plan& plan, double start_h, int world_size,
+                                    int app_iterations, const AppRunner& runner,
+                                    StorageBackend& store) const {
+  SOMPI_REQUIRE(plan.uses_spot());
+  SOMPI_REQUIRE(world_size >= 1);
+  SOMPI_REQUIRE(app_iterations >= 1);
+
+  LiveRunResult result;
+
+  for (std::size_t i = 0; i < plan.groups.size() && !result.completed_on_spot; ++i) {
+    const GroupPlan& g = plan.groups[i];
+    const GroupSchedule sched(g.t_steps, g.f_steps, g.o_steps, g.r_steps);
+    const SpotTrace& trace = market_->trace(g.spec);
+    const auto start_step = static_cast<std::size_t>(start_h / trace.step_hours());
+
+    // When does this group go out of bid?
+    const std::size_t kill_step = trace.first_exceed(start_step, g.bid_usd);
+    const bool dies_mid_run =
+        kill_step != SpotTrace::kNever &&
+        static_cast<double>(kill_step) < sched.wall_duration();
+
+    // Map the plan's checkpoint interval and the kill instant to app
+    // iterations: F_steps of T_steps ≙ the same fraction of iterations.
+    const int ck_every = std::max(
+        1, static_cast<int>(std::lround(static_cast<double>(g.f_steps) * app_iterations /
+                                        g.t_steps)));
+    const double killed_fraction =
+        dies_mid_run ? sched.progress_by(static_cast<double>(kill_step)) /
+                           static_cast<double>(g.t_steps)
+                     : 1.0;
+    const auto kill_iterations =
+        static_cast<std::uint64_t>(std::floor(killed_fraction * app_iterations));
+
+    LiveGroupOutcome outcome;
+    outcome.name = g.name;
+    outcome.kill_step = dies_mid_run ? kill_step : 0;
+
+    const std::string run_id = "group" + std::to_string(i);
+    apps::AppResult app_result;
+    mpi::Runtime rt(world_size);
+    if (dies_mid_run) {
+      // +world_size/2: land the kill mid-iteration, not on the boundary.
+      rt.failures().arm_after_ticks(kill_iterations * static_cast<std::uint64_t>(world_size) +
+                                    static_cast<std::uint64_t>(world_size) / 2 + 1);
+    }
+    rt.launch([&](mpi::Comm& comm) {
+      Checkpointer ck(&store, run_id);
+      const apps::AppResult r = runner(comm, &ck, ck_every);
+      if (comm.rank() == 0) app_result = r;  // single writer; join orders it
+    });
+    const mpi::RunResult run = rt.join();
+    SOMPI_ASSERT_MSG(run.errors.empty(),
+                     run.errors.empty() ? "" : ("live group failed: " + run.errors.front()));
+
+    outcome.killed = run.killed;
+    outcome.completed = run.completed;
+    if (run.completed) {
+      result.completed_on_spot = true;
+      result.checksum = app_result.checksum;
+      result.total_iterations_run += app_result.iterations_run;
+    }
+    outcome.checkpoints_saved =
+        Checkpointer(&store, run_id).latest_version() + 1;
+    result.groups.push_back(std::move(outcome));
+  }
+
+  if (!result.completed_on_spot) {
+    // Every replica died: restore the most advanced checkpoint and finish
+    // kill-free (the on-demand tier).
+    std::size_t best = 0;
+    int best_versions = -1;
+    for (std::size_t i = 0; i < result.groups.size(); ++i) {
+      if (result.groups[i].checkpoints_saved > best_versions) {
+        best_versions = result.groups[i].checkpoints_saved;
+        best = i;
+      }
+    }
+    const std::string run_id = "group" + std::to_string(best);
+    apps::AppResult app_result;
+    const mpi::RunResult run = mpi::Runtime::run(world_size, [&](mpi::Comm& comm) {
+      Checkpointer ck(&store, run_id);
+      const apps::AppResult r = runner(comm, &ck, /*checkpoint_every=*/0);
+      if (comm.rank() == 0) app_result = r;
+    });
+    SOMPI_ASSERT_MSG(run.completed, "on-demand recovery must complete");
+    result.recovered_on_demand = true;
+    result.checksum = app_result.checksum;
+    result.total_iterations_run += app_result.iterations_run;
+  }
+
+  return result;
+}
+
+}  // namespace sompi

@@ -1,0 +1,66 @@
+// Live execution: the end-to-end demonstration that a SOMPI plan drives a
+// REAL MPI application, not just the cost model.
+//
+// For each circle group in the plan, the executor derives the out-of-bid
+// kill instant from the market trace (first price above the group's bid),
+// maps it to an application-iteration budget, and runs the actual kernel on
+// the mini-MPI runtime with that kill armed and coordinated checkpoints at
+// the plan's interval. Hybrid-execution semantics follow the paper: the
+// first group to complete wins; if every group is killed, the most advanced
+// checkpoint is restored and the run is finished kill-free (the on-demand
+// recovery tier).
+//
+// Groups execute sequentially in process (they would be concurrent fleets
+// on EC2); the market timeline still treats them as parallel replicas.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/app.h"
+#include "checkpoint/storage.h"
+#include "core/plan.h"
+#include "trace/market.h"
+
+namespace sompi {
+
+struct LiveGroupOutcome {
+  std::string name;
+  bool completed = false;
+  bool killed = false;
+  /// Wall step (from the group's launch) of the out-of-bid kill, if any.
+  std::size_t kill_step = 0;
+  int checkpoints_saved = 0;
+};
+
+struct LiveRunResult {
+  bool completed_on_spot = false;
+  bool recovered_on_demand = false;
+  /// Checksum of the winning execution (spot completion or recovery).
+  double checksum = 0.0;
+  int total_iterations_run = 0;
+  std::vector<LiveGroupOutcome> groups;
+};
+
+class LiveExecutor {
+ public:
+  /// Runs the application: `checkpoint_every` is in app iterations (0 = no
+  /// checkpoints); `ck` may be null when checkpointing is off.
+  using AppRunner =
+      std::function<apps::AppResult(mpi::Comm& comm, Checkpointer* ck, int checkpoint_every)>;
+
+  /// The market is borrowed and must outlive the executor.
+  explicit LiveExecutor(const Market* market);
+
+  /// Executes `plan` live starting at absolute market time `start_h`.
+  /// `world_size` ranks per replica, `app_iterations` total iterations of
+  /// the kernel; `store` holds every group's checkpoints.
+  LiveRunResult execute(const Plan& plan, double start_h, int world_size, int app_iterations,
+                        const AppRunner& runner, StorageBackend& store) const;
+
+ private:
+  const Market* market_;
+};
+
+}  // namespace sompi

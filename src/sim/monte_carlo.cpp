@@ -1,0 +1,90 @@
+#include "sim/monte_carlo.h"
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace sompi {
+
+MonteCarloRunner::MonteCarloRunner(const Market* market, ReplayConfig replay_config,
+                                   MonteCarloConfig config)
+    : market_(market), replay_config_(replay_config), config_(config) {
+  SOMPI_REQUIRE(market_ != nullptr);
+  SOMPI_REQUIRE(config_.runs > 0);
+  const double span = market_->trace({0, 0}).span_hours();
+  SOMPI_REQUIRE_MSG(span > config_.lookback_h + config_.reserve_h,
+                    "market trace too short for the lookback + reserve window");
+}
+
+double MonteCarloRunner::sample_start(Rng& rng) const {
+  const double span = market_->trace({0, 0}).span_hours();
+  return rng.uniform(config_.lookback_h, span - config_.reserve_h);
+}
+
+namespace {
+MonteCarloStats finalize(std::vector<double> costs, std::vector<double> times,
+                         std::size_t misses, std::size_t fallbacks) {
+  MonteCarloStats s;
+  s.runs = costs.size();
+  s.cost = summarize(costs);
+  s.time = summarize(times);
+  s.deadline_miss_rate = static_cast<double>(misses) / static_cast<double>(s.runs);
+  s.od_fallback_rate = static_cast<double>(fallbacks) / static_cast<double>(s.runs);
+  return s;
+}
+}  // namespace
+
+MonteCarloStats MonteCarloRunner::run_plan(const Plan& plan, double deadline_h) const {
+  return run_planned([&plan](const Market&, double) { return plan; }, deadline_h);
+}
+
+MonteCarloStats MonteCarloRunner::run_planned(const Planner& planner,
+                                              double deadline_h) const {
+  SOMPI_REQUIRE(deadline_h > 0.0);
+  const ReplayEngine engine(market_, replay_config_);
+  Rng rng(config_.seed);
+  std::vector<double> costs, times;
+  costs.reserve(config_.runs);
+  times.reserve(config_.runs);
+  std::size_t misses = 0;
+  std::size_t fallbacks = 0;
+
+  MarketReplayOracle oracle(market_, replay_config_);
+  for (std::size_t i = 0; i < config_.runs; ++i) {
+    const double start_h = sample_start(rng);
+    const Market history = oracle.history_at(start_h, config_.lookback_h);
+    const Plan plan = planner(history, deadline_h);
+    const ReplayResult r = engine.replay(plan, start_h);
+    costs.push_back(r.cost_usd);
+    times.push_back(r.time_h);
+    if (r.time_h > deadline_h + 1e-9) ++misses;
+    if (r.used_od_recovery) ++fallbacks;
+  }
+  return finalize(std::move(costs), std::move(times), misses, fallbacks);
+}
+
+MonteCarloStats MonteCarloRunner::run_adaptive(const AdaptiveEngine& engine,
+                                               const AppProfile& app,
+                                               double deadline_h) const {
+  SOMPI_REQUIRE(deadline_h > 0.0);
+  Rng rng(config_.seed);
+  std::vector<double> costs, times;
+  costs.reserve(config_.runs);
+  times.reserve(config_.runs);
+  std::size_t misses = 0;
+  std::size_t fallbacks = 0;
+
+  MarketReplayOracle oracle(market_, replay_config_);
+  for (std::size_t i = 0; i < config_.runs; ++i) {
+    const double start_h = sample_start(rng);
+    const AdaptiveResult r = engine.run(app, oracle, start_h, deadline_h);
+    costs.push_back(r.cost_usd);
+    times.push_back(r.hours);
+    if (!r.met_deadline) ++misses;
+    if (r.fell_back_to_ondemand) ++fallbacks;
+  }
+  return finalize(std::move(costs), std::move(times), misses, fallbacks);
+}
+
+}  // namespace sompi

@@ -1,0 +1,65 @@
+// Monte Carlo evaluation harness (paper §5.1: "We randomly choose a start
+// point in the trace ... We repeat the simulation ... and calculate the
+// expected cost").
+//
+// Three entry points, one per planning style:
+//   * run_plan     — a fixed plan replayed from many random start points.
+//   * run_planned  — re-plans per start point from the history visible
+//                    *before* that start (no look-ahead), then replays.
+//   * run_adaptive — the full Algorithm-1 loop per start point.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/stats.h"
+#include "core/adaptive.h"
+#include "sim/replay.h"
+
+namespace sompi {
+
+struct MonteCarloConfig {
+  std::size_t runs = 200;
+  std::uint64_t seed = 0xB1D5;
+  /// History required before a start point (failure-model lookback).
+  double lookback_h = 48.0;
+  /// Execution room required after a start point.
+  double reserve_h = 120.0;
+};
+
+struct MonteCarloStats {
+  Summary cost;            ///< USD per run
+  Summary time;            ///< hours per run
+  double deadline_miss_rate = 0.0;
+  double od_fallback_rate = 0.0;  ///< runs that needed the on-demand tier
+  std::size_t runs = 0;
+};
+
+class MonteCarloRunner {
+ public:
+  /// Builds a plan from the history visible at the start point.
+  using Planner = std::function<Plan(const Market& history, double deadline_h)>;
+
+  MonteCarloRunner(const Market* market, ReplayConfig replay_config,
+                   MonteCarloConfig config);
+
+  /// Replays one fixed plan from random start points.
+  MonteCarloStats run_plan(const Plan& plan, double deadline_h) const;
+
+  /// Re-plans at every start point (fair static baselines: decisions may
+  /// only use the past), then replays.
+  MonteCarloStats run_planned(const Planner& planner, double deadline_h) const;
+
+  /// Runs the adaptive engine per start point.
+  MonteCarloStats run_adaptive(const AdaptiveEngine& engine, const AppProfile& app,
+                               double deadline_h) const;
+
+ private:
+  double sample_start(Rng& rng) const;
+
+  const Market* market_;
+  ReplayConfig replay_config_;
+  MonteCarloConfig config_;
+};
+
+}  // namespace sompi

@@ -1,0 +1,273 @@
+#include "sim/replay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "core/schedule.h"
+
+namespace sompi {
+
+ReplayEngine::ReplayEngine(const Market* market, ReplayConfig config)
+    : market_(market), config_(config) {
+  SOMPI_REQUIRE(market_ != nullptr);
+}
+
+namespace {
+
+/// Mutable per-group replay state.
+struct GroupState {
+  GroupSchedule sched;
+  const GroupPlan* plan;
+  bool alive = true;
+  bool completed = false;
+  bool killed = false;
+  double death_wall = 0.0;  ///< wall steps at death (valid when killed)
+  double end_wall = 0.0;    ///< wall steps when this group stopped running
+  double cost = 0.0;
+  double last_price = 0.0;  ///< spot price of the last step it ran
+};
+
+/// Hour-granularity adjustment applied once per group lifetime: the
+/// per-step accrual is proportional; whole-hour billing rounds the final
+/// partial hour up (user-terminated) or refunds it (provider kill).
+double hourly_adjustment(BillingModel model, double lifetime_h, double last_price,
+                         int instances, bool provider_killed) {
+  switch (model) {
+    case BillingModel::kProportional:
+      return 0.0;
+    case BillingModel::kHourlyRoundUp:
+      return (std::ceil(lifetime_h) - lifetime_h) * last_price * instances;
+    case BillingModel::kHourlyProviderKillFree:
+      if (provider_killed)
+        return -(lifetime_h - std::floor(lifetime_h)) * last_price * instances;
+      return (std::ceil(lifetime_h) - lifetime_h) * last_price * instances;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ReplayResult ReplayEngine::replay(const Plan& plan, double start_h) const {
+  SOMPI_REQUIRE(start_h >= 0.0);
+  const double h = plan.step_hours;
+  ReplayResult r;
+
+  if (plan.groups.empty()) {
+    // Pure on-demand run.
+    r.od_cost_usd = plan.od.rate_usd_h * plan.od.t_h;
+    r.cost_usd = r.od_cost_usd;
+    r.time_h = plan.od.t_h;
+    r.used_od_recovery = true;
+    r.recovered_ratio = 1.0;
+    return r;
+  }
+
+  std::vector<GroupState> groups;
+  groups.reserve(plan.groups.size());
+  for (const auto& g : plan.groups)
+    groups.push_back(GroupState{GroupSchedule(g.t_steps, g.f_steps, g.o_steps, g.r_steps), &g});
+
+  // --- Spot phase: march steps until one group completes or all die. ---
+  double complete_wall = std::numeric_limits<double>::infinity();
+  std::size_t alive = groups.size();
+  for (std::size_t t = 0; alive > 0; ++t) {
+    const double now_h = start_h + static_cast<double>(t) * h;
+    for (auto& gs : groups) {
+      if (!gs.alive) continue;
+      const double w = gs.sched.wall_duration();
+      const double price = market_->trace(gs.plan->spec).price_at_hours(now_h);
+      if (price > gs.plan->bid_usd) {
+        // Out-of-bid at the start of step t: the group ran t steps.
+        gs.alive = false;
+        gs.killed = true;
+        gs.death_wall = static_cast<double>(t);
+        gs.end_wall = gs.death_wall;
+        --alive;
+        continue;
+      }
+      // The group runs (the rest of) this step; a completing group is
+      // billed only up to its exact wall duration.
+      const double step_len = std::min(1.0, w - static_cast<double>(t));
+      gs.cost += price * step_len * h * gs.plan->instances;
+      gs.last_price = price;
+      if (static_cast<double>(t) + 1.0 >= w) {
+        gs.alive = false;
+        gs.completed = true;
+        gs.end_wall = w;
+        complete_wall = std::min(complete_wall, w);
+        --alive;
+      }
+    }
+    if (complete_wall < std::numeric_limits<double>::infinity()) {
+      // Hybrid-execution rule: the moment one replica finishes, the rest
+      // stop accruing cost (they are already billed through step t).
+      for (auto& gs : groups) {
+        if (gs.alive) {
+          gs.alive = false;
+          gs.end_wall = static_cast<double>(t) + 1.0;
+        }
+      }
+      alive = 0;
+    }
+  }
+  for (auto& gs : groups)
+    gs.cost += hourly_adjustment(config_.billing, gs.end_wall * h, gs.last_price,
+                                 gs.plan->instances, gs.killed);
+
+  // --- Aggregate group fates. ---
+  double max_end_wall = 0.0;
+  double best_ratio = 1.0;
+  bool any_complete = false;
+  for (const auto& gs : groups) {
+    GroupRunStat s;
+    s.name = gs.plan->name;
+    s.lifetime_h = gs.end_wall * h;
+    s.completed = gs.completed;
+    s.killed = gs.killed;
+    s.cost_usd = gs.cost;
+    s.checkpoints = gs.sched.checkpoints_by(gs.end_wall);
+    s.saved_fraction =
+        static_cast<double>(gs.sched.saved_by(gs.end_wall)) / gs.plan->t_steps;
+    r.groups.push_back(std::move(s));
+
+    r.spot_cost_usd += gs.cost;
+    max_end_wall = std::max(max_end_wall, gs.end_wall);
+    any_complete = any_complete || gs.completed;
+    if (gs.killed) best_ratio = std::min(best_ratio, gs.sched.ratio_at(gs.death_wall));
+  }
+
+  if (any_complete) {
+    r.completed_on_spot = true;
+    r.time_h = complete_wall * h;
+  } else {
+    // All replicas died: recover the most advanced checkpoint on demand.
+    // The fallback starts once the last replica is gone (until then a live
+    // replica might still have completed).
+    r.used_od_recovery = true;
+    r.recovered_ratio = best_ratio;
+    r.od_cost_usd = plan.od.rate_usd_h * plan.od.t_h * best_ratio;
+    r.time_h = max_end_wall * h + plan.od.t_h * best_ratio;
+  }
+
+  // Checkpoint storage: one retained snapshot of the whole application
+  // state for the duration of the run (paper: ≪ 0.1% of the total).
+  r.storage_cost_usd =
+      plan.state_gb * config_.s3_usd_gb_month * (r.time_h / (30.0 * 24.0));
+
+  r.cost_usd = r.spot_cost_usd + r.od_cost_usd + r.storage_cost_usd;
+  return r;
+}
+
+WindowOutcome ReplayEngine::replay_window(const Plan& plan, double start_h,
+                                          double window_h) const {
+  SOMPI_REQUIRE(window_h > 0.0);
+  const double h = plan.step_hours;
+  WindowOutcome out;
+  if (plan.groups.empty()) return out;
+
+  std::vector<GroupState> groups;
+  groups.reserve(plan.groups.size());
+  for (const auto& g : plan.groups)
+    groups.push_back(GroupState{GroupSchedule(g.t_steps, g.f_steps, g.o_steps, g.r_steps), &g});
+
+  const auto window_steps = static_cast<std::size_t>(std::floor(window_h / h));
+  double complete_wall = std::numeric_limits<double>::infinity();
+  std::size_t alive = groups.size();
+  std::size_t t = 0;
+  for (; t < window_steps && alive > 0; ++t) {
+    const double now_h = start_h + static_cast<double>(t) * h;
+    for (auto& gs : groups) {
+      if (!gs.alive) continue;
+      const double w = gs.sched.wall_duration();
+      const double price = market_->trace(gs.plan->spec).price_at_hours(now_h);
+      if (price > gs.plan->bid_usd) {
+        gs.alive = false;
+        gs.killed = true;
+        gs.death_wall = static_cast<double>(t);
+        gs.end_wall = gs.death_wall;
+        --alive;
+        continue;
+      }
+      const double step_len = std::min(1.0, w - static_cast<double>(t));
+      gs.cost += price * step_len * h * gs.plan->instances;
+      gs.last_price = price;
+      if (static_cast<double>(t) + 1.0 >= w) {
+        gs.alive = false;
+        gs.completed = true;
+        gs.end_wall = w;
+        complete_wall = std::min(complete_wall, w);
+        --alive;
+      }
+    }
+    if (complete_wall < std::numeric_limits<double>::infinity()) {
+      for (auto& gs : groups) {
+        if (gs.alive) {
+          gs.alive = false;
+          gs.end_wall = static_cast<double>(t) + 1.0;
+        }
+      }
+      alive = 0;
+      ++t;
+      break;
+    }
+  }
+
+  // Window boundary (Algorithm 1 line 22): the most advanced survivor
+  // checkpoints its full in-flight progress; dead groups contribute their
+  // last durable checkpoint.
+  double best_fraction = 0.0;
+  double end_wall = 0.0;
+  for (auto& gs : groups) {
+    double fraction;
+    if (gs.completed) {
+      fraction = 1.0;
+    } else if (gs.killed) {
+      fraction = static_cast<double>(gs.sched.saved_by(gs.death_wall)) / gs.plan->t_steps;
+    } else {
+      // Still alive at the boundary: checkpoint now (bill one dump at the
+      // current spot price; the dump itself rides into the next window).
+      gs.end_wall = static_cast<double>(t);
+      fraction = gs.sched.progress_by(gs.end_wall) / gs.plan->t_steps;
+      const double now_h = start_h + gs.end_wall * h;
+      const double price = market_->trace(gs.plan->spec).price_at_hours(now_h);
+      gs.cost += price * gs.plan->o_steps * h * gs.plan->instances;
+    }
+    if (gs.killed || gs.completed)
+      gs.cost += hourly_adjustment(config_.billing, gs.end_wall * h, gs.last_price,
+                                   gs.plan->instances, gs.killed);
+    best_fraction = std::max(best_fraction, fraction);
+    end_wall = std::max(end_wall, std::min(gs.end_wall, static_cast<double>(t)));
+    out.cost_usd += gs.cost;
+  }
+
+  out.completed = complete_wall < std::numeric_limits<double>::infinity();
+  out.fraction_done = out.completed ? 1.0 : best_fraction;
+  out.hours_used = (out.completed ? complete_wall : end_wall) * h;
+  // Every window consumes at least one step of wall time.
+  out.hours_used = std::max(out.hours_used, h);
+  return out;
+}
+
+MarketReplayOracle::MarketReplayOracle(const Market* market, ReplayConfig config)
+    : market_(market), engine_(market, config) {
+  SOMPI_REQUIRE(market_ != nullptr);
+}
+
+WindowOutcome MarketReplayOracle::run_window(const Plan& plan, double start_h,
+                                             double window_h) {
+  return engine_.replay_window(plan, start_h, window_h);
+}
+
+Market MarketReplayOracle::history_at(double now_h, double lookback_h) {
+  SOMPI_REQUIRE(now_h >= 0.0);
+  // All traces in a market share one step size.
+  const double step_h = market_->trace({0, 0}).step_hours();
+  const auto now_step = static_cast<std::size_t>(now_h / step_h);
+  const double from_h = std::max(0.0, now_h - lookback_h);
+  const auto from_step = static_cast<std::size_t>(from_h / step_h);
+  return market_->window(from_step, now_step - from_step);
+}
+
+}  // namespace sompi

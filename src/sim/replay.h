@@ -1,0 +1,94 @@
+// Trace-replay execution of a plan (paper §5.1 "Simulation").
+//
+// "We use the method of replaying the trace from the spot market, and
+//  calculate the monetary cost given the spot price in the trace. We
+//  randomly choose a start point in the trace and compare our bid price with
+//  the spot price along the time."
+//
+// Unlike the expectation model (core/cost_model.h), replay bills the ACTUAL
+// trace price at every step, terminates the surviving replicas the moment
+// one completes, and recovers on demand from the most advanced checkpoint —
+// i.e. it implements the real hybrid-execution semantics the model
+// approximates. The gap between the two is exactly what bench A2 measures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/billing.h"
+#include "core/adaptive.h"
+#include "core/plan.h"
+#include "trace/market.h"
+
+namespace sompi {
+
+struct ReplayConfig {
+  BillingModel billing = BillingModel::kProportional;
+  /// Amazon S3, 2014: ~$0.03 per GB-month (paper §4.4 "Checkpointing").
+  double s3_usd_gb_month = 0.03;
+};
+
+/// Fate of one circle group in one replay.
+struct GroupRunStat {
+  std::string name;
+  double lifetime_h = 0.0;  ///< wall time until death/completion/termination
+  bool completed = false;   ///< finished the application
+  bool killed = false;      ///< out-of-bid termination
+  int checkpoints = 0;
+  double cost_usd = 0.0;
+  double saved_fraction = 0.0;  ///< durable progress at end of life
+};
+
+struct ReplayResult {
+  double cost_usd = 0.0;  ///< spot + on-demand + checkpoint storage
+  double spot_cost_usd = 0.0;
+  double od_cost_usd = 0.0;
+  double storage_cost_usd = 0.0;
+  double time_h = 0.0;  ///< wall time to application completion
+  bool completed_on_spot = false;
+  bool used_od_recovery = false;
+  double recovered_ratio = 0.0;  ///< fraction of the app redone on demand
+  std::vector<GroupRunStat> groups;
+};
+
+class ReplayEngine {
+ public:
+  /// The market is borrowed and must outlive the engine.
+  ReplayEngine(const Market* market, ReplayConfig config = {});
+
+  const Market& market() const { return *market_; }
+
+  /// Replays a full plan starting at absolute market time `start_h`:
+  /// all circle groups launch simultaneously; the run ends when one group
+  /// completes (survivors are terminated) or all die and the most advanced
+  /// checkpoint is recovered on the plan's on-demand tier. A plan without
+  /// spot groups is a pure on-demand run.
+  ReplayResult replay(const Plan& plan, double start_h) const;
+
+  /// Replays at most `window_h` hours of the plan — the adaptive engine's
+  /// per-window execution primitive. Durable progress is the best
+  /// checkpointed (or completed) fraction across groups; at the window
+  /// boundary the surviving leader's state is checkpointed (Algorithm 1).
+  WindowOutcome replay_window(const Plan& plan, double start_h, double window_h) const;
+
+ private:
+  const Market* market_;
+  ReplayConfig config_;
+};
+
+/// ExecutionOracle over a recorded market: the adaptive engine sees only
+/// the trailing history at each window boundary, and windows execute by
+/// trace replay.
+class MarketReplayOracle final : public ExecutionOracle {
+ public:
+  explicit MarketReplayOracle(const Market* market, ReplayConfig config = {});
+
+  WindowOutcome run_window(const Plan& plan, double start_h, double window_h) override;
+  Market history_at(double now_h, double lookback_h) override;
+
+ private:
+  const Market* market_;
+  ReplayEngine engine_;
+};
+
+}  // namespace sompi

@@ -1,0 +1,55 @@
+#include "trace/analytic.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sompi {
+
+AnalyticFirstPassage::AnalyticFirstPassage(const RegimeParams& params, double bid)
+    : params_(params) {
+  SOMPI_REQUIRE_MSG(bid >= params.volatile_cap * params.base_usd,
+                    "analytic model needs the bid to clear the volatile band");
+  // P[spike price > bid] under the uniform spike law on [lo, hi] × base.
+  const double m = bid / params.base_usd;
+  q_ = std::clamp((params.spike_hi - m) / (params.spike_hi - params.spike_lo), 0.0, 1.0);
+
+  const RegimeStationary pi = stationary_distribution(params);
+  pi_calm_ = pi.calm;
+  pi_volatile_ = pi.volatile_;
+  pi_spike_ = pi.spike;
+}
+
+void AnalyticFirstPassage::step(double& calm, double& volatile_state, double& spike) const {
+  const auto& p = params_;
+  const double c = calm, v = volatile_state, s = spike;
+  calm = c * (1.0 - p.p_calm_to_volatile - p.p_calm_to_spike) + v * p.p_volatile_to_calm +
+         s * p.p_spike_to_calm;
+  volatile_state = c * p.p_calm_to_volatile + v * (1.0 - p.p_volatile_to_calm - p.p_volatile_to_spike);
+  spike = c * p.p_calm_to_spike + v * p.p_volatile_to_spike + s * (1.0 - p.p_spike_to_calm);
+}
+
+double AnalyticFirstPassage::survival(std::size_t t) const {
+  // State at a uniformly random trace offset is stationary; each step the
+  // SPIKE mass is thinned by the per-step exceed probability, then the
+  // surviving mass transitions.
+  double c = pi_calm_, v = pi_volatile_, s = pi_spike_;
+  for (std::size_t i = 0; i < t; ++i) {
+    s *= (1.0 - q_);  // survive step i
+    step(c, v, s);
+  }
+  return c + v + s;
+}
+
+double AnalyticFirstPassage::pmf(std::size_t t) const {
+  return survival(t) - survival(t + 1);
+}
+
+double AnalyticFirstPassage::mtbf(std::size_t horizon) const {
+  double e = 0.0;
+  for (std::size_t t = 0; t < horizon; ++t) e += pmf(t) * static_cast<double>(t);
+  e += survival(horizon) * static_cast<double>(horizon);
+  return e;
+}
+
+}  // namespace sompi

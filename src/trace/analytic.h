@@ -1,0 +1,52 @@
+// Analytic first-passage probabilities for the regime-switching generator —
+// the closed-form oracle behind the empirical (histogram/Monte-Carlo)
+// failure-rate estimator of §4.4.
+//
+// For a bid above the CALM band and the VOLATILE cap but below the spike
+// floor, the price exceeds the bid exactly when the chain is in SPIKE (for
+// bids inside the spike range, with probability q = P[spike price > bid]).
+// The (CALM, VOLATILE, not-exceeding-SPIKE) sub-chain is then absorbing-
+// Markov, and survival(t) follows from powers of its sub-stochastic
+// transition matrix. Used as a test oracle and an ablation: how much does
+// the empirical estimator lose against the ground truth it samples from?
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/generator.h"
+
+namespace sompi {
+
+class AnalyticFirstPassage {
+ public:
+  /// `bid` must clear the volatile band (>= volatile_cap × base); below
+  /// that the walk's continuous state breaks the small-matrix analysis.
+  AnalyticFirstPassage(const RegimeParams& params, double bid);
+
+  /// P[first passage >= t] starting from the chain's stationary mix.
+  double survival(std::size_t t) const;
+
+  /// P[first passage == t].
+  double pmf(std::size_t t) const;
+
+  /// Expected first-passage time, conditioned/censored at `horizon` like
+  /// FailureModel::mtbf.
+  double mtbf(std::size_t horizon) const;
+
+  /// Probability a spike's price exceeds the bid (uniform spike law).
+  double spike_exceed_probability() const { return q_; }
+
+ private:
+  /// Advances the sub-stochastic state one step; returns surviving mass.
+  void step(double& calm, double& volatile_state, double& spike) const;
+
+  RegimeParams params_;
+  double q_;  // P[price > bid | SPIKE]
+  // Initial (stationary) occupancy.
+  double pi_calm_;
+  double pi_volatile_;
+  double pi_spike_;
+};
+
+}  // namespace sompi

@@ -1,0 +1,131 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sompi {
+
+RegimeParams regime_params_for(VolatilityClass volatility, double base_usd) {
+  SOMPI_REQUIRE(base_usd > 0.0);
+  // Spikes are rare but EXTREME in every class — the 2014 market regularly
+  // priced m1.medium at ~$10 against an $0.087 on-demand rate (Figure 1a),
+  // i.e. >100× the calm level. Classes differ in how often that happens and
+  // how much mid-scale volatility surrounds it, not in whether it happens.
+  RegimeParams p;
+  p.base_usd = base_usd;
+  switch (volatility) {
+    case VolatilityClass::kQuiet:
+      p.calm_jitter = 0.01;
+      p.p_calm_to_volatile = 0.008;
+      p.p_volatile_to_calm = 0.20;
+      p.p_volatile_to_spike = 0.008;
+      p.p_spike_to_calm = 0.25;
+      p.p_calm_to_spike = 0.001;
+      p.spike_lo = 30.0;
+      p.spike_hi = 300.0;
+      break;
+    case VolatilityClass::kModerate:
+      p.calm_jitter = 0.02;
+      p.p_calm_to_volatile = 0.012;
+      p.p_volatile_to_calm = 0.12;
+      p.p_volatile_to_spike = 0.005;
+      p.p_spike_to_calm = 0.22;
+      p.p_calm_to_spike = 0.0006;
+      p.spike_lo = 40.0;
+      p.spike_hi = 400.0;
+      break;
+    case VolatilityClass::kSpiky:
+      p.calm_jitter = 0.04;
+      p.p_calm_to_volatile = 0.03;
+      p.p_volatile_to_calm = 0.15;
+      p.p_volatile_to_spike = 0.012;
+      p.p_spike_to_calm = 0.20;
+      p.p_calm_to_spike = 0.0015;
+      p.spike_lo = 60.0;
+      p.spike_hi = 700.0;  // $0.013 base → ~$9 peaks, as in Fig 1a
+      break;
+  }
+  return p;
+}
+
+namespace {
+enum class Regime { kCalm, kVolatile, kSpike };
+}  // namespace
+
+SpotTrace generate_trace(const RegimeParams& params, std::size_t steps, double step_hours,
+                         Rng& rng) {
+  SOMPI_REQUIRE(steps > 0);
+  SOMPI_REQUIRE(step_hours > 0.0);
+
+  std::vector<double> prices;
+  prices.reserve(steps);
+
+  Regime regime = Regime::kCalm;
+  double walk = params.base_usd;  // VOLATILE random-walk state
+
+  for (std::size_t i = 0; i < steps; ++i) {
+    // Regime transition first, then price draw for the step.
+    const double u = rng.uniform();
+    switch (regime) {
+      case Regime::kCalm:
+        if (u < params.p_calm_to_spike) {
+          regime = Regime::kSpike;
+        } else if (u < params.p_calm_to_spike + params.p_calm_to_volatile) {
+          regime = Regime::kVolatile;
+          walk = params.base_usd;
+        }
+        break;
+      case Regime::kVolatile:
+        if (u < params.p_volatile_to_spike) {
+          regime = Regime::kSpike;
+        } else if (u < params.p_volatile_to_spike + params.p_volatile_to_calm) {
+          regime = Regime::kCalm;
+        }
+        break;
+      case Regime::kSpike:
+        if (u < params.p_spike_to_calm) regime = Regime::kCalm;
+        break;
+    }
+
+    double price = params.base_usd;
+    switch (regime) {
+      case Regime::kCalm:
+        price = params.base_usd * (1.0 + params.calm_jitter * rng.normal());
+        break;
+      case Regime::kVolatile:
+        walk *= std::exp(params.volatile_sigma * rng.normal());
+        walk = std::clamp(walk, 0.2 * params.base_usd, params.volatile_cap * params.base_usd);
+        price = walk;
+        break;
+      case Regime::kSpike:
+        price = params.base_usd * rng.uniform(params.spike_lo, params.spike_hi);
+        break;
+    }
+    prices.push_back(std::max(price, 0.001));
+  }
+  return SpotTrace(step_hours, std::move(prices));
+}
+
+RegimeStationary stationary_distribution(const RegimeParams& p) {
+  // Solve πQ = π for the 3-state chain by normalizing the left eigenvector.
+  // Transition matrix rows: calm, volatile, spike.
+  const double c2v = p.p_calm_to_volatile;
+  const double c2s = p.p_calm_to_spike;
+  const double v2c = p.p_volatile_to_calm;
+  const double v2s = p.p_volatile_to_spike;
+  const double s2c = p.p_spike_to_calm;
+
+  // Balance equations (spike only returns to calm):
+  //   π_v (v2c) + π_s (s2c) = π_c (c2v + c2s)
+  //   π_c (c2v)             = π_v (v2c + v2s)
+  // Fix π_c = 1 and normalize.
+  const double pi_c = 1.0;
+  const double pi_v = c2v / (v2c + v2s);
+  const double pi_s = (pi_c * c2s + pi_v * v2s) / s2c;
+  const double z = pi_c + pi_v + pi_s;
+  return {pi_c / z, pi_v / z, pi_s / z};
+}
+
+}  // namespace sompi

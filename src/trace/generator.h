@@ -1,0 +1,62 @@
+// Synthetic spot-price generation.
+//
+// We cannot replay Amazon's 2014 traces (not redistributable), so we generate
+// traces from a three-state regime-switching model calibrated to the paper's
+// qualitative trace study (§2.1, Figures 1–2):
+//   * CALM     — price sits at a low base with tiny jitter, long dwell times
+//                ("the spot price can be unchanged for some time").
+//   * VOLATILE — multiplicative random walk around the base
+//                ("changing dramatically for some other time").
+//   * SPIKE    — price jumps far above on-demand for a short burst
+//                (m1.medium us-east-1a reaching ~$10 in Figure 1a).
+// State dwell times are geometric, so the short-horizon price distribution is
+// stationary — the property (Figure 2) the whole SOMPI model relies on.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "trace/spot_trace.h"
+
+namespace sompi {
+
+/// Volatility character of one circle group's market.
+enum class VolatilityClass {
+  kQuiet,     ///< almost always CALM (us-east-1b style in Figure 1)
+  kModerate,  ///< occasional volatility, rare small spikes
+  kSpiky,     ///< frequent volatility and large spikes (us-east-1a m1.medium)
+};
+
+/// Full parameter set of the regime-switching model.
+struct RegimeParams {
+  double base_usd = 0.03;      ///< CALM price level (≈ 0.35 × on-demand)
+  double calm_jitter = 0.02;   ///< relative sigma of CALM jitter
+  double volatile_sigma = 0.25;///< per-step log-sigma of the VOLATILE walk
+  double volatile_cap = 4.0;   ///< VOLATILE walk capped at base × cap
+  double spike_lo = 5.0;       ///< spike multiplier lower bound (× base)
+  double spike_hi = 40.0;      ///< spike multiplier upper bound (× base)
+  // Per-step transition probabilities (row-stochastic remainder stays put).
+  double p_calm_to_volatile = 0.01;
+  double p_volatile_to_calm = 0.08;
+  double p_volatile_to_spike = 0.02;
+  double p_spike_to_calm = 0.30;
+  double p_calm_to_spike = 0.0005;
+};
+
+/// Canonical parameters for a volatility class at a given CALM base price.
+RegimeParams regime_params_for(VolatilityClass volatility, double base_usd);
+
+/// Generates `steps` price steps of length `step_hours` each.
+SpotTrace generate_trace(const RegimeParams& params, std::size_t steps, double step_hours,
+                         Rng& rng);
+
+/// Analytic stationary distribution of the regime chain
+/// (P[CALM], P[VOLATILE], P[SPIKE]) — used as a test oracle.
+struct RegimeStationary {
+  double calm = 0.0;
+  double volatile_ = 0.0;
+  double spike = 0.0;
+};
+RegimeStationary stationary_distribution(const RegimeParams& params);
+
+}  // namespace sompi

@@ -1,0 +1,92 @@
+#include "trace/spot_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sompi {
+
+SpotTrace::SpotTrace(double step_hours, std::vector<double> prices)
+    : step_hours_(step_hours), prices_(std::move(prices)) {
+  SOMPI_REQUIRE(step_hours_ > 0.0);
+  for (double p : prices_) SOMPI_REQUIRE_MSG(p >= 0.0, "spot price must be non-negative");
+}
+
+double SpotTrace::price(std::size_t i) const {
+  SOMPI_REQUIRE(i < prices_.size());
+  return prices_[i];
+}
+
+double SpotTrace::price_at_hours(double hours) const {
+  SOMPI_REQUIRE(hours >= 0.0);
+  auto i = static_cast<std::size_t>(hours / step_hours_);
+  i = std::min(i, prices_.size() - 1);
+  return price(i);
+}
+
+double SpotTrace::max_price() const {
+  SOMPI_REQUIRE(!prices_.empty());
+  return *std::max_element(prices_.begin(), prices_.end());
+}
+
+double SpotTrace::min_price() const {
+  SOMPI_REQUIRE(!prices_.empty());
+  return *std::min_element(prices_.begin(), prices_.end());
+}
+
+double SpotTrace::mean_below(double bid) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (double p : prices_) {
+    if (p <= bid) {
+      sum += p;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double SpotTrace::availability(double bid) const {
+  if (prices_.empty()) return 0.0;
+  std::size_t n = 0;
+  for (double p : prices_)
+    if (p <= bid) ++n;
+  return static_cast<double>(n) / static_cast<double>(prices_.size());
+}
+
+std::size_t SpotTrace::first_exceed(std::size_t start, double bid) const {
+  for (std::size_t i = start; i < prices_.size(); ++i)
+    if (prices_[i] > bid) return i - start;
+  return kNever;
+}
+
+Histogram SpotTrace::histogram(double lo, double hi, std::size_t bins) const {
+  Histogram h(lo, hi, bins);
+  h.add_all(prices_);
+  return h;
+}
+
+SpotTrace SpotTrace::window(std::size_t start, std::size_t len) const {
+  SOMPI_REQUIRE(start <= prices_.size());
+  const std::size_t end = std::min(start + len, prices_.size());
+  return SpotTrace(step_hours_,
+                   std::vector<double>(prices_.begin() + static_cast<std::ptrdiff_t>(start),
+                                       prices_.begin() + static_cast<std::ptrdiff_t>(end)));
+}
+
+SpotTrace SpotTrace::tail_hours(double hours) const {
+  SOMPI_REQUIRE(hours >= 0.0);
+  const auto want = static_cast<std::size_t>(std::ceil(hours / step_hours_));
+  const std::size_t start = prices_.size() > want ? prices_.size() - want : 0;
+  return window(start, prices_.size() - start);
+}
+
+void SpotTrace::append(const SpotTrace& more) {
+  SOMPI_REQUIRE_MSG(more.step_hours_ == step_hours_ || prices_.empty(),
+                    "appended trace must use the same step size");
+  if (prices_.empty()) step_hours_ = more.step_hours_;
+  prices_.insert(prices_.end(), more.prices_.begin(), more.prices_.end());
+}
+
+}  // namespace sompi

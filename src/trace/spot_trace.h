@@ -1,0 +1,74 @@
+// Spot-price history for one circle group (one instance type in one zone).
+//
+// A trace is a step series: price is constant within a step of fixed length
+// `step_hours`. Amazon updated spot prices periodically; the paper's model
+// likewise discretizes failure times to integer steps (§3.2.1).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace sompi {
+
+class SpotTrace {
+ public:
+  /// Sentinel returned by first_exceed when the price never exceeds the bid.
+  static constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+
+  SpotTrace() = default;
+
+  /// Requires step_hours > 0 and all prices >= 0.
+  SpotTrace(double step_hours, std::vector<double> prices);
+
+  std::size_t steps() const { return prices_.size(); }
+  bool empty() const { return prices_.empty(); }
+  double step_hours() const { return step_hours_; }
+  /// Total trace span in hours.
+  double span_hours() const { return step_hours_ * static_cast<double>(steps()); }
+
+  /// Price during step `i`.
+  double price(std::size_t i) const;
+  /// Price at absolute time `hours` from the start of the trace.
+  double price_at_hours(double hours) const;
+  const std::vector<double>& prices() const { return prices_; }
+
+  /// Highest price seen — the paper's H_i, the upper bound of the bid range.
+  double max_price() const;
+  /// Lowest price seen.
+  double min_price() const;
+
+  /// Mean of all prices that are <= bid — the paper's expected spot price
+  /// S_i(P). Returns 0 when no historical price is below the bid (the group
+  /// would never launch and never accrue cost).
+  double mean_below(double bid) const;
+
+  /// Fraction of steps whose price is <= bid (instant availability).
+  double availability(double bid) const;
+
+  /// First step at or after `start` whose price strictly exceeds `bid`,
+  /// expressed as an offset from `start`; kNever when none.
+  std::size_t first_exceed(std::size_t start, double bid) const;
+
+  /// Histogram of prices over [lo, hi) with `bins` bins.
+  Histogram histogram(double lo, double hi, std::size_t bins) const;
+
+  /// Copy of steps [start, start+len); clamped to the trace end.
+  SpotTrace window(std::size_t start, std::size_t len) const;
+
+  /// Copy of the trailing `hours` of history (the adaptive algorithm feeds
+  /// the optimizer the previous window's trace).
+  SpotTrace tail_hours(double hours) const;
+
+  /// Appends another trace recorded with the same step size.
+  void append(const SpotTrace& more);
+
+ private:
+  double step_hours_ = 1.0;
+  std::vector<double> prices_;
+};
+
+}  // namespace sompi

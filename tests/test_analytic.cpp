@@ -1,0 +1,91 @@
+#include "trace/analytic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/failure_model.h"
+
+namespace sompi {
+namespace {
+
+RegimeParams test_params() {
+  RegimeParams p = regime_params_for(VolatilityClass::kModerate, 0.05);
+  return p;
+}
+
+TEST(Analytic, SurvivalBasicProperties) {
+  const RegimeParams p = test_params();
+  const AnalyticFirstPassage a(p, 10.0 * p.base_usd);
+  EXPECT_DOUBLE_EQ(a.survival(0), 1.0);
+  double prev = 1.0;
+  double total_pmf = 0.0;
+  for (std::size_t t = 1; t <= 200; ++t) {
+    const double s = a.survival(t);
+    EXPECT_LE(s, prev + 1e-12);
+    EXPECT_GE(s, 0.0);
+    total_pmf += a.pmf(t - 1);
+    prev = s;
+  }
+  EXPECT_NEAR(total_pmf + a.survival(200), 1.0, 1e-9);
+}
+
+TEST(Analytic, BidAboveAllSpikesNeverFails) {
+  const RegimeParams p = test_params();
+  const AnalyticFirstPassage a(p, (p.spike_hi + 1.0) * p.base_usd);
+  EXPECT_DOUBLE_EQ(a.spike_exceed_probability(), 0.0);
+  EXPECT_NEAR(a.survival(500), 1.0, 1e-12);  // 500 matrix steps of rounding
+}
+
+TEST(Analytic, HigherBidSurvivesLonger) {
+  const RegimeParams p = test_params();
+  const AnalyticFirstPassage low(p, p.spike_lo * 1.2 * p.base_usd);
+  const AnalyticFirstPassage high(p, p.spike_hi * 0.8 * p.base_usd);
+  EXPECT_GT(high.spike_exceed_probability(), 0.0);
+  EXPECT_LT(high.spike_exceed_probability(), low.spike_exceed_probability());
+  for (std::size_t t = 10; t <= 100; t += 30)
+    EXPECT_GE(high.survival(t), low.survival(t) - 1e-12);
+}
+
+TEST(Analytic, SpikeExceedProbabilityIsUniformLaw) {
+  const RegimeParams p = test_params();
+  const double mid = 0.5 * (p.spike_lo + p.spike_hi) * p.base_usd;
+  const AnalyticFirstPassage a(p, mid);
+  EXPECT_NEAR(a.spike_exceed_probability(), 0.5, 1e-12);
+}
+
+TEST(Analytic, MatchesEmpiricalEstimatorOnGeneratedTrace) {
+  // The empirical histogram estimator of §4.4 samples the very process the
+  // analytic model solves: they must agree within Monte-Carlo noise.
+  const RegimeParams p = test_params();
+  Rng rng(20144);
+  const SpotTrace trace = generate_trace(p, 120000, 0.25, rng);
+
+  const double bid = 0.6 * p.spike_hi * p.base_usd;
+  FailureEstimationConfig cfg;
+  cfg.samples = 40000;
+  cfg.horizon_steps = 160;
+  const FailureModel empirical(trace, {bid}, cfg);
+  const AnalyticFirstPassage analytic(p, bid);
+
+  for (std::size_t t : {10u, 40u, 80u, 160u}) {
+    EXPECT_NEAR(empirical.survival(0, t), analytic.survival(t), 0.035) << "t=" << t;
+  }
+  EXPECT_NEAR(empirical.mtbf(0), analytic.mtbf(160), 12.0);
+}
+
+TEST(Analytic, RejectsBidInsideVolatileBand) {
+  const RegimeParams p = test_params();
+  EXPECT_THROW(AnalyticFirstPassage(p, 0.5 * p.volatile_cap * p.base_usd), PreconditionError);
+}
+
+TEST(Analytic, QuietChainSurvivesLongerThanSpiky) {
+  const RegimeParams quiet = regime_params_for(VolatilityClass::kQuiet, 0.05);
+  const RegimeParams spiky = regime_params_for(VolatilityClass::kSpiky, 0.05);
+  // A bid that clears both volatile bands but sits below both spike floors.
+  const double bid = 20.0 * 0.05;
+  const AnalyticFirstPassage q(quiet, bid);
+  const AnalyticFirstPassage s(spiky, bid);
+  EXPECT_GT(q.survival(100), s.survival(100));
+}
+
+}  // namespace
+}  // namespace sompi

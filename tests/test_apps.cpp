@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include "apps/bt.h"
+#include "apps/ft.h"
+#include "apps/grid_ops.h"
+#include "apps/is.h"
+#include "apps/lu.h"
+#include "apps/md.h"
+#include "apps/sp.h"
+#include "minimpi/runtime.h"
+
+namespace sompi::apps {
+namespace {
+
+using mpi::Runtime;
+
+// --- Distributed results match the sequential references ---------------------
+
+class WorldSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorldSizes, LuMatchesReference) {
+  const int p = GetParam();
+  LuConfig cfg;
+  cfg.nx = 24;
+  cfg.ny = 24;
+  cfg.iterations = 30;
+  const double expected = lu_reference(cfg);
+  const auto r = Runtime::run(p, [&](mpi::Comm& comm) {
+    const AppResult res = lu_run(comm, cfg);
+    EXPECT_NEAR(res.checksum, expected, 1e-10 * std::abs(expected) + 1e-12);
+    EXPECT_EQ(res.iterations_run, cfg.iterations);
+    EXPECT_FALSE(res.resumed);
+  });
+  EXPECT_TRUE(r.completed);
+}
+
+TEST_P(WorldSizes, BtMatchesReference) {
+  const int p = GetParam();
+  BtConfig cfg;
+  cfg.n = 24;
+  cfg.iterations = 10;
+  if (cfg.n % p != 0) GTEST_SKIP();
+  const double expected = bt_reference(cfg);
+  const auto r = Runtime::run(p, [&](mpi::Comm& comm) {
+    const AppResult res = bt_run(comm, cfg);
+    EXPECT_NEAR(res.checksum, expected, 1e-10 * std::abs(expected) + 1e-12);
+  });
+  EXPECT_TRUE(r.completed);
+}
+
+TEST_P(WorldSizes, SpMatchesReference) {
+  const int p = GetParam();
+  SpConfig cfg;
+  cfg.n = 24;
+  cfg.iterations = 10;
+  if (cfg.n % p != 0) GTEST_SKIP();
+  const double expected = sp_reference(cfg);
+  const auto r = Runtime::run(p, [&](mpi::Comm& comm) {
+    const AppResult res = sp_run(comm, cfg);
+    EXPECT_NEAR(res.checksum, expected, 1e-10 * std::abs(expected) + 1e-12);
+  });
+  EXPECT_TRUE(r.completed);
+}
+
+TEST_P(WorldSizes, FtMatchesReference) {
+  const int p = GetParam();
+  FtConfig cfg;
+  cfg.n = 16;
+  cfg.iterations = 5;
+  if (cfg.n % p != 0) GTEST_SKIP();
+  const double expected = ft_reference(cfg);
+  const auto r = Runtime::run(p, [&](mpi::Comm& comm) {
+    const AppResult res = ft_run(comm, cfg);
+    EXPECT_NEAR(res.checksum, expected, 1e-8 * std::abs(expected) + 1e-12);
+  });
+  EXPECT_TRUE(r.completed);
+}
+
+TEST_P(WorldSizes, IsMatchesReference) {
+  const int p = GetParam();
+  IsConfig cfg;
+  cfg.keys_per_rank = 512;
+  cfg.iterations = 4;
+  const double expected = is_reference(cfg, p);
+  const auto r = Runtime::run(p, [&](mpi::Comm& comm) {
+    const AppResult res = is_run(comm, cfg);
+    EXPECT_NEAR(res.checksum, expected, 1e-9 * std::abs(expected) + 1e-9);
+  });
+  EXPECT_TRUE(r.completed);
+}
+
+TEST_P(WorldSizes, MdMatchesReference) {
+  const int p = GetParam();
+  MdConfig cfg;
+  cfg.cells = 12;
+  cfg.iterations = 15;
+  if (cfg.cells % p != 0) GTEST_SKIP();
+  // Slabs must stay wider than the cutoff.
+  if (cfg.cells * cfg.spacing / p < cfg.cutoff) GTEST_SKIP();
+  const double expected = md_reference(cfg);
+  const auto r = Runtime::run(p, [&](mpi::Comm& comm) {
+    const AppResult res = md_run(comm, cfg);
+    EXPECT_NEAR(res.checksum, expected, 1e-6 * std::abs(expected) + 1e-8);
+  });
+  EXPECT_TRUE(r.completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, WorldSizes, ::testing::Values(1, 2, 3, 4, 6, 8));
+
+// --- Distributed transpose ----------------------------------------------------
+
+TEST(Transpose, DoubleTransposeIsIdentity) {
+  for (int p : {1, 2, 4}) {
+    const int n = 8;
+    Runtime::run(p, [&](mpi::Comm& comm) {
+      const int m = n / comm.size();
+      std::vector<double> block(static_cast<std::size_t>(m) * n);
+      for (int l = 0; l < m; ++l)
+        for (int c = 0; c < n; ++c)
+          block[static_cast<std::size_t>(l * n + c)] =
+              (comm.rank() * m + l) * 100.0 + c;
+      const auto twice = transpose_block(comm, transpose_block(comm, block, n), n);
+      EXPECT_EQ(twice, block);
+    });
+  }
+}
+
+TEST(Transpose, MatchesLocalTranspose) {
+  const int n = 6;
+  const int p = 3;
+  // Build the full matrix, transpose locally, compare against blocks.
+  std::vector<double> full(n * n);
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c) full[static_cast<std::size_t>(r * n + c)] = r * 10.0 + c;
+  Runtime::run(p, [&](mpi::Comm& comm) {
+    const int m = n / p;
+    std::vector<double> block(full.begin() + static_cast<std::ptrdiff_t>(comm.rank()) * m * n,
+                              full.begin() + static_cast<std::ptrdiff_t>(comm.rank() + 1) * m * n);
+    const auto t = transpose_block(comm, block, n);
+    for (int l = 0; l < m; ++l)
+      for (int c = 0; c < n; ++c)
+        EXPECT_DOUBLE_EQ(t[static_cast<std::size_t>(l * n + c)],
+                         full[static_cast<std::size_t>(c * n + comm.rank() * m + l)]);
+  });
+}
+
+// --- Checkpoint / kill / restart round trips ----------------------------------
+
+TEST(AppCheckpoint, LuKilledRunResumesToSameChecksum) {
+  LuConfig cfg;
+  cfg.nx = 16;
+  cfg.ny = 16;
+  cfg.iterations = 40;
+  cfg.checkpoint_every = 5;
+  const double expected = lu_reference(cfg);
+
+  MemoryStore store;
+  // First attempt: killed mid-run (4 ranks × ~25 ticks each ≈ die at it 25).
+  const auto killed = Runtime::run_with_kill(
+      4,
+      [&](mpi::Comm& comm) {
+        Checkpointer ck(&store, "lu");
+        (void)lu_run(comm, cfg, &ck);
+      },
+      4 * 25);
+  EXPECT_TRUE(killed.killed);
+  EXPECT_GT(store.bytes_stored(), 0u);
+
+  // Restart: resumes from the last committed snapshot and finishes.
+  const auto resumed = Runtime::run(4, [&](mpi::Comm& comm) {
+    Checkpointer ck(&store, "lu");
+    const AppResult res = lu_run(comm, cfg, &ck);
+    EXPECT_TRUE(res.resumed);
+    EXPECT_LT(res.iterations_run, cfg.iterations);  // did NOT redo everything
+    EXPECT_NEAR(res.checksum, expected, 1e-10 * std::abs(expected) + 1e-12);
+  });
+  EXPECT_TRUE(resumed.completed);
+}
+
+TEST(AppCheckpoint, BtKilledRunResumesToSameChecksum) {
+  BtConfig cfg;
+  cfg.n = 16;
+  cfg.iterations = 16;
+  cfg.checkpoint_every = 4;
+  const double expected = bt_reference(cfg);
+
+  MemoryStore store;
+  const auto killed = Runtime::run_with_kill(
+      4,
+      [&](mpi::Comm& comm) {
+        Checkpointer ck(&store, "bt");
+        (void)bt_run(comm, cfg, &ck);
+      },
+      4 * 10);
+  EXPECT_TRUE(killed.killed);
+
+  const auto resumed = Runtime::run(4, [&](mpi::Comm& comm) {
+    Checkpointer ck(&store, "bt");
+    const AppResult res = bt_run(comm, cfg, &ck);
+    EXPECT_TRUE(res.resumed);
+    EXPECT_NEAR(res.checksum, expected, 1e-10 * std::abs(expected) + 1e-12);
+  });
+  EXPECT_TRUE(resumed.completed);
+}
+
+TEST(AppCheckpoint, MdDoubleKillStillConverges) {
+  // Two consecutive kills, then a clean finish — exercises repeated
+  // restore-from-latest.
+  MdConfig cfg;
+  cfg.cells = 8;
+  cfg.iterations = 30;
+  cfg.checkpoint_every = 5;
+  const double expected = md_reference(cfg);
+
+  MemoryStore store;
+  // Budgets are ticks within EACH attempt; the second attempt resumes near
+  // iteration 10, so a small budget still kills it mid-run.
+  for (const std::uint64_t kill_at : {2 * 12, 2 * 8}) {
+    const auto killed = Runtime::run_with_kill(
+        2,
+        [&](mpi::Comm& comm) {
+          Checkpointer ck(&store, "md");
+          (void)md_run(comm, cfg, &ck);
+        },
+        kill_at);
+    EXPECT_TRUE(killed.killed);
+  }
+  const auto done = Runtime::run(2, [&](mpi::Comm& comm) {
+    Checkpointer ck(&store, "md");
+    const AppResult res = md_run(comm, cfg, &ck);
+    EXPECT_TRUE(res.resumed);
+    EXPECT_NEAR(res.checksum, expected, 1e-6 * std::abs(expected) + 1e-8);
+  });
+  EXPECT_TRUE(done.completed);
+}
+
+TEST(AppCheckpoint, CheckpointedRunMatchesUncheckpointed) {
+  // Checkpointing must not perturb the numerics.
+  SpConfig cfg;
+  cfg.n = 12;
+  cfg.iterations = 9;
+  MemoryStore store;
+  double with_ck = 0.0, without_ck = 0.0;
+  Runtime::run(3, [&](mpi::Comm& comm) {
+    SpConfig c2 = cfg;
+    c2.checkpoint_every = 2;
+    Checkpointer ck(&store, "sp");
+    const AppResult res = sp_run(comm, c2, &ck);
+    if (comm.rank() == 0) with_ck = res.checksum;
+    EXPECT_EQ(res.checkpoints_saved, 4);  // after iterations 2, 4, 6, 8
+  });
+  Runtime::run(3, [&](mpi::Comm& comm) {
+    const AppResult res = sp_run(comm, cfg);
+    if (comm.rank() == 0) without_ck = res.checksum;
+  });
+  EXPECT_DOUBLE_EQ(with_ck, without_ck);
+}
+
+// --- BTIO ---------------------------------------------------------------------
+
+TEST(Btio, DumpsSnapshotsToStore) {
+  BtConfig cfg;
+  cfg.n = 12;
+  cfg.iterations = 9;
+  cfg.io_every = 3;
+  MemoryStore io;
+  const auto r = Runtime::run(3, [&](mpi::Comm& comm) {
+    (void)bt_run(comm, cfg, nullptr, &io);
+  });
+  EXPECT_TRUE(r.completed);
+  // 3 snapshots × 3 ranks.
+  EXPECT_EQ(io.list("btio/").size(), 9u);
+  EXPECT_TRUE(io.exists("btio/it9/rank2"));
+  // BTIO mode without a store is a usage error.
+  const auto bad = Runtime::run(1, [&](mpi::Comm& comm) {
+    EXPECT_THROW((void)bt_run(comm, cfg, nullptr, nullptr), PreconditionError);
+  });
+  EXPECT_TRUE(bad.completed);
+}
+
+TEST(Btio, ChecksumUnaffectedByIo) {
+  BtConfig plain;
+  plain.n = 12;
+  plain.iterations = 6;
+  BtConfig io_cfg = plain;
+  io_cfg.io_every = 2;
+  MemoryStore io;
+  double a = 0.0, b = 0.0;
+  Runtime::run(2, [&](mpi::Comm& comm) {
+    const auto res = bt_run(comm, plain);
+    if (comm.rank() == 0) a = res.checksum;
+  });
+  Runtime::run(2, [&](mpi::Comm& comm) {
+    const auto res = bt_run(comm, io_cfg, nullptr, &io);
+    if (comm.rank() == 0) b = res.checksum;
+  });
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+// --- Misc kernel properties ----------------------------------------------------
+
+TEST(Md, EnergyApproximatelyConserved) {
+  MdConfig cfg;
+  cfg.cells = 10;
+  cfg.iterations = 5;
+  const double early = md_reference(cfg);
+  cfg.iterations = 60;
+  const double late = md_reference(cfg);
+  // Symplectic integrator: energy drift stays small.
+  EXPECT_NEAR(late, early, 0.05 * std::abs(early) + 0.05);
+}
+
+TEST(Is, DetectsKeysAcrossFullRange) {
+  IsConfig cfg;
+  cfg.keys_per_rank = 2048;
+  cfg.iterations = 1;
+  cfg.key_range = 1u << 10;
+  // Non-trivial digest and no sortedness violation.
+  const auto r = Runtime::run(4, [&](mpi::Comm& comm) {
+    const AppResult res = is_run(comm, cfg);
+    EXPECT_GT(res.checksum, 0.0);
+  });
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(Apps, ConfigValidation) {
+  const auto r = Runtime::run(2, [](mpi::Comm& comm) {
+    LuConfig lu;
+    lu.ny = 1;  // fewer rows than ranks
+    EXPECT_THROW((void)lu_run(comm, lu), PreconditionError);
+    BtConfig bt;
+    bt.n = 9;  // not divisible by world size 2
+    EXPECT_THROW((void)bt_run(comm, bt), PreconditionError);
+    FtConfig ft;
+    ft.n = 12;  // not a power of two
+    EXPECT_THROW((void)ft_run(comm, ft), PreconditionError);
+    MdConfig md;
+    md.cells = 3;  // not divisible
+    EXPECT_THROW((void)md_run(comm, md), PreconditionError);
+  });
+  EXPECT_TRUE(r.completed);
+}
+
+}  // namespace
+}  // namespace sompi::apps

@@ -1,0 +1,141 @@
+// Tests for the extension kernels CG and EP (the paper evaluates the six
+// NPB workloads; these extend the library's kernel coverage).
+#include <gtest/gtest.h>
+
+#include "apps/cg.h"
+#include "apps/ep.h"
+#include "minimpi/runtime.h"
+
+namespace sompi::apps {
+namespace {
+
+using mpi::Runtime;
+
+class ExtraWorlds : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtraWorlds, CgMatchesReference) {
+  const int p = GetParam();
+  CgConfig cfg;
+  cfg.n = 24;
+  cfg.iterations = 30;
+  const double expected = cg_reference(cfg);
+  const auto r = Runtime::run(p, [&](mpi::Comm& comm) {
+    const AppResult res = cg_run(comm, cfg);
+    EXPECT_NEAR(res.checksum, expected, 1e-8 * std::abs(expected) + 1e-12);
+  });
+  EXPECT_TRUE(r.completed);
+}
+
+TEST_P(ExtraWorlds, EpMatchesReference) {
+  const int p = GetParam();
+  EpConfig cfg;
+  cfg.pairs_per_rank = 2048;
+  cfg.batches = 4;
+  const double expected = ep_reference(cfg, p);
+  const auto r = Runtime::run(p, [&](mpi::Comm& comm) {
+    const AppResult res = ep_run(comm, cfg);
+    EXPECT_NEAR(res.checksum, expected, 1e-9 * std::abs(expected) + 1e-9);
+  });
+  EXPECT_TRUE(r.completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, ExtraWorlds, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(CgExtra, ResidualActuallyDecreases) {
+  CgConfig few;
+  few.n = 20;
+  few.iterations = 2;
+  CgConfig many = few;
+  many.iterations = 40;
+  // More CG iterations move the solution norm toward the true solution; the
+  // difference between successive counts must shrink (convergence).
+  const double x2 = cg_reference(few);
+  const double x40 = cg_reference(many);
+  CgConfig more = many;
+  more.iterations = 41;
+  const double x41 = cg_reference(more);
+  EXPECT_GT(std::abs(x40 - x2), std::abs(x41 - x40));
+}
+
+TEST(CgExtra, KilledRunResumesToSameChecksum) {
+  CgConfig cfg;
+  cfg.n = 16;
+  cfg.iterations = 24;
+  cfg.checkpoint_every = 4;
+  const double expected = cg_reference(cfg);
+
+  MemoryStore store;
+  const auto killed = Runtime::run_with_kill(
+      4,
+      [&](mpi::Comm& comm) {
+        Checkpointer ck(&store, "cg");
+        (void)cg_run(comm, cfg, &ck);
+      },
+      4 * 13);
+  EXPECT_TRUE(killed.killed);
+
+  const auto resumed = Runtime::run(4, [&](mpi::Comm& comm) {
+    Checkpointer ck(&store, "cg");
+    const AppResult res = cg_run(comm, cfg, &ck);
+    EXPECT_TRUE(res.resumed);
+    EXPECT_NEAR(res.checksum, expected, 1e-8 * std::abs(expected) + 1e-12);
+  });
+  EXPECT_TRUE(resumed.completed);
+}
+
+TEST(EpExtra, KilledRunResumesToSameChecksum) {
+  EpConfig cfg;
+  cfg.pairs_per_rank = 1024;
+  cfg.batches = 8;
+  cfg.checkpoint_every = 2;
+  const double expected = ep_reference(cfg, 2);
+
+  MemoryStore store;
+  const auto killed = Runtime::run_with_kill(
+      2,
+      [&](mpi::Comm& comm) {
+        Checkpointer ck(&store, "ep");
+        (void)ep_run(comm, cfg, &ck);
+      },
+      2 * 5);
+  EXPECT_TRUE(killed.killed);
+
+  const auto resumed = Runtime::run(2, [&](mpi::Comm& comm) {
+    Checkpointer ck(&store, "ep");
+    const AppResult res = ep_run(comm, cfg, &ck);
+    EXPECT_TRUE(res.resumed);
+    EXPECT_LT(res.iterations_run, cfg.batches);
+    EXPECT_NEAR(res.checksum, expected, 1e-9 * std::abs(expected) + 1e-9);
+  });
+  EXPECT_TRUE(resumed.completed);
+}
+
+TEST(EpExtra, GaussianMomentsPlausible) {
+  // The Gaussian sums over many samples concentrate near zero relative to
+  // the sample count.
+  EpConfig cfg;
+  cfg.pairs_per_rank = 1 << 15;
+  cfg.batches = 2;
+  double checksum = 0.0;
+  Runtime::run(2, [&](mpi::Comm& comm) {
+    const AppResult res = ep_run(comm, cfg);
+    if (comm.rank() == 0) checksum = res.checksum;
+  });
+  // |sum_x + 2 sum_y| / N should be small (≈ 3/sqrt(N) scale).
+  const double n = 2.0 * cfg.pairs_per_rank * cfg.batches;
+  EXPECT_LT(std::abs(checksum) / n, 0.1);
+}
+
+TEST(EpExtra, CommunicationIsLight) {
+  // EP's defining property: traffic per rank is tiny next to the work done.
+  EpConfig cfg;
+  cfg.pairs_per_rank = 4096;
+  cfg.batches = 4;
+  const auto r = Runtime::run(4, [&](mpi::Comm& comm) { (void)ep_run(comm, cfg); });
+  ASSERT_TRUE(r.completed);
+  // Each batch: 12 allreduce values → a few hundred bytes per rank total.
+  EXPECT_LT(r.total_stats().bytes_sent, 40000u);
+}
+
+}  // namespace
+}  // namespace sompi::apps

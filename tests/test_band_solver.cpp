@@ -1,0 +1,116 @@
+#include "apps/band_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sompi::apps {
+namespace {
+
+/// Dense Gaussian elimination with partial pivoting — the oracle.
+std::vector<double> dense_solve(std::vector<std::vector<double>> a, std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double m = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= m * a[col][c];
+      b[r] -= m * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) s -= a[i][c] * x[c];
+    x[i] = s / a[i][i];
+  }
+  return x;
+}
+
+TEST(Tridiagonal, SingleElement) {
+  std::vector<double> a{0}, b{4.0}, c{0}, d{8.0};
+  solve_tridiagonal(a, b, c, d);
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+}
+
+TEST(Tridiagonal, KnownSmallSystem) {
+  // [2 1 0; 1 2 1; 0 1 2] x = [4; 8; 8] → x = [1; 2; 3].
+  std::vector<double> a{0, 1, 1}, b{2, 2, 2}, c{1, 1, 0}, d{4, 8, 8};
+  solve_tridiagonal(a, b, c, d);
+  EXPECT_NEAR(d[0], 1.0, 1e-12);
+  EXPECT_NEAR(d[1], 2.0, 1e-12);
+  EXPECT_NEAR(d[2], 3.0, 1e-12);
+}
+
+class BandSolverRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(BandSolverRandom, TridiagonalMatchesDense) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 31 + 1);
+  std::vector<double> a(n), b(n), c(n), d(n);
+  std::vector<std::vector<double>> dense(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    a[i] = i > 0 ? rng.uniform(-1.0, 1.0) : 0.0;
+    c[i] = i + 1 < n ? rng.uniform(-1.0, 1.0) : 0.0;
+    b[i] = 3.0 + rng.uniform(0.0, 1.0);  // diagonally dominant
+    d[i] = rng.uniform(-5.0, 5.0);
+    if (i > 0) dense[i][i - 1] = a[i];
+    dense[i][i] = b[i];
+    if (i + 1 < n) dense[i][i + 1] = c[i];
+  }
+  const auto expected = dense_solve(dense, d);
+  solve_tridiagonal(a, b, c, d);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(d[i], expected[i], 1e-9) << i;
+}
+
+TEST_P(BandSolverRandom, PentadiagonalMatchesDense) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 57 + 2);
+  std::vector<double> e(n), a(n), b(n), c(n), f(n), d(n);
+  std::vector<std::vector<double>> dense(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    e[i] = i > 1 ? rng.uniform(-0.5, 0.5) : 0.0;
+    a[i] = i > 0 ? rng.uniform(-1.0, 1.0) : 0.0;
+    c[i] = i + 1 < n ? rng.uniform(-1.0, 1.0) : 0.0;
+    f[i] = i + 2 < n ? rng.uniform(-0.5, 0.5) : 0.0;
+    b[i] = 5.0 + rng.uniform(0.0, 1.0);  // strongly dominant: no pivoting needed
+    d[i] = rng.uniform(-5.0, 5.0);
+    if (i > 1) dense[i][i - 2] = e[i];
+    if (i > 0) dense[i][i - 1] = a[i];
+    dense[i][i] = b[i];
+    if (i + 1 < n) dense[i][i + 1] = c[i];
+    if (i + 2 < n) dense[i][i + 2] = f[i];
+  }
+  const auto expected = dense_solve(dense, d);
+  solve_pentadiagonal(e, a, b, c, f, d);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(d[i], expected[i], 1e-9) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BandSolverRandom, ::testing::Values(1, 2, 3, 4, 5, 8, 17, 64));
+
+TEST(Tridiagonal, RejectsMismatchedSizes) {
+  std::vector<double> a{0, 1}, b{2, 2}, c{1, 0}, d{1};
+  EXPECT_THROW(solve_tridiagonal(a, b, c, d), PreconditionError);
+}
+
+TEST(Pentadiagonal, SingleAndPairElement) {
+  {
+    std::vector<double> e{0}, a{0}, b{5}, c{0}, f{0}, d{10};
+    solve_pentadiagonal(e, a, b, c, f, d);
+    EXPECT_DOUBLE_EQ(d[0], 2.0);
+  }
+  {
+    // [3 1; 1 3] x = [5; 7] → x = [1; 2].
+    std::vector<double> e{0, 0}, a{0, 1}, b{3, 3}, c{1, 0}, f{0, 0}, d{5, 7};
+    solve_pentadiagonal(e, a, b, c, f, d);
+    EXPECT_NEAR(d[0], 1.0, 1e-12);
+    EXPECT_NEAR(d[1], 2.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace sompi::apps

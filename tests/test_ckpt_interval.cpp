@@ -1,0 +1,120 @@
+#include "core/ckpt_interval.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/generator.h"
+
+namespace sompi {
+namespace {
+
+FailureEstimationConfig fe_config() {
+  FailureEstimationConfig c;
+  c.samples = 4000;
+  c.horizon_steps = 100;
+  return c;
+}
+
+GroupSetup make_group(const SpotTrace& trace, double bid, int t_steps, double o_steps) {
+  return GroupSetup{
+      .spec = {0, 0},
+      .instances = 4,
+      .t_steps = t_steps,
+      .o_steps = o_steps,
+      .r_steps = 2.0 * o_steps,
+      .failure = FailureModel(trace, {bid}, fe_config()),
+  };
+}
+
+OnDemandChoice make_od() {
+  OnDemandChoice od;
+  od.t_h = 10.0;
+  od.instances = 4;
+  od.rate_usd_h = 8.0;
+  od.feasible = true;
+  return od;
+}
+
+SpotTrace bursty_trace() {
+  std::vector<double> prices;
+  for (int rep = 0; rep < 100; ++rep) {
+    for (int i = 0; i < 18; ++i) prices.push_back(0.05);
+    for (int i = 0; i < 2; ++i) prices.push_back(1.0);
+  }
+  return SpotTrace(0.25, std::move(prices));
+}
+
+TEST(CheckpointPlanner, YoungDalyMatchesFormula) {
+  const SpotTrace trace = bursty_trace();
+  const GroupSetup g = make_group(trace, 0.5, 40, 0.5);
+  const double mtbf = g.failure.mtbf(0);
+  const int expected = std::clamp<int>(std::lround(std::sqrt(2.0 * 0.5 * mtbf)), 1, 40);
+  EXPECT_EQ(CheckpointPlanner::young_daly(g, 0), expected);
+}
+
+TEST(CheckpointPlanner, YoungDalyFreeCheckpointsMeansEveryStep) {
+  const GroupSetup g = make_group(bursty_trace(), 0.5, 40, 0.0);
+  EXPECT_EQ(CheckpointPlanner::young_daly(g, 0), 1);
+}
+
+TEST(CheckpointPlanner, DisabledModeReturnsT) {
+  CheckpointPlanner::Config cfg;
+  cfg.mode = PhiMode::kDisabled;
+  const CheckpointPlanner phi(cfg);
+  const GroupSetup g = make_group(bursty_trace(), 0.5, 33, 0.5);
+  EXPECT_EQ(phi.choose(g, 0, make_od()), 33);
+}
+
+TEST(CheckpointPlanner, CandidateGridCoversEndpoints) {
+  CheckpointPlanner::Config cfg;
+  const CheckpointPlanner phi(cfg);
+  const auto grid = phi.candidate_intervals(40, 7);
+  EXPECT_EQ(grid.front(), 1);
+  EXPECT_EQ(grid.back(), 40);
+  EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+  EXPECT_TRUE(std::adjacent_find(grid.begin(), grid.end()) == grid.end());  // unique
+  EXPECT_NE(std::find(grid.begin(), grid.end(), 7), grid.end());            // young included
+}
+
+TEST(CheckpointPlanner, NumericNeverWorseThanYoungOrEndpoints) {
+  // Theorem-1 property at the per-group level: φ(P) minimizes J among the
+  // candidates, so it is at least as good as Young/Daly, F=1, and F=T.
+  const SpotTrace trace = bursty_trace();
+  const OnDemandChoice od = make_od();
+  CheckpointPlanner::Config cfg;
+  const CheckpointPlanner phi(cfg);
+  for (double bid : {0.2, 0.5}) {
+    for (int t : {10, 40, 80}) {
+      const GroupSetup g = make_group(trace, bid, t, 0.4);
+      const int chosen = phi.choose(g, 0, od);
+      const double j_chosen = phi.objective(g, 0, chosen, od);
+      EXPECT_LE(j_chosen, phi.objective(g, 0, CheckpointPlanner::young_daly(g, 0), od) + 1e-9);
+      EXPECT_LE(j_chosen, phi.objective(g, 0, 1, od) + 1e-9);
+      EXPECT_LE(j_chosen, phi.objective(g, 0, t, od) + 1e-9);
+    }
+  }
+}
+
+TEST(CheckpointPlanner, BurstyMarketWantsCheckpoints) {
+  // With regular kills mid-run, some checkpointing must beat none.
+  const GroupSetup g = make_group(bursty_trace(), 0.5, 40, 0.2);
+  CheckpointPlanner::Config cfg;
+  const CheckpointPlanner phi(cfg);
+  const int chosen = phi.choose(g, 0, make_od());
+  EXPECT_LT(chosen, 40);
+  EXPECT_LT(phi.objective(g, 0, chosen, make_od()), phi.objective(g, 0, 40, make_od()));
+}
+
+TEST(CheckpointPlanner, SafeMarketAvoidsDenseCheckpoints) {
+  // A group that never dies should not checkpoint after every step —
+  // overhead only adds spot cost.
+  const SpotTrace calm(0.25, std::vector<double>(1000, 0.05));
+  const GroupSetup g = make_group(calm, 0.5, 40, 0.5);
+  CheckpointPlanner::Config cfg;
+  const CheckpointPlanner phi(cfg);
+  EXPECT_GT(phi.choose(g, 0, make_od()), 10);
+}
+
+}  // namespace
+}  // namespace sompi

@@ -1,0 +1,84 @@
+#include "cloud/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "cloud/billing.h"
+
+namespace sompi {
+namespace {
+
+TEST(Catalog, PaperCatalogContents) {
+  const Catalog c = paper_catalog();
+  EXPECT_EQ(c.types().size(), 5u);
+  EXPECT_EQ(c.zones().size(), 3u);
+  EXPECT_EQ(c.type(c.type_index("cc2.8xlarge")).cores, 32);
+  EXPECT_DOUBLE_EQ(c.type(c.type_index("m1.small")).ondemand_usd_h, 0.044);
+  EXPECT_THROW(c.type_index("t2.micro"), PreconditionError);
+  EXPECT_THROW(c.zone_index("eu-west-1a"), PreconditionError);
+}
+
+TEST(Catalog, PaperSpeedOrdering) {
+  // Per-core speed: cc2.8xlarge > c3.xlarge > m1.medium > m1.small (§5.3
+  // calibration) — the Fig 7a deadline-eligibility ladder depends on it.
+  const Catalog c = paper_catalog();
+  const auto g = [&](const char* n) { return c.type(c.type_index(n)).gips_per_core; };
+  EXPECT_GT(g("cc2.8xlarge"), g("c3.xlarge"));
+  EXPECT_GT(g("c3.xlarge"), g("m1.medium"));
+  EXPECT_GT(g("m1.medium"), g("m1.small"));
+}
+
+TEST(Catalog, PaperSpotRunningCostOrdering) {
+  // 128-rank cluster burn rate at CALM spot prices:
+  // m1.small < m1.medium < c3.xlarge < cc2.8xlarge.
+  const Catalog c = paper_catalog();
+  const auto rate = [&](const char* n) {
+    const auto idx = c.type_index(n);
+    return c.type(idx).ondemand_usd_h * c.type(idx).spot_discount *
+           c.instances_for(idx, 128);
+  };
+  EXPECT_LT(rate("m1.small"), rate("m1.medium"));
+  EXPECT_LT(rate("m1.medium"), rate("c3.xlarge"));
+  EXPECT_LT(rate("c3.xlarge"), rate("cc2.8xlarge"));
+}
+
+TEST(Catalog, InstancesForRoundsUp) {
+  const Catalog c = paper_catalog();
+  EXPECT_EQ(c.instances_for(c.type_index("m1.small"), 128), 128);
+  EXPECT_EQ(c.instances_for(c.type_index("cc2.8xlarge"), 128), 4);
+  EXPECT_EQ(c.instances_for(c.type_index("c3.xlarge"), 5), 2);
+  EXPECT_EQ(c.instances_for(c.type_index("c3.xlarge"), 1), 1);
+}
+
+TEST(Catalog, GroupEnumeration) {
+  const Catalog c = paper_catalog();
+  const auto groups = c.all_groups();
+  EXPECT_EQ(groups.size(), 15u);
+  EXPECT_EQ(c.group_name(groups.front()), "m1.small@us-east-1a");
+}
+
+TEST(Billing, Proportional) {
+  EXPECT_DOUBLE_EQ(billed_cost(BillingModel::kProportional, 0.5, 2.5, 4), 5.0);
+  EXPECT_DOUBLE_EQ(billed_cost(BillingModel::kProportional, 0.5, 0.0, 4), 0.0);
+}
+
+TEST(Billing, HourlyRoundUp) {
+  EXPECT_DOUBLE_EQ(billed_cost(BillingModel::kHourlyRoundUp, 1.0, 2.1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(billed_cost(BillingModel::kHourlyRoundUp, 1.0, 3.0, 1), 3.0);
+}
+
+TEST(Billing, ProviderKillRefundsPartialHour) {
+  EXPECT_DOUBLE_EQ(
+      billed_cost(BillingModel::kHourlyProviderKillFree, 1.0, 2.7, 1, /*provider_killed=*/true),
+      2.0);
+  EXPECT_DOUBLE_EQ(billed_cost(BillingModel::kHourlyProviderKillFree, 1.0, 2.7, 1,
+                               /*provider_killed=*/false),
+                   3.0);
+}
+
+TEST(Billing, RejectsNegativeInputs) {
+  EXPECT_THROW(billed_cost(BillingModel::kProportional, -1.0, 1.0, 1), PreconditionError);
+  EXPECT_THROW(billed_cost(BillingModel::kProportional, 1.0, -1.0, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace sompi

@@ -1,0 +1,73 @@
+#include "common/combinatorics.h"
+
+#include <gtest/gtest.h>
+
+namespace sompi {
+namespace {
+
+TEST(Combinations, CountsMatchBinomial) {
+  for (std::size_t n = 1; n <= 8; ++n) {
+    for (std::size_t k = 1; k <= n; ++k) {
+      std::size_t count = 0;
+      for_each_combination(n, k, [&](const std::vector<std::size_t>&) { ++count; });
+      EXPECT_DOUBLE_EQ(static_cast<double>(count), binomial(n, k)) << n << " choose " << k;
+    }
+  }
+}
+
+TEST(Combinations, LexicographicAndStrictlyIncreasing) {
+  std::vector<std::vector<std::size_t>> seen;
+  for_each_combination(4, 2, [&](const std::vector<std::size_t>& c) { seen.push_back(c); });
+  const std::vector<std::vector<std::size_t>> expected{{0, 1}, {0, 2}, {0, 3},
+                                                       {1, 2}, {1, 3}, {2, 3}};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(Combinations, FullAndEmptySubset) {
+  std::size_t count = 0;
+  for_each_combination(3, 3, [&](const std::vector<std::size_t>& c) {
+    ++count;
+    EXPECT_EQ(c, (std::vector<std::size_t>{0, 1, 2}));
+  });
+  EXPECT_EQ(count, 1u);
+  count = 0;
+  for_each_combination(3, 0, [&](const std::vector<std::size_t>& c) {
+    ++count;
+    EXPECT_TRUE(c.empty());
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Combinations, RejectsKGreaterThanN) {
+  EXPECT_THROW(for_each_combination(2, 3, [](const std::vector<std::size_t>&) {}),
+               PreconditionError);
+}
+
+TEST(Tuples, EnumeratesFullProduct) {
+  std::size_t count = 0;
+  std::vector<std::size_t> last;
+  for_each_tuple({2, 3, 2}, [&](const std::vector<std::size_t>& t) {
+    ++count;
+    last = t;
+    EXPECT_LT(t[0], 2u);
+    EXPECT_LT(t[1], 3u);
+    EXPECT_LT(t[2], 2u);
+  });
+  EXPECT_EQ(count, 12u);
+  EXPECT_EQ(last, (std::vector<std::size_t>{1, 2, 1}));
+}
+
+TEST(Tuples, SinglePosition) {
+  std::size_t count = 0;
+  for_each_tuple({5}, [&](const std::vector<std::size_t>&) { ++count; });
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(Binomial, KnownValues) {
+  EXPECT_DOUBLE_EQ(binomial(12, 4), 495.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(3, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace sompi

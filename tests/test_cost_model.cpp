@@ -1,0 +1,177 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/schedule.h"
+#include "trace/generator.h"
+
+namespace sompi {
+namespace {
+
+FailureEstimationConfig fe_config(std::size_t horizon) {
+  FailureEstimationConfig c;
+  c.samples = 4000;
+  c.horizon_steps = horizon;
+  return c;
+}
+
+GroupSetup make_group(const SpotTrace& trace, std::vector<double> bids, int t_steps,
+                      double o_steps, double r_steps, int instances,
+                      std::size_t horizon = 64) {
+  return GroupSetup{
+      .spec = {0, 0},
+      .instances = instances,
+      .t_steps = t_steps,
+      .o_steps = o_steps,
+      .r_steps = r_steps,
+      .failure = FailureModel(trace, std::move(bids), fe_config(horizon)),
+  };
+}
+
+OnDemandChoice make_od() {
+  OnDemandChoice od;
+  od.type_index = 0;
+  od.t_h = 10.0;
+  od.instances = 4;
+  od.rate_usd_h = 8.0;
+  od.feasible = true;
+  return od;
+}
+
+SpotTrace periodic_trace(int low_steps, int period, double low = 0.05, double high = 1.0) {
+  std::vector<double> prices;
+  for (int rep = 0; rep < 2000 / period; ++rep)
+    for (int i = 0; i < period; ++i) prices.push_back(i < low_steps ? low : high);
+  return SpotTrace(0.25, std::move(prices));
+}
+
+TEST(CostModel, ImmortalGroupCostsExactly) {
+  // Constant price below the bid: the group always completes; no od cost.
+  const SpotTrace trace(0.25, std::vector<double>(500, 0.05));
+  const GroupSetup g = make_group(trace, {0.1}, /*T=*/20, /*O=*/0.2, /*R=*/0.4, /*M=*/8);
+  const CostModel model({&g}, make_od(), {.step_hours = 0.25, .ratio_bins = 256});
+
+  const GroupSchedule sched(20, 5, 0.2, 0.4);
+  const Expectation e = model.evaluate({{0, 5}});
+  EXPECT_NEAR(e.p_complete_on_spot, 1.0, 1e-12);
+  EXPECT_NEAR(e.od_cost_usd, 0.0, 1e-12);
+  EXPECT_NEAR(e.e_min_ratio, 0.0, 1e-12);
+  // Spot cost = S × M × wall × h = 0.05 × 8 × 20.6 × 0.25.
+  EXPECT_NEAR(e.spot_cost_usd, 0.05 * 8 * sched.wall_duration() * 0.25, 1e-9);
+  EXPECT_NEAR(e.spot_time_h, sched.wall_duration() * 0.25, 0.25 + 1e-9);
+  EXPECT_NEAR(e.time_h, e.spot_time_h, 1e-12);
+}
+
+TEST(CostModel, DoomedGroupFallsBackEntirelyToOnDemand) {
+  // Price always above the bid: instant death, full on-demand recovery.
+  const SpotTrace trace(0.25, std::vector<double>(500, 0.5));
+  const GroupSetup g = make_group(trace, {0.1}, 20, 0.2, 0.4, 8);
+  const CostModel model({&g}, make_od(), {.step_hours = 0.25, .ratio_bins = 256});
+  const Expectation e = model.evaluate({{0, 20}});
+  EXPECT_NEAR(e.p_complete_on_spot, 0.0, 1e-12);
+  EXPECT_NEAR(e.spot_cost_usd, 0.0, 1e-12);
+  EXPECT_NEAR(e.e_min_ratio, 1.0, 1.0 / 256 + 1e-9);
+  EXPECT_NEAR(e.od_cost_usd, 8.0 * 10.0 * e.e_min_ratio, 1e-9);
+}
+
+TEST(CostModel, DecomposedMatchesJointExactSingleGroup) {
+  const SpotTrace trace = periodic_trace(12, 16);
+  const GroupSetup g = make_group(trace, {0.5}, /*T=*/10, /*O=*/0.3, /*R=*/0.6, /*M=*/4);
+  const CostModel model({&g}, make_od(), {.step_hours = 0.25, .ratio_bins = 512});
+  for (int f : {1, 2, 5, 10}) {
+    const Expectation fast = model.evaluate({{0, f}});
+    const Expectation exact = model.evaluate_joint_exact({{0, f}});
+    EXPECT_NEAR(fast.spot_cost_usd, exact.spot_cost_usd, 1e-9) << "F=" << f;
+    EXPECT_NEAR(fast.od_cost_usd, exact.od_cost_usd, exact.od_cost_usd * 0.02 + 0.05)
+        << "F=" << f;
+    // E[max lifetime] via the integer grid overestimates by < 1 step.
+    EXPECT_NEAR(fast.spot_time_h, exact.spot_time_h, 0.25 + 1e-9) << "F=" << f;
+    EXPECT_NEAR(fast.p_complete_on_spot, exact.p_complete_on_spot, 1e-9) << "F=" << f;
+  }
+}
+
+TEST(CostModel, DecomposedMatchesJointExactTwoGroups) {
+  Rng rng(7);
+  const SpotTrace t1 = periodic_trace(12, 16);
+  const SpotTrace t2 =
+      generate_trace(regime_params_for(VolatilityClass::kModerate, 0.1), 2000, 0.25, rng);
+  const GroupSetup g1 = make_group(t1, {0.2, 0.5}, 8, 0.2, 0.4, 4);
+  const GroupSetup g2 = make_group(t2, logarithmic_bid_grid(t2.max_price(), 3), 12, 0.4, 0.8, 2);
+  const CostModel model({&g1, &g2}, make_od(), {.step_hours = 0.25, .ratio_bins = 512});
+
+  for (std::size_t b1 : {0u, 1u}) {
+    for (std::size_t b2 : {0u, 2u}) {
+      const std::vector<GroupDecision> d{{b1, 4}, {b2, 6}};
+      const Expectation fast = model.evaluate(d);
+      const Expectation exact = model.evaluate_joint_exact(d);
+      EXPECT_NEAR(fast.spot_cost_usd, exact.spot_cost_usd, 1e-9);
+      EXPECT_NEAR(fast.od_cost_usd, exact.od_cost_usd, exact.od_cost_usd * 0.03 + 0.05);
+      EXPECT_NEAR(fast.spot_time_h, exact.spot_time_h, 0.25 + 1e-9);
+      EXPECT_NEAR(fast.p_complete_on_spot, exact.p_complete_on_spot, 1e-9);
+      EXPECT_NEAR(fast.e_min_ratio, exact.e_min_ratio, 0.02);
+    }
+  }
+}
+
+TEST(CostModel, ReplicationReducesRecoveryExposure) {
+  // Two replicas on independent bursty markets → lower E[min Ratio] and a
+  // higher completion probability than either alone.
+  const SpotTrace t1 = periodic_trace(12, 16);
+  const SpotTrace t2 = periodic_trace(13, 18);
+  const GroupSetup g1 = make_group(t1, {0.5}, 10, 0.3, 0.5, 4);
+  const GroupSetup g2 = make_group(t2, {0.5}, 10, 0.3, 0.5, 4);
+  const OnDemandChoice od = make_od();
+  const CostModel::Config cfg{.step_hours = 0.25, .ratio_bins = 256};
+
+  const Expectation solo = CostModel({&g1}, od, cfg).evaluate({{0, 5}});
+  const Expectation duo = CostModel({&g1, &g2}, od, cfg).evaluate({{0, 5}, {0, 5}});
+  EXPECT_LT(duo.e_min_ratio, solo.e_min_ratio);
+  EXPECT_GT(duo.p_complete_on_spot, solo.p_complete_on_spot);
+  EXPECT_LT(duo.od_cost_usd, solo.od_cost_usd);
+  // But replication burns more spot dollars.
+  EXPECT_GT(duo.spot_cost_usd, solo.spot_cost_usd);
+}
+
+TEST(CostModel, CheckpointsReduceRecoveryRatio) {
+  const SpotTrace trace = periodic_trace(12, 16);
+  const GroupSetup g = make_group(trace, {0.5}, 12, 0.1, 0.2, 4);
+  const CostModel model({&g}, make_od(), {.step_hours = 0.25, .ratio_bins = 256});
+  const Expectation without = model.evaluate({{0, 12}});  // F = T: no checkpoints
+  const Expectation with = model.evaluate({{0, 3}});
+  EXPECT_LT(with.e_min_ratio, without.e_min_ratio);
+  EXPECT_LT(with.od_cost_usd, without.od_cost_usd);
+}
+
+TEST(CostModel, HigherBidRaisesExpectedSpotPriceButSurvival) {
+  Rng rng(9);
+  const SpotTrace trace =
+      generate_trace(regime_params_for(VolatilityClass::kSpiky, 0.05), 4000, 0.25, rng);
+  const auto bids = logarithmic_bid_grid(trace.max_price(), 6);
+  const GroupSetup g = make_group(trace, bids, 12, 0.2, 0.4, 4, 64);
+  const CostModel model({&g}, make_od(), {.step_hours = 0.25, .ratio_bins = 256});
+  Expectation prev = model.evaluate({{0, 4}});
+  for (std::size_t b = 1; b < bids.size(); ++b) {
+    const Expectation cur = model.evaluate({{b, 4}});
+    EXPECT_GE(cur.p_complete_on_spot, prev.p_complete_on_spot - 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(CostModel, RejectsMismatchedDecisions) {
+  const SpotTrace trace(0.25, std::vector<double>(100, 0.05));
+  const GroupSetup g = make_group(trace, {0.1}, 10, 0.1, 0.1, 1);
+  const CostModel model({&g}, make_od(), {});
+  EXPECT_THROW(model.evaluate({}), PreconditionError);
+  EXPECT_THROW(model.evaluate({{0, 5}, {0, 5}}), PreconditionError);
+}
+
+TEST(CostModel, HorizonTooShortIsRejected) {
+  const SpotTrace trace(0.25, std::vector<double>(100, 0.05));
+  // Horizon 8 < wall duration of T=20.
+  const GroupSetup g = make_group(trace, {0.1}, 20, 0.5, 0.5, 1, /*horizon=*/8);
+  const CostModel model({&g}, make_od(), {});
+  EXPECT_THROW(model.evaluate({{0, 5}}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace sompi

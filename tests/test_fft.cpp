@@ -1,0 +1,81 @@
+#include "apps/fft.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace sompi::apps {
+namespace {
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  sompi::Rng rng(seed);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return x;
+}
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, n * 3 + 1);
+  const auto expected = dft_reference(x, false);
+  fft_inplace(x, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i].real(), expected[i].real(), 1e-9 * static_cast<double>(n)) << i;
+    EXPECT_NEAR(x[i].imag(), expected[i].imag(), 1e-9 * static_cast<double>(n)) << i;
+  }
+}
+
+TEST_P(FftSizes, InverseRecoversSignal) {
+  const std::size_t n = GetParam();
+  const auto original = random_signal(n, n * 7 + 5);
+  auto x = original;
+  fft_inplace(x, false);
+  fft_inplace(x, true);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(x[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST_P(FftSizes, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, n * 13 + 9);
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  fft_inplace(x, false);
+  double freq_energy = 0.0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(n), 1e-8 * time_energy * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizes, ::testing::Values(1, 2, 4, 8, 16, 64, 256));
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> x(8, Complex(0, 0));
+  x[0] = Complex(1, 0);
+  fft_inplace(x, false);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ConstantGivesDcOnly) {
+  std::vector<Complex> x(8, Complex(2, 0));
+  fft_inplace(x, false);
+  EXPECT_NEAR(x[0].real(), 16.0, 1e-12);
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_NEAR(std::abs(x[i]), 0.0, 1e-12);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> x(6);
+  EXPECT_THROW(fft_inplace(x, false), sompi::PreconditionError);
+  std::vector<Complex> empty;
+  EXPECT_THROW(fft_inplace(empty, false), sompi::PreconditionError);
+}
+
+}  // namespace
+}  // namespace sompi::apps

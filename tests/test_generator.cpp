@@ -1,0 +1,105 @@
+#include "trace/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace sompi {
+namespace {
+
+TEST(Generator, DeterministicForSeed) {
+  const RegimeParams params = regime_params_for(VolatilityClass::kModerate, 0.05);
+  Rng a(7), b(7);
+  const SpotTrace ta = generate_trace(params, 500, 0.25, a);
+  const SpotTrace tb = generate_trace(params, 500, 0.25, b);
+  ASSERT_EQ(ta.steps(), tb.steps());
+  for (std::size_t i = 0; i < ta.steps(); ++i) EXPECT_DOUBLE_EQ(ta.price(i), tb.price(i));
+}
+
+TEST(Generator, PricesPositive) {
+  const RegimeParams params = regime_params_for(VolatilityClass::kSpiky, 0.02);
+  Rng rng(1);
+  const SpotTrace t = generate_trace(params, 2000, 0.25, rng);
+  EXPECT_GT(t.min_price(), 0.0);
+}
+
+TEST(Generator, QuietStaysNearBase) {
+  const double base = 0.05;
+  const RegimeParams params = regime_params_for(VolatilityClass::kQuiet, base);
+  Rng rng(3);
+  const SpotTrace t = generate_trace(params, 4000, 0.25, rng);
+  // The overwhelming majority of steps sit within a few percent of base.
+  std::size_t near = 0;
+  for (std::size_t i = 0; i < t.steps(); ++i)
+    if (std::abs(t.price(i) - base) < 0.1 * base) ++near;
+  EXPECT_GT(static_cast<double>(near) / t.steps(), 0.9);
+}
+
+TEST(Generator, SpikyExceedsOnDemandScale) {
+  // Figure 1a: m1.medium spot spikes far above its base.
+  const double base = 0.015;
+  const RegimeParams params = regime_params_for(VolatilityClass::kSpiky, base);
+  Rng rng(5);
+  const SpotTrace t = generate_trace(params, 8000, 0.25, rng);
+  EXPECT_GT(t.max_price(), 8.0 * base);
+}
+
+TEST(Generator, SpikyFailsMoreOftenThanQuietAtSameBid) {
+  const double base = 0.05;
+  Rng r1(9), r2(9);
+  const SpotTrace quiet =
+      generate_trace(regime_params_for(VolatilityClass::kQuiet, base), 8000, 0.25, r1);
+  const SpotTrace spiky =
+      generate_trace(regime_params_for(VolatilityClass::kSpiky, base), 8000, 0.25, r2);
+  const double bid = 2.0 * base;
+  EXPECT_GT(quiet.availability(bid), spiky.availability(bid));
+}
+
+TEST(Generator, StationaryDistributionSumsToOne) {
+  const RegimeParams params = regime_params_for(VolatilityClass::kModerate, 0.05);
+  const RegimeStationary pi = stationary_distribution(params);
+  EXPECT_NEAR(pi.calm + pi.volatile_ + pi.spike, 1.0, 1e-12);
+  EXPECT_GT(pi.calm, pi.spike);  // calm dominates by construction
+}
+
+TEST(Generator, EmpiricalRegimeSharesMatchStationary) {
+  // The fraction of steps far above base approximates the spike share.
+  const double base = 0.05;
+  const RegimeParams params = regime_params_for(VolatilityClass::kSpiky, base);
+  const RegimeStationary pi = stationary_distribution(params);
+  Rng rng(11);
+  const SpotTrace t = generate_trace(params, 60000, 0.25, rng);
+  std::size_t spikes = 0;
+  for (std::size_t i = 0; i < t.steps(); ++i)
+    if (t.price(i) > params.volatile_cap * base * 1.2) ++spikes;
+  const double share = static_cast<double>(spikes) / t.steps();
+  EXPECT_NEAR(share, pi.spike, 0.5 * pi.spike + 0.005);
+}
+
+TEST(Generator, ShortHorizonDistributionIsStable) {
+  // Figure 2's property: consecutive same-length windows have very similar
+  // price histograms.
+  const RegimeParams params = regime_params_for(VolatilityClass::kModerate, 0.05);
+  Rng rng(13);
+  const SpotTrace t = generate_trace(params, 4 * 96, 0.25, rng);  // 4 "days"
+  const double hi = t.max_price() * 1.01;
+  double max_l1 = 0.0;
+  for (int day = 0; day + 1 < 4; ++day) {
+    Histogram a(0.0, hi, 20), b(0.0, hi, 20);
+    for (std::size_t i = 0; i < 96; ++i) {
+      a.add(t.price(static_cast<std::size_t>(day) * 96 + i));
+      b.add(t.price(static_cast<std::size_t>(day + 1) * 96 + i));
+    }
+    max_l1 = std::max(max_l1, Histogram::l1_distance(a, b));
+  }
+  EXPECT_LT(max_l1, 0.6);  // far from the disjoint value of 2.0
+}
+
+TEST(Generator, RejectsBadParams) {
+  const RegimeParams params = regime_params_for(VolatilityClass::kQuiet, 0.05);
+  Rng rng(1);
+  EXPECT_THROW(generate_trace(params, 0, 0.25, rng), PreconditionError);
+  EXPECT_THROW(generate_trace(params, 10, 0.0, rng), PreconditionError);
+  EXPECT_THROW(regime_params_for(VolatilityClass::kQuiet, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace sompi

@@ -1,0 +1,115 @@
+// Tests for the worst-case deadline guard (DESIGN.md §6b): under pressure
+// the optimizer must buy safety with dense checkpoints or genuine
+// replication; without the guard it gambles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/optimizer.h"
+#include "core/schedule.h"
+#include "profile/paper_profiles.h"
+
+namespace sompi {
+namespace {
+
+class GuardTest : public ::testing::Test {
+ protected:
+  static OptimizerConfig fast(bool guard) {
+    OptimizerConfig c;
+    c.max_candidates = 6;
+    c.setup.log_levels = 5;
+    c.setup.failure.samples = 800;
+    c.ratio_bins = 64;
+    c.worst_case_guard = guard;
+    return c;
+  }
+
+  /// Worst-case completion time of one planned group, as the guard sees it.
+  static double group_worst_h(const GroupPlan& g, double step_h, double od_t_h) {
+    const GroupSchedule sched(g.t_steps, g.f_steps, g.o_steps, g.r_steps);
+    double worst = sched.wall_duration() * step_h;
+    for (int t = 0; t < static_cast<int>(std::ceil(sched.wall_duration())); ++t)
+      worst = std::max(worst, t * step_h + sched.ratio_at(t) * od_t_h);
+    return worst;
+  }
+
+  Catalog catalog_ = paper_catalog();
+  ExecTimeEstimator est_;
+  Market market_ = generate_market(catalog_, paper_market_profile(catalog_), 10.0, 0.25, 17);
+  OnDemandSelector selector_{&catalog_, &est_};
+};
+
+TEST_F(GuardTest, EveryGuardedPlanIsWorstCaseSafeOrReplicated) {
+  const SompiOptimizer opt(&catalog_, &est_, fast(true));
+  for (const char* name : {"BT", "LU", "FT", "BTIO"}) {
+    const AppProfile app = paper_profile(name);
+    for (const double factor : {1.1, 1.3, 1.5}) {
+      const double deadline = selector_.baseline(app).t_h * factor;
+      const Plan plan = opt.optimize(app, market_, deadline);
+      if (!plan.uses_spot()) continue;
+      double worst = 0.0;
+      for (const auto& g : plan.groups)
+        worst = std::max(worst, group_worst_h(g, plan.step_hours, plan.od.t_h));
+      const bool worst_case_safe = worst <= deadline + 1e-9;
+      const bool replicated = plan.groups.size() >= 2;
+      EXPECT_TRUE(worst_case_safe || replicated)
+          << name << " @" << factor << ": worst " << worst << " vs " << deadline;
+    }
+  }
+}
+
+TEST_F(GuardTest, SingleGroupPlansCheckpointDenselyUnderPressure) {
+  // When the guard admits a single group, its checkpoint interval must be
+  // small enough that no kill instant can blow the deadline.
+  const SompiOptimizer opt(&catalog_, &est_, fast(true));
+  const AppProfile bt = paper_profile("BT");
+  const Plan plan = opt.optimize(bt, market_, selector_.baseline(bt).t_h * 1.5);
+  ASSERT_TRUE(plan.uses_spot());
+  if (plan.groups.size() == 1) {
+    const auto& g = plan.groups[0];
+    EXPECT_LT(g.f_steps, g.t_steps);  // checkpoints are on
+    EXPECT_LE(group_worst_h(g, plan.step_hours, plan.od.t_h),
+              plan.deadline_h + 1e-9);
+  }
+}
+
+TEST_F(GuardTest, UnguardedOptimizerMayPickUnsafePlans) {
+  // Without the guard, the pure-expectation optimizer accepts plans whose
+  // worst case exceeds the deadline (the All-Unable behaviour).
+  OptimizerConfig cfg = fast(false);
+  cfg.max_groups = 1;
+  cfg.phi_mode = PhiMode::kDisabled;  // no checkpoints at all
+  const SompiOptimizer opt(&catalog_, &est_, cfg);
+  const AppProfile bt = paper_profile("BT");
+  const double deadline = selector_.baseline(bt).t_h * 1.5;
+  const Plan plan = opt.optimize(bt, market_, deadline);
+  ASSERT_TRUE(plan.uses_spot());
+  const auto& g = plan.groups[0];
+  EXPECT_EQ(g.f_steps, g.t_steps);  // checkpointing really disabled
+  EXPECT_GT(group_worst_h(g, plan.step_hours, plan.od.t_h), deadline);
+}
+
+TEST_F(GuardTest, BidsNeverExceedOnDemandPrice) {
+  // The rational bid cap (DESIGN.md 6a): on-demand is a guaranteed
+  // alternative, so no plan bids above it.
+  const SompiOptimizer opt(&catalog_, &est_, fast(true));
+  for (const char* name : {"BT", "FT"}) {
+    const AppProfile app = paper_profile(name);
+    const Plan plan = opt.optimize(app, market_, selector_.baseline(app).t_h * 1.5);
+    for (const auto& g : plan.groups)
+      EXPECT_LE(g.bid_usd, catalog_.type(g.spec.type_index).ondemand_usd_h + 1e-12)
+          << g.name;
+  }
+}
+
+TEST_F(GuardTest, GuardedNeverCostsMoreThanOnDemand) {
+  const SompiOptimizer opt(&catalog_, &est_, fast(true));
+  for (const char* name : {"BT", "SP", "FT", "IS", "BTIO", "LU"}) {
+    const AppProfile app = paper_profile(name);
+    const Plan plan = opt.optimize(app, market_, selector_.baseline(app).t_h * 1.5);
+    EXPECT_LE(plan.expected.cost_usd, plan.od.full_cost_usd() + 1e-9) << name;
+  }
+}
+
+}  // namespace
+}  // namespace sompi

@@ -1,0 +1,150 @@
+// End-to-end pipeline tests: market → optimizer → replay Monte Carlo,
+// checking the paper's headline orderings on a controlled synthetic market.
+#include <gtest/gtest.h>
+
+#include "baselines/ablations.h"
+#include "baselines/baselines.h"
+#include "profile/paper_profiles.h"
+#include "sim/monte_carlo.h"
+
+namespace sompi {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static OptimizerConfig fast_opt() {
+    OptimizerConfig c;
+    c.max_candidates = 5;
+    c.max_groups = 3;
+    c.setup.log_levels = 5;
+    c.setup.failure.samples = 600;
+    c.ratio_bins = 64;
+    return c;
+  }
+
+  static SetupConfig fast_setup() {
+    SetupConfig s;
+    s.failure.samples = 600;
+    return s;
+  }
+
+  MonteCarloStats run_sompi_static(const AppProfile& app, double deadline) const {
+    const SompiOptimizer opt(&catalog_, &est_, fast_opt());
+    return mc().run_planned(
+        [&](const Market& history, double dl) { return opt.optimize(app, history, dl); },
+        deadline);
+  }
+
+  MonteCarloRunner mc() const {
+    MonteCarloConfig cfg;
+    cfg.runs = 12;
+    cfg.reserve_h = 72.0;
+    return MonteCarloRunner(&market_, {}, cfg);
+  }
+
+  double baseline_h(const AppProfile& app) const {
+    return OnDemandSelector(&catalog_, &est_).baseline(app).t_h;
+  }
+
+  Catalog catalog_ = paper_catalog();
+  ExecTimeEstimator est_;
+  Market market_ = generate_market(catalog_, paper_market_profile(catalog_), /*days=*/12.0,
+                                   /*step_hours=*/0.25, /*seed=*/99);
+};
+
+TEST_F(IntegrationTest, SompiBeatsOnDemandAndMaratheOnCompute) {
+  const AppProfile bt = paper_profile("BT");
+  const double deadline = baseline_h(bt) * 1.5;
+
+  const BaselineFactory factory(&catalog_, &est_, fast_setup());
+  const auto od = mc().run_plan(factory.on_demand_only(bt, deadline), deadline);
+  const auto marathe = mc().run_planned(
+      [&](const Market& h, double dl) { return factory.marathe(bt, h, dl, false); }, deadline);
+  const auto sompi = run_sompi_static(bt, deadline);
+
+  // The paper's headline ordering: SOMPI < Marathe < On-demand.
+  EXPECT_LT(sompi.cost.mean, marathe.cost.mean);
+  EXPECT_LT(sompi.cost.mean, od.cost.mean);
+  // And substantial savings vs on-demand (paper: ~70% average for comp).
+  EXPECT_LT(sompi.cost.mean, 0.6 * od.cost.mean);
+}
+
+TEST_F(IntegrationTest, SompiMeetsDeadlinesInReplay) {
+  const AppProfile lu = paper_profile("LU");
+  const double deadline = baseline_h(lu) * 1.5;
+  const auto stats = run_sompi_static(lu, deadline);
+  EXPECT_LE(stats.deadline_miss_rate, 0.2);
+}
+
+TEST_F(IntegrationTest, CombinedFaultToleranceBeatsSingleMechanisms) {
+  // §5.4.2: w/o-RP and w/o-CK each lose to full SOMPI — the combined
+  // mechanism space lets the optimizer pick whichever guard is cheaper.
+  const AppProfile bt = paper_profile("BT");
+  const double deadline = baseline_h(bt) * 1.5;
+
+  auto run_with = [&](const OptimizerConfig& base) {
+    OptimizerConfig cfg = base;
+    cfg.max_candidates = 5;
+    cfg.setup.log_levels = 5;
+    cfg.setup.failure.samples = 600;
+    cfg.ratio_bins = 64;
+    AdaptiveConfig ad;
+    ad.opt = cfg;
+    const AdaptiveEngine engine(&catalog_, &est_, ad);
+    MonteCarloConfig mc_cfg;
+    mc_cfg.runs = 10;
+    mc_cfg.reserve_h = 72.0;
+    return MonteCarloRunner(&market_, {}, mc_cfg).run_adaptive(engine, bt, deadline);
+  };
+
+  const auto full = run_with(sompi_optimizer_config());
+  const auto no_rp = run_with(without_replication_config());
+  const auto no_ck = run_with(without_checkpoint_config());
+  EXPECT_LE(full.cost.mean, no_rp.cost.mean * 1.10);
+  EXPECT_LE(full.cost.mean, no_ck.cost.mean * 1.10);
+}
+
+TEST_F(IntegrationTest, SpotInfRidesSpikesOnVolatileMarkets) {
+  // §5.3.2 observation (3): "when the price becomes much larger than [the]
+  // on-demand instance, the infinite bidding strategy could not save the
+  // money." On an all-spiky market Spot-Inf's worst case far exceeds its
+  // median, while SOMPI's bid cap bounds the worst case.
+  const MarketProfile all_spiky(catalog_.types().size() * catalog_.zones().size(),
+                                VolatilityClass::kSpiky);
+  const Market volatile_market = generate_market(catalog_, all_spiky, 12.0, 0.25, 7);
+  MonteCarloConfig mc_cfg;
+  mc_cfg.runs = 25;
+  mc_cfg.reserve_h = 72.0;
+  const MonteCarloRunner runner(&volatile_market, {}, mc_cfg);
+
+  const AppProfile bt = paper_profile("BT");
+  const double deadline = baseline_h(bt) * 1.5;
+  const BaselineFactory factory(&catalog_, &est_, fast_setup());
+  const auto inf = runner.run_planned(
+      [&](const Market& h, double dl) { return factory.spot_inf(bt, h, dl); }, deadline);
+  EXPECT_GT(inf.cost.max, 2.0 * inf.cost.p50);
+}
+
+TEST_F(IntegrationTest, ModelExpectationTracksReplayMonteCarlo) {
+  // §5.4.1 "Accuracy of Model": Formula 1 vs trace-replay Monte Carlo.
+  // Like the paper, fit and replay over the same distribution (the same
+  // trace): the residual gap is then pure model simplification.
+  const AppProfile bt = paper_profile("BT");
+  const double deadline = baseline_h(bt) * 1.5;
+  const SompiOptimizer opt(&catalog_, &est_, fast_opt());
+  const Plan plan = opt.optimize(bt, market_, deadline);
+  ASSERT_TRUE(plan.uses_spot());
+
+  MonteCarloConfig cfg;
+  cfg.runs = 60;
+  cfg.reserve_h = 72.0;
+  const MonteCarloRunner runner(&market_, {}, cfg);
+  const auto stats = runner.run_plan(plan, deadline);
+  // The paper reports relative differences up to ~15%; allow headroom for
+  // the coarser Monte Carlo here.
+  EXPECT_NEAR(stats.cost.mean, plan.expected.cost_usd,
+              0.35 * plan.expected.cost_usd + 1.0);
+}
+
+}  // namespace
+}  // namespace sompi

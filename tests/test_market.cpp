@@ -1,0 +1,80 @@
+#include "trace/market.h"
+
+#include <gtest/gtest.h>
+
+namespace sompi {
+namespace {
+
+class MarketTest : public ::testing::Test {
+ protected:
+  Catalog catalog_ = paper_catalog();
+  Market market_ = generate_market(catalog_, paper_market_profile(catalog_), /*days=*/5.0,
+                                   /*step_hours=*/0.25, /*seed=*/42);
+};
+
+TEST_F(MarketTest, OneTracePerGroup) {
+  EXPECT_EQ(market_.group_count(), catalog_.types().size() * catalog_.zones().size());
+  const auto steps = static_cast<std::size_t>(5.0 * 24.0 / 0.25);
+  for (const auto& g : catalog_.all_groups()) EXPECT_EQ(market_.trace(g).steps(), steps);
+}
+
+TEST_F(MarketTest, GroupsAreIndependentStreams) {
+  const auto& a = market_.trace({0, 0});
+  const auto& b = market_.trace({0, 1});
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.steps(); ++i)
+    if (a.price(i) == b.price(i)) ++same;
+  EXPECT_LT(static_cast<double>(same) / a.steps(), 0.01);
+}
+
+TEST_F(MarketTest, DeterministicForSeed) {
+  const Market again = generate_market(catalog_, paper_market_profile(catalog_), 5.0, 0.25, 42);
+  const auto& a = market_.trace({2, 1});
+  const auto& b = again.trace({2, 1});
+  for (std::size_t i = 0; i < a.steps(); ++i) ASSERT_DOUBLE_EQ(a.price(i), b.price(i));
+}
+
+TEST_F(MarketTest, PaperProfileShapes) {
+  // us-east-1a m1.medium is spiky, us-east-1b is quiet across the board
+  // (Figure 1's zoo). Both classes spike to extreme multiples of the base
+  // (Figure 1a shows ~$10 on an $0.087 type); they differ in frequency.
+  // Rare-event rates need a long horizon to separate cleanly.
+  const Market longer =
+      generate_market(catalog_, paper_market_profile(catalog_), /*days=*/40.0, 0.25, 42);
+  const auto medium = catalog_.type_index("m1.medium");
+  const SpotTrace& spiky = longer.trace({medium, 0});
+  const SpotTrace& quiet = longer.trace({medium, 1});
+  const double base = base_spot_price(catalog_.type(medium));
+  EXPECT_GT(spiky.max_price(), 20.0 * base);
+  EXPECT_GT(quiet.availability(2.0 * base), spiky.availability(2.0 * base));
+  // The quiet zone spends clearly more time at the calm level.
+  EXPECT_GT(quiet.availability(1.2 * base), 0.9);
+}
+
+TEST_F(MarketTest, BaseSpotPriceUsesDiscount) {
+  const auto& small = catalog_.type(catalog_.type_index("m1.small"));
+  EXPECT_NEAR(base_spot_price(small), small.ondemand_usd_h * small.spot_discount, 1e-12);
+}
+
+TEST_F(MarketTest, SpotBaseBelowOnDemand) {
+  for (const auto& type : catalog_.types()) {
+    EXPECT_LT(base_spot_price(type), type.ondemand_usd_h) << type.name;
+  }
+}
+
+TEST_F(MarketTest, TailAndWindowViews) {
+  const Market tail = market_.tail_hours(24.0);
+  for (const auto& g : catalog_.all_groups())
+    EXPECT_EQ(tail.trace(g).steps(), static_cast<std::size_t>(24.0 / 0.25));
+  const Market win = market_.window(10, 20);
+  EXPECT_EQ(win.trace({0, 0}).steps(), 20u);
+  EXPECT_DOUBLE_EQ(win.trace({0, 0}).price(0), market_.trace({0, 0}).price(10));
+}
+
+TEST_F(MarketTest, RandomProfileIsSeedStable) {
+  Rng a(5), b(5);
+  EXPECT_EQ(random_market_profile(catalog_, a), random_market_profile(catalog_, b));
+}
+
+}  // namespace
+}  // namespace sompi

@@ -1,0 +1,176 @@
+// Tests for the mini-MPI extensions: nonblocking requests, sendrecv,
+// scatter and sub-communicators (split).
+#include <gtest/gtest.h>
+
+#include "minimpi/runtime.h"
+
+namespace sompi::mpi {
+namespace {
+
+TEST(MiniMpiExt, IrecvMatchesLater) {
+  const RunResult r = Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      Request req = comm.irecv(0, 5);
+      comm.barrier();  // the send happens after we posted the irecv
+      const Message m = req.wait();
+      EXPECT_EQ(m.source, 0);
+      EXPECT_EQ(m.tag, 5);
+      EXPECT_EQ(m.payload.size(), 3u);
+    } else {
+      comm.barrier();
+      const std::byte data[3] = {std::byte{1}, std::byte{2}, std::byte{3}};
+      comm.send_bytes(1, 5, data);
+    }
+  });
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(MiniMpiExt, RequestTestIsNonBlocking) {
+  const RunResult r = Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      Request req = comm.irecv(1, 9);
+      EXPECT_FALSE(req.test());  // nothing sent yet
+      comm.barrier();
+      // After the barrier the message is in flight or queued; poll for it.
+      while (!req.test()) {}
+      const Message m = req.wait();  // already completed: returns the cache
+      EXPECT_EQ(m.payload.size(), 8u);
+    } else {
+      comm.send_vec<double>(0, 9, std::vector<double>{4.5});
+      comm.barrier();
+    }
+  });
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(MiniMpiExt, IsendCompletesImmediately) {
+  const RunResult r = Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::byte data[1] = {std::byte{7}};
+      Request req = comm.isend_bytes(1, 3, data);
+      EXPECT_TRUE(req.test());
+      EXPECT_FALSE(req.is_receive());
+    } else {
+      EXPECT_EQ(comm.recv_bytes(0, 3).size(), 1u);
+    }
+  });
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(MiniMpiExt, SendrecvExchangesWithoutDeadlock) {
+  const RunResult r = Runtime::run(4, [](Comm& comm) {
+    const int right = (comm.rank() + 1) % comm.size();
+    const int left = (comm.rank() + comm.size() - 1) % comm.size();
+    const int payload = comm.rank() * 10;
+    const Message m = comm.sendrecv_bytes(
+        right, 7, std::as_bytes(std::span<const int, 1>(&payload, 1)), left, 7);
+    int got = 0;
+    std::memcpy(&got, m.payload.data(), sizeof got);
+    EXPECT_EQ(got, left * 10);
+  });
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(MiniMpiExt, ScatterDistributesChunks) {
+  const RunResult r = Runtime::run(3, [](Comm& comm) {
+    std::vector<std::vector<int>> chunks;
+    if (comm.rank() == 1) {
+      chunks = {{0, 0}, {1}, {2, 2, 2}};
+    }
+    const auto mine = comm.scatter(chunks, /*root=*/1);
+    EXPECT_EQ(static_cast<int>(mine.size()), comm.rank() == 0 ? 2 : comm.rank() == 1 ? 1 : 3);
+    for (int v : mine) EXPECT_EQ(v, comm.rank());
+  });
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(MiniMpiExt, SplitByParity) {
+  const RunResult r = Runtime::run(6, [](Comm& comm) {
+    Comm sub = comm.split(comm.rank() % 2, /*key=*/comm.rank());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    // Collectives stay inside the color group.
+    const int sum = sub.allreduce(comm.rank(), ReduceOp::kSum);
+    EXPECT_EQ(sum, comm.rank() % 2 == 0 ? 0 + 2 + 4 : 1 + 3 + 5);
+    // Point-to-point uses sub-ranks.
+    if (sub.rank() == 0) sub.send<int>(sub.size() - 1, 11, comm.rank());
+    if (sub.rank() == sub.size() - 1) {
+      const int from_head = sub.recv<int>(0, 11);
+      EXPECT_EQ(from_head, comm.rank() % 2);
+    }
+    sub.barrier();
+  });
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(MiniMpiExt, SplitKeyControlsOrdering) {
+  const RunResult r = Runtime::run(4, [](Comm& comm) {
+    // Reverse the ordering with descending keys.
+    Comm sub = comm.split(0, /*key=*/comm.size() - comm.rank());
+    EXPECT_EQ(sub.rank(), comm.size() - 1 - comm.rank());
+  });
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(MiniMpiExt, ParentAndChildTrafficDoNotCross) {
+  const RunResult r = Runtime::run(4, [](Comm& comm) {
+    Comm sub = comm.split(comm.rank() < 2 ? 0 : 1, comm.rank());
+    // Same (source, tag) pair on parent and child communicators.
+    if (comm.rank() == 0) {
+      comm.send<int>(1, 42, 100);  // parent: world 0 → world 1
+      sub.send<int>(1, 42, 200);   // child: sub 0 → sub 1 (world 1)
+    }
+    if (comm.rank() == 1) {
+      // The child receive must see the child message even though the parent
+      // message from the same world rank with the same user tag also sits
+      // in the mailbox.
+      EXPECT_EQ(sub.recv<int>(0, 42), 200);
+      EXPECT_EQ(comm.recv<int>(0, 42), 100);
+    }
+  });
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(MiniMpiExt, NestedSplit) {
+  const RunResult r = Runtime::run(8, [](Comm& comm) {
+    Comm half = comm.split(comm.rank() / 4, comm.rank());
+    Comm quarter = half.split(half.rank() / 2, half.rank());
+    EXPECT_EQ(quarter.size(), 2);
+    const int peer_sum = quarter.allreduce(comm.rank(), ReduceOp::kSum);
+    // Partners are adjacent world ranks: {0,1}, {2,3}, ...
+    EXPECT_EQ(peer_sum, (comm.rank() / 2) * 4 + 1);
+  });
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(MiniMpiExt, SplitRejectsNegativeColorAndAnyTag) {
+  const RunResult r = Runtime::run(2, [](Comm& comm) {
+    EXPECT_THROW((void)comm.split(-1, 0), PreconditionError);
+    comm.barrier();
+    Comm sub = comm.split(0, comm.rank());
+    EXPECT_THROW((void)sub.recv_message(kAnySource, kAnyTag), PreconditionError);
+  });
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(MiniMpiExt, GridRowColumnCommunicators) {
+  // The classic 2D-grid use: row and column communicators over 2×3 ranks.
+  const RunResult r = Runtime::run(6, [](Comm& comm) {
+    const int row = comm.rank() / 3;
+    const int col = comm.rank() % 3;
+    Comm row_comm = comm.split(row, col);
+    Comm col_comm = comm.split(col, row);
+    EXPECT_EQ(row_comm.size(), 3);
+    EXPECT_EQ(col_comm.size(), 2);
+    EXPECT_EQ(row_comm.rank(), col);
+    EXPECT_EQ(col_comm.rank(), row);
+    const int row_sum = row_comm.allreduce(comm.rank(), ReduceOp::kSum);
+    const int col_sum = col_comm.allreduce(comm.rank(), ReduceOp::kSum);
+    EXPECT_EQ(row_sum, row == 0 ? 0 + 1 + 2 : 3 + 4 + 5);
+    EXPECT_EQ(col_sum, col + (col + 3));
+  });
+  EXPECT_TRUE(r.completed);
+}
+
+}  // namespace
+}  // namespace sompi::mpi

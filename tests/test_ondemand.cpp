@@ -1,0 +1,74 @@
+#include "core/ondemand.h"
+
+#include <gtest/gtest.h>
+
+#include "profile/paper_profiles.h"
+
+namespace sompi {
+namespace {
+
+class OnDemandTest : public ::testing::Test {
+ protected:
+  Catalog catalog_ = paper_catalog();
+  ExecTimeEstimator est_;
+  OnDemandSelector selector_{&catalog_, &est_};
+};
+
+TEST_F(OnDemandTest, BaselineIsFastestType) {
+  const AppProfile bt = paper_profile("BT");
+  const OnDemandChoice base = selector_.baseline(bt);
+  EXPECT_EQ(catalog_.type(base.type_index).name, "cc2.8xlarge");
+  for (std::size_t d = 0; d < catalog_.types().size(); ++d)
+    EXPECT_LE(base.t_h, selector_.describe(d, bt).t_h + 1e-12);
+}
+
+TEST_F(OnDemandTest, BaselineForIoAppIsM1Medium) {
+  const OnDemandChoice base = selector_.baseline(paper_profile("BTIO"));
+  EXPECT_EQ(catalog_.type(base.type_index).name, "m1.medium");
+}
+
+TEST_F(OnDemandTest, TightDeadlineForcesFastTier) {
+  const AppProfile bt = paper_profile("BT");
+  const double baseline_h = selector_.baseline(bt).t_h;
+  // Deadline 1.05× baseline with 20% slack: only cc2.8xlarge fits.
+  const OnDemandChoice d = selector_.select(bt, baseline_h * 1.05, 0.0);
+  EXPECT_TRUE(d.feasible);
+  EXPECT_EQ(catalog_.type(d.type_index).name, "cc2.8xlarge");
+}
+
+TEST_F(OnDemandTest, LooseDeadlinePicksCheaperTier) {
+  const AppProfile bt = paper_profile("BT");
+  const double baseline_h = selector_.baseline(bt).t_h;
+  const OnDemandChoice tight = selector_.select(bt, baseline_h * 1.05, 0.0);
+  const OnDemandChoice loose = selector_.select(bt, baseline_h * 1.6, 0.0);
+  EXPECT_TRUE(loose.feasible);
+  EXPECT_LE(loose.full_cost_usd(), tight.full_cost_usd());
+  EXPECT_NE(catalog_.type(loose.type_index).name, "cc2.8xlarge");
+}
+
+TEST_F(OnDemandTest, SlackShrinksTheBudget) {
+  const AppProfile bt = paper_profile("BT");
+  const double baseline_h = selector_.baseline(bt).t_h;
+  // With the deadline exactly at baseline, any positive slack makes every
+  // tier infeasible.
+  const OnDemandChoice d = selector_.select(bt, baseline_h, 0.2);
+  EXPECT_FALSE(d.feasible);
+  EXPECT_EQ(catalog_.type(d.type_index).name, "cc2.8xlarge");  // fastest fallback
+}
+
+TEST_F(OnDemandTest, CostIsRateTimesRuntime) {
+  const AppProfile ft = paper_profile("FT");
+  const OnDemandChoice d = selector_.describe(catalog_.type_index("c3.xlarge"), ft);
+  EXPECT_EQ(d.instances, 32);
+  EXPECT_NEAR(d.rate_usd_h, 0.210 * 32, 1e-12);
+  EXPECT_NEAR(d.full_cost_usd(), d.rate_usd_h * d.t_h, 1e-12);
+}
+
+TEST_F(OnDemandTest, RejectsBadArguments) {
+  const AppProfile bt = paper_profile("BT");
+  EXPECT_THROW(selector_.select(bt, 0.0, 0.2), PreconditionError);
+  EXPECT_THROW(selector_.select(bt, 10.0, 1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace sompi

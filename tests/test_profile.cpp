@@ -1,0 +1,149 @@
+#include "profile/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "profile/paper_profiles.h"
+
+namespace sompi {
+namespace {
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  double hours(const AppProfile& app, const char* type) const {
+    return est_.hours(app, catalog_.type(catalog_.type_index(type)));
+  }
+
+  Catalog catalog_ = paper_catalog();
+  ExecTimeEstimator est_;
+};
+
+TEST_F(ProfileTest, AllPaperWorkloadsPresent) {
+  const auto all = paper_profiles();
+  ASSERT_EQ(all.size(), 6u);
+  for (const char* name : {"BT", "SP", "LU", "FT", "IS", "BTIO"})
+    EXPECT_NO_THROW(paper_profile(name));
+  EXPECT_THROW(paper_profile("CG"), PreconditionError);
+}
+
+TEST_F(ProfileTest, ComputeAppsFastestOnCc2) {
+  // §5.3.1: cc2.8xlarge is the most powerful type for comp-intensive apps.
+  for (const char* name : {"BT", "SP", "LU"}) {
+    const AppProfile app = paper_profile(name);
+    const double cc2 = hours(app, "cc2.8xlarge");
+    for (const char* other : {"m1.small", "m1.medium", "c3.xlarge"})
+      EXPECT_LT(cc2, hours(app, other)) << name << " vs " << other;
+  }
+}
+
+TEST_F(ProfileTest, ComputeAppsDeadlineLadder) {
+  // Fig 7a: as the deadline loosens, c3.xlarge, then m1.medium, then
+  // m1.small become eligible — their runtimes must be spread in (1, 1.5)×
+  // the cc2.8xlarge baseline.
+  for (const char* name : {"BT", "SP", "LU"}) {
+    const AppProfile app = paper_profile(name);
+    const double base = hours(app, "cc2.8xlarge");
+    const double c3 = hours(app, "c3.xlarge") / base;
+    const double medium = hours(app, "m1.medium") / base;
+    const double small = hours(app, "m1.small") / base;
+    EXPECT_LT(c3, medium);
+    EXPECT_LT(medium, small);
+    EXPECT_LT(small, 1.5) << name;
+    EXPECT_GT(c3, 1.05) << name;
+  }
+}
+
+TEST_F(ProfileTest, CommAppsOnlyCc2Competitive) {
+  // §5.3.1: for FT/IS the m1 family is hopeless (network-bound) and
+  // cc2.8xlarge is fastest.
+  for (const char* name : {"FT", "IS"}) {
+    const AppProfile app = paper_profile(name);
+    const double cc2 = hours(app, "cc2.8xlarge");
+    EXPECT_LT(cc2, hours(app, "c3.xlarge"));
+    EXPECT_GT(hours(app, "m1.small") / cc2, 1.8) << name;
+    EXPECT_GT(hours(app, "m1.medium") / cc2, 1.5) << name;
+  }
+}
+
+TEST_F(ProfileTest, BtioFastestOnM1Medium) {
+  // §5.3.1: "m1.small and m1.medium have lower costs and higher performance
+  // [than cc2.8xlarge] for IO-intensive applications."
+  const AppProfile app = paper_profile("BTIO");
+  const double medium = hours(app, "m1.medium");
+  EXPECT_LT(medium, hours(app, "cc2.8xlarge"));
+  EXPECT_LT(hours(app, "m1.small"), hours(app, "cc2.8xlarge"));
+  EXPECT_LT(medium, hours(app, "c3.xlarge"));
+}
+
+TEST_F(ProfileTest, BreakdownComponentsPositiveAndSum) {
+  const AppProfile app = paper_profile("BT");
+  const auto b = est_.estimate(app, catalog_.type(catalog_.type_index("c3.xlarge")));
+  EXPECT_GT(b.cpu_h, 0.0);
+  EXPECT_GT(b.net_h, 0.0);
+  EXPECT_GT(b.io_h, 0.0);
+  EXPECT_NEAR(b.total_h(), b.cpu_h + b.net_h + b.io_h, 1e-12);
+}
+
+TEST_F(ProfileTest, InterInstanceFraction) {
+  EXPECT_DOUBLE_EQ(ExecTimeEstimator::inter_instance_fraction(1, 128), 1.0);
+  EXPECT_NEAR(ExecTimeEstimator::inter_instance_fraction(32, 128), 96.0 / 127.0, 1e-12);
+  // Whole job on one instance: all traffic is shared-memory.
+  EXPECT_DOUBLE_EQ(ExecTimeEstimator::inter_instance_fraction(32, 32), 0.0);
+  EXPECT_DOUBLE_EQ(ExecTimeEstimator::inter_instance_fraction(32, 16), 0.0);
+}
+
+TEST_F(ProfileTest, CheckpointCostsScaleWithState) {
+  AppProfile app = paper_profile("BT");
+  const auto& type = catalog_.type(catalog_.type_index("c3.xlarge"));
+  const auto small_state = est_.checkpoint_costs(app, type);
+  app.state_gb *= 4.0;
+  const auto big_state = est_.checkpoint_costs(app, type);
+  EXPECT_GT(big_state.checkpoint_h, small_state.checkpoint_h);
+  EXPECT_GT(big_state.recovery_h, small_state.recovery_h);
+  EXPECT_GT(small_state.checkpoint_h, 0.0);
+}
+
+TEST_F(ProfileTest, ScaleProfileIsLinear) {
+  const AppProfile app = paper_profile("LU");
+  const AppProfile half = scale_profile(app, 0.5);
+  EXPECT_DOUBLE_EQ(half.instr_gi, app.instr_gi * 0.5);
+  EXPECT_DOUBLE_EQ(half.comm_gb, app.comm_gb * 0.5);
+  EXPECT_DOUBLE_EQ(half.io_seq_gb, app.io_seq_gb * 0.5);
+  EXPECT_DOUBLE_EQ(half.state_gb, app.state_gb);  // working set unchanged
+  EXPECT_EQ(half.processes, app.processes);
+  EXPECT_THROW(scale_profile(app, 0.0), PreconditionError);
+  EXPECT_THROW(scale_profile(app, 1.5), PreconditionError);
+}
+
+TEST_F(ProfileTest, LammpsBecomesCommBoundAtScale) {
+  // §5.3.1 LAMMPS: small N → comp-intensive (cheap m1 types viable);
+  // large N → comm-intensive (only cc2.8xlarge viable).
+  const AppProfile at32 = lammps_profile(32);
+  const AppProfile at128 = lammps_profile(128);
+  EXPECT_EQ(at32.category, AppCategory::kComputation);
+  EXPECT_EQ(at128.category, AppCategory::kCommunication);
+
+  const double r32 = hours(at32, "m1.small") / hours(at32, "cc2.8xlarge");
+  const double r128 = hours(at128, "m1.small") / hours(at128, "cc2.8xlarge");
+  EXPECT_LT(r32, 1.5);   // eligible under a loose deadline
+  EXPECT_GT(r128, 1.8);  // hopeless
+}
+
+TEST_F(ProfileTest, CategoryLabels) {
+  EXPECT_EQ(category_label(AppCategory::kComputation), "comp");
+  EXPECT_EQ(category_label(AppCategory::kCommunication), "comm");
+  EXPECT_EQ(category_label(AppCategory::kIo), "io");
+}
+
+TEST_F(ProfileTest, BaselineTimesAreLongJobs) {
+  // The paper extends NPB runs to long jobs; baselines should span several
+  // hours so hour-scale checkpoint intervals make sense.
+  for (const auto& app : paper_profiles()) {
+    double best = 1e9;
+    for (const auto& type : catalog_.types()) best = std::min(best, est_.hours(app, type));
+    EXPECT_GT(best, 4.0) << app.name;
+    EXPECT_LT(best, 48.0) << app.name;
+  }
+}
+
+}  // namespace
+}  // namespace sompi

@@ -1,0 +1,246 @@
+#include "sim/replay.h"
+
+#include <gtest/gtest.h>
+
+#include "core/schedule.h"
+
+namespace sompi {
+namespace {
+
+class ReplayTest : public ::testing::Test {
+ protected:
+  /// Builds a single-type, single-zone catalog-free market: the paper
+  /// catalog with every trace replaced by a hand-crafted series.
+  Market make_market(std::vector<double> prices_for_group00, double step_h = 0.25,
+                     double other_price = 0.05) {
+    std::vector<SpotTrace> traces;
+    const std::size_t n = prices_for_group00.size();
+    for (std::size_t i = 0; i < catalog_.types().size() * catalog_.zones().size(); ++i) {
+      if (i == 0) {
+        traces.emplace_back(step_h, prices_for_group00);
+      } else {
+        traces.emplace_back(step_h, std::vector<double>(n, other_price));
+      }
+    }
+    return Market(&catalog_, std::move(traces));
+  }
+
+  static Plan base_plan() {
+    Plan plan;
+    plan.app = "unit";
+    plan.step_hours = 0.25;
+    plan.deadline_h = 100.0;
+    plan.state_gb = 10.0;
+    plan.od.t_h = 8.0;
+    plan.od.instances = 4;
+    plan.od.rate_usd_h = 4.0;
+    plan.od.feasible = true;
+    return plan;
+  }
+
+  static GroupPlan group00(int t_steps, int f_steps, double bid, double o_steps = 0.2,
+                           int instances = 2) {
+    GroupPlan g;
+    g.spec = {0, 0};
+    g.name = "m1.small@us-east-1a";
+    g.instances = instances;
+    g.t_steps = t_steps;
+    g.o_steps = o_steps;
+    g.r_steps = 0.4;
+    g.bid_usd = bid;
+    g.f_steps = f_steps;
+    return g;
+  }
+
+  Catalog catalog_ = paper_catalog();
+};
+
+TEST_F(ReplayTest, OnDemandOnlyPlan) {
+  const Market market = make_market(std::vector<double>(100, 0.05));
+  const ReplayEngine engine(&market);
+  const Plan plan = base_plan();
+  const ReplayResult r = engine.replay(plan, 0.0);
+  EXPECT_FALSE(r.completed_on_spot);
+  EXPECT_TRUE(r.used_od_recovery);
+  EXPECT_DOUBLE_EQ(r.recovered_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(r.cost_usd, 4.0 * 8.0);
+  EXPECT_DOUBLE_EQ(r.time_h, 8.0);
+}
+
+TEST_F(ReplayTest, CalmMarketCompletesAtExactCost) {
+  const Market market = make_market(std::vector<double>(200, 0.02));
+  const ReplayEngine engine(&market);
+  Plan plan = base_plan();
+  plan.groups.push_back(group00(/*T=*/20, /*F=*/5, /*bid=*/0.1));
+  const ReplayResult r = engine.replay(plan, 0.0);
+
+  const GroupSchedule sched(20, 5, 0.2, 0.4);
+  EXPECT_TRUE(r.completed_on_spot);
+  EXPECT_FALSE(r.used_od_recovery);
+  EXPECT_NEAR(r.time_h, sched.wall_duration() * 0.25, 1e-9);
+  // Billed at the actual price for the exact wall duration.
+  EXPECT_NEAR(r.spot_cost_usd, 0.02 * 2 * sched.wall_duration() * 0.25, 1e-9);
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_TRUE(r.groups[0].completed);
+  EXPECT_EQ(r.groups[0].checkpoints, sched.checkpoints_full_run());
+  EXPECT_GT(r.storage_cost_usd, 0.0);
+  // Paper §4.4: checkpoint storage is far below 0.1% of the compute bill.
+  EXPECT_LT(r.storage_cost_usd, 0.001 * r.spot_cost_usd + 0.01);
+}
+
+TEST_F(ReplayTest, SpikeKillsGroupAndRecoversFromCheckpoint) {
+  // Low price for 12 steps, then a spike above the bid.
+  std::vector<double> prices(12, 0.02);
+  prices.resize(300, 5.0);
+  const Market market = make_market(std::move(prices));
+  const ReplayEngine engine(&market);
+  Plan plan = base_plan();
+  plan.groups.push_back(group00(/*T=*/20, /*F=*/5, /*bid=*/0.1));
+  const ReplayResult r = engine.replay(plan, 0.0);
+
+  EXPECT_FALSE(r.completed_on_spot);
+  EXPECT_TRUE(r.used_od_recovery);
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_TRUE(r.groups[0].killed);
+  // Killed at step 12: two full cycles (5+0.2 each) completed → saved 10.
+  const GroupSchedule sched(20, 5, 0.2, 0.4);
+  EXPECT_DOUBLE_EQ(r.groups[0].saved_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(r.recovered_ratio, sched.ratio_at(12.0));
+  // Spot paid for 12 steps; od pays ratio × T_od at the od rate.
+  EXPECT_NEAR(r.spot_cost_usd, 0.02 * 2 * 12 * 0.25, 1e-9);
+  EXPECT_NEAR(r.od_cost_usd, 4.0 * 8.0 * sched.ratio_at(12.0), 1e-9);
+  EXPECT_NEAR(r.time_h, 12 * 0.25 + 8.0 * sched.ratio_at(12.0), 1e-9);
+}
+
+TEST_F(ReplayTest, InstantDeathWithoutCheckpointFullRerun) {
+  const Market market = make_market(std::vector<double>(100, 9.0));
+  const ReplayEngine engine(&market);
+  Plan plan = base_plan();
+  plan.groups.push_back(group00(20, 20, /*bid=*/0.1));
+  const ReplayResult r = engine.replay(plan, 0.0);
+  EXPECT_TRUE(r.groups[0].killed);
+  EXPECT_DOUBLE_EQ(r.groups[0].lifetime_h, 0.0);
+  EXPECT_DOUBLE_EQ(r.spot_cost_usd, 0.0);
+  EXPECT_DOUBLE_EQ(r.recovered_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(r.od_cost_usd, 32.0);
+}
+
+TEST_F(ReplayTest, FirstCompletionTerminatesOtherReplicas) {
+  // Group (0,0) is slow (T=40); group (0,1) is fast (T=12); both calm.
+  const Market market = make_market(std::vector<double>(400, 0.02));
+  const ReplayEngine engine(&market);
+  Plan plan = base_plan();
+  plan.groups.push_back(group00(40, 10, 0.1));
+  GroupPlan fast = group00(12, 4, 0.1);
+  fast.spec = {0, 1};
+  fast.name = "m1.small@us-east-1b";
+  plan.groups.push_back(fast);
+
+  const ReplayResult r = engine.replay(plan, 0.0);
+  EXPECT_TRUE(r.completed_on_spot);
+  const GroupSchedule fast_sched(12, 4, 0.2, 0.4);
+  EXPECT_NEAR(r.time_h, fast_sched.wall_duration() * 0.25, 1e-9);
+  // The slow replica was cut off at the winner's completion and billed only
+  // through then.
+  ASSERT_EQ(r.groups.size(), 2u);
+  EXPECT_FALSE(r.groups[0].completed);
+  EXPECT_FALSE(r.groups[0].killed);
+  EXPECT_LE(r.groups[0].lifetime_h, r.time_h + 0.25);
+  EXPECT_TRUE(r.groups[1].completed);
+}
+
+TEST_F(ReplayTest, WindowReplayReportsDurableProgress) {
+  const Market market = make_market(std::vector<double>(400, 0.02));
+  const ReplayEngine engine(&market);
+  Plan plan = base_plan();
+  plan.groups.push_back(group00(40, 10, 0.1));
+
+  // A 2.5 h window = 10 steps: one cycle (10+0.2) not yet complete → the
+  // boundary checkpoint captures in-flight progress (10 of 40 productive).
+  const WindowOutcome out = engine.replay_window(plan, 0.0, 2.5);
+  EXPECT_FALSE(out.completed);
+  EXPECT_NEAR(out.fraction_done, 10.0 / 40.0, 1e-9);
+  EXPECT_NEAR(out.hours_used, 2.5, 1e-9);
+  EXPECT_GT(out.cost_usd, 0.0);
+}
+
+TEST_F(ReplayTest, WindowReplayDetectsCompletion) {
+  const Market market = make_market(std::vector<double>(400, 0.02));
+  const ReplayEngine engine(&market);
+  Plan plan = base_plan();
+  plan.groups.push_back(group00(8, 4, 0.1));
+  const WindowOutcome out = engine.replay_window(plan, 0.0, 24.0);
+  EXPECT_TRUE(out.completed);
+  EXPECT_DOUBLE_EQ(out.fraction_done, 1.0);
+  const GroupSchedule sched(8, 4, 0.2, 0.4);
+  EXPECT_NEAR(out.hours_used, sched.wall_duration() * 0.25, 1e-9);
+}
+
+TEST_F(ReplayTest, WindowReplayAllDeadEndsEarly) {
+  std::vector<double> prices(4, 0.02);
+  prices.resize(400, 9.0);
+  const Market market = make_market(std::move(prices));
+  const ReplayEngine engine(&market);
+  Plan plan = base_plan();
+  plan.groups.push_back(group00(40, 10, 0.1));
+  const WindowOutcome out = engine.replay_window(plan, 0.0, 10.0);
+  EXPECT_FALSE(out.completed);
+  EXPECT_DOUBLE_EQ(out.fraction_done, 0.0);  // died before the first dump
+  EXPECT_NEAR(out.hours_used, 4 * 0.25, 1e-6);
+}
+
+TEST_F(ReplayTest, StartOffsetShiftsTheTimeline) {
+  // Spike at steps [0, 4); starting after it survives.
+  std::vector<double> prices(4, 9.0);
+  prices.resize(400, 0.02);
+  const Market market = make_market(std::move(prices));
+  const ReplayEngine engine(&market);
+  Plan plan = base_plan();
+  plan.groups.push_back(group00(20, 5, 0.1));
+  EXPECT_FALSE(engine.replay(plan, 0.0).completed_on_spot);
+  EXPECT_TRUE(engine.replay(plan, 1.0).completed_on_spot);
+}
+
+TEST_F(ReplayTest, HourlyBillingRoundsUpPerLifetime) {
+  const Market market = make_market(std::vector<double>(400, 0.02));
+  ReplayConfig cfg;
+  cfg.billing = BillingModel::kHourlyRoundUp;
+  const ReplayEngine engine(&market, cfg);
+  Plan plan = base_plan();
+  // 21 productive steps, no checkpoints → 5.25 h lifetime → billed 6 h.
+  plan.groups.push_back(group00(21, 21, 0.1));
+  const ReplayResult r = engine.replay(plan, 0.0);
+  EXPECT_NEAR(r.spot_cost_usd, 0.02 * 2 * 6.0, 1e-9);
+  // An exact-hour lifetime is billed exactly (20 steps = 5 h).
+  Plan exact = base_plan();
+  exact.groups.push_back(group00(20, 20, 0.1));
+  EXPECT_NEAR(engine.replay(exact, 0.0).spot_cost_usd, 0.02 * 2 * 5.0, 1e-9);
+}
+
+TEST_F(ReplayTest, ProviderKillRefundsPartialHour) {
+  // Low for 13 steps (3.25 h) then spiked: killed at 3.25 h → provider-kill
+  // billing charges only the 3 full hours.
+  std::vector<double> prices(13, 0.02);
+  prices.resize(400, 9.0);
+  const Market market = make_market(std::move(prices));
+  ReplayConfig cfg;
+  cfg.billing = BillingModel::kHourlyProviderKillFree;
+  const ReplayEngine engine(&market, cfg);
+  Plan plan = base_plan();
+  plan.groups.push_back(group00(40, 40, 0.1));
+  const ReplayResult r = engine.replay(plan, 0.0);
+  EXPECT_NEAR(r.spot_cost_usd, 0.02 * 2 * 3.0, 1e-9);
+}
+
+TEST_F(ReplayTest, OracleHistoryEndsAtNow) {
+  const Market market = make_market(std::vector<double>(400, 0.02));
+  MarketReplayOracle oracle(&market);
+  const Market hist = oracle.history_at(10.0, 5.0);
+  EXPECT_EQ(hist.trace({0, 0}).steps(), static_cast<std::size_t>(5.0 / 0.25));
+  // Early history is clamped at the trace start.
+  const Market early = oracle.history_at(1.0, 5.0);
+  EXPECT_EQ(early.trace({0, 0}).steps(), 4u);
+}
+
+}  // namespace
+}  // namespace sompi

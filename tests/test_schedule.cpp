@@ -1,0 +1,113 @@
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace sompi {
+namespace {
+
+TEST(Schedule, NoCheckpointsWhenFEqualsT) {
+  const GroupSchedule s(10, 10, 0.5, 1.0);
+  EXPECT_EQ(s.checkpoints_full_run(), 0);
+  EXPECT_DOUBLE_EQ(s.wall_duration(), 10.0);
+  EXPECT_EQ(s.saved_by(9.9), 0);
+  EXPECT_DOUBLE_EQ(s.ratio_at(5.0), 1.0);   // nothing saved: full redo
+  EXPECT_DOUBLE_EQ(s.ratio_at(10.0), 0.0);  // completed
+}
+
+TEST(Schedule, CheckpointCountAndWall) {
+  // T=10, F=3 → cycles at 3,6,9 then tail: checkpoints after 3, 6, 9 but
+  // ceil(10/3)=4 cycles → 3 checkpoints; wall = 10 + 3·0.5.
+  const GroupSchedule s(10, 3, 0.5, 1.0);
+  EXPECT_EQ(s.checkpoints_full_run(), 3);
+  EXPECT_DOUBLE_EQ(s.wall_duration(), 11.5);
+}
+
+TEST(Schedule, ExactDivisionSkipsFinalCheckpoint) {
+  // T=9, F=3: the third "checkpoint" would coincide with completion.
+  const GroupSchedule s(9, 3, 0.5, 1.0);
+  EXPECT_EQ(s.checkpoints_full_run(), 2);
+  EXPECT_DOUBLE_EQ(s.wall_duration(), 10.0);
+}
+
+TEST(Schedule, SavedByTracksCycles) {
+  const GroupSchedule s(10, 3, 0.5, 1.0);  // cycle length 3.5
+  EXPECT_EQ(s.saved_by(0.0), 0);
+  EXPECT_EQ(s.saved_by(3.4), 0);   // first dump finishes at 3.5
+  EXPECT_EQ(s.saved_by(3.5), 3);
+  EXPECT_EQ(s.saved_by(6.9), 3);
+  EXPECT_EQ(s.saved_by(7.0), 6);
+  EXPECT_EQ(s.saved_by(10.5), 9);
+  EXPECT_EQ(s.saved_by(100.0), 9);  // capped at full-run checkpoints
+}
+
+TEST(Schedule, ProgressWithinCycle) {
+  const GroupSchedule s(10, 3, 0.5, 1.0);
+  EXPECT_DOUBLE_EQ(s.progress_by(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.progress_by(2.0), 2.0);   // mid first productive phase
+  EXPECT_DOUBLE_EQ(s.progress_by(3.2), 3.0);   // inside the first dump
+  EXPECT_DOUBLE_EQ(s.progress_by(4.0), 3.5);   // second productive phase
+  EXPECT_DOUBLE_EQ(s.progress_by(11.5), 10.0); // complete
+}
+
+TEST(Schedule, RatioIncludesRecoveryOnlyWithSavedWork) {
+  const GroupSchedule s(10, 3, 0.5, 1.0);
+  // Before any checkpoint: redo everything, no recovery needed.
+  EXPECT_DOUBLE_EQ(s.ratio_at(2.0), 1.0);
+  // After the first checkpoint (saved 3): (10-3+1)/10.
+  EXPECT_DOUBLE_EQ(s.ratio_at(4.0), 0.8);
+  // After the third checkpoint (saved 9): (10-9+1)/10.
+  EXPECT_DOUBLE_EQ(s.ratio_at(11.0), 0.2);
+  EXPECT_DOUBLE_EQ(s.ratio_at(11.5), 0.0);
+}
+
+TEST(Schedule, RejectsInvalidParameters) {
+  EXPECT_THROW(GroupSchedule(0, 1, 0.0, 0.0), PreconditionError);
+  EXPECT_THROW(GroupSchedule(5, 0, 0.0, 0.0), PreconditionError);
+  EXPECT_THROW(GroupSchedule(5, 6, 0.0, 0.0), PreconditionError);
+  EXPECT_THROW(GroupSchedule(5, 2, -0.1, 0.0), PreconditionError);
+  EXPECT_THROW(GroupSchedule(5, 2, 0.0, -0.1), PreconditionError);
+}
+
+// ---- Property sweep over (T, F, O) ------------------------------------------
+
+class ScheduleProperty : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(ScheduleProperty, Invariants) {
+  const auto [t, f, o] = GetParam();
+  if (f > t) GTEST_SKIP();
+  const GroupSchedule s(t, f, o, 0.8);
+
+  EXPECT_GE(s.wall_duration(), static_cast<double>(t));
+  EXPECT_EQ(s.saved_by(0.0), 0);
+  EXPECT_DOUBLE_EQ(s.progress_by(s.wall_duration()), static_cast<double>(t));
+  EXPECT_DOUBLE_EQ(s.ratio_at(s.wall_duration()), 0.0);
+
+  double prev_saved = 0.0;
+  double prev_progress = 0.0;
+  for (double x = 0.0; x <= s.wall_duration() + 1.0; x += 0.31) {
+    const double saved = s.saved_by(x);
+    const double progress = s.progress_by(x);
+    // Monotonicity and ordering: saved <= progress <= T.
+    EXPECT_GE(saved, prev_saved);
+    EXPECT_GE(progress, prev_progress - 1e-12);
+    EXPECT_LE(saved, progress + 1e-12);
+    EXPECT_LE(progress, static_cast<double>(t));
+    // Ratio stays in [0, 1].
+    EXPECT_GE(s.ratio_at(x), 0.0);
+    EXPECT_LE(s.ratio_at(x), 1.0);
+    prev_saved = saved;
+    prev_progress = progress;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScheduleProperty,
+    ::testing::Combine(::testing::Values(1, 2, 7, 24, 100),   // T
+                       ::testing::Values(1, 2, 5, 24),        // F
+                       ::testing::Values(0.0, 0.05, 0.5, 2.0)  // O
+                       ));
+
+}  // namespace
+}  // namespace sompi

@@ -1,0 +1,135 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace sompi {
+namespace {
+
+TEST(OnlineStats, MatchesNaiveComputation) {
+  const std::vector<double> xs{3.0, -1.0, 4.0, 1.5, 9.25, -2.0};
+  OnlineStats s;
+  for (double x : xs) s.add(x);
+
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= xs.size();
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= (xs.size() - 1);
+
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.25);
+}
+
+TEST(OnlineStats, EmptyAndSingleton) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_THROW(s.min(), PreconditionError);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  Rng rng(5);
+  OnlineStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.mean(), 1.5, 1e-12);
+}
+
+TEST(Percentile, KnownValues) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.1), 1.4);  // linear interpolation
+}
+
+TEST(Percentile, RejectsEmptyAndBadQ) {
+  EXPECT_THROW(percentile({}, 0.5), PreconditionError);
+  EXPECT_THROW(percentile({1.0}, 1.5), PreconditionError);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 4
+  h.add(-3.0);   // clamped to bin 0
+  h.add(42.0);   // clamped to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.density(2), 0.2);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Histogram, L1DistanceBounds) {
+  Histogram a(0, 1, 4), b(0, 1, 4);
+  a.add(0.1);
+  b.add(0.9);
+  EXPECT_DOUBLE_EQ(Histogram::l1_distance(a, b), 2.0);  // disjoint
+  Histogram c(0, 1, 4), d(0, 1, 4);
+  c.add(0.1);
+  d.add(0.15);
+  EXPECT_DOUBLE_EQ(Histogram::l1_distance(c, d), 0.0);  // same bin
+}
+
+TEST(Histogram, L1RequiresSameBinning) {
+  Histogram a(0, 1, 4), b(0, 1, 5);
+  EXPECT_THROW(Histogram::l1_distance(a, b), PreconditionError);
+}
+
+TEST(Histogram, AsciiRendersOneLinePerBin) {
+  Histogram h(0, 1, 3);
+  h.add(0.5);
+  const std::string art = h.ascii();
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
+}
+
+TEST(Summary, MatchesComponents) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.p50, 2.5);
+}
+
+}  // namespace
+}  // namespace sompi

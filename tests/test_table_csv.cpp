@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/table.h"
+
+namespace sompi {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t("demo");
+  t.header({"a", "long-header"});
+  t.row({"wide-cell", "x"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("demo\n"), std::string::npos);
+  EXPECT_NE(out.find("a          long-header"), std::string::npos);
+  EXPECT_NE(out.find("wide-cell  x"), std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t;
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(1.0, 0), "1");
+}
+
+TEST(Csv, RoundTrip) {
+  CsvTable t;
+  t.header = {"x", "y"};
+  t.rows = {{"1", "2"}, {"3", "4"}};
+  const CsvTable parsed = parse_csv(to_csv(t));
+  EXPECT_EQ(parsed.header, t.header);
+  EXPECT_EQ(parsed.rows, t.rows);
+}
+
+TEST(Csv, SkipsCommentsAndBlankLines) {
+  const CsvTable t = parse_csv("# comment\nx,y\n\n1,2\n");
+  EXPECT_EQ(t.header.size(), 2u);
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][1], "2");
+}
+
+TEST(Csv, RejectsRaggedRows) {
+  EXPECT_THROW(parse_csv("a,b\n1,2,3\n"), IoError);
+}
+
+TEST(Csv, ColumnLookup) {
+  const CsvTable t = parse_csv("time,price\n0,1.5\n");
+  EXPECT_EQ(t.column("price"), 1u);
+  EXPECT_THROW(t.column("missing"), PreconditionError);
+}
+
+TEST(Csv, FileRoundTrip) {
+  CsvTable t;
+  t.header = {"k"};
+  t.rows = {{"v"}};
+  const std::string path = ::testing::TempDir() + "/sompi_csv_test.csv";
+  write_csv_file(path, t);
+  const CsvTable back = read_csv_file(path);
+  EXPECT_EQ(back.rows, t.rows);
+  EXPECT_THROW(read_csv_file("/nonexistent/nope.csv"), IoError);
+}
+
+}  // namespace
+}  // namespace sompi

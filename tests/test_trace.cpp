@@ -1,0 +1,92 @@
+#include "trace/spot_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace sompi {
+namespace {
+
+SpotTrace make_trace() { return SpotTrace(0.5, {1.0, 2.0, 0.5, 3.0, 1.5}); }
+
+TEST(SpotTrace, BasicQueries) {
+  const SpotTrace t = make_trace();
+  EXPECT_EQ(t.steps(), 5u);
+  EXPECT_DOUBLE_EQ(t.step_hours(), 0.5);
+  EXPECT_DOUBLE_EQ(t.span_hours(), 2.5);
+  EXPECT_DOUBLE_EQ(t.price(3), 3.0);
+  EXPECT_DOUBLE_EQ(t.max_price(), 3.0);
+  EXPECT_DOUBLE_EQ(t.min_price(), 0.5);
+}
+
+TEST(SpotTrace, PriceAtHoursMapsToSteps) {
+  const SpotTrace t = make_trace();
+  EXPECT_DOUBLE_EQ(t.price_at_hours(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.price_at_hours(0.49), 1.0);
+  EXPECT_DOUBLE_EQ(t.price_at_hours(0.5), 2.0);
+  // Past the end clamps to the last step.
+  EXPECT_DOUBLE_EQ(t.price_at_hours(100.0), 1.5);
+}
+
+TEST(SpotTrace, MeanBelowBid) {
+  const SpotTrace t = make_trace();
+  EXPECT_DOUBLE_EQ(t.mean_below(1.0), 0.75);       // {1.0, 0.5}
+  EXPECT_DOUBLE_EQ(t.mean_below(10.0), 8.0 / 5.0); // all
+  EXPECT_DOUBLE_EQ(t.mean_below(0.1), 0.0);        // none
+}
+
+TEST(SpotTrace, Availability) {
+  const SpotTrace t = make_trace();
+  EXPECT_DOUBLE_EQ(t.availability(1.5), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(t.availability(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.availability(3.0), 1.0);
+}
+
+TEST(SpotTrace, FirstExceed) {
+  const SpotTrace t = make_trace();
+  EXPECT_EQ(t.first_exceed(0, 1.5), 1u);  // price 2.0 at step 1
+  EXPECT_EQ(t.first_exceed(2, 1.5), 1u);  // price 3.0 at step 3, offset 1
+  EXPECT_EQ(t.first_exceed(0, 3.0), SpotTrace::kNever);
+  EXPECT_EQ(t.first_exceed(4, 2.0), SpotTrace::kNever);
+}
+
+TEST(SpotTrace, WindowAndTail) {
+  const SpotTrace t = make_trace();
+  const SpotTrace w = t.window(1, 2);
+  EXPECT_EQ(w.steps(), 2u);
+  EXPECT_DOUBLE_EQ(w.price(0), 2.0);
+  // Window clamps to the end.
+  EXPECT_EQ(t.window(4, 10).steps(), 1u);
+  // Tail of 1 hour = 2 steps of 0.5 h.
+  const SpotTrace tail = t.tail_hours(1.0);
+  EXPECT_EQ(tail.steps(), 2u);
+  EXPECT_DOUBLE_EQ(tail.price(0), 3.0);
+  // A tail longer than the trace returns everything.
+  EXPECT_EQ(t.tail_hours(100.0).steps(), 5u);
+}
+
+TEST(SpotTrace, Append) {
+  SpotTrace t = make_trace();
+  t.append(SpotTrace(0.5, {9.0}));
+  EXPECT_EQ(t.steps(), 6u);
+  EXPECT_DOUBLE_EQ(t.max_price(), 9.0);
+  EXPECT_THROW(t.append(SpotTrace(1.0, {1.0})), PreconditionError);
+}
+
+TEST(SpotTrace, RejectsNegativePricesAndBadStep) {
+  EXPECT_THROW(SpotTrace(0.5, {-1.0}), PreconditionError);
+  EXPECT_THROW(SpotTrace(0.0, {1.0}), PreconditionError);
+}
+
+TEST(SpotTrace, HistogramCoversPrices) {
+  const SpotTrace t = make_trace();
+  const Histogram h = t.histogram(0.0, 4.0, 4);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 1u);  // 0.5
+  EXPECT_EQ(h.count(1), 2u);  // 1.0, 1.5
+  EXPECT_EQ(h.count(2), 1u);  // 2.0
+  EXPECT_EQ(h.count(3), 1u);  // 3.0
+}
+
+}  // namespace
+}  // namespace sompi
