@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_acc_model.dir/bench_acc_model.cpp.o"
+  "CMakeFiles/bench_acc_model.dir/bench_acc_model.cpp.o.d"
+  "bench_acc_model"
+  "bench_acc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_acc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

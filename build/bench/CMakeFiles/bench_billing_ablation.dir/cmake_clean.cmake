@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_billing_ablation.dir/bench_billing_ablation.cpp.o"
+  "CMakeFiles/bench_billing_ablation.dir/bench_billing_ablation.cpp.o.d"
+  "bench_billing_ablation"
+  "bench_billing_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_billing_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

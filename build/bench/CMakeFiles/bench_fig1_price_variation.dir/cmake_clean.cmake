@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_price_variation.dir/bench_fig1_price_variation.cpp.o"
+  "CMakeFiles/bench_fig1_price_variation.dir/bench_fig1_price_variation.cpp.o.d"
+  "bench_fig1_price_variation"
+  "bench_fig1_price_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_price_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

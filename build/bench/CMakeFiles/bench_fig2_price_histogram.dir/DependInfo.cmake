@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_price_histogram.cpp" "bench/CMakeFiles/bench_fig2_price_histogram.dir/bench_fig2_price_histogram.cpp.o" "gcc" "bench/CMakeFiles/bench_fig2_price_histogram.dir/bench_fig2_price_histogram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sompi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sompi_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sompi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/sompi_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/sompi_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/sompi_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sompi_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/sompi_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/sompi_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sompi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

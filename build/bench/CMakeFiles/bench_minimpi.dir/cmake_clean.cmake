@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minimpi.dir/bench_minimpi.cpp.o"
+  "CMakeFiles/bench_minimpi.dir/bench_minimpi.cpp.o.d"
+  "bench_minimpi"
+  "bench_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_opt_overhead.dir/bench_opt_overhead.cpp.o"
+  "CMakeFiles/bench_opt_overhead.dir/bench_opt_overhead.cpp.o.d"
+  "bench_opt_overhead"
+  "bench_opt_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_opt_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

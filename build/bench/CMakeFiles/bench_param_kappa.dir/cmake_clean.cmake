@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_param_kappa.dir/bench_param_kappa.cpp.o"
+  "CMakeFiles/bench_param_kappa.dir/bench_param_kappa.cpp.o.d"
+  "bench_param_kappa"
+  "bench_param_kappa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_param_kappa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_param_slack.dir/bench_param_slack.cpp.o"
+  "CMakeFiles/bench_param_slack.dir/bench_param_slack.cpp.o.d"
+  "bench_param_slack"
+  "bench_param_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_param_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

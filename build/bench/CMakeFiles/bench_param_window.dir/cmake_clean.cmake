@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_param_window.dir/bench_param_window.cpp.o"
+  "CMakeFiles/bench_param_window.dir/bench_param_window.cpp.o.d"
+  "bench_param_window"
+  "bench_param_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_param_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

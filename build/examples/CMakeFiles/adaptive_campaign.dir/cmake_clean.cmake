@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_campaign.dir/adaptive_campaign.cpp.o"
+  "CMakeFiles/adaptive_campaign.dir/adaptive_campaign.cpp.o.d"
+  "adaptive_campaign"
+  "adaptive_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_solver.dir/fault_tolerant_solver.cpp.o"
+  "CMakeFiles/fault_tolerant_solver.dir/fault_tolerant_solver.cpp.o.d"
+  "fault_tolerant_solver"
+  "fault_tolerant_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sompi_plan.dir/sompi_plan.cpp.o"
+  "CMakeFiles/sompi_plan.dir/sompi_plan.cpp.o.d"
+  "sompi_plan"
+  "sompi_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sompi_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/band_solver.cpp" "src/apps/CMakeFiles/sompi_apps.dir/band_solver.cpp.o" "gcc" "src/apps/CMakeFiles/sompi_apps.dir/band_solver.cpp.o.d"
+  "/root/repo/src/apps/bt.cpp" "src/apps/CMakeFiles/sompi_apps.dir/bt.cpp.o" "gcc" "src/apps/CMakeFiles/sompi_apps.dir/bt.cpp.o.d"
+  "/root/repo/src/apps/cg.cpp" "src/apps/CMakeFiles/sompi_apps.dir/cg.cpp.o" "gcc" "src/apps/CMakeFiles/sompi_apps.dir/cg.cpp.o.d"
+  "/root/repo/src/apps/ep.cpp" "src/apps/CMakeFiles/sompi_apps.dir/ep.cpp.o" "gcc" "src/apps/CMakeFiles/sompi_apps.dir/ep.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/apps/CMakeFiles/sompi_apps.dir/fft.cpp.o" "gcc" "src/apps/CMakeFiles/sompi_apps.dir/fft.cpp.o.d"
+  "/root/repo/src/apps/ft.cpp" "src/apps/CMakeFiles/sompi_apps.dir/ft.cpp.o" "gcc" "src/apps/CMakeFiles/sompi_apps.dir/ft.cpp.o.d"
+  "/root/repo/src/apps/is.cpp" "src/apps/CMakeFiles/sompi_apps.dir/is.cpp.o" "gcc" "src/apps/CMakeFiles/sompi_apps.dir/is.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/apps/CMakeFiles/sompi_apps.dir/lu.cpp.o" "gcc" "src/apps/CMakeFiles/sompi_apps.dir/lu.cpp.o.d"
+  "/root/repo/src/apps/md.cpp" "src/apps/CMakeFiles/sompi_apps.dir/md.cpp.o" "gcc" "src/apps/CMakeFiles/sompi_apps.dir/md.cpp.o.d"
+  "/root/repo/src/apps/sp.cpp" "src/apps/CMakeFiles/sompi_apps.dir/sp.cpp.o" "gcc" "src/apps/CMakeFiles/sompi_apps.dir/sp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sompi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/sompi_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/sompi_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/sompi_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/sompi_cloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sompi_apps.dir/band_solver.cpp.o"
+  "CMakeFiles/sompi_apps.dir/band_solver.cpp.o.d"
+  "CMakeFiles/sompi_apps.dir/bt.cpp.o"
+  "CMakeFiles/sompi_apps.dir/bt.cpp.o.d"
+  "CMakeFiles/sompi_apps.dir/cg.cpp.o"
+  "CMakeFiles/sompi_apps.dir/cg.cpp.o.d"
+  "CMakeFiles/sompi_apps.dir/ep.cpp.o"
+  "CMakeFiles/sompi_apps.dir/ep.cpp.o.d"
+  "CMakeFiles/sompi_apps.dir/fft.cpp.o"
+  "CMakeFiles/sompi_apps.dir/fft.cpp.o.d"
+  "CMakeFiles/sompi_apps.dir/ft.cpp.o"
+  "CMakeFiles/sompi_apps.dir/ft.cpp.o.d"
+  "CMakeFiles/sompi_apps.dir/is.cpp.o"
+  "CMakeFiles/sompi_apps.dir/is.cpp.o.d"
+  "CMakeFiles/sompi_apps.dir/lu.cpp.o"
+  "CMakeFiles/sompi_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/sompi_apps.dir/md.cpp.o"
+  "CMakeFiles/sompi_apps.dir/md.cpp.o.d"
+  "CMakeFiles/sompi_apps.dir/sp.cpp.o"
+  "CMakeFiles/sompi_apps.dir/sp.cpp.o.d"
+  "libsompi_apps.a"
+  "libsompi_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sompi_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

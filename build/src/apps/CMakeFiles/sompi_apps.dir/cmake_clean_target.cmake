@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsompi_apps.a"
+)

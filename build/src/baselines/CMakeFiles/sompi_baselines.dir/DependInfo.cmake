@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baselines.cpp" "src/baselines/CMakeFiles/sompi_baselines.dir/baselines.cpp.o" "gcc" "src/baselines/CMakeFiles/sompi_baselines.dir/baselines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sompi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sompi_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/sompi_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sompi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/sompi_profile.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sompi_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/sompi_baselines.dir/baselines.cpp.o.d"
+  "libsompi_baselines.a"
+  "libsompi_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sompi_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sompi_checkpoint.dir/checkpointer.cpp.o"
+  "CMakeFiles/sompi_checkpoint.dir/checkpointer.cpp.o.d"
+  "CMakeFiles/sompi_checkpoint.dir/incremental.cpp.o"
+  "CMakeFiles/sompi_checkpoint.dir/incremental.cpp.o.d"
+  "CMakeFiles/sompi_checkpoint.dir/storage.cpp.o"
+  "CMakeFiles/sompi_checkpoint.dir/storage.cpp.o.d"
+  "libsompi_checkpoint.a"
+  "libsompi_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sompi_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sompi_cloud.dir/billing.cpp.o"
+  "CMakeFiles/sompi_cloud.dir/billing.cpp.o.d"
+  "CMakeFiles/sompi_cloud.dir/catalog.cpp.o"
+  "CMakeFiles/sompi_cloud.dir/catalog.cpp.o.d"
+  "libsompi_cloud.a"
+  "libsompi_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sompi_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sompi_common.dir/csv.cpp.o"
+  "CMakeFiles/sompi_common.dir/csv.cpp.o.d"
+  "CMakeFiles/sompi_common.dir/log.cpp.o"
+  "CMakeFiles/sompi_common.dir/log.cpp.o.d"
+  "CMakeFiles/sompi_common.dir/rng.cpp.o"
+  "CMakeFiles/sompi_common.dir/rng.cpp.o.d"
+  "CMakeFiles/sompi_common.dir/stats.cpp.o"
+  "CMakeFiles/sompi_common.dir/stats.cpp.o.d"
+  "CMakeFiles/sompi_common.dir/table.cpp.o"
+  "CMakeFiles/sompi_common.dir/table.cpp.o.d"
+  "libsompi_common.a"
+  "libsompi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sompi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

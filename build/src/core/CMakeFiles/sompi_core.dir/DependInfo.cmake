@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/sompi_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/sompi_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/ckpt_interval.cpp" "src/core/CMakeFiles/sompi_core.dir/ckpt_interval.cpp.o" "gcc" "src/core/CMakeFiles/sompi_core.dir/ckpt_interval.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/sompi_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/sompi_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/failure_model.cpp" "src/core/CMakeFiles/sompi_core.dir/failure_model.cpp.o" "gcc" "src/core/CMakeFiles/sompi_core.dir/failure_model.cpp.o.d"
+  "/root/repo/src/core/ondemand.cpp" "src/core/CMakeFiles/sompi_core.dir/ondemand.cpp.o" "gcc" "src/core/CMakeFiles/sompi_core.dir/ondemand.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/sompi_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/sompi_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/sompi_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/sompi_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/setup_builder.cpp" "src/core/CMakeFiles/sompi_core.dir/setup_builder.cpp.o" "gcc" "src/core/CMakeFiles/sompi_core.dir/setup_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sompi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/sompi_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sompi_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/sompi_profile.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

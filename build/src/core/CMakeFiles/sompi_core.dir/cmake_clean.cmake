@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sompi_core.dir/adaptive.cpp.o"
+  "CMakeFiles/sompi_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/sompi_core.dir/ckpt_interval.cpp.o"
+  "CMakeFiles/sompi_core.dir/ckpt_interval.cpp.o.d"
+  "CMakeFiles/sompi_core.dir/cost_model.cpp.o"
+  "CMakeFiles/sompi_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/sompi_core.dir/failure_model.cpp.o"
+  "CMakeFiles/sompi_core.dir/failure_model.cpp.o.d"
+  "CMakeFiles/sompi_core.dir/ondemand.cpp.o"
+  "CMakeFiles/sompi_core.dir/ondemand.cpp.o.d"
+  "CMakeFiles/sompi_core.dir/optimizer.cpp.o"
+  "CMakeFiles/sompi_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/sompi_core.dir/schedule.cpp.o"
+  "CMakeFiles/sompi_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/sompi_core.dir/setup_builder.cpp.o"
+  "CMakeFiles/sompi_core.dir/setup_builder.cpp.o.d"
+  "libsompi_core.a"
+  "libsompi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sompi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

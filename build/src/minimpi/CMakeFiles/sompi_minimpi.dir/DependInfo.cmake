@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minimpi/comm.cpp" "src/minimpi/CMakeFiles/sompi_minimpi.dir/comm.cpp.o" "gcc" "src/minimpi/CMakeFiles/sompi_minimpi.dir/comm.cpp.o.d"
+  "/root/repo/src/minimpi/mailbox.cpp" "src/minimpi/CMakeFiles/sompi_minimpi.dir/mailbox.cpp.o" "gcc" "src/minimpi/CMakeFiles/sompi_minimpi.dir/mailbox.cpp.o.d"
+  "/root/repo/src/minimpi/profiler.cpp" "src/minimpi/CMakeFiles/sompi_minimpi.dir/profiler.cpp.o" "gcc" "src/minimpi/CMakeFiles/sompi_minimpi.dir/profiler.cpp.o.d"
+  "/root/repo/src/minimpi/runtime.cpp" "src/minimpi/CMakeFiles/sompi_minimpi.dir/runtime.cpp.o" "gcc" "src/minimpi/CMakeFiles/sompi_minimpi.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sompi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/sompi_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/sompi_cloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

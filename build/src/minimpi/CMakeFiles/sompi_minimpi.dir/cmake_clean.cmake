@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sompi_minimpi.dir/comm.cpp.o"
+  "CMakeFiles/sompi_minimpi.dir/comm.cpp.o.d"
+  "CMakeFiles/sompi_minimpi.dir/mailbox.cpp.o"
+  "CMakeFiles/sompi_minimpi.dir/mailbox.cpp.o.d"
+  "CMakeFiles/sompi_minimpi.dir/profiler.cpp.o"
+  "CMakeFiles/sompi_minimpi.dir/profiler.cpp.o.d"
+  "CMakeFiles/sompi_minimpi.dir/runtime.cpp.o"
+  "CMakeFiles/sompi_minimpi.dir/runtime.cpp.o.d"
+  "libsompi_minimpi.a"
+  "libsompi_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sompi_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

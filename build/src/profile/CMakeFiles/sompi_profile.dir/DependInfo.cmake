@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/app_profile.cpp" "src/profile/CMakeFiles/sompi_profile.dir/app_profile.cpp.o" "gcc" "src/profile/CMakeFiles/sompi_profile.dir/app_profile.cpp.o.d"
+  "/root/repo/src/profile/estimator.cpp" "src/profile/CMakeFiles/sompi_profile.dir/estimator.cpp.o" "gcc" "src/profile/CMakeFiles/sompi_profile.dir/estimator.cpp.o.d"
+  "/root/repo/src/profile/paper_profiles.cpp" "src/profile/CMakeFiles/sompi_profile.dir/paper_profiles.cpp.o" "gcc" "src/profile/CMakeFiles/sompi_profile.dir/paper_profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sompi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/sompi_cloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sompi_profile.dir/app_profile.cpp.o"
+  "CMakeFiles/sompi_profile.dir/app_profile.cpp.o.d"
+  "CMakeFiles/sompi_profile.dir/estimator.cpp.o"
+  "CMakeFiles/sompi_profile.dir/estimator.cpp.o.d"
+  "CMakeFiles/sompi_profile.dir/paper_profiles.cpp.o"
+  "CMakeFiles/sompi_profile.dir/paper_profiles.cpp.o.d"
+  "libsompi_profile.a"
+  "libsompi_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sompi_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sompi_sim.dir/experiment.cpp.o"
+  "CMakeFiles/sompi_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/sompi_sim.dir/live.cpp.o"
+  "CMakeFiles/sompi_sim.dir/live.cpp.o.d"
+  "CMakeFiles/sompi_sim.dir/monte_carlo.cpp.o"
+  "CMakeFiles/sompi_sim.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/sompi_sim.dir/replay.cpp.o"
+  "CMakeFiles/sompi_sim.dir/replay.cpp.o.d"
+  "libsompi_sim.a"
+  "libsompi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sompi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

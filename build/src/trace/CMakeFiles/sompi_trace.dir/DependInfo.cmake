@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analytic.cpp" "src/trace/CMakeFiles/sompi_trace.dir/analytic.cpp.o" "gcc" "src/trace/CMakeFiles/sompi_trace.dir/analytic.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/sompi_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/sompi_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/market.cpp" "src/trace/CMakeFiles/sompi_trace.dir/market.cpp.o" "gcc" "src/trace/CMakeFiles/sompi_trace.dir/market.cpp.o.d"
+  "/root/repo/src/trace/spot_trace.cpp" "src/trace/CMakeFiles/sompi_trace.dir/spot_trace.cpp.o" "gcc" "src/trace/CMakeFiles/sompi_trace.dir/spot_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sompi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/sompi_cloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sompi_trace.dir/analytic.cpp.o"
+  "CMakeFiles/sompi_trace.dir/analytic.cpp.o.d"
+  "CMakeFiles/sompi_trace.dir/generator.cpp.o"
+  "CMakeFiles/sompi_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/sompi_trace.dir/market.cpp.o"
+  "CMakeFiles/sompi_trace.dir/market.cpp.o.d"
+  "CMakeFiles/sompi_trace.dir/spot_trace.cpp.o"
+  "CMakeFiles/sompi_trace.dir/spot_trace.cpp.o.d"
+  "libsompi_trace.a"
+  "libsompi_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sompi_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

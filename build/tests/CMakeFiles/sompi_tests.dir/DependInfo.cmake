@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaptive.cpp" "tests/CMakeFiles/sompi_tests.dir/test_adaptive.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_adaptive.cpp.o.d"
+  "/root/repo/tests/test_analytic.cpp" "tests/CMakeFiles/sompi_tests.dir/test_analytic.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_analytic.cpp.o.d"
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/sompi_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_apps_extra.cpp" "tests/CMakeFiles/sompi_tests.dir/test_apps_extra.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_apps_extra.cpp.o.d"
+  "/root/repo/tests/test_band_solver.cpp" "tests/CMakeFiles/sompi_tests.dir/test_band_solver.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_band_solver.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/sompi_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_checkpoint.cpp" "tests/CMakeFiles/sompi_tests.dir/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_checkpoint.cpp.o.d"
+  "/root/repo/tests/test_ckpt_interval.cpp" "tests/CMakeFiles/sompi_tests.dir/test_ckpt_interval.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_ckpt_interval.cpp.o.d"
+  "/root/repo/tests/test_cloud.cpp" "tests/CMakeFiles/sompi_tests.dir/test_cloud.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_cloud.cpp.o.d"
+  "/root/repo/tests/test_combinatorics.cpp" "tests/CMakeFiles/sompi_tests.dir/test_combinatorics.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_combinatorics.cpp.o.d"
+  "/root/repo/tests/test_cost_model.cpp" "tests/CMakeFiles/sompi_tests.dir/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_cost_model.cpp.o.d"
+  "/root/repo/tests/test_failure_model.cpp" "tests/CMakeFiles/sompi_tests.dir/test_failure_model.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_failure_model.cpp.o.d"
+  "/root/repo/tests/test_fft.cpp" "tests/CMakeFiles/sompi_tests.dir/test_fft.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_fft.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/sompi_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_guard.cpp" "tests/CMakeFiles/sompi_tests.dir/test_guard.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_guard.cpp.o.d"
+  "/root/repo/tests/test_incremental.cpp" "tests/CMakeFiles/sompi_tests.dir/test_incremental.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_incremental.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/sompi_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_live.cpp" "tests/CMakeFiles/sompi_tests.dir/test_live.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_live.cpp.o.d"
+  "/root/repo/tests/test_market.cpp" "tests/CMakeFiles/sompi_tests.dir/test_market.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_market.cpp.o.d"
+  "/root/repo/tests/test_minimpi.cpp" "tests/CMakeFiles/sompi_tests.dir/test_minimpi.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_minimpi.cpp.o.d"
+  "/root/repo/tests/test_minimpi_ext.cpp" "tests/CMakeFiles/sompi_tests.dir/test_minimpi_ext.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_minimpi_ext.cpp.o.d"
+  "/root/repo/tests/test_ondemand.cpp" "tests/CMakeFiles/sompi_tests.dir/test_ondemand.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_ondemand.cpp.o.d"
+  "/root/repo/tests/test_optimizer.cpp" "tests/CMakeFiles/sompi_tests.dir/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_optimizer.cpp.o.d"
+  "/root/repo/tests/test_profile.cpp" "tests/CMakeFiles/sompi_tests.dir/test_profile.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_profile.cpp.o.d"
+  "/root/repo/tests/test_replay.cpp" "tests/CMakeFiles/sompi_tests.dir/test_replay.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_replay.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/sompi_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/sompi_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/sompi_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_table_csv.cpp" "tests/CMakeFiles/sompi_tests.dir/test_table_csv.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_table_csv.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/sompi_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/sompi_tests.dir/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sompi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sompi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sompi_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/sompi_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/sompi_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/sompi_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sompi_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/sompi_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/sompi_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sompi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
