@@ -2,10 +2,14 @@
 // (the decomposed expectation over the fitted failure-rate functions)
 // against the Monte-Carlo trace-replay estimate, for SOMPI plans across
 // workloads and deadlines. The paper: 20% of relative differences < 5%,
-// 40% in 5–10%, worst 15%.
+// 40% in 5–10%, worst 15%. The replay harness runs on all cores; a probe
+// at the end times one plan serial-vs-parallel and checks the stats are
+// bit-identical either way (the determinism contract, DESIGN.md).
+#include <chrono>
 #include <cmath>
 
 #include "bench_util.h"
+#include "common/thread_pool.h"
 
 using namespace sompi;
 
@@ -19,6 +23,7 @@ int main() {
   mc.runs = std::max<std::size_t>(60, env.options().runs * 2);
   mc.reserve_h = 96.0;
   mc.seed = env.options().seed ^ 0xACC;
+  mc.threads = 0;  // all cores; per-run reseeding keeps the stats bit-identical
   const MonteCarloRunner runner(&env.market(), {}, mc);
 
   Table t("Model expectation vs replay mean (same-trace distribution)");
@@ -56,5 +61,34 @@ int main() {
   bench::note("expected shape (paper): most plans within ~10% and the worst near 15% — the "
               "model charges each group its own lifetime (no truncation at the winner's "
               "completion) and uses the expected sub-bid price, both mild simplifications.");
+
+  // Serial-vs-parallel probe: same seed, different thread counts, and the
+  // summaries must agree to the bit before the speedup number means anything.
+  {
+    const AppProfile bt = paper_profile("BT");
+    const double deadline = env.deadline(bt, /*loose=*/true);
+    const Plan plan = opt.optimize(bt, env.market(), deadline);
+    MonteCarloConfig probe = mc;
+    probe.runs = std::max<std::size_t>(200, probe.runs);
+
+    const auto timed = [&](unsigned threads) {
+      probe.threads = threads;
+      const MonteCarloRunner r(&env.market(), {}, probe);
+      const auto t0 = std::chrono::steady_clock::now();
+      const MonteCarloStats s = r.run_plan(plan, deadline);
+      const double dt =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      return std::pair<MonteCarloStats, double>(s, dt);
+    };
+    const auto [serial, t1] = timed(1);
+    const auto [parallel, tn] = timed(0);
+    const bool identical = serial.cost.mean == parallel.cost.mean &&
+                           serial.cost.stddev == parallel.cost.stddev &&
+                           serial.time.mean == parallel.time.mean &&
+                           serial.deadline_miss_rate == parallel.deadline_miss_rate;
+    std::printf("MC harness, %zu runs: serial %.3fs, threads=%u %.3fs, speedup %.2fx, "
+                "stats bit-identical: %s\n",
+                probe.runs, t1, resolve_threads(0), tn, t1 / tn, identical ? "yes" : "NO");
+  }
   return 0;
 }

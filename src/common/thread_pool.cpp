@@ -1,0 +1,158 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+
+namespace sompi {
+
+unsigned hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+unsigned resolve_threads(unsigned requested) {
+  return requested == 0 ? hardware_threads() : requested;
+}
+
+// One published parallel range. Lives on the publishing caller's stack; the
+// caller only returns after `remaining` hit zero AND every worker that
+// joined has left (participants back to 1), so workers never touch a dead
+// Job. `participants` is guarded by the pool mutex; the index/progress
+// counters are atomics so claiming stays lock-free.
+struct ThreadPool::Job {
+  std::size_t n = 0;
+  unsigned max_participants = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};       ///< first unclaimed index
+  std::atomic<std::size_t> remaining{0};  ///< indices not yet finished/skipped
+  unsigned participants = 0;              ///< caller + joined workers (mutex)
+  std::mutex err_mutex;
+  std::size_t err_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(unsigned workers) {
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  // At least 3 workers even on a 1-core box: the determinism suite relies on
+  // genuinely concurrent claiming to prove schedule independence.
+  static ThreadPool pool(std::max(4u, hardware_threads()) - 1);
+  return pool;
+}
+
+void ThreadPool::participate(Job& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) return;
+    try {
+      (*job.body)(i);
+      job.remaining.fetch_sub(1, std::memory_order_acq_rel);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(job.err_mutex);
+        if (i < job.err_index) {
+          job.err_index = i;
+          job.error = std::current_exception();
+        }
+      }
+      // Short-circuit: mark every still-unclaimed index as skipped. exchange
+      // returns the old claim cursor, so [prev, n) is exactly the skipped set
+      // (concurrent throwers see prev == n and account for nothing).
+      const std::size_t prev = job.next.exchange(job.n, std::memory_order_acq_rel);
+      const std::size_t skipped = prev < job.n ? job.n - prev : 0;
+      job.remaining.fetch_sub(skipped + 1, std::memory_order_acq_rel);
+      return;
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        if (stop_) return true;
+        for (Job* j : jobs_)
+          if (j->participants < j->max_participants &&
+              j->next.load(std::memory_order_relaxed) < j->n)
+            return true;
+        return false;
+      });
+      if (stop_) return;
+      for (Job* j : jobs_) {
+        if (j->participants < j->max_participants &&
+            j->next.load(std::memory_order_relaxed) < j->n) {
+          job = j;
+          ++j->participants;
+          break;
+        }
+      }
+    }
+    if (job == nullptr) continue;  // raced with another worker; re-wait
+    participate(*job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --job->participants;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::for_each_index(std::size_t n, unsigned max_participants,
+                                const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (max_participants <= 1 || n == 1 || threads_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  Job job;
+  job.n = n;
+  job.max_participants = max_participants;
+  job.body = &body;
+  job.remaining.store(n, std::memory_order_relaxed);
+  job.participants = 1;  // the caller
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push_back(&job);
+  }
+  work_cv_.notify_all();
+
+  participate(job);
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return job.remaining.load(std::memory_order_acquire) == 0 && job.participants == 1;
+    });
+    jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void parallel_for(std::size_t n, unsigned threads,
+                  const std::function<void(std::size_t)>& body) {
+  const unsigned t = resolve_threads(threads);
+  if (t <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool::shared().for_each_index(n, t, body);
+}
+
+}  // namespace sompi

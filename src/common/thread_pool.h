@@ -1,0 +1,114 @@
+// Work-stealing thread pool with deterministic parallel_for / parallel_reduce
+// helpers.
+//
+// Determinism contract (see DESIGN.md "Parallel execution"): every parallel
+// construct in sompi is written so the RESULT is a pure function of its
+// inputs, never of the schedule. parallel_for hands out disjoint indices;
+// parallel_reduce splits the range into chunks whose boundaries depend only
+// on (n, grain) — not on the thread count — maps each chunk independently,
+// and folds the per-chunk results serially in chunk order. Same inputs ⇒
+// same bits at threads = 1, 2, or 64.
+//
+// The `threads` convention used across the codebase:
+//   0 → hardware concurrency, 1 → serial inline (the pool is never touched),
+//   t → at most t participants (the calling thread plus pool workers).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace sompi {
+
+/// std::thread::hardware_concurrency clamped to >= 1.
+unsigned hardware_threads();
+
+/// The threads knob: 0 → hardware_threads(), anything else unchanged.
+unsigned resolve_threads(unsigned requested);
+
+/// A pool of persistent worker threads. Parallel ranges are published as
+/// jobs; idle workers steal pending indices from the oldest job that still
+/// has work and a free participant slot, while the publishing thread always
+/// participates in its own job. Because a caller drains its own range when
+/// every worker is busy, nested parallel_for calls (a parallel body that
+/// itself goes parallel) cannot deadlock.
+class ThreadPool {
+ public:
+  /// Spawns `workers` persistent threads (0 is allowed: every range is then
+  /// drained by its caller).
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Runs body(i) for every i in [0, n), using the calling thread plus at
+  /// most max_participants - 1 pool workers. Blocks until every index has
+  /// finished. If any body throws, the exception thrown by the
+  /// lowest-claimed index is rethrown here and the remaining unclaimed
+  /// indices are skipped. Safe to call from inside another job's body.
+  void for_each_index(std::size_t n, unsigned max_participants,
+                      const std::function<void(std::size_t)>& body);
+
+  /// Process-wide pool used by the parallel_for / parallel_reduce helpers.
+  /// Sized so that determinism tests exercise real interleaving even on
+  /// single-core machines (oversubscription is harmless for correctness).
+  static ThreadPool& shared();
+
+ private:
+  struct Job;
+
+  void worker_loop();
+  /// Claims indices from `job` until the range is exhausted.
+  void participate(Job& job);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< workers: "a job may have work"
+  std::condition_variable done_cv_;  ///< callers: "a worker left a job"
+  std::vector<Job*> jobs_;           ///< published, possibly unfinished jobs
+  bool stop_ = false;
+};
+
+/// Runs body(i) for i in [0, n) with the given threads knob (0 = hardware,
+/// 1 = serial inline on the calling thread). The parallel path uses
+/// ThreadPool::shared(). Exceptions propagate; the one from the
+/// lowest-claimed index wins.
+void parallel_for(std::size_t n, unsigned threads,
+                  const std::function<void(std::size_t)>& body);
+
+/// Deterministic map-reduce over [0, n): splits the range into
+/// ceil(n / grain) chunks (chunking depends only on n and grain, never on
+/// the thread count), evaluates acc = combine(acc, map(i)) serially inside
+/// each chunk, and folds the per-chunk accumulators serially in chunk
+/// order. combine(T, T) must accept both a mapped value and a folded
+/// accumulator; it need not be commutative, and floating-point
+/// non-associativity is harmless because the grouping is fixed.
+template <typename T, typename MapFn, typename CombineFn>
+T parallel_reduce(std::size_t n, unsigned threads, T init, MapFn map, CombineFn combine,
+                  std::size_t grain = 1) {
+  SOMPI_REQUIRE(grain >= 1);
+  if (n == 0) return init;
+  const std::size_t chunks = (n + grain - 1) / grain;
+  std::vector<T> partial(chunks, init);
+  parallel_for(chunks, threads, [&](std::size_t c) {
+    T acc = init;
+    const std::size_t lo = c * grain;
+    const std::size_t hi = std::min(n, lo + grain);
+    for (std::size_t i = lo; i < hi; ++i) acc = combine(std::move(acc), map(i));
+    partial[c] = std::move(acc);
+  });
+  T total = std::move(init);
+  for (T& p : partial) total = combine(std::move(total), std::move(p));
+  return total;
+}
+
+}  // namespace sompi

@@ -28,6 +28,12 @@ struct FailureEstimationConfig {
   std::uint64_t seed = 0x50C1A1;
   /// Wrap around the history window when a sampled run hits its end.
   bool wrap = true;
+  /// Worker threads for the first-passage scans: 0 = hardware concurrency,
+  /// 1 = serial. Start points come from one sequential stream regardless,
+  /// and per-chunk failure counts are merged in chunk order, so the fitted
+  /// curves are bit-identical at any thread count (and to the pre-parallel
+  /// estimator).
+  unsigned threads = 1;
 };
 
 class FailureModel {

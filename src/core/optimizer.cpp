@@ -9,6 +9,7 @@
 #include "common/combinatorics.h"
 #include "common/error.h"
 #include "common/log.h"
+#include "common/thread_pool.h"
 #include "core/schedule.h"
 
 namespace sompi {
@@ -71,11 +72,11 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
   phi_cfg.ratio_bins = config_.ratio_bins;
   const CheckpointPlanner phi(phi_cfg);
   std::vector<std::vector<int>> f_of(candidates.size());
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
+  parallel_for(candidates.size(), config_.threads, [&](std::size_t i) {
     f_of[i].resize(candidates[i].failure.bid_count());
     for (std::size_t b = 0; b < f_of[i].size(); ++b)
       f_of[i][b] = phi.choose(candidates[i], b, od);
-  }
+  });
 
   const CostModel::Config model_cfg{.step_hours = config_.setup.step_hours,
                                     .ratio_bins = config_.ratio_bins};
@@ -103,9 +104,9 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
   // monotone in F (fewer checkpoints → more redone work), so binary search.
   std::vector<int> f_guard_max(candidates.size(), 0);
   if (config_.worst_case_guard) {
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
+    parallel_for(candidates.size(), config_.threads, [&](std::size_t i) {
       const GroupSetup& g = candidates[i];
-      if (group_worst_h(g, 1) > deadline_h) continue;  // even F = 1 unsafe
+      if (group_worst_h(g, 1) > deadline_h) return;  // even F = 1 unsafe
       int lo = 1, hi = g.t_steps;
       while (lo < hi) {
         const int mid = lo + (hi - lo + 1) / 2;
@@ -116,93 +117,127 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
         }
       }
       f_guard_max[i] = lo;
-    }
+    });
   }
-
-  double best_cost = std::numeric_limits<double>::infinity();
-  std::vector<std::size_t> best_subset;
-  std::vector<GroupDecision> best_decisions;
-  Expectation best_expectation;
-  std::size_t evaluations = 0;
 
   const std::size_t k_max =
       std::min<std::size_t>(config_.max_groups, candidates.size());
   const std::size_t k_min = config_.enumerate_smaller_subsets ? 1 : k_max;
 
-  for (std::size_t k = k_min; k <= k_max; ++k) {
-    for_each_combination(candidates.size(), k, [&](const std::vector<std::size_t>& subset) {
-      std::vector<const GroupSetup*> view;
-      std::vector<std::size_t> radices;
-      view.reserve(k);
-      radices.reserve(k);
-      for (std::size_t i : subset) {
-        view.push_back(&candidates[i]);
-        radices.push_back(candidates[i].failure.bid_count());
-      }
-      const CostModel model(std::move(view), od, model_cfg);
+  // Materialize the k-of-K subsets in enumeration order so they can be
+  // searched independently. The per-subset bid-tuple scan below is the
+  // serial algorithm verbatim; the cross-subset winner is reduced with a
+  // total order (cost, then enumeration rank), so the chosen plan does not
+  // depend on how the subsets were scheduled across threads.
+  std::vector<std::vector<std::size_t>> subsets;
+  for (std::size_t k = k_min; k <= k_max; ++k)
+    for_each_combination(candidates.size(), k,
+                         [&](const std::vector<std::size_t>& s) { subsets.push_back(s); });
 
-      std::vector<GroupDecision> decisions(k);
-      const auto consider = [&](const std::vector<GroupDecision>& d) {
-        if (config_.worst_case_guard) {
-          double worst = 0.0;
-          for (std::size_t i = 0; i < k; ++i)
-            worst = std::max(worst, group_worst_h(candidates[subset[i]], d[i].f_steps));
-          if (worst > deadline_h) {
-            // Worst case does not fit: only GENUINE replication may stand in
-            // — at least two replicas, each individually likely to finish
-            // (no phantom replicas whose bid dies on arrival), with the
-            // joint wipeout below the tolerance. A lone group must not pass
-            // here: a short history window can miss rare spikes entirely
-            // and report survival 1.0.
-            if (k < 2) return;
-            for (std::size_t i = 0; i < k; ++i) {
-              const GroupSetup& g = candidates[subset[i]];
-              const GroupSchedule sched(g.t_steps, d[i].f_steps, g.o_steps, g.r_steps);
-              if (g.failure.survival_at(d[i].bid_index, sched.wall_duration()) < 0.5) return;
-            }
-            const Expectation e = model.evaluate(d);
-            ++evaluations;
-            const double p_all_fail = 1.0 - e.p_complete_on_spot;
-            if (p_all_fail > config_.miss_tolerance) return;
-            if (e.time_h <= deadline_h && e.cost_usd < best_cost) {
-              best_cost = e.cost_usd;
-              best_subset.assign(subset.begin(), subset.end());
-              best_decisions = d;
-              best_expectation = e;
-            }
-            return;
-          }
-        }
-        const Expectation e = model.evaluate(d);
-        ++evaluations;
-        if (e.time_h <= deadline_h && e.cost_usd < best_cost) {
-          best_cost = e.cost_usd;
-          best_subset.assign(subset.begin(), subset.end());
-          best_decisions = d;
-          best_expectation = e;
-        }
-      };
+  struct SubsetBest {
+    double cost = std::numeric_limits<double>::infinity();
+    std::size_t order = std::numeric_limits<std::size_t>::max();
+    std::vector<std::size_t> subset;
+    std::vector<GroupDecision> decisions;
+    Expectation expectation;
+    std::size_t evaluations = 0;
+  };
 
-      for_each_tuple(radices, [&](const std::vector<std::size_t>& bids) {
+  const auto eval_subset = [&](std::size_t task) {
+    const std::vector<std::size_t>& subset = subsets[task];
+    const std::size_t k = subset.size();
+    SubsetBest best;
+    best.order = task;
+
+    std::vector<const GroupSetup*> view;
+    std::vector<std::size_t> radices;
+    view.reserve(k);
+    radices.reserve(k);
+    for (std::size_t i : subset) {
+      view.push_back(&candidates[i]);
+      radices.push_back(candidates[i].failure.bid_count());
+    }
+    const CostModel model(std::move(view), od, model_cfg);
+
+    std::vector<GroupDecision> decisions(k);
+    const auto consider = [&](const std::vector<GroupDecision>& d) {
+      if (config_.worst_case_guard) {
+        double worst = 0.0;
         for (std::size_t i = 0; i < k; ++i)
-          decisions[i] = {bids[i], f_of[subset[i]][bids[i]]};
-        consider(decisions);
-
-        // Single-group plans get a second shot with the guard-clamped
-        // interval: denser checkpoints buy worst-case deadline safety.
-        // (Not when checkpointing is ablated away — the clamp would
-        // silently re-enable it.)
-        if (config_.worst_case_guard && k == 1 && config_.phi_mode != PhiMode::kDisabled) {
-          const int clamp = f_guard_max[subset[0]];
-          if (clamp >= 1 && clamp < decisions[0].f_steps) {
-            std::vector<GroupDecision> clamped = decisions;
-            clamped[0].f_steps = clamp;
-            consider(clamped);
+          worst = std::max(worst, group_worst_h(candidates[subset[i]], d[i].f_steps));
+        if (worst > deadline_h) {
+          // Worst case does not fit: only GENUINE replication may stand in
+          // — at least two replicas, each individually likely to finish
+          // (no phantom replicas whose bid dies on arrival), with the
+          // joint wipeout below the tolerance. A lone group must not pass
+          // here: a short history window can miss rare spikes entirely
+          // and report survival 1.0.
+          if (k < 2) return;
+          for (std::size_t i = 0; i < k; ++i) {
+            const GroupSetup& g = candidates[subset[i]];
+            const GroupSchedule sched(g.t_steps, d[i].f_steps, g.o_steps, g.r_steps);
+            if (g.failure.survival_at(d[i].bid_index, sched.wall_duration()) < 0.5) return;
           }
+          const Expectation e = model.evaluate(d);
+          ++best.evaluations;
+          const double p_all_fail = 1.0 - e.p_complete_on_spot;
+          if (p_all_fail > config_.miss_tolerance) return;
+          if (e.time_h <= deadline_h && e.cost_usd < best.cost) {
+            best.cost = e.cost_usd;
+            best.subset = subset;
+            best.decisions = d;
+            best.expectation = e;
+          }
+          return;
         }
-      });
+      }
+      const Expectation e = model.evaluate(d);
+      ++best.evaluations;
+      if (e.time_h <= deadline_h && e.cost_usd < best.cost) {
+        best.cost = e.cost_usd;
+        best.subset = subset;
+        best.decisions = d;
+        best.expectation = e;
+      }
+    };
+
+    for_each_tuple(radices, [&](const std::vector<std::size_t>& bids) {
+      for (std::size_t i = 0; i < k; ++i)
+        decisions[i] = {bids[i], f_of[subset[i]][bids[i]]};
+      consider(decisions);
+
+      // Single-group plans get a second shot with the guard-clamped
+      // interval: denser checkpoints buy worst-case deadline safety.
+      // (Not when checkpointing is ablated away — the clamp would
+      // silently re-enable it.)
+      if (config_.worst_case_guard && k == 1 && config_.phi_mode != PhiMode::kDisabled) {
+        const int clamp = f_guard_max[subset[0]];
+        if (clamp >= 1 && clamp < decisions[0].f_steps) {
+          std::vector<GroupDecision> clamped = decisions;
+          clamped[0].f_steps = clamp;
+          consider(clamped);
+        }
+      }
     });
-  }
+    return best;
+  };
+
+  // Strict-improvement acceptance inside a subset plus the (cost, order)
+  // tie-break across subsets reproduce the serial scan's winner exactly.
+  const SubsetBest best = parallel_reduce(
+      subsets.size(), config_.threads, SubsetBest{}, eval_subset,
+      [](SubsetBest a, SubsetBest b) {
+        const bool b_wins = b.cost < a.cost || (b.cost == a.cost && b.order < a.order);
+        SubsetBest& winner = b_wins ? b : a;
+        winner.evaluations = a.evaluations + b.evaluations;
+        return std::move(winner);
+      });
+
+  const double best_cost = best.cost;
+  const std::vector<std::size_t>& best_subset = best.subset;
+  const std::vector<GroupDecision>& best_decisions = best.decisions;
+  const Expectation& best_expectation = best.expectation;
+  const std::size_t evaluations = best.evaluations;
 
   plan.model_evaluations = evaluations;
   plan.spot_feasible = best_cost < std::numeric_limits<double>::infinity();

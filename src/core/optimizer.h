@@ -44,6 +44,11 @@ struct OptimizerConfig {
   bool worst_case_guard = true;
   /// Acceptable all-replicas-fail probability under alternative (b).
   double miss_tolerance = 0.05;
+  /// Worker threads for the Level-2 subset × bid-tuple enumeration:
+  /// 0 = hardware concurrency, 1 = serial. The chosen plan is bit-identical
+  /// at any setting — per-subset searches are independent and the reduction
+  /// breaks cost ties by enumeration order, exactly like the serial scan.
+  unsigned threads = 1;
 };
 
 class SompiOptimizer {

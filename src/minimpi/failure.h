@@ -19,20 +19,34 @@ class FailureController {
   /// Arms a deterministic kill after `ticks` calls to on_tick() summed over
   /// all ranks (0 disarms). Applications tick once per iteration, so this
   /// maps an out-of-bid step from a trace replay onto an app iteration.
+  /// Re-arming resets the single-shot fire latch.
   void arm_after_ticks(std::uint64_t ticks) {
     tick_budget_.store(ticks, std::memory_order_release);
     ticks_.store(0, std::memory_order_release);
+    fired_.store(false, std::memory_order_release);
   }
 
   /// Called by the runtime on rank progress; fires the armed kill.
+  /// Single-shot: several ranks can cross the budget concurrently (each
+  /// fetch_add past the threshold satisfies the comparison), but only the
+  /// rank that wins the compare-exchange on the fire latch enters kill().
   void on_tick() {
     const std::uint64_t budget = tick_budget_.load(std::memory_order_acquire);
     if (budget == 0) return;
-    if (ticks_.fetch_add(1, std::memory_order_acq_rel) + 1 >= budget) kill();
+    if (ticks_.fetch_add(1, std::memory_order_acq_rel) + 1 >= budget) {
+      bool expected = false;
+      if (fired_.compare_exchange_strong(expected, true, std::memory_order_acq_rel))
+        kill();
+    }
   }
+
+  /// Whether an armed tick budget has fired (kill() on its own never sets
+  /// this). Observability hook for the single-shot contract.
+  bool fired() const { return fired_.load(std::memory_order_acquire); }
 
  private:
   std::atomic<bool> killed_{false};
+  std::atomic<bool> fired_{false};
   std::atomic<std::uint64_t> tick_budget_{0};
   std::atomic<std::uint64_t> ticks_{0};
 };

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace sompi {
 
@@ -22,9 +23,19 @@ double MonteCarloRunner::sample_start(Rng& rng) const {
   return rng.uniform(config_.lookback_h, span - config_.reserve_h);
 }
 
+Rng MonteCarloRunner::run_rng(std::size_t run_index) const {
+  std::uint64_t state = config_.seed ^ static_cast<std::uint64_t>(run_index);
+  return Rng(splitmix64(state));
+}
+
 namespace {
-MonteCarloStats finalize(std::vector<double> costs, std::vector<double> times,
-                         std::size_t misses, std::size_t fallbacks) {
+MonteCarloStats finalize(const std::vector<double>& costs, const std::vector<double>& times,
+                         const std::vector<unsigned char>& missed,
+                         const std::vector<unsigned char>& fell_back) {
+  std::size_t misses = 0;
+  std::size_t fallbacks = 0;
+  for (unsigned char m : missed) misses += m;
+  for (unsigned char f : fell_back) fallbacks += f;
   MonteCarloStats s;
   s.runs = costs.size();
   s.cost = summarize(costs);
@@ -42,49 +53,48 @@ MonteCarloStats MonteCarloRunner::run_plan(const Plan& plan, double deadline_h) 
 MonteCarloStats MonteCarloRunner::run_planned(const Planner& planner,
                                               double deadline_h) const {
   SOMPI_REQUIRE(deadline_h > 0.0);
-  const ReplayEngine engine(market_, replay_config_);
-  Rng rng(config_.seed);
-  std::vector<double> costs, times;
-  costs.reserve(config_.runs);
-  times.reserve(config_.runs);
-  std::size_t misses = 0;
-  std::size_t fallbacks = 0;
+  const std::size_t n = config_.runs;
+  std::vector<double> costs(n, 0.0), times(n, 0.0);
+  std::vector<unsigned char> missed(n, 0), fell_back(n, 0);
 
-  MarketReplayOracle oracle(market_, replay_config_);
-  for (std::size_t i = 0; i < config_.runs; ++i) {
+  // Each run is self-contained: its own Rng (counter-based reseeding), its
+  // own replay engine and history oracle. Results land at the run's index,
+  // so the summaries below never depend on execution order.
+  parallel_for(n, config_.threads, [&](std::size_t i) {
+    Rng rng = run_rng(i);
     const double start_h = sample_start(rng);
+    MarketReplayOracle oracle(market_, replay_config_);
     const Market history = oracle.history_at(start_h, config_.lookback_h);
     const Plan plan = planner(history, deadline_h);
+    const ReplayEngine engine(market_, replay_config_);
     const ReplayResult r = engine.replay(plan, start_h);
-    costs.push_back(r.cost_usd);
-    times.push_back(r.time_h);
-    if (r.time_h > deadline_h + 1e-9) ++misses;
-    if (r.used_od_recovery) ++fallbacks;
-  }
-  return finalize(std::move(costs), std::move(times), misses, fallbacks);
+    costs[i] = r.cost_usd;
+    times[i] = r.time_h;
+    missed[i] = r.time_h > deadline_h + 1e-9 ? 1 : 0;
+    fell_back[i] = r.used_od_recovery ? 1 : 0;
+  });
+  return finalize(costs, times, missed, fell_back);
 }
 
 MonteCarloStats MonteCarloRunner::run_adaptive(const AdaptiveEngine& engine,
                                                const AppProfile& app,
                                                double deadline_h) const {
   SOMPI_REQUIRE(deadline_h > 0.0);
-  Rng rng(config_.seed);
-  std::vector<double> costs, times;
-  costs.reserve(config_.runs);
-  times.reserve(config_.runs);
-  std::size_t misses = 0;
-  std::size_t fallbacks = 0;
+  const std::size_t n = config_.runs;
+  std::vector<double> costs(n, 0.0), times(n, 0.0);
+  std::vector<unsigned char> missed(n, 0), fell_back(n, 0);
 
-  MarketReplayOracle oracle(market_, replay_config_);
-  for (std::size_t i = 0; i < config_.runs; ++i) {
+  parallel_for(n, config_.threads, [&](std::size_t i) {
+    Rng rng = run_rng(i);
     const double start_h = sample_start(rng);
+    MarketReplayOracle oracle(market_, replay_config_);
     const AdaptiveResult r = engine.run(app, oracle, start_h, deadline_h);
-    costs.push_back(r.cost_usd);
-    times.push_back(r.hours);
-    if (!r.met_deadline) ++misses;
-    if (r.fell_back_to_ondemand) ++fallbacks;
-  }
-  return finalize(std::move(costs), std::move(times), misses, fallbacks);
+    costs[i] = r.cost_usd;
+    times[i] = r.hours;
+    missed[i] = r.met_deadline ? 0 : 1;
+    fell_back[i] = r.fell_back_to_ondemand ? 1 : 0;
+  });
+  return finalize(costs, times, missed, fell_back);
 }
 
 }  // namespace sompi

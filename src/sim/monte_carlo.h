@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/rng.h"
 #include "common/stats.h"
 #include "core/adaptive.h"
 #include "sim/replay.h"
@@ -25,6 +26,13 @@ struct MonteCarloConfig {
   double lookback_h = 48.0;
   /// Execution room required after a start point.
   double reserve_h = 120.0;
+  /// Worker threads for the independent start points: 0 = hardware
+  /// concurrency, 1 = serial. Every run draws from its own Rng derived by
+  /// counter-based reseeding (seed ⊕ run_index through SplitMix64), and
+  /// per-run results land in run-index order before summarization, so the
+  /// stats are bit-identical at any thread count. With threads != 1 the
+  /// planner passed to run_planned must be safe to call concurrently.
+  unsigned threads = 1;
 };
 
 struct MonteCarloStats {
@@ -56,6 +64,8 @@ class MonteCarloRunner {
 
  private:
   double sample_start(Rng& rng) const;
+  /// Independent per-run generator: seed ⊕ run_index scrambled by SplitMix64.
+  Rng run_rng(std::size_t run_index) const;
 
   const Market* market_;
   ReplayConfig replay_config_;

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "core/failure_model.h"
 
 namespace sompi {
@@ -70,6 +74,48 @@ TEST(Analytic, MatchesEmpiricalEstimatorOnGeneratedTrace) {
     EXPECT_NEAR(empirical.survival(0, t), analytic.survival(t), 0.035) << "t=" << t;
   }
   EXPECT_NEAR(empirical.mtbf(0), analytic.mtbf(160), 12.0);
+}
+
+TEST(Analytic, DifferentialOracleSweepTightensWithSamples) {
+  // Differential oracle: the empirical survival curves of §4.4 are estimated
+  // from the very process AnalyticFirstPassage solves in closed form, so
+  // over a grid of bids above the volatile cap the max absolute error must
+  // (a) stay under a Monte-Carlo tolerance and (b) tighten as `samples`
+  // grows — a sample-size-independent bias would violate (b) immediately
+  // (the regression this test exists to catch).
+  const RegimeParams p = test_params();
+  Rng rng(31415);
+  const SpotTrace trace = generate_trace(p, 150000, 0.25, rng);
+
+  const double lo = p.volatile_cap * p.base_usd;   // analytic validity floor
+  const double hi = p.spike_hi * p.base_usd;       // above: never fails
+  const std::vector<double> bids = {1.05 * lo, 0.5 * (lo + 0.4 * hi), 0.4 * hi,
+                                    0.6 * hi, 0.85 * hi};
+  for (std::size_t b = 1; b < bids.size(); ++b) ASSERT_GT(bids[b], bids[b - 1]);
+
+  const std::size_t horizon = 160;
+  const auto max_abs_error = [&](std::size_t samples) {
+    FailureEstimationConfig cfg;
+    cfg.samples = samples;
+    cfg.horizon_steps = horizon;
+    const FailureModel empirical(trace, bids, cfg);
+    double worst = 0.0;
+    for (std::size_t b = 0; b < bids.size(); ++b) {
+      const AnalyticFirstPassage analytic(p, bids[b]);
+      for (std::size_t t = 5; t <= horizon; t += 5)
+        worst = std::max(worst, std::abs(empirical.survival(b, t) - analytic.survival(t)));
+    }
+    return worst;
+  };
+
+  // ~1/sqrt(G) Monte-Carlo scaling, with headroom for the shared-trace
+  // correlation between start points.
+  const double err_small = max_abs_error(4000);
+  const double err_large = max_abs_error(40000);
+  EXPECT_LT(err_small, 0.06);
+  EXPECT_LT(err_large, 0.03);
+  // More samples must not make the estimator worse (bias regression guard).
+  EXPECT_LE(err_large, err_small + 0.01);
 }
 
 TEST(Analytic, RejectsBidInsideVolatileBand) {

@@ -113,7 +113,9 @@ TEST_F(IntegrationTest, SpotInfRidesSpikesOnVolatileMarkets) {
                                 VolatilityClass::kSpiky);
   const Market volatile_market = generate_market(catalog_, all_spiky, 12.0, 0.25, 7);
   MonteCarloConfig mc_cfg;
-  mc_cfg.runs = 25;
+  // Enough independent start points that at least one window straddles a
+  // spike (the counter-based per-run reseeding makes each draw independent).
+  mc_cfg.runs = 60;
   mc_cfg.reserve_h = 72.0;
   const MonteCarloRunner runner(&volatile_market, {}, mc_cfg);
 

@@ -1,7 +1,15 @@
 // Tests for the mini-MPI extensions: nonblocking requests, sendrecv,
-// scatter and sub-communicators (split).
+// scatter and sub-communicators (split) — plus fault-injection coverage:
+// a kill-at-every-tick sweep over a short CG run and the single-shot
+// semantics of the FailureController fire path.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "apps/cg.h"
+#include "checkpoint/storage.h"
 #include "minimpi/runtime.h"
 
 namespace sompi::mpi {
@@ -170,6 +178,105 @@ TEST(MiniMpiExt, GridRowColumnCommunicators) {
     EXPECT_EQ(col_sum, col + (col + 3));
   });
   EXPECT_TRUE(r.completed);
+}
+
+// --- Fault-injection coverage ------------------------------------------------
+
+TEST(FaultInjection, KillAtEveryTickOfShortCgRun) {
+  // Arm the tick budget at EVERY tick index a short CG run can reach. Each
+  // armed attempt must end in a clean coordinated kill — no hang, no
+  // deadlock, every rank unwound by KilledError — and a restart from the
+  // same store must converge to the sequential reference (no
+  // partial-checkpoint corruption from dying mid-protocol).
+  constexpr int kWorld = 2;
+  apps::CgConfig cfg;
+  cfg.n = 8;
+  cfg.iterations = 6;
+  cfg.checkpoint_every = 2;
+  const double expected = apps::cg_reference(cfg);
+
+  bool saw_clean_completion = false;
+  // Ticks are summed over all ranks (one per iteration per rank), so the
+  // sweep upper bound is world × iterations plus slack; the loop stops at
+  // the first budget the run never reaches.
+  const auto max_budget = static_cast<std::uint64_t>(kWorld * cfg.iterations + 4);
+  for (std::uint64_t kill_at = 1; kill_at <= max_budget; ++kill_at) {
+    MemoryStore store;
+    const RunResult killed = Runtime::run_with_kill(
+        kWorld,
+        [&](Comm& comm) {
+          Checkpointer ck(&store, "cg");
+          (void)apps::cg_run(comm, cfg, &ck);
+        },
+        kill_at);
+    if (killed.completed) {
+      // Budget beyond the run's total ticks: the kill never fired. All
+      // later budgets complete too; the sweep covered every tick index.
+      saw_clean_completion = true;
+      EXPECT_FALSE(killed.killed);
+      EXPECT_GE(kill_at, static_cast<std::uint64_t>(cfg.iterations)) << "died too early";
+      break;
+    }
+    EXPECT_TRUE(killed.killed) << "kill_at=" << kill_at;
+    EXPECT_TRUE(killed.errors.empty()) << "kill_at=" << kill_at << ": " << killed.errors[0];
+
+    // Restart: whatever snapshot (if any) was committed must be consistent.
+    const RunResult resumed = Runtime::run(kWorld, [&](Comm& comm) {
+      Checkpointer ck(&store, "cg");
+      const apps::AppResult res = apps::cg_run(comm, cfg, &ck);
+      EXPECT_NEAR(res.checksum, expected, 1e-9 * std::abs(expected) + 1e-12)
+          << "kill_at=" << kill_at;
+    });
+    EXPECT_TRUE(resumed.completed) << "kill_at=" << kill_at;
+  }
+  EXPECT_TRUE(saw_clean_completion) << "sweep never out-ran the tick budget";
+}
+
+TEST(FailureController, TickBudgetFiresSingleShot) {
+  FailureController fc;
+  EXPECT_FALSE(fc.fired());
+  fc.arm_after_ticks(3);
+  fc.on_tick();
+  fc.on_tick();
+  EXPECT_FALSE(fc.fired());
+  EXPECT_FALSE(fc.killed());
+  fc.on_tick();
+  EXPECT_TRUE(fc.fired());
+  EXPECT_TRUE(fc.killed());
+  // Re-arming resets the latch; a direct kill() never sets it.
+  fc.arm_after_ticks(0);
+  EXPECT_FALSE(fc.fired());
+  fc.on_tick();
+  EXPECT_FALSE(fc.fired());  // disarmed: ticks don't fire
+  fc.kill();
+  EXPECT_FALSE(fc.fired());
+  EXPECT_TRUE(fc.killed());
+}
+
+TEST(FailureController, ConcurrentTicksFireExactlyOnce) {
+  // The pre-fix window: two threads both observe ticks_ + 1 >= budget and
+  // double-fire kill(). The compare-exchange latch makes the fire path
+  // single-shot; under TSan this test also proves the path is race-free.
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kTicksPerThread = 2000;
+  for (int round = 0; round < 20; ++round) {
+    FailureController fc;
+    // A budget near the total tick count maximizes threshold contention.
+    fc.arm_after_ticks(kThreads * kTicksPerThread / 2);
+    std::atomic<int> go{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        go.fetch_add(1);
+        while (go.load() < kThreads) {}  // start together
+        for (std::uint64_t i = 0; i < kTicksPerThread; ++i) fc.on_tick();
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_TRUE(fc.fired());
+    EXPECT_TRUE(fc.killed());
+  }
 }
 
 }  // namespace

@@ -13,6 +13,69 @@ TEST(Rng, DeterministicForSeed) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
 }
 
+// --- Seed-stability goldens --------------------------------------------------
+// Exact sequences for fixed seeds, captured from the reference implementation.
+// Any platform or refactor drift in xoshiro256**, the SplitMix64 seeding, the
+// rejection sampler, or the Box–Muller transform breaks reproducibility of
+// every experiment in the repo — these goldens catch it immediately.
+
+TEST(RngGolden, RawOutputMatchesKnownSequence) {
+  Rng r(42);
+  const std::uint64_t expected[] = {
+      1546998764402558742ULL,  6990951692964543102ULL,  12544586762248559009ULL,
+      17057574109182124193ULL, 18295552978065317476ULL, 14199186830065750584ULL,
+      13267978908934200754ULL, 15679888225317814407ULL,
+  };
+  for (std::uint64_t e : expected) EXPECT_EQ(r(), e);
+
+  Rng d;  // default seed = 0x9E3779B97F4A7C15
+  const std::uint64_t expected_default[] = {
+      4768932952251265552ULL, 16168679545894742312ULL, 6487188721686299062ULL,
+      86499648889209533ULL,
+  };
+  for (std::uint64_t e : expected_default) EXPECT_EQ(d(), e);
+}
+
+TEST(RngGolden, SplitMix64MatchesReferenceVector) {
+  std::uint64_t state = 0;
+  const std::uint64_t expected[] = {
+      16294208416658607535ULL, 7960286522194355700ULL, 487617019471545679ULL,
+      17909611376780542444ULL,
+  };
+  for (std::uint64_t e : expected) EXPECT_EQ(splitmix64(state), e);
+}
+
+TEST(RngGolden, UniformIndexRejectionSamplingIsStable) {
+  // Covers the rejection path: the sequence depends on exactly how many raw
+  // draws each call consumes, so any change to the threshold logic shifts it.
+  Rng r(7);
+  const std::uint64_t expected10[] = {4, 4, 8, 4, 4, 1, 6, 6, 8, 9};
+  for (std::uint64_t e : expected10) EXPECT_EQ(r.uniform_index(10), e);
+
+  Rng big(123);
+  const std::uint64_t expected_big[] = {571221054, 513289293, 130136654,
+                                        807993844, 671173952, 654409057};
+  for (std::uint64_t e : expected_big) EXPECT_EQ(big.uniform_index(1000000007ULL), e);
+}
+
+TEST(RngGolden, UniformDoublesAreStable) {
+  Rng r(5);
+  const double expected[] = {0.28841122817023568, 0.60208233313201065,
+                             0.64954673055102219, 0.82155025770641721,
+                             0.51671391390763999, 0.78452395188688107};
+  for (double e : expected) EXPECT_DOUBLE_EQ(r.uniform(), e);
+}
+
+TEST(RngGolden, NormalBoxMullerIsStable) {
+  // Depends on libm's log/cos as well as our transform; drift here means
+  // normal-driven traces are no longer reproducible across platforms.
+  Rng r(99);
+  const double expected[] = {-1.3357837283988609,  0.85903068514983594,
+                             0.19029370097646225,  1.4929248051068393,
+                             -0.49924810917931955, 0.36187554548590356};
+  for (double e : expected) EXPECT_NEAR(r.normal(), e, 1e-12);
+}
+
 TEST(Rng, DifferentSeedsDiverge) {
   Rng a(1), b(2);
   int same = 0;
