@@ -9,7 +9,10 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "profile/paper_profiles.h"
 #include "sim/experiment.h"
 
@@ -123,4 +126,45 @@ BENCHMARK(BM_ExactSubsetSizeOnly)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_KappaSweep)->DenseRange(1, 5)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ThreadSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+namespace {
+
+// Console output as usual, plus a record per run for --json (google-benchmark
+// reports mean time only, so p50/p99 fall back to the mean — see
+// bench_util.h).
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      const double ms = run.GetAdjustedRealTime();  // all benches use kMillisecond
+      results.push_back({run.benchmark_name(), static_cast<std::size_t>(run.iterations),
+                         ms, ms, ms});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<sompi::bench::JsonResult> results;
+};
+
+}  // namespace
+
+// Custom main instead of BENCHMARK_MAIN(): peel off --json <path> (google-
+// benchmark rejects flags it does not know) and emit the machine-readable
+// results alongside the normal console report.
+int main(int argc, char** argv) {
+  const std::string json_path = sompi::bench::json_path_from_args(argc, argv);
+  std::vector<char*> kept;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      ++i;  // skip the path operand too
+      continue;
+    }
+    kept.push_back(argv[i]);
+  }
+  int kept_argc = static_cast<int>(kept.size());
+  benchmark::Initialize(&kept_argc, kept.data());
+  JsonCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty()) sompi::bench::write_json(json_path, reporter.results);
+  benchmark::Shutdown();
+  return 0;
+}

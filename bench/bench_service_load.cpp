@@ -1,0 +1,197 @@
+// Closed-loop load generator for the PlanService (the serving-layer
+// counterpart of bench_opt_overhead's solver timings).
+//
+//   $ ./bench_service_load [--threads T=4] [--iters N=500] [--requests R=8]
+//                          [--fresh-every K=200] [--json <path>]
+//
+// Three phases:
+//   1. UNCACHED — solve R distinct requests once each, optimizer only: the
+//      baseline cost of planning without the serving layer.
+//   2. WARM     — T closed-loop threads × N iterations over the same R
+//      requests (every Kth request is a never-seen-before deadline, so the
+//      mix keeps a trickle of compulsory misses). Reports throughput, hit
+//      rate, and p50/p99 per-request latency.
+//   3. BURST    — 16 threads fire one identical request at a fresh epoch;
+//      the dedup counters must show exactly one solve.
+//
+// Acceptance gates printed at the end (ISSUE 2): warm throughput ≥ 50× the
+// uncached solve rate, warm hit rate ≥ 90%, burst solves == 1.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "service/plan_service.h"
+
+using namespace sompi;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Args {
+  unsigned threads = 4;
+  int iters = 500;
+  int requests = 8;
+  int fresh_every = 200;
+  std::string json_path;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  a.json_path = bench::json_path_from_args(argc, argv);
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") a.threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
+    if (arg == "--iters") a.iters = std::atoi(argv[i + 1]);
+    if (arg == "--requests") a.requests = std::atoi(argv[i + 1]);
+    if (arg == "--fresh-every") a.fresh_every = std::atoi(argv[i + 1]);
+  }
+  return a;
+}
+
+void gate(const char* what, bool ok) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  bench::banner("SERVICE-LOAD",
+                "PlanService under closed-loop concurrent load (epoch cache + single-flight)");
+
+  Catalog catalog = paper_catalog();
+  ExecTimeEstimator est;
+  Market market = generate_market(catalog, paper_market_profile(catalog), /*days=*/3.0,
+                                  /*step_hours=*/0.25, /*seed=*/2014);
+  MarketBoard board(market);
+
+  ServiceConfig cfg;
+  cfg.cache = {.shards = 8, .capacity = 4096};
+  cfg.max_concurrent_solves = std::max<std::size_t>(2, args.threads);
+  cfg.max_queued_solves = 1024;
+  cfg.opt.max_candidates = 4;
+  cfg.opt.setup.log_levels = 4;
+  cfg.opt.setup.failure.samples = 400;
+  cfg.opt.ratio_bins = 48;
+  PlanService service(&catalog, &est, &board, cfg);
+
+  const AppProfile bt = paper_profile("BT");
+  const double baseline_h = OnDemandSelector(&catalog, &est).baseline(bt).t_h;
+  const auto request_for = [&](int which, double jitter = 0.0) {
+    PlanRequest r;
+    r.app = bt;
+    r.deadline_h = baseline_h * (1.4 + 0.1 * which) + jitter;
+    return r;
+  };
+
+  // --- Phase 1: uncached solves ------------------------------------------
+  const MarketSnapshot world = board.snapshot();
+  std::vector<double> solve_lat;
+  for (int i = 0; i < args.requests; ++i) {
+    const auto t0 = Clock::now();
+    const Plan plan = service.solve(canonicalized(request_for(i)), *world.market);
+    solve_lat.push_back(seconds_since(t0));
+    if (plan.model_evaluations == 0) std::printf("warning: degenerate solve\n");
+  }
+  const double solve_mean_s = std::accumulate(solve_lat.begin(), solve_lat.end(), 0.0) /
+                              static_cast<double>(solve_lat.size());
+  const double uncached_rps = 1.0 / solve_mean_s;
+  std::printf("uncached: %d solves, mean %.2f ms  →  %.1f plans/s\n", args.requests,
+              solve_mean_s * 1e3, uncached_rps);
+
+  // --- Phase 2: warm-cache closed loop -----------------------------------
+  const ServiceStats before = service.stats();
+  std::vector<std::vector<double>> lat(args.threads);
+  std::atomic<int> fresh_counter{0};
+  const auto t_warm = Clock::now();
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < args.threads; ++t) {
+    threads.emplace_back([&, t] {
+      lat[t].reserve(static_cast<std::size_t>(args.iters));
+      for (int i = 0; i < args.iters; ++i) {
+        PlanRequest r;
+        const int k = static_cast<int>(t) * args.iters + i;
+        if (args.fresh_every > 0 && k % args.fresh_every == args.fresh_every - 1) {
+          // A never-repeated deadline: a compulsory miss in the mix.
+          const int unique = fresh_counter.fetch_add(1);
+          r = request_for(0, /*jitter=*/1e-4 * (unique + 1));
+        } else {
+          r = request_for(k % args.requests);
+        }
+        const auto t0 = Clock::now();
+        const PlanResponse response = service.serve(r);
+        lat[t].push_back(seconds_since(t0));
+        if (response.outcome == PlanOutcome::kShed) std::printf("warning: shed under warm load\n");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double warm_wall_s = seconds_since(t_warm);
+  const ServiceStats after = service.stats();
+
+  std::vector<double> all_lat;
+  for (const auto& v : lat) all_lat.insert(all_lat.end(), v.begin(), v.end());
+  const std::size_t ops = all_lat.size();
+  const double warm_rps = static_cast<double>(ops) / warm_wall_s;
+  const double warm_mean_ms =
+      std::accumulate(all_lat.begin(), all_lat.end(), 0.0) / static_cast<double>(ops) * 1e3;
+  const double p50_ms = percentile(all_lat, 0.50) * 1e3;
+  const double p99_ms = percentile(all_lat, 0.99) * 1e3;
+  const std::uint64_t warm_requests = after.requests - before.requests;
+  const double hit_rate =
+      static_cast<double>(after.hits - before.hits) / static_cast<double>(warm_requests);
+  const double speedup = warm_rps / uncached_rps;
+
+  std::printf("warm:     %zu ops over %u threads in %.2f s  →  %.0f plans/s (%.0fx uncached)\n",
+              ops, args.threads, warm_wall_s, warm_rps, speedup);
+  std::printf("          hit rate %.1f%%  |  latency mean %.3f ms  p50 %.3f ms  p99 %.3f ms\n",
+              hit_rate * 100.0, warm_mean_ms, p50_ms, p99_ms);
+  std::printf("          solves %llu  joins %llu  sheds %llu  stale-evicted %llu\n",
+              static_cast<unsigned long long>(after.solves - before.solves),
+              static_cast<unsigned long long>(after.dedup_joins - before.dedup_joins),
+              static_cast<unsigned long long>(after.sheds - before.sheds),
+              static_cast<unsigned long long>(after.stale_evicted));
+
+  // --- Phase 3: identical burst at a fresh epoch --------------------------
+  board.ingest({});  // bump: nothing is cached for the new epoch
+  const ServiceStats pre_burst = service.stats();
+  constexpr int kBurst = 16;
+  std::vector<std::thread> burst;
+  for (int t = 0; t < kBurst; ++t)
+    burst.emplace_back([&] { (void)service.serve(request_for(0)); });
+  for (auto& th : burst) th.join();
+  const ServiceStats post_burst = service.stats();
+  const std::uint64_t burst_solves = post_burst.solves - pre_burst.solves;
+  const std::uint64_t burst_joins = post_burst.dedup_joins - pre_burst.dedup_joins;
+  std::printf("burst:    %d identical requests at a fresh epoch → %llu solve(s), %llu join(s)\n",
+              kBurst, static_cast<unsigned long long>(burst_solves),
+              static_cast<unsigned long long>(burst_joins));
+
+  bench::note("acceptance gates");
+  gate("warm throughput >= 50x uncached", speedup >= 50.0);
+  gate("hit rate >= 90% under the repeated-request mix", hit_rate >= 0.90);
+  gate("exactly one solve per identical burst", burst_solves == 1);
+
+  if (!args.json_path.empty()) {
+    std::vector<bench::JsonResult> results;
+    results.push_back({"uncached_solve", solve_lat.size(), solve_mean_s * 1e3,
+                       percentile(solve_lat, 0.50) * 1e3, percentile(solve_lat, 0.99) * 1e3});
+    results.push_back({"warm_serve", ops, warm_mean_ms, p50_ms, p99_ms});
+    bench::write_json(args.json_path, results);
+  }
+
+  const bool ok = speedup >= 50.0 && hit_rate >= 0.90 && burst_solves == 1;
+  return ok ? 0 : 1;
+}

@@ -6,7 +6,9 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "common/error.h"
 #include "common/table.h"
 #include "sim/experiment.h"
 
@@ -23,6 +25,46 @@ inline void note(const std::string& text) { std::printf("note: %s\n", text.c_str
 /// "cost (±std)" cell.
 inline std::string cost_cell(const MethodResult& r) {
   return Table::num(r.norm_cost, 3) + " (±" + Table::num(r.norm_cost_std, 3) + ")";
+}
+
+// --- machine-readable results (--json <path>) -------------------------------
+//
+// Every bench that accepts `--json <path>` appends one record per measured
+// series, so the perf trajectory can be tracked across PRs by diffing files
+// instead of scraping stdout. Benches without per-sample latencies (the
+// google-benchmark micro-benches) report p50 = p99 = mean.
+
+struct JsonResult {
+  std::string name;
+  std::size_t iters = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// The value following "--json", or "" when the flag is absent.
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  return "";
+}
+
+/// Writes the records as a JSON array. Names must not contain '"' or '\'.
+inline void write_json(const std::string& path, const std::vector<JsonResult>& results) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) throw IoError("cannot write json results to " + path);
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const JsonResult& r = results[i];
+    std::fprintf(out,
+                 "  {\"name\": \"%s\", \"iters\": %zu, \"mean_ms\": %.6f, "
+                 "\"p50_ms\": %.6f, \"p99_ms\": %.6f}%s\n",
+                 r.name.c_str(), r.iters, r.mean_ms, r.p50_ms, r.p99_ms,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+  std::printf("json: wrote %zu result(s) to %s\n", results.size(), path.c_str());
 }
 
 }  // namespace sompi::bench

@@ -1,0 +1,213 @@
+// plan_server — interactive/scripted driver for the PlanService.
+//
+//   $ ./plan_server [--days D=5] [--seed S=2014] [--solves C=2] [--queue Q=16]
+//
+// Reads commands from stdin (pipe a script, or type at the prompt):
+//
+//   plan <APP> <deadline_factor> [type=NAME]* [zone=NAME]*
+//         serve one request; deadline = factor × the app's on-demand baseline
+//   burst <APP> <deadline_factor> <n>
+//         n concurrent identical requests — watch single-flight collapse them
+//   tick [steps=8]
+//         ingest the next pre-generated market steps and bump the epoch
+//   epoch   print the current market epoch
+//   stats   print the service counters and solve-latency percentiles
+//   help    this text
+//   quit
+//
+// Example session:
+//   plan BT 1.5          → solved (optimizer ran)
+//   plan BT 1.5          → hit (O(1), same epoch)
+//   tick                 → epoch 2
+//   plan BT 1.5          → solved (market moved)
+//   burst SP 1.4 8       → 1 solve + 7 joins
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "profile/paper_profiles.h"
+#include "service/plan_service.h"
+
+using namespace sompi;
+
+namespace {
+
+AppProfile resolve_app(const std::string& name) {
+  if (name == "LAMMPS32") return lammps_profile(32);
+  if (name == "LAMMPS128") return lammps_profile(128);
+  return paper_profile(name);  // throws with a clear message when unknown
+}
+
+void print_plan(const PlanResponse& r, double wall_ms) {
+  if (r.outcome == PlanOutcome::kShed) {
+    std::printf("→ SHED (service overloaded) at epoch %llu\n",
+                static_cast<unsigned long long>(r.epoch));
+    return;
+  }
+  const Plan& p = *r.plan;
+  std::printf("→ %s in %.3f ms at epoch %llu: E[cost] $%.2f, E[time] %.1f h, %zu group(s)%s\n",
+              outcome_label(r.outcome), wall_ms, static_cast<unsigned long long>(r.epoch),
+              p.expected.cost_usd, p.expected.time_h, p.groups.size(),
+              p.uses_spot() ? "" : " (on-demand only)");
+  for (const GroupPlan& g : p.groups)
+    std::printf("    %-22s M=%-3d bid $%-7.4f F=%d/%d steps\n", g.name.c_str(), g.instances,
+                g.bid_usd, g.f_steps, g.t_steps);
+}
+
+void print_stats(const ServiceStats& s) {
+  std::printf("epoch %llu | requests %llu: hits %llu, solves %llu, joins %llu, sheds %llu\n",
+              static_cast<unsigned long long>(s.epoch),
+              static_cast<unsigned long long>(s.requests),
+              static_cast<unsigned long long>(s.hits),
+              static_cast<unsigned long long>(s.solves),
+              static_cast<unsigned long long>(s.dedup_joins),
+              static_cast<unsigned long long>(s.sheds));
+  std::printf("cache %zu entrie(s), %llu stale-evicted | solve p50 %.2f ms, p99 %.2f ms, "
+              "total %.2f s\n",
+              s.cache_entries, static_cast<unsigned long long>(s.stale_evicted), s.solve_p50_ms,
+              s.solve_p99_ms, s.solve_seconds_total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double days = 5.0;
+  std::uint64_t seed = 2014;
+  std::size_t solves = 2, queue = 16;
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--days") days = std::atof(argv[i + 1]);
+    if (arg == "--seed") seed = static_cast<std::uint64_t>(std::atoll(argv[i + 1]));
+    if (arg == "--solves") solves = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+    if (arg == "--queue") queue = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+  }
+
+  Catalog catalog = paper_catalog();
+  ExecTimeEstimator est;
+  const double step_hours = 0.25;
+
+  // Generate `days` of history to serve from, plus a hidden "future" tail
+  // that tick commands reveal step by step — a scripted stand-in for a live
+  // spot-price feed.
+  const double future_days = 2.0;
+  Market full = generate_market(catalog, paper_market_profile(catalog), days + future_days,
+                                step_hours, seed);
+  const std::size_t visible = static_cast<std::size_t>(days * 24.0 / step_hours);
+  MarketBoard board(full.window(0, visible));
+  std::size_t cursor = visible;
+  const std::size_t total_steps = full.trace({0, 0}).steps();
+
+  ServiceConfig cfg;
+  cfg.max_concurrent_solves = solves;
+  cfg.max_queued_solves = queue;
+  cfg.opt.max_candidates = 5;
+  cfg.opt.setup.log_levels = 5;
+  PlanService service(&catalog, &est, &board, cfg);
+  const OnDemandSelector selector(&catalog, &est);
+
+  const bool tty = isatty(fileno(stdin)) != 0;
+  if (tty)
+    std::printf("plan_server ready (epoch %llu, %zu visible steps). Type 'help'.\n",
+                static_cast<unsigned long long>(board.epoch()), visible);
+
+  std::string line;
+  while (true) {
+    if (tty) {
+      std::printf("sompi> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') continue;
+    try {
+      if (cmd == "quit" || cmd == "exit") break;
+
+      if (cmd == "help") {
+        std::printf("commands: plan <APP> <factor> [type=..]* [zone=..]* | "
+                    "burst <APP> <factor> <n> | tick [steps] | epoch | stats | quit\n");
+
+      } else if (cmd == "plan" || cmd == "burst") {
+        std::string app_name;
+        double factor = 1.5;
+        in >> app_name >> factor;
+        PlanRequest request;
+        request.app = resolve_app(app_name);
+        request.deadline_h = selector.baseline(request.app).t_h * factor;
+        int n = 1;
+        if (cmd == "burst") {
+          in >> n;
+          if (n < 1) n = 1;
+        }
+        std::string constraint;
+        while (in >> constraint) {
+          if (constraint.rfind("type=", 0) == 0)
+            request.allowed_types.push_back(constraint.substr(5));
+          else if (constraint.rfind("zone=", 0) == 0)
+            request.allowed_zones.push_back(constraint.substr(5));
+        }
+        if (n == 1) {
+          const auto t0 = std::chrono::steady_clock::now();
+          const PlanResponse r = service.serve(request);
+          const double ms =
+              std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                  .count();
+          print_plan(r, ms);
+        } else {
+          const ServiceStats before = service.stats();
+          std::vector<std::thread> threads;
+          for (int t = 0; t < n; ++t)
+            threads.emplace_back([&] { (void)service.serve(request); });
+          for (auto& th : threads) th.join();
+          const ServiceStats after = service.stats();
+          std::printf("→ burst of %d: %llu solve(s), %llu join(s), %llu hit(s), %llu shed(s)\n",
+                      n, static_cast<unsigned long long>(after.solves - before.solves),
+                      static_cast<unsigned long long>(after.dedup_joins - before.dedup_joins),
+                      static_cast<unsigned long long>(after.hits - before.hits),
+                      static_cast<unsigned long long>(after.sheds - before.sheds));
+        }
+
+      } else if (cmd == "tick") {
+        std::size_t steps = 8;
+        in >> steps;
+        steps = std::min(steps, total_steps - cursor);
+        if (steps == 0) {
+          std::printf("→ market feed exhausted (regenerate with --days)\n");
+          continue;
+        }
+        std::vector<PriceUpdate> updates;
+        for (std::size_t t = 0; t < catalog.types().size(); ++t)
+          for (std::size_t z = 0; z < catalog.zones().size(); ++z) {
+            const CircleGroupSpec group{t, z};
+            const SpotTrace slice = full.trace(group).window(cursor, steps);
+            updates.push_back(PriceUpdate{group, slice.prices()});
+          }
+        cursor += steps;
+        const std::uint64_t epoch = board.ingest(updates);
+        std::printf("→ ingested %zu step(s)/group, epoch %llu, stale evicted %zu\n", steps,
+                    static_cast<unsigned long long>(epoch), service.invalidate_stale());
+
+      } else if (cmd == "epoch") {
+        std::printf("epoch %llu\n", static_cast<unsigned long long>(board.epoch()));
+
+      } else if (cmd == "stats") {
+        print_stats(service.stats());
+
+      } else {
+        std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  }
+  if (tty) std::printf("bye\n");
+  return 0;
+}

@@ -101,17 +101,16 @@ AppResult cg_run(mpi::Comm& comm, const CgConfig& config, Checkpointer* ck) {
 
   int start_iter = 0;
   AppResult result;
-  if (ck != nullptr) {
-    if (auto blob = ck->load_latest(comm)) {
-      StateReader reader(*blob);
-      start_iter = reader.read<int>();
-      rho = reader.read<double>();
-      x = reader.read_vec<double>();
-      res = reader.read_vec<double>();
-      dir = reader.read_vec<double>();
-      SOMPI_ASSERT(x.size() == local);
-      result.resumed = true;
-    }
+  if (ck != nullptr && ck->has_snapshot(comm)) {
+    const auto blob = ck->load_latest(comm);
+    StateReader reader(*blob);
+    start_iter = reader.read<int>();
+    rho = reader.read<double>();
+    x = reader.read_vec<double>();
+    res = reader.read_vec<double>();
+    dir = reader.read_vec<double>();
+    SOMPI_ASSERT(x.size() == local);
+    result.resumed = true;
   }
 
   std::vector<double> padded(static_cast<std::size_t>(range.count() + 2) * n);

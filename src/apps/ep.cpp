@@ -58,17 +58,16 @@ AppResult ep_run(mpi::Comm& comm, const EpConfig& config, Checkpointer* ck) {
   std::array<std::int64_t, kBins> bins{};
 
   AppResult result;
-  if (ck != nullptr) {
-    if (auto blob = ck->load_latest(comm)) {
-      StateReader reader(*blob);
-      start_batch = reader.read<int>();
-      sum_x = reader.read<double>();
-      sum_y = reader.read<double>();
-      const auto saved = reader.read_vec<std::int64_t>();
-      SOMPI_ASSERT(saved.size() == kBins);
-      std::copy(saved.begin(), saved.end(), bins.begin());
-      result.resumed = true;
-    }
+  if (ck != nullptr && ck->has_snapshot(comm)) {
+    const auto blob = ck->load_latest(comm);
+    StateReader reader(*blob);
+    start_batch = reader.read<int>();
+    sum_x = reader.read<double>();
+    sum_y = reader.read<double>();
+    const auto saved = reader.read_vec<std::int64_t>();
+    SOMPI_ASSERT(saved.size() == kBins);
+    std::copy(saved.begin(), saved.end(), bins.begin());
+    result.resumed = true;
   }
 
   for (int batch = start_batch; batch < config.batches; ++batch) {

@@ -77,14 +77,13 @@ AppResult ft_run(mpi::Comm& comm, const FtConfig& config, Checkpointer* ck) {
 
   int start_iter = 0;
   AppResult result;
-  if (ck != nullptr) {
-    if (auto blob = ck->load_latest(comm)) {
-      StateReader reader(*blob);
-      start_iter = reader.read<int>();
-      u = reader.read_vec<Complex>();
-      SOMPI_ASSERT(static_cast<int>(u.size()) == m * n);
-      result.resumed = true;
-    }
+  if (ck != nullptr && ck->has_snapshot(comm)) {
+    const auto blob = ck->load_latest(comm);
+    StateReader reader(*blob);
+    start_iter = reader.read<int>();
+    u = reader.read_vec<Complex>();
+    SOMPI_ASSERT(static_cast<int>(u.size()) == m * n);
+    result.resumed = true;
   }
 
   for (int it = start_iter; it < config.iterations; ++it) {

@@ -42,13 +42,12 @@ AppResult is_run(mpi::Comm& comm, const IsConfig& config, Checkpointer* ck) {
   int start_iter = 0;
   double digest_acc = 0.0;
   AppResult result;
-  if (ck != nullptr) {
-    if (auto blob = ck->load_latest(comm)) {
-      StateReader reader(*blob);
-      start_iter = reader.read<int>();
-      digest_acc = reader.read<double>();
-      result.resumed = true;
-    }
+  if (ck != nullptr && ck->has_snapshot(comm)) {
+    const auto blob = ck->load_latest(comm);
+    StateReader reader(*blob);
+    start_iter = reader.read<int>();
+    digest_acc = reader.read<double>();
+    result.resumed = true;
   }
 
   for (int it = start_iter; it < config.iterations; ++it) {

@@ -81,14 +81,13 @@ AppResult lu_run(mpi::Comm& comm, const LuConfig& config, Checkpointer* ck) {
   int start_iter = 0;
 
   AppResult result;
-  if (ck != nullptr) {
-    if (auto blob = ck->load_latest(comm)) {
-      StateReader reader(*blob);
-      start_iter = reader.read<int>();
-      u = reader.read_vec<double>();
-      SOMPI_ASSERT(u.size() == static_cast<std::size_t>(range.count() + 2) * config.nx);
-      result.resumed = true;
-    }
+  if (ck != nullptr && ck->has_snapshot(comm)) {
+    const auto blob = ck->load_latest(comm);
+    StateReader reader(*blob);
+    start_iter = reader.read<int>();
+    u = reader.read_vec<double>();
+    SOMPI_ASSERT(u.size() == static_cast<std::size_t>(range.count() + 2) * config.nx);
+    result.resumed = true;
   }
 
   for (int it = start_iter; it < config.iterations; ++it) {

@@ -121,13 +121,12 @@ AppResult md_run(mpi::Comm& comm, const MdConfig& config, Checkpointer* ck) {
 
   int start_iter = 0;
   AppResult result;
-  if (ck != nullptr) {
-    if (auto blob = ck->load_latest(comm)) {
-      StateReader reader(*blob);
-      start_iter = reader.read<int>();
-      mine = reader.read_vec<Particle>();
-      result.resumed = true;
-    }
+  if (ck != nullptr && ck->has_snapshot(comm)) {
+    const auto blob = ck->load_latest(comm);
+    StateReader reader(*blob);
+    start_iter = reader.read<int>();
+    mine = reader.read_vec<Particle>();
+    result.resumed = true;
   }
 
   const int up = (comm.rank() + 1) % p;          // neighbour above (wraps)

@@ -37,6 +37,18 @@ int Checkpointer::latest_version() const {
   return latest;
 }
 
+bool Checkpointer::has_snapshot() const {
+  const int version = latest_version();
+  return version >= 0 && store_->exists(commit_key(version));
+}
+
+bool Checkpointer::has_snapshot(mpi::Comm& comm) const {
+  int found = 0;
+  if (comm.rank() == 0) found = has_snapshot() ? 1 : 0;
+  comm.bcast(found, /*root=*/0);
+  return found != 0;
+}
+
 int Checkpointer::save(mpi::Comm& comm, std::span<const std::byte> rank_state) {
   // Quiesce: applications call at iteration boundaries, the barrier makes
   // the cut globally consistent.

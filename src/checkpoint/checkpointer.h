@@ -39,6 +39,15 @@ class Checkpointer {
   /// Latest committed version, -1 when none. Non-collective.
   int latest_version() const;
 
+  /// True when a committed snapshot exists. Non-collective; probes the
+  /// commit marker with StorageBackend::exists, so no blob is downloaded.
+  bool has_snapshot() const;
+
+  /// Collective variant: rank 0 probes, everyone gets the same answer.
+  /// Restore paths guard on this instead of attempting a load, so a cold
+  /// start costs one existence probe rather than a load round-trip.
+  bool has_snapshot(mpi::Comm& comm) const;
+
   /// Deletes all but the latest committed snapshot (bounded storage).
   /// Non-collective; call from a single rank (e.g. rank 0 after save).
   void garbage_collect();

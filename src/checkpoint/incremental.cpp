@@ -60,6 +60,18 @@ int IncrementalCheckpointer::latest_version() const {
   return latest;
 }
 
+bool IncrementalCheckpointer::has_snapshot() const {
+  const int version = latest_version();
+  return version >= 0 && store_->exists(commit_key(version));
+}
+
+bool IncrementalCheckpointer::has_snapshot(mpi::Comm& comm) const {
+  int found = 0;
+  if (comm.rank() == 0) found = has_snapshot() ? 1 : 0;
+  comm.bcast(found, /*root=*/0);
+  return found != 0;
+}
+
 int IncrementalCheckpointer::save(mpi::Comm& comm, std::span<const std::byte> rank_state) {
   comm.barrier();
   int version = 0;

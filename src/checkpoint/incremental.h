@@ -41,6 +41,11 @@ class IncrementalCheckpointer {
   /// Latest committed version, -1 when none.
   int latest_version() const;
 
+  /// True when a committed snapshot exists — probes the commit marker with
+  /// StorageBackend::exists (non-collective / collective; see Checkpointer).
+  bool has_snapshot() const;
+  bool has_snapshot(mpi::Comm& comm) const;
+
   /// Logical state bytes passed to save() so far (this process).
   std::uint64_t bytes_logical() const;
   /// Block bytes actually uploaded (this process) — the dedup win is

@@ -25,6 +25,11 @@ std::optional<std::vector<std::byte>> MemoryStore::get(const std::string& key) c
   return it->second;
 }
 
+bool MemoryStore::exists(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blobs_.count(key) != 0;
+}
+
 std::vector<std::string> MemoryStore::list(const std::string& prefix) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> keys;
@@ -78,6 +83,10 @@ std::optional<std::vector<std::byte>> DiskStore::get(const std::string& key) con
   return data;
 }
 
+bool DiskStore::exists(const std::string& key) const {
+  return fs::is_regular_file(path_for(key));
+}
+
 std::vector<std::string> DiskStore::list(const std::string& prefix) const {
   std::vector<std::string> keys;
   if (!fs::exists(root_)) return keys;
@@ -120,6 +129,12 @@ std::optional<std::vector<std::byte>> S3Sim::get(const std::string& key) const {
   ++gets_;
   if (blob) down_bytes_ += blob->size();
   return blob;
+}
+
+bool S3Sim::exists(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++gets_;  // HEAD is billed like a GET, but nothing is transferred
+  return inner_.exists(key);
 }
 
 std::vector<std::string> S3Sim::list(const std::string& prefix) const {

@@ -27,6 +27,9 @@ class StorageBackend {
   /// Reads a key; nullopt when absent.
   virtual std::optional<std::vector<std::byte>> get(const std::string& key) const = 0;
 
+  /// True when `key` is present. The base implementation is a full read;
+  /// backends override it with a cheap probe (map lookup, stat, HEAD) so
+  /// restore paths can check for a snapshot without paying a download.
   virtual bool exists(const std::string& key) const { return get(key).has_value(); }
 
   /// All keys with the given prefix, sorted.
@@ -44,6 +47,7 @@ class MemoryStore : public StorageBackend {
  public:
   void put(const std::string& key, std::span<const std::byte> data) override;
   std::optional<std::vector<std::byte>> get(const std::string& key) const override;
+  bool exists(const std::string& key) const override;
   std::vector<std::string> list(const std::string& prefix) const override;
   void remove(const std::string& key) override;
   std::uint64_t bytes_stored() const override;
@@ -61,6 +65,7 @@ class DiskStore : public StorageBackend {
 
   void put(const std::string& key, std::span<const std::byte> data) override;
   std::optional<std::vector<std::byte>> get(const std::string& key) const override;
+  bool exists(const std::string& key) const override;
   std::vector<std::string> list(const std::string& prefix) const override;
   void remove(const std::string& key) override;
   std::uint64_t bytes_stored() const override;
@@ -85,6 +90,8 @@ class S3Sim : public StorageBackend {
 
   void put(const std::string& key, std::span<const std::byte> data) override;
   std::optional<std::vector<std::byte>> get(const std::string& key) const override;
+  /// HEAD-style probe: billed as a GET request, transfers no bytes.
+  bool exists(const std::string& key) const override;
   std::vector<std::string> list(const std::string& prefix) const override;
   void remove(const std::string& key) override;
   std::uint64_t bytes_stored() const override;

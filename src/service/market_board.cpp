@@ -1,0 +1,43 @@
+#include "service/market_board.h"
+
+#include "common/error.h"
+
+namespace sompi {
+
+MarketBoard::MarketBoard(Market initial)
+    : epoch_(1), market_(std::make_shared<const Market>(std::move(initial))) {}
+
+MarketSnapshot MarketBoard::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return MarketSnapshot{epoch_, market_};
+}
+
+std::uint64_t MarketBoard::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+std::uint64_t MarketBoard::publish(Market next) {
+  auto frozen = std::make_shared<const Market>(std::move(next));
+  std::lock_guard<std::mutex> lock(mutex_);
+  market_ = std::move(frozen);
+  return ++epoch_;
+}
+
+std::uint64_t MarketBoard::ingest(const std::vector<PriceUpdate>& updates) {
+  // The copy-on-write must happen under the lock: two concurrent ingests
+  // that each copied the same base market would lose one another's updates.
+  // Readers block on the mutex for the duration of the copy — acceptable
+  // because ingest happens once per market step, not once per request.
+  std::lock_guard<std::mutex> lock(mutex_);
+  Market next = *market_;
+  for (const PriceUpdate& update : updates) {
+    SpotTrace& trace = next.mutable_trace(update.group);
+    SOMPI_REQUIRE_MSG(!trace.empty(), "cannot ingest into an empty trace");
+    trace.append(SpotTrace(trace.step_hours(), update.prices));
+  }
+  market_ = std::make_shared<const Market>(std::move(next));
+  return ++epoch_;
+}
+
+}  // namespace sompi

@@ -1,0 +1,61 @@
+// The serving layer's view of the spot market.
+//
+// A MarketBoard owns the authoritative Market and versions it with a
+// monotonically increasing *market epoch*. Readers take an immutable
+// snapshot (epoch + shared_ptr to a frozen Market) and plan against that;
+// writers ingest price updates copy-on-write, so a snapshot taken before an
+// update keeps planning against exactly the world it saw. The epoch is what
+// the plan cache keys on: a plan computed at epoch e is valid for every
+// request that arrives while the board is still at e, and silently obsolete
+// the moment the market moves.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "trace/market.h"
+
+namespace sompi {
+
+/// New trailing price steps for one circle group, at the market's step size.
+struct PriceUpdate {
+  CircleGroupSpec group;
+  std::vector<double> prices;
+};
+
+/// An immutable view of the market at one epoch. The Market behind the
+/// pointer is frozen: boards never mutate a published snapshot.
+struct MarketSnapshot {
+  std::uint64_t epoch = 0;
+  std::shared_ptr<const Market> market;
+};
+
+class MarketBoard {
+ public:
+  /// Publishes `initial` as epoch 1.
+  explicit MarketBoard(Market initial);
+
+  /// Current epoch and market; O(1), never blocks on a solve.
+  MarketSnapshot snapshot() const;
+
+  std::uint64_t epoch() const;
+
+  /// Replaces the whole market (e.g. a fresh feed reconnect); returns the
+  /// new epoch.
+  std::uint64_t publish(Market next);
+
+  /// Appends new price steps to the named groups' traces. One ingest is one
+  /// atomic world transition: all updates land under a single epoch bump.
+  /// Returns the new epoch. No-op updates (empty list) still bump the epoch
+  /// so callers can force invalidation.
+  std::uint64_t ingest(const std::vector<PriceUpdate>& updates);
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t epoch_ = 0;
+  std::shared_ptr<const Market> market_;
+};
+
+}  // namespace sompi

@@ -1,0 +1,83 @@
+#include "service/plan_cache.h"
+
+#include <functional>
+
+#include "common/error.h"
+
+namespace sompi {
+
+PlanCache::PlanCache(Config config) {
+  SOMPI_REQUIRE(config.shards >= 1);
+  SOMPI_REQUIRE(config.capacity >= 1);
+  per_shard_capacity_ = (config.capacity + config.shards - 1) / config.shards;
+  shards_.reserve(config.shards);
+  for (std::size_t i = 0; i < config.shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+std::string PlanCache::index_key(const std::string& key, std::uint64_t epoch) {
+  return key + '@' + std::to_string(epoch);
+}
+
+PlanCache::Shard& PlanCache::shard_for(const std::string& key) const {
+  // Sharding by request key alone (not epoch) keeps all epochs of one
+  // request in one shard, so erase_older_than contends with at most one
+  // hit path per request.
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const Plan> PlanCache::lookup(const std::string& key, std::uint64_t epoch) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(index_key(key, epoch));
+  if (it == shard.index.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->plan;
+}
+
+void PlanCache::insert(const std::string& key, std::uint64_t epoch,
+                       std::shared_ptr<const Plan> plan) {
+  SOMPI_REQUIRE(plan != nullptr);
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const std::string ik = index_key(key, epoch);
+  if (const auto it = shard.index.find(ik); it != shard.index.end()) {
+    it->second->plan = std::move(plan);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, epoch, std::move(plan)});
+  shard.index.emplace(ik, shard.lru.begin());
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(index_key(shard.lru.back().key, shard.lru.back().epoch));
+    shard.lru.pop_back();
+  }
+}
+
+std::size_t PlanCache::erase_older_than(std::uint64_t epoch) {
+  std::size_t dropped = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->epoch < epoch) {
+        shard->index.erase(index_key(it->key, it->epoch));
+        it = shard->lru.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dropped;
+}
+
+std::size_t PlanCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace sompi

@@ -1,0 +1,72 @@
+// Sharded LRU cache of solved plans, keyed on (canonical request, epoch).
+//
+// The epoch is part of the key, so a market update never returns a stale
+// plan — entries from dead epochs simply stop matching and age out of the
+// LRU. erase_older_than() additionally reclaims them eagerly (the service
+// calls it on epoch bumps) so a burst of updates cannot fill the cache with
+// unreachable entries. Sharding keeps the hit path a single short critical
+// section per shard instead of one global lock.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/plan.h"
+
+namespace sompi {
+
+class PlanCache {
+ public:
+  struct Config {
+    /// Independent lock domains; requests hash over them by canonical key.
+    std::size_t shards = 8;
+    /// Total entry budget across all shards (per-shard budget is the even
+    /// split, rounded up, so small caches still hold at least one entry per
+    /// shard).
+    std::size_t capacity = 1024;
+  };
+
+  explicit PlanCache(Config config);
+
+  /// The plan cached for (key, epoch), refreshing its LRU position;
+  /// nullptr on miss.
+  std::shared_ptr<const Plan> lookup(const std::string& key, std::uint64_t epoch);
+
+  /// Caches a plan, evicting the shard's least-recently-used entries over
+  /// budget. Re-inserting an existing (key, epoch) replaces the value.
+  void insert(const std::string& key, std::uint64_t epoch,
+              std::shared_ptr<const Plan> plan);
+
+  /// Drops every entry with epoch < `epoch`; returns how many were dropped.
+  std::size_t erase_older_than(std::uint64_t epoch);
+
+  /// Entries currently cached (sums shard sizes; approximate under
+  /// concurrent mutation).
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::uint64_t epoch = 0;
+    std::shared_ptr<const Plan> plan;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
+  static std::string index_key(const std::string& key, std::uint64_t epoch);
+  Shard& shard_for(const std::string& key) const;
+
+  std::size_t per_shard_capacity_;
+  /// unique_ptr because Shard (mutex) is immovable and the count is dynamic.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace sompi

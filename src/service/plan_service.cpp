@@ -1,0 +1,270 @@
+#include "service/plan_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace sompi {
+
+const char* outcome_label(PlanOutcome outcome) {
+  switch (outcome) {
+    case PlanOutcome::kHit: return "hit";
+    case PlanOutcome::kSolved: return "solved";
+    case PlanOutcome::kJoined: return "joined";
+    case PlanOutcome::kShed: return "shed";
+  }
+  return "?";
+}
+
+PlanService::PlanService(const Catalog* catalog, const ExecTimeEstimator* estimator,
+                         MarketBoard* board, ServiceConfig config)
+    : catalog_(catalog),
+      estimator_(estimator),
+      board_(board),
+      config_(std::move(config)),
+      optimizer_(catalog, estimator, config_.opt),
+      cache_(config_.cache) {
+  SOMPI_REQUIRE(catalog_ != nullptr && estimator_ != nullptr && board_ != nullptr);
+  SOMPI_REQUIRE(config_.max_concurrent_solves >= 1);
+  SOMPI_REQUIRE(config_.latency_window >= 1);
+  latency_ring_.reserve(config_.latency_window);
+}
+
+void PlanService::validate_names(const PlanRequest& request) const {
+  // type_index / zone_index throw with the offending name — fail fast,
+  // before the request can occupy a cache slot or a solve slot.
+  for (const std::string& name : request.allowed_types) (void)catalog_->type_index(name);
+  for (const std::string& name : request.allowed_zones) (void)catalog_->zone_index(name);
+}
+
+class PlanService::EpochRegistration {
+ public:
+  EpochRegistration(PlanService* service, std::uint64_t epoch) : service_(service) {
+    std::lock_guard<std::mutex> lock(service_->active_mutex_);
+    it_ = service_->active_epochs_.insert(epoch);
+  }
+  ~EpochRegistration() {
+    std::lock_guard<std::mutex> lock(service_->active_mutex_);
+    service_->active_epochs_.erase(it_);
+  }
+  EpochRegistration(const EpochRegistration&) = delete;
+  EpochRegistration& operator=(const EpochRegistration&) = delete;
+
+ private:
+  PlanService* service_;
+  std::multiset<std::uint64_t>::iterator it_;
+};
+
+std::uint64_t PlanService::sweep_horizon(std::uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(active_mutex_);
+  if (!active_epochs_.empty() && *active_epochs_.begin() < epoch)
+    return *active_epochs_.begin();
+  return epoch;
+}
+
+void PlanService::note_epoch(std::uint64_t epoch) {
+  std::uint64_t seen = last_seen_epoch_.load(std::memory_order_relaxed);
+  while (epoch > seen) {
+    if (last_seen_epoch_.compare_exchange_weak(seen, epoch, std::memory_order_relaxed)) {
+      // First request to observe a new epoch sweeps the dead ones — but
+      // never past a live request's registered epoch (its entry or flight
+      // must survive until it returns). Entries a clamped sweep leaves
+      // behind are reclaimed by the next bump's sweep or by LRU pressure.
+      stale_evicted_.fetch_add(cache_.erase_older_than(sweep_horizon(epoch)),
+                               std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+std::size_t PlanService::invalidate_stale() {
+  const std::size_t dropped = cache_.erase_older_than(sweep_horizon(board_->epoch()));
+  stale_evicted_.fetch_add(dropped, std::memory_order_relaxed);
+  return dropped;
+}
+
+void PlanService::record_solve(double seconds) {
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  solve_seconds_total_ += seconds;
+  if (latency_ring_.size() < config_.latency_window) {
+    latency_ring_.push_back(seconds);
+  } else {
+    latency_ring_[latency_next_] = seconds;
+    latency_next_ = (latency_next_ + 1) % config_.latency_window;
+  }
+}
+
+void PlanService::retire_flight(const std::string& flight_key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    flights_.erase(flight_key);
+    --active_solves_;
+  }
+  slot_cv_.notify_all();
+}
+
+PlanResponse PlanService::serve(const PlanRequest& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const PlanRequest canon = canonicalized(request);
+  validate_names(canon);
+  const std::string key = canonical_key(canon);
+
+  // Register an epoch floor BEFORE taking the snapshot: the floor is at most
+  // the snapshot's epoch (epochs are monotonic), so from here until return no
+  // concurrent sweep can evict the (key, epoch) entry or flight this request
+  // may come to depend on. Registering after the snapshot would leave a
+  // window where a bump + sweep races ahead of the registration.
+  const EpochRegistration registration(this, board_->epoch());
+  const MarketSnapshot snap = board_->snapshot();
+  note_epoch(snap.epoch);
+
+  if (auto plan = cache_.lookup(key, snap.epoch)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return {PlanOutcome::kHit, snap.epoch, std::move(plan)};
+  }
+
+  const std::string flight_key = key + '@' + std::to_string(snap.epoch);
+  std::shared_ptr<Flight> flight;
+  bool owner = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (const auto it = flights_.find(flight_key); it != flights_.end()) {
+        flight = it->second;
+        break;
+      }
+      // A flight for this key may have finished between the lock-free miss
+      // above and acquiring the lock (or while queued): its result is in
+      // the cache, and solving again would break single-flight accounting.
+      if (auto plan = cache_.lookup(key, snap.epoch)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return {PlanOutcome::kHit, snap.epoch, std::move(plan)};
+      }
+      if (active_solves_ < config_.max_concurrent_solves) {
+        ++active_solves_;
+        flight = std::make_shared<Flight>();
+        flight->future = flight->promise.get_future().share();
+        flights_.emplace(flight_key, flight);
+        owner = true;
+        break;
+      }
+      if (queued_ >= config_.max_queued_solves) {
+        sheds_.fetch_add(1, std::memory_order_relaxed);
+        return {PlanOutcome::kShed, snap.epoch, nullptr};
+      }
+      ++queued_;
+      slot_cv_.wait(lock);
+      --queued_;
+    }
+  }
+
+  if (!owner) {
+    dedup_joins_.fetch_add(1, std::memory_order_relaxed);
+    // Rethrows the owner's exception if its solve failed.
+    auto plan = flight->future.get();
+    return {PlanOutcome::kJoined, snap.epoch, std::move(plan)};
+  }
+
+  std::shared_ptr<const Plan> result;
+  try {
+    if (config_.solve_hook) config_.solve_hook(key, snap.epoch);
+    const auto t0 = std::chrono::steady_clock::now();
+    Plan plan = solve(canon, *snap.market);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    result = std::make_shared<const Plan>(std::move(plan));
+    // Cache BEFORE retiring the flight: at every instant a concurrent
+    // identical request finds either the flight or the cached plan, so one
+    // (request, epoch) burst can never trigger a second solve.
+    cache_.insert(key, snap.epoch, result);
+    record_solve(seconds);
+    solves_.fetch_add(1, std::memory_order_relaxed);
+  } catch (...) {
+    flight->promise.set_exception(std::current_exception());
+    retire_flight(flight_key);
+    throw;
+  }
+  flight->promise.set_value(result);
+  retire_flight(flight_key);
+  return {PlanOutcome::kSolved, snap.epoch, std::move(result)};
+}
+
+std::shared_ptr<const Plan> PlanService::plan_or_throw(const PlanRequest& request) {
+  PlanResponse response = serve(request);
+  if (response.outcome == PlanOutcome::kShed)
+    throw OverloadError("plan service overloaded: " + std::to_string(config_.max_queued_solves) +
+                        " callers already queued for a solve slot");
+  return std::move(response.plan);
+}
+
+Plan PlanService::solve(const PlanRequest& canon, const Market& market) const {
+  if (canon.allowed_types.empty() && canon.allowed_zones.empty())
+    return optimizer_.optimize(canon.app, market, canon.deadline_h);
+
+  const auto allowed = [](const std::vector<std::string>& names, const std::string& name) {
+    return names.empty() || std::binary_search(names.begin(), names.end(), name);
+  };
+
+  SetupBuilder builder(catalog_, estimator_);
+  std::vector<GroupSetup> candidates =
+      builder.build_candidates(canon.app, market, config_.opt.setup, canon.deadline_h);
+  std::erase_if(candidates, [&](const GroupSetup& g) {
+    return !allowed(canon.allowed_types, catalog_->type(g.spec.type_index).name) ||
+           !allowed(canon.allowed_zones, catalog_->zone(g.spec.zone_index).name);
+  });
+
+  // The on-demand recovery tier obeys the type constraint too (zones are a
+  // spot-market concept — OnDemandChoice is type-only). Same semantics as
+  // OnDemandSelector::select, restricted to the allowed types: cheapest
+  // full-run cost within Deadline × (1 − slack), else the fastest allowed
+  // tier marked infeasible.
+  const OnDemandSelector selector(catalog_, estimator_);
+  const double budget_h = canon.deadline_h * (1.0 - config_.opt.slack);
+  OnDemandChoice best;
+  OnDemandChoice fastest;
+  double best_cost = std::numeric_limits<double>::infinity();
+  double fastest_t = std::numeric_limits<double>::infinity();
+  for (std::size_t d = 0; d < catalog_->types().size(); ++d) {
+    if (!allowed(canon.allowed_types, catalog_->type(d).name)) continue;
+    OnDemandChoice c = selector.describe(d, canon.app);
+    if (c.t_h < fastest_t) {
+      fastest_t = c.t_h;
+      fastest = c;
+    }
+    if (c.t_h > budget_h) continue;
+    c.feasible = true;
+    if (c.full_cost_usd() < best_cost) {
+      best_cost = c.full_cost_usd();
+      best = c;
+    }
+  }
+  if (!best.feasible) best = fastest;  // describe() leaves feasible = false
+
+  return optimizer_.optimize_over(canon.app, std::move(candidates), best, canon.deadline_h);
+}
+
+ServiceStats PlanService::stats() const {
+  ServiceStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.solves = solves_.load(std::memory_order_relaxed);
+  s.dedup_joins = dedup_joins_.load(std::memory_order_relaxed);
+  s.sheds = sheds_.load(std::memory_order_relaxed);
+  s.stale_evicted = stale_evicted_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    s.solve_seconds_total = solve_seconds_total_;
+    if (!latency_ring_.empty()) {
+      s.solve_p50_ms = percentile(latency_ring_, 0.50) * 1e3;
+      s.solve_p99_ms = percentile(latency_ring_, 0.99) * 1e3;
+    }
+  }
+  s.cache_entries = cache_.size();
+  s.epoch = board_->epoch();
+  return s;
+}
+
+}  // namespace sompi

@@ -1,0 +1,193 @@
+// PlanService — the long-lived, thread-safe planning front end.
+//
+// Request flow (see DESIGN.md "Serving layer"):
+//
+//   serve(request)
+//     ├─ canonicalize + validate against the catalog
+//     ├─ snapshot the MarketBoard        → (epoch, frozen market)
+//     ├─ plan-cache lookup (key, epoch)  → kHit   (O(1), no solve)
+//     ├─ join an in-flight solve         → kJoined (blocks on its result)
+//     ├─ admission control               → kShed  (queue full — explicit
+//     │                                    overload, never silent latency)
+//     └─ run the optimizer once          → kSolved (result cached + shared
+//                                          with every joiner)
+//
+// Single-flight: at most ONE optimizer run exists per (canonical request,
+// epoch) at any moment; concurrent identical requests block on the owner's
+// result instead of duplicating the solve. Combined with the optimizer's
+// determinism contract (DESIGN.md §6d) this makes caching invisible: a hit
+// returns a plan bit-identical (plan_fingerprint) to a fresh solve at the
+// same epoch.
+//
+// Admission control bounds the solver: at most max_concurrent_solves
+// optimizer runs execute at once, at most max_queued_solves callers wait for
+// a free slot, and everyone beyond that is shed immediately with
+// PlanOutcome::kShed (or OverloadError from plan_or_throw) so overload
+// surfaces as an explicit signal instead of unbounded queueing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "service/market_board.h"
+#include "service/plan_cache.h"
+#include "service/request.h"
+
+namespace sompi {
+
+/// Thrown by plan_or_throw when admission control sheds the request.
+class OverloadError : public std::runtime_error {
+ public:
+  explicit OverloadError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class PlanOutcome {
+  kHit,     ///< served from the plan cache
+  kSolved,  ///< this call ran the optimizer
+  kJoined,  ///< deduplicated onto another call's in-flight solve
+  kShed,    ///< rejected by admission control; no plan
+};
+
+const char* outcome_label(PlanOutcome outcome);
+
+struct PlanResponse {
+  PlanOutcome outcome = PlanOutcome::kShed;
+  /// Market epoch the plan is valid for (set even when shed).
+  std::uint64_t epoch = 0;
+  /// Immutable shared plan; nullptr iff shed.
+  std::shared_ptr<const Plan> plan;
+};
+
+/// Monotonic counters + solve-latency percentiles, snapshotted atomically
+/// enough for monitoring (counters are individually exact; the set is not a
+/// consistent cut).
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t solves = 0;
+  std::uint64_t dedup_joins = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t stale_evicted = 0;  ///< cache entries reclaimed on epoch bumps
+  double solve_seconds_total = 0.0;
+  /// Percentiles over the trailing ServiceConfig::latency_window solves
+  /// (0 when nothing has been solved yet).
+  double solve_p50_ms = 0.0;
+  double solve_p99_ms = 0.0;
+  std::size_t cache_entries = 0;
+  std::uint64_t epoch = 0;
+};
+
+struct ServiceConfig {
+  PlanCache::Config cache;
+  /// Optimizer runs allowed to execute concurrently.
+  std::size_t max_concurrent_solves = 2;
+  /// Callers allowed to wait for a solve slot; beyond this, requests shed.
+  /// (Joiners of an in-flight solve never queue — they hold no slot.)
+  std::size_t max_queued_solves = 16;
+  /// Trailing solve latencies kept for the p50/p99 snapshot.
+  std::size_t latency_window = 512;
+  /// Shared by every solve. threads=1 (the default) is the right setting for
+  /// a loaded service: parallelism comes from concurrent requests, not from
+  /// fanning one solve across the pool.
+  OptimizerConfig opt;
+  /// Test seam: runs on the owning thread right before each optimizer run
+  /// with the flight's (canonical key, epoch). Lets tests hold a flight open
+  /// (latches) and count solves per key; never set in production.
+  std::function<void(const std::string& key, std::uint64_t epoch)> solve_hook;
+};
+
+class PlanService {
+ public:
+  /// `catalog`, `estimator` and `board` are borrowed and must outlive the
+  /// service.
+  PlanService(const Catalog* catalog, const ExecTimeEstimator* estimator,
+              MarketBoard* board, ServiceConfig config);
+
+  /// Serves one request; blocks while joining or solving. Overload is
+  /// reported as PlanOutcome::kShed. A solve failure (e.g. a precondition
+  /// violation inside the optimizer) propagates as an exception to the owner
+  /// AND to every joiner of that flight.
+  PlanResponse serve(const PlanRequest& request);
+
+  /// Like serve(), but sheds become OverloadError.
+  std::shared_ptr<const Plan> plan_or_throw(const PlanRequest& request);
+
+  /// Eagerly drops cache entries older than every epoch any in-progress
+  /// request could still ask for (the *sweep horizon*: the board's current
+  /// epoch, clamped to the oldest epoch registered by a live serve call).
+  /// Returns the number dropped. serve() runs this sweep automatically the
+  /// first time it observes each new epoch; exposed for drivers that want
+  /// deterministic reclamation points.
+  std::size_t invalidate_stale();
+
+  ServiceStats stats() const;
+
+  /// The deterministic reference solve behind every flight: exactly what a
+  /// cache hit promises to be bit-identical to. Public so tests and benches
+  /// can compare against it.
+  Plan solve(const PlanRequest& canonical_request, const Market& market) const;
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Flight {
+    std::promise<std::shared_ptr<const Plan>> promise;
+    std::shared_future<std::shared_ptr<const Plan>> future;
+  };
+  /// RAII registration of a live serve call's epoch floor. While any
+  /// registration at epoch e exists, the stale sweep never removes entries
+  /// at e or newer — that is what makes "exactly one solve per (request,
+  /// epoch)" exact even when epochs bump mid-request: a thread holding a
+  /// pre-bump snapshot always finds the flight or the cached plan, never a
+  /// swept hole.
+  class EpochRegistration;
+
+  void validate_names(const PlanRequest& request) const;
+  void note_epoch(std::uint64_t epoch);
+  /// board epoch clamped to the oldest registered live epoch.
+  std::uint64_t sweep_horizon(std::uint64_t epoch) const;
+  void record_solve(double seconds);
+  /// Removes the flight, releases its solve slot, wakes queued waiters.
+  void retire_flight(const std::string& flight_key);
+
+  const Catalog* catalog_;
+  const ExecTimeEstimator* estimator_;
+  MarketBoard* board_;
+  ServiceConfig config_;
+  SompiOptimizer optimizer_;
+  PlanCache cache_;
+
+  std::mutex mutex_;  ///< guards flights_, active_solves_, queued_
+  std::condition_variable slot_cv_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+  std::size_t active_solves_ = 0;
+  std::size_t queued_ = 0;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> solves_{0};
+  std::atomic<std::uint64_t> dedup_joins_{0};
+  std::atomic<std::uint64_t> sheds_{0};
+  std::atomic<std::uint64_t> stale_evicted_{0};
+  std::atomic<std::uint64_t> last_seen_epoch_{0};
+
+  mutable std::mutex active_mutex_;
+  std::multiset<std::uint64_t> active_epochs_;
+
+  mutable std::mutex latency_mutex_;
+  double solve_seconds_total_ = 0.0;
+  std::vector<double> latency_ring_;
+  std::size_t latency_next_ = 0;
+};
+
+}  // namespace sompi

@@ -1,0 +1,49 @@
+// Planning requests and their canonical form.
+//
+// The plan cache and the single-flight table key on the *canonical* encoding
+// of a request, so two requests that mean the same thing — same profile, same
+// deadline, same constraint set in any order — collapse to one cache entry
+// and one optimizer run. Doubles are encoded by bit pattern (no decimal
+// round-trip), which is what lets the cache promise bit-identical plans: two
+// requests share a key iff a fresh solve would see bit-identical inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/plan.h"
+#include "profile/app_profile.h"
+
+namespace sompi {
+
+/// One tenant's planning request: what to run, by when, and (optionally)
+/// which slice of the catalog it may use.
+struct PlanRequest {
+  AppProfile app;
+  double deadline_h = 0.0;
+  /// Instance-type names the plan may use (spot groups AND the on-demand
+  /// recovery tier). Empty = the whole catalog.
+  std::vector<std::string> allowed_types;
+  /// Availability-zone names the spot groups may use. Empty = all zones.
+  std::vector<std::string> allowed_zones;
+};
+
+/// Canonical form: constraint lists sorted and deduplicated. Requires
+/// deadline_h > 0 and app.processes >= 1.
+PlanRequest canonicalized(PlanRequest request);
+
+/// Exact cache key of a canonicalized request. Every field that can change
+/// the solve is encoded; doubles as hex bit patterns. Requires the request
+/// to already be canonical (sorted/deduped constraints).
+std::string canonical_key(const PlanRequest& request);
+
+/// Canonical byte-for-byte encoding of everything the optimizer *decided* —
+/// groups, bids, checkpoint intervals, the on-demand tier, the model
+/// expectation and the evaluation count — excluding only wall-clock
+/// accounting (optimize_seconds). Two plans with equal fingerprints are the
+/// same plan bit for bit; the service's determinism contract is stated (and
+/// tested) in terms of this encoding.
+std::string plan_fingerprint(const Plan& plan);
+
+}  // namespace sompi

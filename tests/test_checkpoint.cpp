@@ -79,6 +79,24 @@ TYPED_TEST(StorageTest, BytesStored) {
   EXPECT_EQ(store->bytes_stored(), 8u);
 }
 
+TYPED_TEST(StorageTest, ExistsMatchesGetWithoutReadingData) {
+  auto store = make_store<TypeParam>();
+  EXPECT_FALSE(store->exists("probe"));
+  store->put("probe", blob_of("payload"));
+  EXPECT_TRUE(store->exists("probe"));
+  store->remove("probe");
+  EXPECT_FALSE(store->exists("probe"));
+}
+
+TEST(S3SimTest, ExistsIsBilledLikeAGetButTransfersNoBytes) {
+  S3Sim s3;
+  s3.put("a", blob_of(std::string(1000, 'x')));
+  EXPECT_TRUE(s3.exists("a"));
+  EXPECT_FALSE(s3.exists("missing"));
+  EXPECT_EQ(s3.get_count(), 2u);        // HEAD-style probes are requests...
+  EXPECT_EQ(s3.bytes_downloaded(), 0u); // ...but not transfers
+}
+
 TEST(S3SimTest, CostAccounting) {
   S3Sim s3;
   s3.put("a", blob_of(std::string(1000, 'x')));
@@ -137,6 +155,28 @@ TEST(Checkpointer, SaveRestoreRoundTrip) {
     StateReader r(*blob);
     EXPECT_EQ(r.read<int>(), comm.rank() * 11);
   });
+}
+
+TEST(Checkpointer, HasSnapshotProbesWithoutDownloading) {
+  S3Sim store;
+  mpi::Runtime::run(2, [&store](mpi::Comm& comm) {
+    Checkpointer ck(&store, "probe");
+    EXPECT_FALSE(ck.has_snapshot(comm));  // cold start: no load attempted
+    StateWriter w;
+    w.write<int>(comm.rank());
+    ck.save(comm, w.take());
+    EXPECT_TRUE(ck.has_snapshot(comm));
+    if (comm.rank() == 0) EXPECT_TRUE(ck.has_snapshot());
+  });
+  // Both probes (cold and warm) together moved zero payload bytes.
+  EXPECT_EQ(store.bytes_downloaded(), 0u);
+}
+
+TEST(Checkpointer, UncommittedSnapshotHasNoSnapshot) {
+  MemoryStore store;
+  store.put("torn/v0/rank0", blob_of("state"));  // blob without a COMMIT marker
+  const Checkpointer ck(&store, "torn");
+  EXPECT_FALSE(ck.has_snapshot());
 }
 
 TEST(Checkpointer, VersionsIncreaseAndLatestWins) {

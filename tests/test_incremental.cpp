@@ -15,6 +15,17 @@ std::vector<std::byte> make_state(std::size_t bytes, std::uint64_t seed) {
   return s;
 }
 
+TEST(Incremental, HasSnapshotProbesTheCommitMarker) {
+  MemoryStore store;
+  mpi::Runtime::run(2, [&](mpi::Comm& comm) {
+    IncrementalCheckpointer ck(&store, "inc0", /*block_size=*/256);
+    EXPECT_FALSE(ck.has_snapshot(comm));
+    ck.save(comm, make_state(600, 3 + comm.rank()));
+    EXPECT_TRUE(ck.has_snapshot(comm));
+    if (comm.rank() == 0) EXPECT_TRUE(ck.has_snapshot());
+  });
+}
+
 TEST(Incremental, FirstSaveUploadsEverything) {
   MemoryStore store;
   mpi::Runtime::run(2, [&](mpi::Comm& comm) {

@@ -37,15 +37,17 @@ TEST(MiniMpiExt, RequestTestIsNonBlocking) {
   const RunResult r = Runtime::run(2, [](Comm& comm) {
     if (comm.rank() == 0) {
       Request req = comm.irecv(1, 9);
-      EXPECT_FALSE(req.test());  // nothing sent yet
+      // The sender blocks on the barrier below until we pass it, so nothing
+      // can have been sent yet and test() is deterministically false.
+      EXPECT_FALSE(req.test());
       comm.barrier();
-      // After the barrier the message is in flight or queued; poll for it.
+      // Now the message is in flight or queued; poll for it.
       while (!req.test()) {}
       const Message m = req.wait();  // already completed: returns the cache
       EXPECT_EQ(m.payload.size(), 8u);
     } else {
-      comm.send_vec<double>(0, 9, std::vector<double>{4.5});
       comm.barrier();
+      comm.send_vec<double>(0, 9, std::vector<double>{4.5});
     }
   });
   EXPECT_TRUE(r.completed);
