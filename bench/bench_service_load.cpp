@@ -26,7 +26,6 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "common/stats.h"
 #include "service/plan_service.h"
 
 using namespace sompi;
@@ -147,8 +146,8 @@ int main(int argc, char** argv) {
   const double warm_rps = static_cast<double>(ops) / warm_wall_s;
   const double warm_mean_ms =
       std::accumulate(all_lat.begin(), all_lat.end(), 0.0) / static_cast<double>(ops) * 1e3;
-  const double p50_ms = percentile(all_lat, 0.50) * 1e3;
-  const double p99_ms = percentile(all_lat, 0.99) * 1e3;
+  const double p50_ms = bench::percentile_nearest_rank(all_lat, 0.50) * 1e3;
+  const double p99_ms = bench::percentile_nearest_rank(all_lat, 0.99) * 1e3;
   const std::uint64_t warm_requests = after.requests - before.requests;
   const double hit_rate =
       static_cast<double>(after.hits - before.hits) / static_cast<double>(warm_requests);
@@ -187,7 +186,8 @@ int main(int argc, char** argv) {
   if (!args.json_path.empty()) {
     std::vector<bench::JsonResult> results;
     results.push_back({"uncached_solve", solve_lat.size(), solve_mean_s * 1e3,
-                       percentile(solve_lat, 0.50) * 1e3, percentile(solve_lat, 0.99) * 1e3});
+                       bench::percentile_nearest_rank(solve_lat, 0.50) * 1e3,
+                       bench::percentile_nearest_rank(solve_lat, 0.99) * 1e3});
     results.push_back({"warm_serve", ops, warm_mean_ms, p50_ms, p99_ms});
     bench::write_json(args.json_path, results);
   }

@@ -4,6 +4,9 @@
 // Baseline exactly as in §5.1.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -13,6 +16,22 @@
 #include "sim/experiment.h"
 
 namespace sompi::bench {
+
+/// Nearest-rank percentile: the ceil(q·N)-th smallest observation
+/// (1-indexed; q = 0 → the minimum). The right estimator for tail latencies
+/// over small samples — the linear-interpolation percentile (common/stats.h)
+/// blends the two largest observations, so p99 of N < 100 samples reports a
+/// value no request actually experienced and under-reports the tail until N
+/// reaches ~100. q in [0, 1].
+inline double percentile_nearest_rank(std::vector<double> values, double q) {
+  SOMPI_REQUIRE(!values.empty());
+  SOMPI_REQUIRE(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const auto rank = q <= 0.0 ? std::size_t{1}
+                             : static_cast<std::size_t>(
+                                   std::ceil(q * static_cast<double>(values.size())));
+  return values[rank - 1];
+}
 
 inline void banner(const std::string& id, const std::string& what) {
   std::printf("==============================================================\n");

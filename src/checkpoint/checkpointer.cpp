@@ -6,8 +6,9 @@
 
 namespace sompi {
 
-Checkpointer::Checkpointer(StorageBackend* store, std::string run_id)
-    : store_(store), run_id_(std::move(run_id)) {
+Checkpointer::Checkpointer(StorageBackend* store, std::string run_id,
+                           fi::FaultInjector* faults)
+    : store_(store), run_id_(std::move(run_id)), faults_(faults) {
   SOMPI_REQUIRE(store_ != nullptr);
   SOMPI_REQUIRE(!run_id_.empty());
   SOMPI_REQUIRE_MSG(run_id_.find('/') == std::string::npos, "run_id must not contain '/'");
@@ -59,13 +60,19 @@ int Checkpointer::save(mpi::Comm& comm, std::span<const std::byte> rank_state) {
   if (comm.rank() == 0) version = latest_version() + 1;
   comm.bcast(version, /*root=*/0);
 
+  if (faults_ != nullptr)
+    faults_->protocol_point(fi::Channel::kCkptPreBlob, rank_key(version, comm.rank()));
   store_->put(rank_key(version, comm.rank()), rank_state);
 
   // All blobs durable before the commit marker exists.
   comm.barrier();
   if (comm.rank() == 0) {
+    if (faults_ != nullptr)
+      faults_->protocol_point(fi::Channel::kCkptPreCommit, commit_key(version));
     static constexpr std::byte kMark{1};
     store_->put(commit_key(version), std::span<const std::byte>(&kMark, 1));
+    if (faults_ != nullptr)
+      faults_->protocol_point(fi::Channel::kCkptPostCommit, commit_key(version));
   }
   // Nobody proceeds until the snapshot is committed.
   comm.barrier();
@@ -78,6 +85,8 @@ std::optional<std::vector<std::byte>> Checkpointer::load_latest(mpi::Comm& comm)
   comm.bcast(version, /*root=*/0);
   if (version < 0) return std::nullopt;
 
+  if (faults_ != nullptr)
+    faults_->protocol_point(fi::Channel::kCkptPreLoad, rank_key(version, comm.rank()));
   auto blob = store_->get(rank_key(version, comm.rank()));
   if (!blob)
     throw IoError("committed checkpoint missing rank blob: " + rank_key(version, comm.rank()));

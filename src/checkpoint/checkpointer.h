@@ -18,6 +18,7 @@
 #include <string>
 
 #include "checkpoint/storage.h"
+#include "faultinject/injector.h"
 #include "minimpi/comm.h"
 
 namespace sompi {
@@ -26,7 +27,10 @@ class Checkpointer {
  public:
   /// `store` is borrowed and must outlive the checkpointer. `run_id`
   /// namespaces keys, so several applications can share one store.
-  Checkpointer(StorageBackend* store, std::string run_id);
+  /// `faults`, when given, arms the checkpoint-protocol crash points
+  /// (pre-blob / pre-commit / post-commit / pre-load); it is borrowed too.
+  Checkpointer(StorageBackend* store, std::string run_id,
+               fi::FaultInjector* faults = nullptr);
 
   /// Collective: saves one coordinated snapshot; every rank passes its own
   /// serialized state. Returns the committed version number.
@@ -61,6 +65,7 @@ class Checkpointer {
 
   StorageBackend* store_;
   std::string run_id_;
+  fi::FaultInjector* faults_;
 };
 
 }  // namespace sompi

@@ -24,8 +24,9 @@ std::uint64_t hash_block(std::span<const std::byte> block) {
 }  // namespace
 
 IncrementalCheckpointer::IncrementalCheckpointer(StorageBackend* store, std::string run_id,
-                                                 std::size_t block_size)
-    : store_(store), run_id_(std::move(run_id)), block_size_(block_size) {
+                                                 std::size_t block_size,
+                                                 fi::FaultInjector* faults)
+    : store_(store), run_id_(std::move(run_id)), block_size_(block_size), faults_(faults) {
   SOMPI_REQUIRE(store_ != nullptr);
   SOMPI_REQUIRE(!run_id_.empty());
   SOMPI_REQUIRE_MSG(run_id_.find('/') == std::string::npos, "run_id must not contain '/'");
@@ -77,6 +78,9 @@ int IncrementalCheckpointer::save(mpi::Comm& comm, std::span<const std::byte> ra
   int version = 0;
   if (comm.rank() == 0) version = latest_version() + 1;
   comm.bcast(version, /*root=*/0);
+
+  if (faults_ != nullptr)
+    faults_->protocol_point(fi::Channel::kCkptPreBlob, meta_key(version, comm.rank()));
 
   const std::size_t blocks = (rank_state.size() + block_size_ - 1) / block_size_;
 
@@ -138,8 +142,12 @@ int IncrementalCheckpointer::save(mpi::Comm& comm, std::span<const std::byte> ra
 
   comm.barrier();
   if (comm.rank() == 0) {
+    if (faults_ != nullptr)
+      faults_->protocol_point(fi::Channel::kCkptPreCommit, commit_key(version));
     static constexpr std::byte kMark{1};
     store_->put(commit_key(version), std::span<const std::byte>(&kMark, 1));
+    if (faults_ != nullptr)
+      faults_->protocol_point(fi::Channel::kCkptPostCommit, commit_key(version));
   }
   comm.barrier();
   return version;
@@ -151,6 +159,8 @@ std::optional<std::vector<std::byte>> IncrementalCheckpointer::load_latest(mpi::
   comm.bcast(version, /*root=*/0);
   if (version < 0) return std::nullopt;
 
+  if (faults_ != nullptr)
+    faults_->protocol_point(fi::Channel::kCkptPreLoad, meta_key(version, comm.rank()));
   const auto meta = store_->get(meta_key(version, comm.rank()));
   if (!meta) throw IoError("incremental checkpoint missing manifest for rank");
   StateReader reader(*meta);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "checkpoint/storage.h"
+#include "faultinject/injector.h"
 #include "minimpi/comm.h"
 
 namespace sompi {
@@ -26,9 +27,11 @@ namespace sompi {
 class IncrementalCheckpointer {
  public:
   /// `store` is borrowed. Blocks of `block_size` bytes (the last block of a
-  /// state may be shorter).
+  /// state may be shorter). `faults`, when given, arms the protocol crash
+  /// points (pre-blob / pre-commit / post-commit / pre-load); borrowed too.
   IncrementalCheckpointer(StorageBackend* store, std::string run_id,
-                          std::size_t block_size = 64 * 1024);
+                          std::size_t block_size = 64 * 1024,
+                          fi::FaultInjector* faults = nullptr);
 
   /// Collective: saves a snapshot, uploading only changed blocks. Returns
   /// the committed version.
@@ -63,6 +66,7 @@ class IncrementalCheckpointer {
   StorageBackend* store_;
   std::string run_id_;
   std::size_t block_size_;
+  fi::FaultInjector* faults_;
 
   // Per-rank hashes of the previously saved blocks, tagged with the version
   // they were saved as (this process only; a restarted process re-uploads

@@ -25,6 +25,7 @@ class StateWriter {
   void write_vec(const std::vector<T>& values) {
     static_assert(std::is_trivially_copyable_v<T>);
     write<std::uint64_t>(values.size());
+    if (values.empty()) return;  // .data() may be null for an empty vector
     const auto* p = reinterpret_cast<const std::byte*>(values.data());
     buf_.insert(buf_.end(), p, p + values.size() * sizeof(T));
   }
@@ -56,7 +57,7 @@ class StateReader {
     const auto n = read<std::uint64_t>();
     SOMPI_REQUIRE_MSG(pos_ + n * sizeof(T) <= data_.size(), "state buffer underrun");
     std::vector<T> values(n);
-    std::memcpy(values.data(), data_.data() + pos_, n * sizeof(T));
+    if (n != 0) std::memcpy(values.data(), data_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);
     return values;
   }

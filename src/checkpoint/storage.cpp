@@ -79,7 +79,7 @@ std::optional<std::vector<std::byte>> DiskStore::get(const std::string& key) con
   if (!in) return std::nullopt;
   std::vector<char> raw((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
   std::vector<std::byte> data(raw.size());
-  std::memcpy(data.data(), raw.data(), raw.size());
+  if (!raw.empty()) std::memcpy(data.data(), raw.data(), raw.size());
   return data;
 }
 

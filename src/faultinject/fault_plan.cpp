@@ -1,0 +1,63 @@
+#include "faultinject/fault_plan.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace sompi::fi {
+
+const char* channel_label(Channel channel) {
+  switch (channel) {
+    case Channel::kStoragePut: return "storage.put";
+    case Channel::kStoragePutTorn: return "storage.put_torn";
+    case Channel::kStorageGet: return "storage.get";
+    case Channel::kStorageExists: return "storage.exists";
+    case Channel::kStorageLatency: return "storage.latency";
+    case Channel::kCkptPreBlob: return "ckpt.pre_blob";
+    case Channel::kCkptPreCommit: return "ckpt.pre_commit";
+    case Channel::kCkptPostCommit: return "ckpt.post_commit";
+    case Channel::kCkptPreLoad: return "ckpt.pre_load";
+    case Channel::kSpotKill: return "sim.spot_kill";
+    case Channel::kServiceShed: return "service.shed";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::from_seed(std::uint64_t seed) {
+  Rng rng(seed ^ 0xFA17B1A5u);
+  FaultPlan plan;
+  plan.seed = seed;
+  // A global intensity knob keeps some seeds nearly quiet and others hostile.
+  const double intensity = rng.uniform();
+  plan.p_put_error = intensity * rng.uniform(0.0, 0.15);
+  plan.p_put_torn = intensity * rng.uniform(0.0, 0.10);
+  plan.p_get_error = intensity * rng.uniform(0.0, 0.15);
+  plan.p_exists_error = intensity * rng.uniform(0.0, 0.10);
+  plan.p_latency = rng.uniform(0.0, 0.25);
+  plan.latency_ms = rng.uniform(1.0, 250.0);
+  plan.p_protocol_crash = intensity * rng.uniform(0.0, 0.10);
+  plan.p_load_error = intensity * rng.uniform(0.0, 0.10);
+  plan.p_spot_kill = rng.uniform(0.0, 0.25);
+  plan.p_shed = intensity * rng.uniform(0.0, 0.20);
+  if (rng.bernoulli(0.5)) plan.kill_after_ticks = rng.uniform_index(64) + 1;
+  const std::size_t bumps = rng.uniform_index(4);
+  for (std::size_t i = 0; i < bumps; ++i)
+    plan.epoch_bump_solves.push_back(static_cast<std::uint32_t>(rng.uniform_index(16)));
+  std::sort(plan.epoch_bump_solves.begin(), plan.epoch_bump_solves.end());
+  plan.max_faults = static_cast<std::uint32_t>(rng.uniform_index(12));
+  return plan;
+}
+
+FaultPlan FaultPlan::quiet(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  return plan;
+}
+
+bool FaultPlan::scheduled_bump(std::uint64_t solve_index) const {
+  return std::binary_search(epoch_bump_solves.begin(), epoch_bump_solves.end(),
+                            static_cast<std::uint32_t>(
+                                std::min<std::uint64_t>(solve_index, UINT32_MAX)));
+}
+
+}  // namespace sompi::fi

@@ -1,0 +1,95 @@
+// Seed-derived fault schedules.
+//
+// The paper's value proposition is correct behaviour under failure: circle
+// groups die at out-of-bid events, checkpoints must restore the most advanced
+// committed state, and the on-demand fallback must still meet the deadline
+// (Formulas 5–11). A FaultPlan is the chaos side of that contract: a small,
+// fully seed-derived description of which injectable events fire — spot kills
+// at arbitrary ticks, checkpoint write/read failures and truncated uploads,
+// storage latency spikes and transient errors, market-epoch bumps mid-solve,
+// and service shed pressure. Everything an injector ever decides is a pure
+// function of (plan, channel, key, per-key op index), so a failing scenario
+// replays bit-identically from its seed alone — at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sompi::fi {
+
+/// One deterministic decision stream per (channel, key). Hook sites name the
+/// channel they consult; the key scopes the stream (a storage key, a run id,
+/// a canonical request key, a circle-group name).
+enum class Channel : int {
+  kStoragePut = 1,     ///< upload fails (nothing written)
+  kStoragePutTorn,     ///< upload fails after writing a truncated prefix
+  kStorageGet,         ///< download fails transiently
+  kStorageExists,      ///< HEAD-style probe fails transiently
+  kStorageLatency,     ///< operation hits a simulated latency spike
+  kCkptPreBlob,        ///< crash before a rank uploads its blob
+  kCkptPreCommit,      ///< crash after all blobs, before the commit marker
+  kCkptPostCommit,     ///< crash right after the commit marker
+  kCkptPreLoad,        ///< crash/IO error entering a restore
+  kSpotKill,           ///< out-of-bid kill forced at a (group, step)
+  kServiceShed,        ///< admission control forced to shed a request
+};
+
+const char* channel_label(Channel channel);
+
+/// A complete injectable-event schedule. Probabilities are per decision on
+/// their channel; scheduled events (kill ticks, epoch bumps) are explicit.
+/// The all-zero default injects nothing.
+struct FaultPlan {
+  /// Root of every decision stream.
+  std::uint64_t seed = 0;
+
+  // --- storage (consulted by FaultyStore) ---------------------------------
+  double p_put_error = 0.0;
+  double p_put_torn = 0.0;   ///< torn uploads also throw; the prefix stays
+  double p_get_error = 0.0;
+  double p_exists_error = 0.0;
+  double p_latency = 0.0;
+  double latency_ms = 25.0;  ///< simulated cost of one latency spike
+
+  // --- checkpoint protocol points (consulted by the checkpointers) --------
+  double p_protocol_crash = 0.0;  ///< pre-blob / pre-commit / post-commit
+  double p_load_error = 0.0;      ///< pre-load
+
+  // --- simulation (consulted by ReplayEngine) -----------------------------
+  /// Probability that a (group, step) is force-killed regardless of the
+  /// trace price. Stateless: the same (group, step) always answers the same.
+  double p_spot_kill = 0.0;
+
+  // --- serving layer (consulted by PlanService / the scenario driver) -----
+  double p_shed = 0.0;  ///< forced admission-control shed per request
+  /// Solve indices (0-based, in arrival order) before which the market
+  /// board bumps its epoch — the mid-solve invalidation race.
+  std::vector<std::uint32_t> epoch_bump_solves;
+
+  // --- mini-MPI (consulted via Runtime::run_with_plan) --------------------
+  /// Kill the world after this many Comm::tick() calls summed over all
+  /// ranks; 0 leaves the failure controller disarmed.
+  std::uint64_t kill_after_ticks = 0;
+
+  /// Chaos-attempt budget: a harness retrying under injection calls
+  /// FaultInjector::quiesce() once this many attempts have failed, which
+  /// silences every probabilistic channel except kSpotKill (the market, not
+  /// a fault burst) and guarantees the next attempt runs clean — that is
+  /// what terminates a retry loop. Enforced at the attempt boundary rather
+  /// than by a global fired-fault counter: a cross-thread counter hands its
+  /// last slot to whichever thread rolls first, so the fired set would
+  /// depend on scheduling and same-seed replays would diverge.
+  std::uint32_t max_faults = UINT32_MAX;
+
+  /// Representative random mixture for generic chaos runs: moderate storage
+  /// and protocol fault rates, an occasional armed kill, a small budget.
+  static FaultPlan from_seed(std::uint64_t seed);
+
+  /// A plan that injects nothing (seed kept for derived decisions).
+  static FaultPlan quiet(std::uint64_t seed);
+
+  bool scheduled_bump(std::uint64_t solve_index) const;
+};
+
+}  // namespace sompi::fi

@@ -1,0 +1,43 @@
+#include "faultinject/faulty_store.h"
+
+namespace sompi::fi {
+
+void FaultyStore::put(const std::string& key, std::span<const std::byte> data) {
+  if (faults_->fires(Channel::kStorageLatency, key))
+    faults_->add_latency(faults_->plan().latency_ms);
+  std::uint64_t op = 0;
+  if (faults_->fires(Channel::kStoragePutTorn, key, &op)) {
+    const std::size_t keep = faults_->torn_length(key, op, data.size());
+    inner_->put(key, data.first(keep));
+    throw InjectedFault(Channel::kStoragePutTorn, key, op);
+  }
+  if (faults_->fires(Channel::kStoragePut, key, &op))
+    throw InjectedFault(Channel::kStoragePut, key, op);
+  inner_->put(key, data);
+}
+
+std::optional<std::vector<std::byte>> FaultyStore::get(const std::string& key) const {
+  if (faults_->fires(Channel::kStorageLatency, key))
+    faults_->add_latency(faults_->plan().latency_ms);
+  std::uint64_t op = 0;
+  if (faults_->fires(Channel::kStorageGet, key, &op))
+    throw InjectedFault(Channel::kStorageGet, key, op);
+  return inner_->get(key);
+}
+
+bool FaultyStore::exists(const std::string& key) const {
+  std::uint64_t op = 0;
+  if (faults_->fires(Channel::kStorageExists, key, &op))
+    throw InjectedFault(Channel::kStorageExists, key, op);
+  return inner_->exists(key);
+}
+
+std::vector<std::string> FaultyStore::list(const std::string& prefix) const {
+  return inner_->list(prefix);
+}
+
+void FaultyStore::remove(const std::string& key) { inner_->remove(key); }
+
+std::uint64_t FaultyStore::bytes_stored() const { return inner_->bytes_stored(); }
+
+}  // namespace sompi::fi

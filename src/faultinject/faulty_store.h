@@ -1,0 +1,39 @@
+// StorageBackend decorator that injects faults on the way to a real backend.
+//
+// Interposes between the checkpointers and any StorageBackend (MemoryStore,
+// DiskStore, S3Sim) and consults a FaultInjector on every operation:
+//   - put: latency spikes, outright failures (nothing written), and torn
+//     uploads — a deterministic strict prefix is written, then the put
+//     throws. Torn writes always throw: a silently truncated blob would be
+//     undetectable under the commit-marker protocol (no checksums), so the
+//     decorator models the realistic failure — the client sees an error and
+//     retries — rather than an unphysical silent corruption.
+//   - get/exists: transient InjectedFault errors, latency spikes.
+//   - list/remove/bytes_stored: passthrough (the protocol never depends on
+//     them mid-save).
+#pragma once
+
+#include "checkpoint/storage.h"
+#include "faultinject/injector.h"
+
+namespace sompi::fi {
+
+class FaultyStore : public StorageBackend {
+ public:
+  /// Neither pointer is owned; both must outlive the decorator.
+  FaultyStore(StorageBackend* inner, FaultInjector* faults)
+      : inner_(inner), faults_(faults) {}
+
+  void put(const std::string& key, std::span<const std::byte> data) override;
+  std::optional<std::vector<std::byte>> get(const std::string& key) const override;
+  bool exists(const std::string& key) const override;
+  std::vector<std::string> list(const std::string& prefix) const override;
+  void remove(const std::string& key) override;
+  std::uint64_t bytes_stored() const override;
+
+ private:
+  StorageBackend* inner_;
+  FaultInjector* faults_;
+};
+
+}  // namespace sompi::fi

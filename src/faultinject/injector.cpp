@@ -1,0 +1,101 @@
+#include "faultinject/injector.h"
+
+#include "common/rng.h"
+
+namespace sompi::fi {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Pure decision hash → uniform double in [0, 1).
+double decision_uniform(std::uint64_t seed, Channel channel, std::uint64_t key_hash,
+                        std::uint64_t op) {
+  std::uint64_t state = seed ^ (static_cast<std::uint64_t>(channel) * 0x9E3779B97F4A7C15ULL);
+  state ^= splitmix64(state) ^ key_hash;
+  state ^= splitmix64(state) ^ op;
+  const std::uint64_t bits = splitmix64(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::uint64_t FaultInjector::next_op(Channel channel, const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return op_counts_[std::to_string(static_cast<int>(channel)) + '|' + key]++;
+}
+
+double FaultInjector::channel_probability(Channel channel) const {
+  switch (channel) {
+    case Channel::kStoragePut: return plan_.p_put_error;
+    case Channel::kStoragePutTorn: return plan_.p_put_torn;
+    case Channel::kStorageGet: return plan_.p_get_error;
+    case Channel::kStorageExists: return plan_.p_exists_error;
+    case Channel::kStorageLatency: return plan_.p_latency;
+    case Channel::kCkptPreBlob:
+    case Channel::kCkptPreCommit:
+    case Channel::kCkptPostCommit: return plan_.p_protocol_crash;
+    case Channel::kCkptPreLoad: return plan_.p_load_error;
+    case Channel::kSpotKill: return plan_.p_spot_kill;
+    case Channel::kServiceShed: return plan_.p_shed;
+  }
+  return 0.0;
+}
+
+bool FaultInjector::roll(Channel channel, const std::string& key, double probability) {
+  const std::uint64_t op = next_op(channel, key);
+  return decision_uniform(plan_.seed, channel, fnv1a(key), op) < probability;
+}
+
+bool FaultInjector::fires(Channel channel, const std::string& key, std::uint64_t* op_out) {
+  // The stream advances before the quiesce check so that quiescing does not
+  // shift later decisions on the same stream.
+  const std::uint64_t op = next_op(channel, key);
+  if (op_out != nullptr) *op_out = op;
+  const bool would =
+      decision_uniform(plan_.seed, channel, fnv1a(key), op) < channel_probability(channel);
+  if (!would || quiesced()) return false;
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjector::protocol_point(Channel channel, const std::string& key) {
+  const std::uint64_t op = next_op(channel, key);
+  if (decision_uniform(plan_.seed, channel, fnv1a(key), op) >=
+          channel_probability(channel) ||
+      quiesced())
+    return;
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  throw InjectedFault(channel, key, op);
+}
+
+bool FaultInjector::spot_kill(const std::string& group, std::size_t step) const {
+  return decision_uniform(plan_.seed, Channel::kSpotKill, fnv1a(group), step) <
+         plan_.p_spot_kill;
+}
+
+std::size_t FaultInjector::torn_length(const std::string& key, std::uint64_t op,
+                                       std::size_t size) const {
+  if (size <= 1) return 0;
+  std::uint64_t state = plan_.seed ^ fnv1a(key) ^ (op * 0x9E3779B97F4A7C15ULL);
+  return static_cast<std::size_t>(splitmix64(state) % size);
+}
+
+double FaultInjector::simulated_latency_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return latency_ms_;
+}
+
+void FaultInjector::add_latency(double ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latency_ms_ += ms;
+}
+
+}  // namespace sompi::fi

@@ -1,0 +1,119 @@
+// The runtime half of fault injection: a FaultInjector answers "does fault X
+// fire here?" for every hook site, deterministically.
+//
+// Determinism contract (extends DESIGN.md §6d to injected faults): the n-th
+// decision on a given (channel, key) stream is a pure function of
+// (plan.seed, channel, key, n). Hook sites are placed so that every stream's
+// op sequence is itself deterministic — per-rank storage keys serialize each
+// rank's own traffic, protocol points are reached in protocol order — which
+// makes a whole fault schedule replay bit-identically from its seed at any
+// thread count. Stateless channels (kSpotKill) take no counter at all, so
+// replaying a simulation twice over the same injector gives identical bits.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "faultinject/fault_plan.h"
+
+namespace sompi::fi {
+
+/// Thrown at a firing hook point. Derives from IoError so existing recovery
+/// paths (checkpoint restore guards, retry loops) treat an injected fault
+/// exactly like a real storage/protocol failure.
+class InjectedFault : public IoError {
+ public:
+  InjectedFault(Channel channel, const std::string& key, std::uint64_t op)
+      : IoError(std::string("injected fault: ") + channel_label(channel) + " key=" + key +
+                " op#" + std::to_string(op)),
+        channel_(channel) {}
+
+  Channel channel() const { return channel_; }
+
+  /// True when an error string came from an InjectedFault (harnesses use
+  /// this to separate injected chaos from genuine invariant violations).
+  static bool describes(const std::string& what) {
+    return what.find("injected fault: ") != std::string::npos;
+  }
+
+ private:
+  Channel channel_;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// The n-th call for a given (channel, key) answers true with
+  /// `probability`, decided by a pure hash of (seed, channel, key, n).
+  /// Advances that stream's op counter either way. Thread-safe.
+  bool roll(Channel channel, const std::string& key, double probability);
+
+  /// roll() with the plan's probability for `channel`; counts an injection
+  /// when it fires. When `op_out` is non-null it receives the op index
+  /// consumed by this decision (callers use it to derive further
+  /// deterministic values, e.g. a torn upload's truncation length). Never
+  /// fires after quiesce(). Deliberately NOT limited by a global fired-fault
+  /// counter: near exhaustion such a counter hands the last budget slot to
+  /// whichever thread rolls first, making the fired set depend on scheduling
+  /// and breaking bit-identical replay.
+  bool fires(Channel channel, const std::string& key, std::uint64_t* op_out = nullptr);
+
+  /// Deterministic kill switch: after this call no probabilistic channel
+  /// fires again (op streams keep advancing, so decisions that would have
+  /// been made are consumed identically). Harnesses running a chaos retry
+  /// loop call this once the plan's attempt budget (max_faults) is spent —
+  /// the next attempt is then guaranteed clean, which bounds the loop.
+  /// kSpotKill is exempt: it models the market, not a fault burst.
+  void quiesce() { quiesced_.store(true, std::memory_order_relaxed); }
+  bool quiesced() const { return quiesced_.load(std::memory_order_relaxed); }
+
+  /// Throws InjectedFault when fires() — the checkpoint-protocol hook shape.
+  void protocol_point(Channel channel, const std::string& key);
+
+  /// Stateless decision: force-kill `group` at trace step `step`? Pure in
+  /// (seed, group, step); safe to re-ask (replay determinism), const.
+  bool spot_kill(const std::string& group, std::size_t step) const;
+
+  /// True when the plan schedules a market-epoch bump before solve #index.
+  bool epoch_bump_at(std::uint64_t solve_index) const {
+    return plan_.scheduled_bump(solve_index);
+  }
+
+  /// Deterministic truncation length for a torn upload of `size` bytes:
+  /// strictly shorter than `size` (for size >= 1), pure in (seed, key, op).
+  std::size_t torn_length(const std::string& key, std::uint64_t op, std::size_t size) const;
+
+  /// Faults injected so far (all probabilistic channels).
+  std::uint64_t injected_count() const { return injected_.load(std::memory_order_relaxed); }
+
+  /// Snapshot of every decision stream's op count, keyed "<channel>|<key>".
+  /// Determinism harnesses compare these across same-seed replays.
+  std::unordered_map<std::string, std::uint64_t> op_counts() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return op_counts_;
+  }
+
+  /// Simulated latency accumulated by latency spikes (never sleeps).
+  double simulated_latency_ms() const;
+  void add_latency(double ms);
+
+ private:
+  std::uint64_t next_op(Channel channel, const std::string& key);
+  double channel_probability(Channel channel) const;
+
+  FaultPlan plan_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::uint64_t> op_counts_;
+  double latency_ms_ = 0.0;
+  std::atomic<std::uint64_t> injected_{0};
+  std::atomic<bool> quiesced_{false};
+};
+
+}  // namespace sompi::fi

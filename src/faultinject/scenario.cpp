@@ -1,0 +1,585 @@
+#include "faultinject/scenario.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "checkpoint/checkpointer.h"
+#include "checkpoint/incremental.h"
+#include "checkpoint/state_buffer.h"
+#include "checkpoint/storage.h"
+#include "cloud/catalog.h"
+#include "common/rng.h"
+#include "core/optimizer.h"
+#include "core/ondemand.h"
+#include "core/schedule.h"
+#include "faultinject/faulty_store.h"
+#include "faultinject/injector.h"
+#include "minimpi/runtime.h"
+#include "profile/estimator.h"
+#include "profile/paper_profiles.h"
+#include "service/market_board.h"
+#include "service/plan_service.h"
+#include "sim/replay.h"
+#include "trace/market.h"
+
+namespace sompi::fi {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Deterministic observables → one order-sensitive 64-bit digest.
+
+std::uint64_t fnv1a_bytes(std::span<const std::byte> bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+class Digest {
+ public:
+  void mix(std::uint64_t v) {
+    std::uint64_t s = h_ ^ v;
+    h_ = splitmix64(s);
+  }
+  void mix(double d) { mix(std::bit_cast<std::uint64_t>(d)); }
+  void mix(bool b) { mix(static_cast<std::uint64_t>(b ? 1 : 2)); }
+  void mix(const std::string& s) {
+    mix(fnv1a_bytes(std::as_bytes(std::span<const char>(s.data(), s.size()))));
+  }
+  void mix_bytes(std::span<const std::byte> bytes) { mix(fnv1a_bytes(bytes)); }
+
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0x5EEDD16E57ULL;
+};
+
+/// Collects invariant violations from any rank thread; the first one becomes
+/// the scenario's failure detail.
+class Violations {
+ public:
+  void record(std::string detail) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (first_.empty()) first_ = std::move(detail);
+  }
+  std::string first() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return first_;
+  }
+  bool any() const { return !first().empty(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::string first_;
+};
+
+// ---------------------------------------------------------------------------
+// Scenario 0/1: coordinated checkpointing under chaos.
+//
+// An iterative app whose per-rank state at iteration i is a pure function of
+// (seed, rank, i) — so a restore can be verified byte-for-byte against a
+// recomputation. Ranks run lockstep (tick → allreduce → maybe save), which
+// keeps every injector stream's op sequence deterministic even when a fault
+// kills the world mid-protocol: per-rank storage keys serialize each rank's
+// own traffic, and no storage op sits between a collective and the next
+// collective where a racing kill could skip it.
+
+double state_value(std::uint64_t seed, int rank, int iter, std::size_t j) {
+  std::uint64_t s = seed ^ (static_cast<std::uint64_t>(rank) << 32) ^
+                    (static_cast<std::uint64_t>(iter) * 0x9E3779B97F4A7C15ULL) ^ j;
+  return static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::byte> expected_state(std::uint64_t seed, int rank, int iter,
+                                      std::size_t doubles) {
+  std::vector<double> data(doubles);
+  for (std::size_t j = 0; j < doubles; ++j) data[j] = state_value(seed, rank, iter, j);
+  StateWriter w;
+  w.write<std::int32_t>(iter);
+  w.write_vec(data);
+  return w.take();
+}
+
+/// Abstracts Checkpointer vs IncrementalCheckpointer for the shared harness.
+struct CkptOps {
+  std::function<int(mpi::Comm&, std::span<const std::byte>)> save;
+  std::function<std::optional<std::vector<std::byte>>(mpi::Comm&)> load;
+  std::function<bool(mpi::Comm&)> has;
+  std::function<int()> latest;
+};
+
+ScenarioOutcome run_checkpoint_scenario(std::uint64_t seed, bool incremental) {
+  ScenarioOutcome out;
+  out.seed = seed;
+  out.kind = incremental ? "incremental" : "checkpoint";
+
+  Rng rng(seed ^ 0xC4EC4EC4EC4ULL);
+  const int ranks = 1 + static_cast<int>(rng.uniform_index(4));
+  const int total_iters = 6 + static_cast<int>(rng.uniform_index(18));
+  const int ckpt_every = 1 + static_cast<int>(rng.uniform_index(4));
+  const std::size_t doubles = 24 + rng.uniform_index(72);
+  const std::size_t block = 64 + rng.uniform_index(3) * 64;
+
+  FaultPlan plan = FaultPlan::from_seed(seed);
+  FaultInjector injector(plan);
+  MemoryStore inner;
+  FaultyStore store(&inner, &injector);
+
+  Checkpointer full(&store, "fuzz", &injector);
+  IncrementalCheckpointer inc(&store, "fuzz", block, &injector);
+  CkptOps ops;
+  if (incremental) {
+    ops.save = [&](mpi::Comm& c, std::span<const std::byte> s) { return inc.save(c, s); };
+    ops.load = [&](mpi::Comm& c) { return inc.load_latest(c); };
+    ops.has = [&](mpi::Comm& c) { return inc.has_snapshot(c); };
+    ops.latest = [&] { return inc.latest_version(); };
+  } else {
+    ops.save = [&](mpi::Comm& c, std::span<const std::byte> s) { return full.save(c, s); };
+    ops.load = [&](mpi::Comm& c) { return full.load_latest(c); };
+    ops.has = [&](mpi::Comm& c) { return full.has_snapshot(c); };
+    ops.latest = [&] { return full.latest_version(); };
+  }
+
+  Violations violations;
+  // Written by rank 0 only; reads happen after join() (which synchronizes).
+  std::vector<std::pair<int, int>> committed;  // (version, iter), in commit order
+  int max_attempted = 0;
+  int last_restored = -1;
+
+  const auto rank_fn = [&](mpi::Comm& comm) {
+    int iter = 0;
+    if (ops.has(comm)) {
+      const auto blob = ops.load(comm);
+      if (!blob) {
+        violations.record("has_snapshot true but load_latest returned nothing");
+        return;
+      }
+      StateReader reader(*blob);
+      iter = reader.read<std::int32_t>();
+      if (comm.rank() == 0) {
+        int max_committed = 0;
+        for (const auto& [v, it] : committed) max_committed = std::max(max_committed, it);
+        if (iter < max_committed)
+          violations.record("restore regressed below a recorded commit: iter " +
+                            std::to_string(iter) + " < " + std::to_string(max_committed));
+        if (iter > max_attempted)
+          violations.record("restored progress exceeds last attempted checkpoint: iter " +
+                            std::to_string(iter) + " > " + std::to_string(max_attempted));
+        if (iter < last_restored)
+          violations.record("restored progress regressed across attempts");
+        last_restored = iter;
+      }
+      const auto want = expected_state(seed, comm.rank(), iter, doubles);
+      if (*blob != want)
+        violations.record("restored state of rank " + std::to_string(comm.rank()) +
+                          " does not match the bytes saved at iteration " +
+                          std::to_string(iter));
+    }
+    while (iter < total_iters) {
+      comm.tick();
+      (void)comm.allreduce(state_value(seed, comm.rank(), iter, 0), mpi::ReduceOp::kSum);
+      ++iter;
+      if (iter % ckpt_every == 0 || iter == total_iters) {
+        if (comm.rank() == 0) max_attempted = std::max(max_attempted, iter);
+        const auto bytes = expected_state(seed, comm.rank(), iter, doubles);
+        const int version = ops.save(comm, bytes);
+        if (comm.rank() == 0) committed.emplace_back(version, iter);
+      }
+    }
+  };
+
+  // Chaos retry loop. Once the plan's attempt budget is spent the injector
+  // is quiesced (deterministically, at an attempt boundary), so the next
+  // attempt runs clean — completion within max_attempts is itself an
+  // invariant.
+  const int max_attempts = static_cast<int>(plan.max_faults) + 4;
+  bool completed = false;
+  int attempts = 0;
+  for (; attempts < max_attempts && !completed; ++attempts) {
+    if (attempts >= static_cast<int>(plan.max_faults) + 1) injector.quiesce();
+    const mpi::RunResult result =
+        attempts == 0 ? mpi::Runtime::run_with_plan(ranks, rank_fn, plan)
+                      : mpi::Runtime::run(ranks, rank_fn);
+    if (std::getenv("SOMPI_FUZZ_DEBUG") != nullptr) {
+      std::string line = "dbg seed=" + std::to_string(seed) + " attempt=" +
+                         std::to_string(attempts) + " completed=" +
+                         std::to_string(result.completed ? 1 : 0) + " killed=" +
+                         std::to_string(result.killed ? 1 : 0) + " injected=" +
+                         std::to_string(injector.injected_count()) + " latest=" +
+                         std::to_string(ops.latest()) + " errors=";
+      for (const auto& e : result.errors) line += "[" + e + "]";
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
+    if (violations.any()) break;
+    completed = result.completed;
+    for (const std::string& err : result.errors) {
+      if (!InjectedFault::describes(err)) {
+        violations.record("non-injected error escaped: " + err);
+        break;
+      }
+    }
+    if (violations.any()) break;
+  }
+  if (!violations.any() && !completed)
+    violations.record("run did not complete within the fault budget (" +
+                      std::to_string(max_attempts) + " attempts)");
+
+  // Post-mortem over the raw store, chaos disabled: the latest committed
+  // snapshot must be the final state of every rank.
+  if (!violations.any()) {
+    Checkpointer verify_full(&inner, "fuzz");
+    IncrementalCheckpointer verify_inc(&inner, "fuzz", block);
+    const mpi::RunResult result = mpi::Runtime::run(ranks, [&](mpi::Comm& comm) {
+      const auto blob = incremental ? verify_inc.load_latest(comm) : verify_full.load_latest(comm);
+      if (!blob) {
+        violations.record("no committed snapshot after a completed run");
+        return;
+      }
+      const auto want = expected_state(seed, comm.rank(), total_iters, doubles);
+      if (*blob != want)
+        violations.record("final committed snapshot of rank " + std::to_string(comm.rank()) +
+                          " is not the final state");
+    });
+    if (!result.completed && !violations.any())
+      violations.record("chaos-free verification world failed");
+  }
+
+  if (std::getenv("SOMPI_FUZZ_DEBUG") != nullptr) {
+    std::string line = "dbg seed=" + std::to_string(seed) +
+                       " attempts=" + std::to_string(attempts) +
+                       " injected=" + std::to_string(injector.injected_count()) +
+                       " latency=" + std::to_string(injector.simulated_latency_ms()) +
+                       " latest=" + std::to_string(ops.latest()) + " committed=";
+    for (const auto& [v, it] : committed)
+      line += "(" + std::to_string(v) + "," + std::to_string(it) + ")";
+    std::vector<std::pair<std::string, std::uint64_t>> streams;
+    for (const auto& [k, n] : injector.op_counts()) streams.emplace_back(k, n);
+    std::sort(streams.begin(), streams.end());
+    for (const auto& [k, n] : streams) line += " " + k + "=" + std::to_string(n);
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+
+  Digest digest;
+  digest.mix(out.kind);
+  digest.mix(static_cast<std::uint64_t>(ranks));
+  digest.mix(static_cast<std::uint64_t>(total_iters));
+  digest.mix(static_cast<std::uint64_t>(ckpt_every));
+  digest.mix(static_cast<std::uint64_t>(attempts));
+  digest.mix(static_cast<std::uint64_t>(committed.size()));
+  for (const auto& [v, it] : committed) {
+    digest.mix(static_cast<std::uint64_t>(v));
+    digest.mix(static_cast<std::uint64_t>(it));
+  }
+  digest.mix(injector.injected_count());
+  digest.mix(injector.simulated_latency_ms());
+  digest.mix(static_cast<std::uint64_t>(ops.latest()));
+  for (int r = 0; r < ranks; ++r)
+    digest.mix_bytes(expected_state(seed, r, total_iters, doubles));
+  out.digest = digest.value();
+  out.failed = violations.any();
+  out.detail = violations.first();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: trace replay under forced spot kills.
+
+Digest replay_digest(const ReplayResult& r) {
+  Digest d;
+  d.mix(r.cost_usd);
+  d.mix(r.spot_cost_usd);
+  d.mix(r.od_cost_usd);
+  d.mix(r.storage_cost_usd);
+  d.mix(r.time_h);
+  d.mix(r.completed_on_spot);
+  d.mix(r.used_od_recovery);
+  d.mix(r.recovered_ratio);
+  for (const auto& g : r.groups) {
+    d.mix(g.name);
+    d.mix(g.lifetime_h);
+    d.mix(g.completed);
+    d.mix(g.killed);
+    d.mix(static_cast<std::uint64_t>(g.checkpoints));
+    d.mix(g.cost_usd);
+    d.mix(g.saved_fraction);
+  }
+  return d;
+}
+
+ScenarioOutcome run_replay_scenario(std::uint64_t seed) {
+  ScenarioOutcome out;
+  out.seed = seed;
+  out.kind = "replay";
+  Violations violations;
+
+  Rng rng(seed ^ 0x5CE9A7105EEDULL);
+  const Catalog catalog = paper_catalog();
+  const MarketProfile profile = rng.bernoulli(0.5)
+                                    ? paper_market_profile(catalog)
+                                    : random_market_profile(catalog, rng);
+  const double days = 1.0 + rng.uniform(0.0, 2.0);
+  const Market market = generate_market(catalog, profile, days, 0.25, rng());
+
+  Plan plan;
+  plan.app = "fuzz";
+  plan.step_hours = 0.25;
+  plan.deadline_h = 1000.0;
+  plan.state_gb = rng.uniform(0.0, 2.0);
+  plan.od.type_index = rng.uniform_index(catalog.types().size());
+  plan.od.t_h = rng.uniform(2.0, 30.0);
+  plan.od.instances = 1 + static_cast<int>(rng.uniform_index(8));
+  plan.od.rate_usd_h = rng.uniform(0.2, 5.0);
+  plan.od.feasible = true;
+  const auto all_groups = catalog.all_groups();
+  const std::size_t n_groups = rng.uniform_index(4);  // 0 = pure on-demand run
+  for (std::size_t i = 0; i < n_groups; ++i) {
+    GroupPlan g;
+    g.spec = all_groups[rng.uniform_index(all_groups.size())];
+    g.name = catalog.group_name(g.spec) + "#" + std::to_string(i);
+    g.instances = 1 + static_cast<int>(rng.uniform_index(4));
+    g.t_steps = 4 + static_cast<int>(rng.uniform_index(40));
+    g.f_steps = 1 + static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(g.t_steps)));
+    g.o_steps = rng.uniform(0.0, 1.5);
+    g.r_steps = rng.uniform(0.0, 1.5);
+    g.bid_usd = rng.uniform(0.005, 0.6);
+    plan.groups.push_back(std::move(g));
+  }
+  const double start_h = rng.uniform(0.0, days * 24.0);
+  const BillingModel billing = static_cast<BillingModel>(rng.uniform_index(3));
+
+  const FaultPlan fplan = FaultPlan::from_seed(seed);
+  const FaultInjector injector(fplan);
+  ReplayConfig config;
+  config.billing = billing;
+  config.faults = &injector;
+  const ReplayEngine engine(&market, config);
+
+  const ReplayResult r1 = engine.replay(plan, start_h);
+  const ReplayResult r2 = engine.replay(plan, start_h);
+  if (replay_digest(r1).value() != replay_digest(r2).value())
+    violations.record("same-seed replay is not bit-identical");
+
+  // A quiet injector must be indistinguishable from no injector at all.
+  const FaultInjector quiet(FaultPlan::quiet(seed));
+  ReplayConfig quiet_config = config;
+  quiet_config.faults = &quiet;
+  ReplayConfig bare_config = config;
+  bare_config.faults = nullptr;
+  const ReplayResult rq = ReplayEngine(&market, quiet_config).replay(plan, start_h);
+  const ReplayResult rn = ReplayEngine(&market, bare_config).replay(plan, start_h);
+  if (replay_digest(rq).value() != replay_digest(rn).value())
+    violations.record("quiet injector changed the replay outcome");
+
+  const auto in_unit = [](double x) { return x >= 0.0 && x <= 1.0; };
+  if (!std::isfinite(r1.cost_usd) || !std::isfinite(r1.time_h) || r1.time_h < 0.0)
+    violations.record("replay produced a non-finite or negative outcome");
+  if (r1.od_cost_usd < 0.0 || r1.storage_cost_usd < 0.0)
+    violations.record("negative on-demand or storage cost");
+  if (!in_unit(r1.recovered_ratio)) violations.record("recovered_ratio outside [0, 1]");
+  for (const auto& g : r1.groups)
+    if (!in_unit(g.saved_fraction)) violations.record("saved_fraction outside [0, 1]");
+  if (!plan.groups.empty() && r1.completed_on_spot == r1.used_od_recovery)
+    violations.record("exactly one of completed_on_spot / used_od_recovery must hold");
+
+  // The paper's deadline guarantee, restated for replay: even when every
+  // replica dies at its most damaging instant, the on-demand fallback lands
+  // within  max_i max_t (t·h + Ratio_i(t)·T_od).
+  if (!plan.groups.empty() && r1.used_od_recovery) {
+    double bound = 0.0;
+    for (const auto& g : plan.groups) {
+      const GroupSchedule sched(g.t_steps, g.f_steps, g.o_steps, g.r_steps);
+      const int last = static_cast<int>(std::ceil(sched.wall_duration())) + 1;
+      for (int t = 0; t <= last; ++t)
+        bound = std::max(bound, static_cast<double>(t) * plan.step_hours +
+                                    sched.ratio_at(static_cast<double>(t)) * plan.od.t_h);
+    }
+    if (r1.time_h > bound + 1e-6)
+      violations.record("on-demand fallback missed the worst-case deadline bound: " +
+                        std::to_string(r1.time_h) + " > " + std::to_string(bound));
+  }
+
+  Digest digest;
+  digest.mix(out.kind);
+  digest.mix(replay_digest(r1).value());
+  digest.mix(replay_digest(rq).value());
+  out.digest = digest.value();
+  out.failed = violations.any();
+  out.detail = violations.first();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3: PlanService under shed pressure and epoch bumps.
+
+OptimizerConfig tiny_optimizer_config() {
+  OptimizerConfig opt;
+  opt.max_candidates = 2;
+  opt.max_groups = 1;
+  opt.setup.log_levels = 2;
+  opt.setup.failure.samples = 200;
+  opt.ratio_bins = 16;
+  return opt;
+}
+
+ScenarioOutcome run_service_scenario(std::uint64_t seed) {
+  ScenarioOutcome out;
+  out.seed = seed;
+  out.kind = "service";
+  Violations violations;
+
+  Rng rng(seed ^ 0x5E121CE5EEDULL);
+  const Catalog catalog = paper_catalog();
+  const ExecTimeEstimator estimator;
+  MarketBoard board(generate_market(catalog, paper_market_profile(catalog), 1.5, 0.25, rng()));
+
+  const FaultPlan fplan = FaultPlan::from_seed(seed);
+  FaultInjector injector(fplan);
+  ServiceConfig config;
+  config.cache.shards = 2;
+  config.cache.capacity = 8;
+  config.max_concurrent_solves = 2;
+  config.max_queued_solves = 4;
+  config.latency_window = 32;
+  config.opt = tiny_optimizer_config();
+  config.faults = &injector;
+  PlanService service(&catalog, &estimator, &board, config);
+
+  // A small request pool; the sequence draws from it with repeats, so cache
+  // hits arise naturally — and must stay fingerprint-identical to fresh
+  // solves even while epoch bumps race through the sequence.
+  const OnDemandSelector selector(&catalog, &estimator);
+  std::vector<PlanRequest> pool;
+  for (const char* name : {"BT", "SP", "FT"}) {
+    PlanRequest r;
+    r.app = paper_profile(name);
+    r.deadline_h = selector.baseline(r.app).t_h * (1.2 + rng.uniform(0.0, 3.0));
+    pool.push_back(std::move(r));
+  }
+  const std::size_t n_requests = 5 + rng.uniform_index(4);
+
+  Digest digest;
+  digest.mix(out.kind);
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    if (injector.epoch_bump_at(i)) board.ingest({});  // mid-sequence invalidation
+    const PlanRequest& request = pool[rng.uniform_index(pool.size())];
+    const MarketSnapshot snap = board.snapshot();
+    const PlanResponse response = service.serve(request);
+    digest.mix(std::string(outcome_label(response.outcome)));
+    digest.mix(response.epoch);
+    if (response.epoch != snap.epoch)
+      violations.record("single-threaded serve answered at an unexpected epoch");
+    if (response.outcome == PlanOutcome::kShed) {
+      if (response.plan != nullptr) violations.record("shed response carried a plan");
+      continue;
+    }
+    if (response.plan == nullptr) {
+      violations.record("non-shed response carried no plan");
+      continue;
+    }
+    const Plan fresh = service.solve(canonicalized(request), *snap.market);
+    if (plan_fingerprint(*response.plan) != plan_fingerprint(fresh)) {
+      violations.record(std::string("served plan (") + outcome_label(response.outcome) +
+                        ") is not fingerprint-identical to a fresh solve at its epoch");
+      continue;
+    }
+    digest.mix(plan_fingerprint(*response.plan));
+  }
+
+  const ServiceStats stats = service.stats();
+  if (stats.requests != stats.hits + stats.solves + stats.dedup_joins + stats.sheds)
+    violations.record("service stats do not tally");
+  digest.mix(stats.hits);
+  digest.mix(stats.solves);
+  digest.mix(stats.sheds);
+  digest.mix(stats.stale_evicted);
+
+  out.digest = digest.value();
+  out.failed = violations.any();
+  out.detail = violations.first();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 4: the optimizer is a pure function of its inputs.
+
+ScenarioOutcome run_plan_scenario(std::uint64_t seed) {
+  ScenarioOutcome out;
+  out.seed = seed;
+  out.kind = "plan";
+  Violations violations;
+
+  Rng rng(seed ^ 0x71A2DE7E12ULL);
+  const Catalog catalog = paper_catalog();
+  const ExecTimeEstimator estimator;
+  const MarketProfile profile = rng.bernoulli(0.5)
+                                    ? paper_market_profile(catalog)
+                                    : random_market_profile(catalog, rng);
+  const Market market = generate_market(catalog, profile, 1.0 + rng.uniform(0.0, 1.0), 0.25,
+                                        rng());
+  const char* names[] = {"BT", "SP", "LU", "FT", "IS"};
+  const AppProfile app = paper_profile(names[rng.uniform_index(5)]);
+  const double deadline_h =
+      OnDemandSelector(&catalog, &estimator).baseline(app).t_h * (1.2 + rng.uniform(0.0, 3.0));
+
+  OptimizerConfig config = tiny_optimizer_config();
+  config.threads = 1;
+  const SompiOptimizer serial(&catalog, &estimator, config);
+  config.threads = 2;
+  const SompiOptimizer pooled(&catalog, &estimator, config);
+
+  const Plan p1 = serial.optimize(app, market, deadline_h);
+  const Plan p2 = serial.optimize(app, market, deadline_h);
+  const Plan p3 = pooled.optimize(app, market, deadline_h);
+  const std::string fp = plan_fingerprint(p1);
+  if (fp != plan_fingerprint(p2))
+    violations.record("same-seed re-solve changed the plan fingerprint");
+  if (fp != plan_fingerprint(p3))
+    violations.record("thread count changed the plan fingerprint");
+
+  Digest digest;
+  digest.mix(out.kind);
+  digest.mix(fp);
+  out.digest = digest.value();
+  out.failed = violations.any();
+  out.detail = violations.first();
+  return out;
+}
+
+}  // namespace
+
+const char* scenario_kind_name(std::uint64_t seed) {
+  switch (seed % 5) {
+    case 0: return "checkpoint";
+    case 1: return "incremental";
+    case 2: return "replay";
+    case 3: return "service";
+    default: return "plan";
+  }
+}
+
+ScenarioOutcome run_scenario(std::uint64_t seed) {
+  switch (seed % 5) {
+    case 0: return run_checkpoint_scenario(seed, /*incremental=*/false);
+    case 1: return run_checkpoint_scenario(seed, /*incremental=*/true);
+    case 2: return run_replay_scenario(seed);
+    case 3: return run_service_scenario(seed);
+    default: return run_plan_scenario(seed);
+  }
+}
+
+}  // namespace sompi::fi

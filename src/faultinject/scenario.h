@@ -1,0 +1,57 @@
+// Seeded chaos scenarios: one seed → one fully deterministic run of a
+// subsystem under an injected failure schedule, plus the invariants that
+// must hold for ANY schedule.
+//
+// The five scenario kinds (selected by seed % 5) and their invariants:
+//
+//   checkpoint / incremental — an iterative mini-MPI app checkpoints under
+//     storage faults, torn uploads, protocol crashes and a tick-kill.
+//     Invariants: the run completes within the fault budget; a restore
+//     never regresses below recorded committed progress and never exceeds
+//     attempted progress; restored bytes bit-match the state saved at that
+//     iteration; after completion the latest committed snapshot is the
+//     final state of every rank.
+//
+//   replay — a synthetic plan replays a generated market with forced spot
+//     kills. Invariants: the same (plan, injector) replays bit-identically;
+//     a quiet injector replays identically to no injector; the on-demand
+//     fallback always lands within the harness-computed worst-case deadline
+//     bound  max_i max_t (t·h + Ratio_i(t)·T_od);  ratios and fractions
+//     stay in [0, 1].
+//
+//   service — a PlanService serves a request sequence under injected shed
+//     pressure and mid-sequence market-epoch bumps. Invariants: every
+//     non-shed response is fingerprint-identical to a fresh reference solve
+//     at its epoch (cache hits included, across bumps); sheds carry no
+//     plan; the stats counters tally.
+//
+//   plan — the optimizer is a pure function: same inputs → bit-identical
+//     plan fingerprints across repeated solves and thread counts.
+//
+// Every observable a scenario digests is deterministic at any thread count,
+// so `run_scenario(seed).digest` is byte-comparable across machines and
+// pool widths — that is the property the fuzz driver self-checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sompi::fi {
+
+struct ScenarioOutcome {
+  std::uint64_t seed = 0;
+  std::string kind;
+  bool failed = false;
+  /// First violated invariant (empty when clean).
+  std::string detail;
+  /// Order-sensitive hash of every deterministic observable of the run.
+  std::uint64_t digest = 0;
+};
+
+const char* scenario_kind_name(std::uint64_t seed);
+
+/// Runs the scenario selected by `seed`. Deterministic: same seed → same
+/// outcome, digest included, at any thread count.
+ScenarioOutcome run_scenario(std::uint64_t seed);
+
+}  // namespace sompi::fi

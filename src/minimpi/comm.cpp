@@ -4,9 +4,19 @@ namespace sompi::mpi {
 
 World::World(int size, FailureController* failures)
     : failures_(failures), mailboxes_(static_cast<std::size_t>(size)),
-      stats_(static_cast<std::size_t>(size)) {
+      stats_(static_cast<std::size_t>(size)), departed_(static_cast<std::size_t>(size)) {
   SOMPI_REQUIRE(size >= 1);
   SOMPI_REQUIRE(failures_ != nullptr);
+  for (int r = 0; r < size; ++r) {
+    // Rank r's receives give up only when the awaited sender has exited;
+    // kAnySource gives up once every other rank has.
+    mailboxes_[static_cast<std::size_t>(r)].set_sender_gone([this, r](int source) {
+      if (source != kAnySource) return departed(source);
+      for (int s = 0; s < this->size(); ++s)
+        if (s != r && !departed(s)) return false;
+      return true;
+    });
+  }
 }
 
 Mailbox& World::mailbox(int rank) {
@@ -21,18 +31,31 @@ RankStats& World::stats(int rank) {
 
 void World::check_failure() {
   if (!failures_->killed()) return;
-  propagate_kill();
+  announce_kill();
   throw KilledError();
 }
 
-void World::propagate_kill() {
+void World::mark_departed(int rank) {
+  SOMPI_REQUIRE(rank >= 0 && rank < size());
+  departed_[static_cast<std::size_t>(rank)].store(true, std::memory_order_release);
+  for (auto& mb : mailboxes_) mb.poke();
+}
+
+bool World::departed(int rank) const {
+  return departed_[static_cast<std::size_t>(rank)].load(std::memory_order_acquire);
+}
+
+void World::announce_kill() {
   {
     std::lock_guard<std::mutex> lock(barrier_mutex_);
-    if (kill_propagated_) return;
     kill_propagated_ = true;
   }
-  for (auto& mb : mailboxes_) mb.abort();
   barrier_cv_.notify_all();
+}
+
+void World::propagate_kill() {
+  announce_kill();
+  for (auto& mb : mailboxes_) mb.abort();
 }
 
 void World::barrier_wait() {
@@ -123,7 +146,11 @@ Comm Comm::split(int color, int key) {
 void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
   SOMPI_REQUIRE(dest >= 0 && dest < size());
   const int wire_tag = tag >= kCollectiveTagBase ? tag : mangle(tag);
-  world_->check_failure();
+  // No kill check: sends always complete. A dying rank's sends all precede
+  // its death in program order, and a survivor's sends must not be cut short
+  // by how another rank's death raced this call — either way, the set of
+  // messages actually sent stays a deterministic function of each rank's own
+  // execution.
   const int w_dest = world_rank(dest);
   Message m;
   m.source = world_rank(rank_);
@@ -143,7 +170,10 @@ Message Comm::recv_message(int source, int tag) {
   const int wire_tag =
       tag == kAnyTag ? kAnyTag : (tag >= kCollectiveTagBase ? tag : mangle(tag));
   const int wire_source = source == kAnySource ? kAnySource : world_rank(source);
-  world_->check_failure();
+  // No kill check here either: the mailbox drains queued matches first and
+  // throws KilledError only once the awaited sender rank has exited, so an
+  // in-flight message is consumed (and the code after the recv runs) in
+  // every schedule or in none.
   Message m = world_->mailbox(world_rank(rank_)).receive(wire_source, wire_tag);
   auto& st = world_->stats(world_rank(rank_));
   ++st.messages_received;
@@ -211,26 +241,20 @@ void Comm::barrier() {
 void Comm::bcast_bytes(std::vector<std::byte>& data, int root) {
   SOMPI_REQUIRE(root >= 0 && root < size());
   const int tag = next_collective_tag(0);
-  const int n = size();
-  const int rel = (rank_ - root + n) % n;
-  // Classic binomial tree: climb to the bit where this rank receives, then
-  // forward to children at decreasing bit positions.
-  int mask = 1;
-  while (mask < n) {
-    if (rel & mask) {
-      const int parent = ((rel - mask) + root) % n;
-      data = recv_bytes(parent, tag);
-      break;
-    }
-    mask <<= 1;
-  }
-  mask >>= 1;
-  while (mask >= 1) {
-    if (rel + mask < n) {
-      const int child = ((rel + mask) + root) % n;
-      send_bytes(child, tag, data);
-    }
-    mask >>= 1;
+  // Root-direct fan-out rather than a binomial tree — a deliberate choice
+  // for deterministic failure semantics, not a simplification. Every copy's
+  // sender is the root, so whether a rank's copy exists depends only on how
+  // far the root itself got before dying — one sender, one deterministic
+  // answer. A tree routes copies through intermediate ranks, so a receiver's
+  // fate would additionally hinge on each relay's fate; keeping the
+  // dependency chain one deep keeps the failure analysis trivial. At the
+  // rank counts this runtime simulates (threads in one process), the tree's
+  // latency advantage is irrelevant.
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r)
+      if (r != root) send_bytes(r, tag, data);
+  } else {
+    data = recv_bytes(root, tag);
   }
 }
 

@@ -1,12 +1,19 @@
 // The communicator: every mini-MPI application is a function of one Comm.
 //
 // Point-to-point sends are buffered (eager) and non-blocking; receives block
-// with (source, tag) matching. Collectives are built on point-to-point with
-// binomial trees where it matters (bcast, reduce) and use a reserved tag
-// space sequenced per collective call, so user traffic can never be matched
-// against collective traffic.
+// with (source, tag) matching. Collectives are built on point-to-point
+// (binomial-tree reduce; root-direct bcast, chosen for deterministic failure
+// semantics) and use a reserved tag space sequenced per collective call, so
+// user traffic can never be matched against collective traffic.
+//
+// Failure determinism: sends always complete and deliveries always land — a
+// kill is only observable at protocol points (tick, barrier) and at receives
+// whose sender rank has exited. This keeps each rank's progress under a kill
+// a pure function of the deterministic fault schedule rather than of how the
+// kill signal raced in-flight traffic (see DESIGN.md, fault injection).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstring>
 #include <functional>
@@ -33,20 +40,37 @@ class World {
   RankStats& stats(int rank);
   FailureController& failures() { return *failures_; }
 
-  /// Throws KilledError (after waking every blocked rank) when the failure
-  /// controller has fired. Called at every runtime interaction.
+  /// Throws KilledError (after announcing the kill to barrier waiters) when
+  /// the failure controller has fired. Called at protocol points only
+  /// (tick, barrier entry) — never per message, so a kill cannot change how
+  /// far a rank's already-determined message traffic gets.
   void check_failure();
 
   /// Sense-reversing central barrier; kill-aware.
   void barrier_wait();
 
-  /// Wakes every blocked rank so KilledError propagates. Idempotent.
+  /// Records that a rank's thread has exited (normally or by exception) and
+  /// wakes every blocked receiver: a receive waiting on a departed rank can
+  /// never be satisfied and throws KilledError. Deaths cascade through
+  /// receive dependencies deterministically — "will that message ever come?"
+  /// depends only on how far the sender got, not on kill-signal timing.
+  void mark_departed(int rank);
+  bool departed(int rank) const;
+
+  /// Soft kill announcement: barrier waiters unblock with KilledError.
+  /// Receives are deliberately NOT aborted — they resolve through the
+  /// departed-rank cascade, preserving in-flight delivery. Idempotent.
+  void announce_kill();
+
+  /// Hard kill (external kill() / teardown): announce_kill() plus a mailbox
+  /// abort, so even receives whose senders are alive unwind promptly.
   void propagate_kill();
 
  private:
   FailureController* failures_;
   std::vector<Mailbox> mailboxes_;
   std::vector<RankStats> stats_;
+  std::vector<std::atomic<bool>> departed_;
 
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
@@ -150,7 +174,7 @@ class Comm {
     const auto bytes = recv_bytes(source, tag);
     SOMPI_ASSERT_MSG(bytes.size() % sizeof(T) == 0, "typed recv_vec size mismatch");
     std::vector<T> values(bytes.size() / sizeof(T));
-    std::memcpy(values.data(), bytes.data(), bytes.size());
+    if (!bytes.empty()) std::memcpy(values.data(), bytes.data(), bytes.size());
     return values;
   }
 
@@ -165,10 +189,10 @@ class Comm {
   void bcast(std::vector<T>& data, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     std::vector<std::byte> bytes(data.size() * sizeof(T));
-    if (rank_ == root) std::memcpy(bytes.data(), data.data(), bytes.size());
+    if (rank_ == root && !bytes.empty()) std::memcpy(bytes.data(), data.data(), bytes.size());
     bcast_bytes(bytes, root);
     data.resize(bytes.size() / sizeof(T));
-    std::memcpy(data.data(), bytes.data(), bytes.size());
+    if (!bytes.empty()) std::memcpy(data.data(), bytes.data(), bytes.size());
   }
 
   template <typename T>

@@ -1,13 +1,13 @@
 #include "minimpi/mailbox.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace sompi::mpi {
 
 void Mailbox::deliver(Message message) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (aborted_) return;
     queue_.push_back(std::move(message));
   }
   cv_.notify_all();
@@ -16,7 +16,6 @@ void Mailbox::deliver(Message message) {
 Message Mailbox::receive(int source, int tag) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    if (aborted_) throw KilledError();
     const auto it = std::find_if(queue_.begin(), queue_.end(),
                                  [&](const Message& m) { return matches(m, source, tag); });
     if (it != queue_.end()) {
@@ -24,6 +23,8 @@ Message Mailbox::receive(int source, int tag) {
       queue_.erase(it);
       return m;
     }
+    if (sender_gone_ && sender_gone_(source)) throw KilledError();
+    if (aborted_) throw KilledError();
     cv_.wait(lock);
   }
 }
@@ -32,6 +33,19 @@ bool Mailbox::probe(int source, int tag) {
   std::lock_guard<std::mutex> lock(mutex_);
   return std::any_of(queue_.begin(), queue_.end(),
                      [&](const Message& m) { return matches(m, source, tag); });
+}
+
+void Mailbox::set_sender_gone(std::function<bool(int)> oracle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sender_gone_ = std::move(oracle);
+}
+
+void Mailbox::poke() {
+  // Empty critical section on purpose: it fences against a receiver that
+  // already evaluated its predicates and is about to wait — once we hold the
+  // mutex, that receiver is parked in cv_.wait and will see the notify.
+  { std::lock_guard<std::mutex> lock(mutex_); }
+  cv_.notify_all();
 }
 
 void Mailbox::abort() {

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <mutex>
 
 #include "minimpi/types.h"
@@ -11,19 +12,44 @@ namespace sompi::mpi {
 
 class Mailbox {
  public:
-  /// Enqueues a message; no-op after abort().
+  /// Enqueues a message unconditionally. Delivery never depends on kill
+  /// timing: a message sent before its sender died was "in flight" and still
+  /// arrives, exactly like a real network. Undrained messages simply die
+  /// with the world.
   void deliver(Message message);
 
   /// Blocks until a message matching (source, tag) arrives, honoring
   /// kAnySource / kAnyTag wildcards. Messages from the same source with the
   /// same tag are delivered in send order (MPI non-overtaking rule).
-  /// Throws KilledError if the mailbox is aborted while waiting.
+  ///
+  /// Unblock rules, in priority order:
+  ///   1. a queued matching message is always returned (drain-first);
+  ///   2. throws KilledError when the awaited sender can never send one —
+  ///      its rank has exited (see set_sender_gone);
+  ///   3. throws KilledError after a hard abort() (external kill/teardown).
+  /// Rule 2 is what makes fault replay deterministic: whether a message
+  /// exists is decided by how far the *sender* got before dying — which is a
+  /// deterministic property of the sender's own execution — never by how a
+  /// global kill signal raced this receive.
   Message receive(int source, int tag);
 
   /// True when a matching message is already queued (non-blocking probe).
   bool probe(int source, int tag);
 
-  /// Wakes all waiters with KilledError and drops subsequent deliveries.
+  /// Installs the "has this source rank exited?" oracle consulted by
+  /// receive(). The World wires this to its per-rank departure flags; it is
+  /// called with the mailbox mutex held and must not block. Set once, before
+  /// any rank runs.
+  void set_sender_gone(std::function<bool(int source)> oracle);
+
+  /// Wakes blocked receivers so they re-evaluate the sender-gone oracle.
+  /// Acquires the mailbox mutex, so a receiver can never check the oracle,
+  /// miss the update, and then sleep through the wake.
+  void poke();
+
+  /// Hard unblock: wakes all waiters with KilledError once the queue has no
+  /// match for them. Used for external kills and teardown only — organic
+  /// rank deaths propagate through the sender-gone oracle instead.
   void abort();
 
   bool aborted() const;
@@ -36,6 +62,7 @@ class Mailbox {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  std::function<bool(int)> sender_gone_;
   bool aborted_ = false;
 };
 

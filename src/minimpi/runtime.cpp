@@ -34,12 +34,23 @@ void Runtime::launch(RankFn fn) {
         fn(comm);
       } catch (const KilledError&) {
         rank_killed_[static_cast<std::size_t>(r)] = 1;
+        // A killed rank can never complete the world; make sure ranks parked
+        // in a barrier learn that even when the kill arrived through a
+        // departed-sender receive rather than the failure controller.
+        failures_.kill();
+        world_.announce_kill();
       } catch (const std::exception& e) {
         errors_[static_cast<std::size_t>(r)] = e.what();
-        // Fail fast: one broken rank deadlocks the world otherwise.
+        // Fail fast: one broken rank deadlocks the world otherwise. The
+        // soft announcement (not a mailbox abort) keeps surviving ranks'
+        // in-flight traffic deterministic; their own unwind happens at the
+        // next protocol point or departed-sender receive.
         failures_.kill();
-        world_.propagate_kill();
+        world_.announce_kill();
       }
+      // Always recorded, even on normal return: receivers still waiting on
+      // this rank would otherwise block forever.
+      world_.mark_departed(r);
     });
   }
 }
@@ -82,6 +93,12 @@ RunResult Runtime::run_with_kill(int world_size, const RankFn& fn,
   rt.failures().arm_after_ticks(kill_after_ticks);
   rt.launch(fn);
   return rt.join();
+}
+
+RunResult Runtime::run_with_plan(int world_size, const RankFn& fn,
+                                 const fi::FaultPlan& plan) {
+  if (plan.kill_after_ticks == 0) return run(world_size, fn);
+  return run_with_kill(world_size, fn, plan.kill_after_ticks);
 }
 
 }  // namespace sompi::mpi

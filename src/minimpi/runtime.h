@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "faultinject/fault_plan.h"
 #include "minimpi/comm.h"
 
 namespace sompi::mpi {
@@ -63,6 +64,12 @@ class Runtime {
   /// `kill_after_ticks` Comm::tick() calls, join.
   static RunResult run_with_kill(int world_size, const RankFn& fn,
                                  std::uint64_t kill_after_ticks);
+
+  /// Convenience: run under a fault plan — arms the failure controller with
+  /// the plan's kill tick (0 leaves it disarmed), so a seeded chaos schedule
+  /// drives the world without per-call plumbing.
+  static RunResult run_with_plan(int world_size, const RankFn& fn,
+                                 const fi::FaultPlan& plan);
 
  private:
   int world_size_;

@@ -121,6 +121,13 @@ PlanResponse PlanService::serve(const PlanRequest& request) {
   const MarketSnapshot snap = board_->snapshot();
   note_epoch(snap.epoch);
 
+  // Injected shed pressure: same contract as a real admission-control shed
+  // (explicit kShed outcome, epoch reported, no plan).
+  if (config_.faults != nullptr && config_.faults->fires(fi::Channel::kServiceShed, key)) {
+    sheds_.fetch_add(1, std::memory_order_relaxed);
+    return {PlanOutcome::kShed, snap.epoch, nullptr};
+  }
+
   if (auto plan = cache_.lookup(key, snap.epoch)) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     return {PlanOutcome::kHit, snap.epoch, std::move(plan)};

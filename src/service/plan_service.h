@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "core/optimizer.h"
+#include "faultinject/injector.h"
 #include "service/market_board.h"
 #include "service/plan_cache.h"
 #include "service/request.h"
@@ -104,6 +105,11 @@ struct ServiceConfig {
   /// with the flight's (canonical key, epoch). Lets tests hold a flight open
   /// (latches) and count solves per key; never set in production.
   std::function<void(const std::string& key, std::uint64_t epoch)> solve_hook;
+  /// Chaos hook (borrowed; never set in production): when the injector's
+  /// kServiceShed channel fires for a request's canonical key, serve() sheds
+  /// it as if admission control had — exercising every caller's overload
+  /// path under a seeded schedule.
+  fi::FaultInjector* faults = nullptr;
 };
 
 class PlanService {

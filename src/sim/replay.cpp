@@ -78,7 +78,9 @@ ReplayResult ReplayEngine::replay(const Plan& plan, double start_h) const {
       if (!gs.alive) continue;
       const double w = gs.sched.wall_duration();
       const double price = market_->trace(gs.plan->spec).price_at_hours(now_h);
-      if (price > gs.plan->bid_usd) {
+      const bool forced_kill =
+          config_.faults != nullptr && config_.faults->spot_kill(gs.plan->name, t);
+      if (price > gs.plan->bid_usd || forced_kill) {
         // Out-of-bid at the start of step t: the group ran t steps.
         gs.alive = false;
         gs.killed = true;
@@ -182,7 +184,9 @@ WindowOutcome ReplayEngine::replay_window(const Plan& plan, double start_h,
       if (!gs.alive) continue;
       const double w = gs.sched.wall_duration();
       const double price = market_->trace(gs.plan->spec).price_at_hours(now_h);
-      if (price > gs.plan->bid_usd) {
+      const bool forced_kill =
+          config_.faults != nullptr && config_.faults->spot_kill(gs.plan->name, t);
+      if (price > gs.plan->bid_usd || forced_kill) {
         gs.alive = false;
         gs.killed = true;
         gs.death_wall = static_cast<double>(t);

@@ -18,6 +18,7 @@
 #include "cloud/billing.h"
 #include "core/adaptive.h"
 #include "core/plan.h"
+#include "faultinject/injector.h"
 #include "trace/market.h"
 
 namespace sompi {
@@ -26,6 +27,10 @@ struct ReplayConfig {
   BillingModel billing = BillingModel::kProportional;
   /// Amazon S3, 2014: ~$0.03 per GB-month (paper §4.4 "Checkpointing").
   double s3_usd_gb_month = 0.03;
+  /// Optional chaos hook (borrowed): a (group, step) the injector names is
+  /// killed as if the trace price had exceeded the bid, regardless of the
+  /// actual price. Stateless decisions, so replays stay bit-identical.
+  const fi::FaultInjector* faults = nullptr;
 };
 
 /// Fate of one circle group in one replay.

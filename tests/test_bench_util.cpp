@@ -1,0 +1,74 @@
+// Unit tests for bench/bench_util.h — specifically the nearest-rank
+// percentile the latency benches report. The linear-interpolation
+// percentile in common/stats.h is the right estimator for smooth
+// distributions; for tail latency over small N it invents values between
+// the two largest observations, so the benches use nearest-rank instead.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util.h"
+#include "common/error.h"
+
+namespace sompi::bench {
+namespace {
+
+TEST(PercentileNearestRank, ReturnsAnActualObservation) {
+  const std::vector<double> values = {5.0, 1.0, 4.0, 2.0, 3.0};
+  // ceil(0.99 * 5) = 5 → the maximum, not an interpolated blend.
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(values, 0.99), 5.0);
+  // ceil(0.50 * 5) = 3 → the median.
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(values, 0.50), 3.0);
+  // ceil(0.20 * 5) = 1 → the minimum.
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(values, 0.20), 1.0);
+}
+
+TEST(PercentileNearestRank, SmallSampleTailIsTheMaximum) {
+  // The motivating case: p99 of N < 100 samples must report the largest
+  // observation (ceil(0.99·N) = N whenever N < 100) — an actual measured
+  // worst case, not a blend of the two largest.
+  std::vector<double> values;
+  for (int n = 1; n < 100; ++n) {
+    values.push_back(static_cast<double>(n));
+    EXPECT_DOUBLE_EQ(percentile_nearest_rank(values, 0.99),
+                     static_cast<double>(n))
+        << "N=" << n;
+  }
+  // At N = 100 the estimator starts trimming the tail: the 99th smallest.
+  values.push_back(100.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(values, 0.99), 99.0);
+}
+
+TEST(PercentileNearestRank, BoundaryQuantiles) {
+  const std::vector<double> values = {10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(values, 1.0), 30.0);
+}
+
+TEST(PercentileNearestRank, SingleObservation) {
+  const std::vector<double> values = {42.0};
+  for (double q : {0.0, 0.5, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(percentile_nearest_rank(values, q), 42.0);
+}
+
+TEST(PercentileNearestRank, EvenCountMedianIsLowerOfTheTwo) {
+  // Nearest-rank never averages: ceil(0.5 * 4) = 2 → the 2nd smallest.
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(values, 0.5), 2.0);
+}
+
+TEST(PercentileNearestRank, RejectsBadInput) {
+  EXPECT_THROW(percentile_nearest_rank({}, 0.5), PreconditionError);
+  EXPECT_THROW(percentile_nearest_rank({1.0}, -0.1), PreconditionError);
+  EXPECT_THROW(percentile_nearest_rank({1.0}, 1.1), PreconditionError);
+}
+
+TEST(PercentileNearestRank, InputVectorIsNotMutated) {
+  const std::vector<double> values = {3.0, 1.0, 2.0};
+  const std::vector<double> copy = values;
+  (void)percentile_nearest_rank(values, 0.5);
+  EXPECT_EQ(values, copy);
+}
+
+}  // namespace
+}  // namespace sompi::bench

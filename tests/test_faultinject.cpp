@@ -1,0 +1,239 @@
+// Unit tests for the fault-injection subsystem itself (src/faultinject/).
+// The scenario-level properties live in tests/fuzz_scenarios.cpp; these pin
+// down the building blocks: decision-stream determinism, the fault budget,
+// torn-upload semantics, and the InjectedFault/ordinary-error separation.
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "checkpoint/storage.h"
+#include "faultinject/fault_plan.h"
+#include "faultinject/faulty_store.h"
+#include "faultinject/injector.h"
+#include "faultinject/scenario.h"
+
+namespace sompi::fi {
+namespace {
+
+FaultPlan plan_with_seed(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  return plan;
+}
+
+std::vector<std::byte> bytes_of(const std::string& text) {
+  std::vector<std::byte> out(text.size());
+  std::memcpy(out.data(), text.data(), text.size());
+  return out;
+}
+
+TEST(FaultInjector, SameSeedSameDecisionStream) {
+  FaultPlan plan = plan_with_seed(42);
+  plan.p_put_error = 0.5;
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(a.fires(Channel::kStoragePut, "ckpt/r0"),
+              b.fires(Channel::kStoragePut, "ckpt/r0"))
+        << "decision " << i << " diverged between identical injectors";
+}
+
+TEST(FaultInjector, DistinctKeysAndChannelsAreIndependentStreams) {
+  FaultPlan plan = plan_with_seed(7);
+  plan.p_put_error = 0.5;
+  plan.p_get_error = 0.5;
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  // Interleaving ops on other streams must not shift the "ckpt/r0" stream.
+  std::vector<bool> plain;
+  for (int i = 0; i < 100; ++i) plain.push_back(a.fires(Channel::kStoragePut, "ckpt/r0"));
+  std::vector<bool> interleaved;
+  for (int i = 0; i < 100; ++i) {
+    (void)b.fires(Channel::kStoragePut, "ckpt/r1");
+    (void)b.fires(Channel::kStorageGet, "ckpt/r0");
+    interleaved.push_back(b.fires(Channel::kStoragePut, "ckpt/r0"));
+  }
+  EXPECT_EQ(plain, interleaved);
+}
+
+TEST(FaultInjector, QuiesceStopsInjectionButKeepsStreamPosition) {
+  FaultPlan plan = plan_with_seed(11);
+  plan.p_put_error = 1.0;  // every roll wants to fire
+  FaultInjector inj(plan);
+  EXPECT_FALSE(inj.quiesced());
+  int fired = 0;
+  for (int i = 0; i < 5; ++i)
+    if (inj.fires(Channel::kStoragePut, "k")) ++fired;
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(inj.injected_count(), 5u);
+
+  inj.quiesce();
+  EXPECT_TRUE(inj.quiesced());
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(inj.fires(Channel::kStoragePut, "k"));
+  EXPECT_NO_THROW(inj.protocol_point(Channel::kCkptPreBlob, "k"));
+  EXPECT_EQ(inj.injected_count(), 5u);
+
+  // Quiesced streams keep advancing: a live twin consuming the same ops
+  // sees the same op indices, so quiescing never shifts later decisions.
+  FaultInjector live(plan);
+  for (int i = 0; i < 10; ++i) (void)live.fires(Channel::kStoragePut, "k");
+  std::uint64_t op_quiesced = 0;
+  std::uint64_t op_live = 0;
+  (void)inj.fires(Channel::kStoragePut, "k", &op_quiesced);
+  (void)live.fires(Channel::kStoragePut, "k", &op_live);
+  EXPECT_EQ(op_quiesced, op_live);
+
+  // kSpotKill models the market, not a fault burst: quiesce leaves it alone.
+  FaultPlan kills = plan_with_seed(12);
+  kills.p_spot_kill = 1.0;
+  FaultInjector market(kills);
+  market.quiesce();
+  EXPECT_TRUE(market.spot_kill("g", 0));
+}
+
+TEST(FaultInjector, SpotKillIsStatelessAndPure) {
+  FaultPlan plan = plan_with_seed(99);
+  plan.p_spot_kill = 0.5;
+  FaultInjector a(plan);
+  const FaultInjector b(plan);
+  bool any_kill = false;
+  bool any_survive = false;
+  for (std::size_t step = 0; step < 200; ++step) {
+    const bool first = a.spot_kill("circle-0", step);
+    // Re-asking the same (group, step) must answer identically — the replay
+    // engine asks once per simulated run, and runs replay bit-identically.
+    EXPECT_EQ(first, a.spot_kill("circle-0", step));
+    EXPECT_EQ(first, b.spot_kill("circle-0", step));
+    any_kill = any_kill || first;
+    any_survive = any_survive || !first;
+  }
+  EXPECT_TRUE(any_kill);
+  EXPECT_TRUE(any_survive);
+}
+
+TEST(FaultInjector, TornLengthIsAStrictPrefix) {
+  FaultPlan plan = plan_with_seed(5);
+  FaultInjector inj(plan);
+  for (std::size_t size : {std::size_t{1}, std::size_t{2}, std::size_t{64},
+                           std::size_t{4096}})
+    for (std::uint64_t op = 0; op < 32; ++op) {
+      const std::size_t keep = inj.torn_length("blob", op, size);
+      EXPECT_LT(keep, size);
+      EXPECT_EQ(keep, inj.torn_length("blob", op, size));
+    }
+}
+
+TEST(FaultInjector, EpochBumpScheduleIsExact) {
+  FaultPlan plan = plan_with_seed(3);
+  plan.epoch_bump_solves = {2, 5, 9};
+  FaultInjector inj(plan);
+  for (std::uint64_t i = 0; i < 12; ++i)
+    EXPECT_EQ(inj.epoch_bump_at(i), i == 2 || i == 5 || i == 9) << "solve " << i;
+}
+
+TEST(FaultInjector, LatencyAccumulatesWithoutSleeping) {
+  FaultPlan plan = plan_with_seed(1);
+  plan.latency_ms = 7.5;
+  FaultInjector inj(plan);
+  inj.add_latency(plan.latency_ms);
+  inj.add_latency(plan.latency_ms);
+  EXPECT_DOUBLE_EQ(inj.simulated_latency_ms(), 15.0);
+}
+
+TEST(InjectedFault, DescribesSeparatesChaosFromRealErrors) {
+  const InjectedFault fault(Channel::kStoragePut, "ckpt/r0/v3", 4);
+  EXPECT_TRUE(InjectedFault::describes(fault.what()));
+  EXPECT_EQ(fault.channel(), Channel::kStoragePut);
+  EXPECT_NE(std::string(fault.what()).find("ckpt/r0/v3"), std::string::npos);
+  EXPECT_FALSE(InjectedFault::describes("cannot write json results to /tmp/x"));
+  EXPECT_FALSE(InjectedFault::describes("deadline exceeded"));
+}
+
+TEST(FaultPlan, FromSeedIsDeterministicAndSeedSensitive) {
+  const FaultPlan a = FaultPlan::from_seed(1234);
+  const FaultPlan b = FaultPlan::from_seed(1234);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.p_put_error, b.p_put_error);
+  EXPECT_EQ(a.p_spot_kill, b.p_spot_kill);
+  EXPECT_EQ(a.kill_after_ticks, b.kill_after_ticks);
+  EXPECT_EQ(a.epoch_bump_solves, b.epoch_bump_solves);
+  EXPECT_EQ(a.max_faults, b.max_faults);
+
+  // Different seeds should (essentially always) produce different mixtures.
+  bool any_difference = false;
+  for (std::uint64_t s = 0; s < 8 && !any_difference; ++s) {
+    const FaultPlan other = FaultPlan::from_seed(5678 + s);
+    any_difference = other.p_put_error != a.p_put_error ||
+                     other.kill_after_ticks != a.kill_after_ticks ||
+                     other.max_faults != a.max_faults;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultPlan, QuietInjectsNothing) {
+  FaultInjector inj(FaultPlan::quiet(77));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(inj.fires(Channel::kStoragePut, "k"));
+    EXPECT_FALSE(inj.spot_kill("g", static_cast<std::size_t>(i)));
+  }
+  EXPECT_EQ(inj.injected_count(), 0u);
+}
+
+TEST(FaultyStore, TornPutWritesStrictPrefixThenThrows) {
+  FaultPlan plan = plan_with_seed(21);
+  plan.p_put_torn = 1.0;
+  FaultInjector inj(plan);
+  MemoryStore inner;
+  FaultyStore store(&inner, &inj);
+
+  const std::vector<std::byte> payload = bytes_of("0123456789abcdef");
+  EXPECT_THROW(store.put("blob", payload), InjectedFault);
+
+  const auto torn = inner.get("blob");
+  ASSERT_TRUE(torn.has_value());
+  ASSERT_LT(torn->size(), payload.size());
+  EXPECT_TRUE(std::equal(torn->begin(), torn->end(), payload.begin()));
+}
+
+TEST(FaultyStore, PutErrorWritesNothing) {
+  FaultPlan plan = plan_with_seed(22);
+  plan.p_put_error = 1.0;
+  FaultInjector inj(plan);
+  MemoryStore inner;
+  FaultyStore store(&inner, &inj);
+  EXPECT_THROW(store.put("blob", bytes_of("payload")), InjectedFault);
+  EXPECT_FALSE(inner.exists("blob"));
+}
+
+TEST(FaultyStore, QuietPlanIsATransparentPassthrough) {
+  FaultInjector inj(FaultPlan::quiet(1));
+  MemoryStore inner;
+  FaultyStore store(&inner, &inj);
+  const std::vector<std::byte> payload = bytes_of("payload");
+  store.put("a/blob", payload);
+  EXPECT_TRUE(store.exists("a/blob"));
+  const auto back = store.get("a/blob");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);
+  EXPECT_EQ(store.list("a/").size(), 1u);
+  store.remove("a/blob");
+  EXPECT_FALSE(store.exists("a/blob"));
+}
+
+TEST(Scenario, DigestIsReproducible) {
+  // One seed per scenario kind (seed % 5 selects the kind).
+  for (std::uint64_t seed : {2ull, 3ull, 4ull, 5ull, 6ull}) {
+    const ScenarioOutcome first = run_scenario(seed);
+    const ScenarioOutcome second = run_scenario(seed);
+    EXPECT_FALSE(first.failed) << first.kind << ": " << first.detail;
+    EXPECT_EQ(first.digest, second.digest) << "seed " << seed;
+    EXPECT_EQ(first.kind, second.kind);
+  }
+}
+
+}  // namespace
+}  // namespace sompi::fi

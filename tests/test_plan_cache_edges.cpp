@@ -1,0 +1,172 @@
+// PlanCache / PlanService edge cases called out in the fault-injection PR:
+// eviction behaviour at the degenerate capacity of one, the stale-sweep
+// horizon clamp racing a mid-request epoch bump, and service-level
+// canonicalization of equivalent-but-reordered constraint lists.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "profile/paper_profiles.h"
+#include "service/plan_service.h"
+
+namespace sompi {
+namespace {
+
+std::shared_ptr<const Plan> tagged_plan(const std::string& app) {
+  Plan p;
+  p.app = app;
+  return std::make_shared<const Plan>(std::move(p));
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache at capacity 1: every insert of a new key evicts the resident.
+
+TEST(PlanCacheEdges, CapacityOneEvictsOnEveryNewKey) {
+  PlanCache cache({.shards = 1, .capacity = 1});
+  cache.insert("a", 1, tagged_plan("A"));
+  ASSERT_NE(cache.lookup("a", 1), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+
+  cache.insert("b", 1, tagged_plan("B"));
+  EXPECT_EQ(cache.lookup("a", 1), nullptr);  // evicted, not merely demoted
+  ASSERT_NE(cache.lookup("b", 1), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheEdges, CapacityOneReinsertReplacesWithoutEviction) {
+  PlanCache cache({.shards = 1, .capacity = 1});
+  cache.insert("a", 1, tagged_plan("old"));
+  cache.insert("a", 1, tagged_plan("new"));
+  const auto hit = cache.lookup("a", 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->app, "new");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheEdges, CapacityOneSameKeyDifferentEpochsStillEvicts) {
+  // (key, epoch) is the cache key, so the same request at a new epoch is a
+  // new entry and must push out the old one at capacity 1.
+  PlanCache cache({.shards = 1, .capacity = 1});
+  cache.insert("a", 1, tagged_plan("e1"));
+  cache.insert("a", 2, tagged_plan("e2"));
+  EXPECT_EQ(cache.lookup("a", 1), nullptr);
+  ASSERT_NE(cache.lookup("a", 2), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheEdges, LookupRefreshesLruPosition) {
+  PlanCache cache({.shards = 1, .capacity = 2});
+  cache.insert("a", 1, tagged_plan("A"));
+  cache.insert("b", 1, tagged_plan("B"));
+  ASSERT_NE(cache.lookup("a", 1), nullptr);  // "a" becomes most recent
+  cache.insert("c", 1, tagged_plan("C"));
+  EXPECT_NE(cache.lookup("a", 1), nullptr);  // survived thanks to the refresh
+  EXPECT_EQ(cache.lookup("b", 1), nullptr);  // LRU victim
+  EXPECT_NE(cache.lookup("c", 1), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Service-level edges. Same fixture shape as test_service.cpp (tiny
+// optimizer so each solve is fast).
+
+class PlanCacheServiceEdges : public ::testing::Test {
+ protected:
+  static ServiceConfig fast_config() {
+    ServiceConfig c;
+    c.cache = {.shards = 4, .capacity = 64};
+    c.max_concurrent_solves = 2;
+    c.max_queued_solves = 8;
+    c.opt.max_candidates = 3;
+    c.opt.max_groups = 2;
+    c.opt.setup.log_levels = 3;
+    c.opt.setup.failure.samples = 400;
+    c.opt.ratio_bins = 32;
+    return c;
+  }
+
+  PlanRequest request(double factor = 1.5) const {
+    PlanRequest r;
+    r.app = paper_profile("BT");
+    r.deadline_h = baseline_h_ * factor;
+    return r;
+  }
+
+  Catalog catalog_ = paper_catalog();
+  ExecTimeEstimator est_;
+  Market market_ = generate_market(catalog_, paper_market_profile(catalog_), /*days=*/3.0,
+                                   /*step_hours=*/0.25, /*seed=*/42);
+  MarketBoard board_{market_};
+  double baseline_h_ = OnDemandSelector(&catalog_, &est_).baseline(paper_profile("BT")).t_h;
+};
+
+TEST_F(PlanCacheServiceEdges, SweepHorizonClampRacesAnEpochBump) {
+  // A live serve holding a pre-bump snapshot must floor the sweep horizon:
+  // until it completes, invalidate_stale() may not reclaim entries at its
+  // epoch, or "one solve per (request, epoch)" would break mid-request.
+  ServiceConfig cfg = fast_config();
+  std::atomic<bool> armed{false};
+  std::atomic<bool> in_solve{false};
+  std::atomic<bool> release{false};
+  cfg.solve_hook = [&](const std::string&, std::uint64_t) {
+    if (!armed.load()) return;
+    in_solve.store(true);
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!release.load() && std::chrono::steady_clock::now() < deadline)
+      std::this_thread::yield();
+  };
+  PlanService service(&catalog_, &est_, &board_, cfg);
+
+  // Populate the cache at epoch 1.
+  ASSERT_EQ(service.serve(request(1.5)).outcome, PlanOutcome::kSolved);
+  ASSERT_EQ(service.stats().cache_entries, 1u);
+
+  // A second, different request snapshots epoch 1 and blocks in its solve.
+  armed.store(true);
+  PlanResponse slow_response;
+  std::thread slow([&] { slow_response = service.serve(request(2.0)); });
+  while (!in_solve.load()) std::this_thread::yield();
+
+  // The market moves mid-solve. The sweep must clamp to the live epoch-1
+  // registration and reclaim nothing.
+  board_.ingest({});
+  EXPECT_EQ(service.invalidate_stale(), 0u);
+  EXPECT_EQ(service.stats().cache_entries, 1u);
+
+  release.store(true);
+  slow.join();
+  ASSERT_EQ(slow_response.outcome, PlanOutcome::kSolved);
+  EXPECT_EQ(slow_response.epoch, 1u);  // served against its snapshot
+
+  // With no live registrations the clamp lifts: both epoch-1 entries go.
+  EXPECT_EQ(service.invalidate_stale(), 2u);
+  EXPECT_EQ(service.stats().cache_entries, 0u);
+}
+
+TEST_F(PlanCacheServiceEdges, ReorderedConstraintListsHitTheSameEntry) {
+  PlanService service(&catalog_, &est_, &board_, fast_config());
+
+  PlanRequest first = request(3.0);
+  first.allowed_types = {"m1.small", "c3.xlarge", "m1.small"};
+  first.allowed_zones = {"us-east-1c", "us-east-1a"};
+  const PlanResponse solved = service.serve(first);
+  ASSERT_EQ(solved.outcome, PlanOutcome::kSolved);
+
+  // Same constraint *sets*, different order and duplication: must
+  // canonicalize onto the cached entry, not trigger a second solve.
+  PlanRequest second = request(3.0);
+  second.allowed_types = {"c3.xlarge", "m1.small"};
+  second.allowed_zones = {"us-east-1a", "us-east-1c", "us-east-1a"};
+  const PlanResponse hit = service.serve(second);
+  ASSERT_EQ(hit.outcome, PlanOutcome::kHit);
+  EXPECT_EQ(plan_fingerprint(*hit.plan), plan_fingerprint(*solved.plan));
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.solves, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.cache_entries, 1u);
+}
+
+}  // namespace
+}  // namespace sompi
