@@ -137,7 +137,7 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
     for (const Run& run : runs) {
       const double ms = run.GetAdjustedRealTime();  // all benches use kMillisecond
       results.push_back({run.benchmark_name(), static_cast<std::size_t>(run.iterations),
-                         ms, ms, ms});
+                         ms, ms, ms, {}});
     }
     ConsoleReporter::ReportRuns(runs);
   }

@@ -187,8 +187,8 @@ int main(int argc, char** argv) {
     std::vector<bench::JsonResult> results;
     results.push_back({"uncached_solve", solve_lat.size(), solve_mean_s * 1e3,
                        bench::percentile_nearest_rank(solve_lat, 0.50) * 1e3,
-                       bench::percentile_nearest_rank(solve_lat, 0.99) * 1e3});
-    results.push_back({"warm_serve", ops, warm_mean_ms, p50_ms, p99_ms});
+                       bench::percentile_nearest_rank(solve_lat, 0.99) * 1e3, {}});
+    results.push_back({"warm_serve", ops, warm_mean_ms, p50_ms, p99_ms, {}});
     bench::write_json(args.json_path, results);
   }
 

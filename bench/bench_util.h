@@ -59,6 +59,12 @@ struct JsonResult {
   double mean_ms = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  /// Optional work counters (evaluations, pruned tuples, ...), emitted as
+  /// extra numeric fields of the record. Unlike the timing fields these are
+  /// deterministic at threads=1, which is what makes them gateable in CI
+  /// (a wall-clock gate on a shared runner is noise; a work-count gate is
+  /// exact). Names must be valid JSON keys without '"' or '\'.
+  std::vector<std::pair<std::string, double>> counters;
 };
 
 /// The value following "--json", or "" when the flag is absent.
@@ -77,9 +83,11 @@ inline void write_json(const std::string& path, const std::vector<JsonResult>& r
     const JsonResult& r = results[i];
     std::fprintf(out,
                  "  {\"name\": \"%s\", \"iters\": %zu, \"mean_ms\": %.6f, "
-                 "\"p50_ms\": %.6f, \"p99_ms\": %.6f}%s\n",
-                 r.name.c_str(), r.iters, r.mean_ms, r.p50_ms, r.p99_ms,
-                 i + 1 < results.size() ? "," : "");
+                 "\"p50_ms\": %.6f, \"p99_ms\": %.6f",
+                 r.name.c_str(), r.iters, r.mean_ms, r.p50_ms, r.p99_ms);
+    for (const auto& [key, value] : r.counters)
+      std::fprintf(out, ", \"%s\": %.6f", key.c_str(), value);
+    std::fprintf(out, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "]\n");
   std::fclose(out);

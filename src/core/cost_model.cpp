@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.h"
 #include "core/schedule.h"
@@ -171,6 +172,184 @@ Expectation CostModel::evaluate_joint_exact(const std::vector<GroupDecision>& de
   e.cost_usd = e.spot_cost_usd + e.od_cost_usd;
   e.time_h = e.spot_time_h + e.od_time_h;
   return e;
+}
+
+// ---------------------------------------------------------------------------
+// CostTables: every expression below is copied verbatim from
+// CostModel::evaluate so the precomputed factors carry the exact bits the
+// naive evaluator would produce in place.
+// ---------------------------------------------------------------------------
+
+CostTables::CostTables(const std::vector<GroupSetup>& groups, const OnDemandChoice& od,
+                       CostModel::Config config, const std::vector<std::vector<int>>& f_of)
+    : groups_(&groups), od_(od), config_(config) {
+  SOMPI_REQUIRE(!groups.empty());
+  SOMPI_REQUIRE(f_of.size() == groups.size());
+  SOMPI_REQUIRE(config_.step_hours > 0.0);
+  SOMPI_REQUIRE(config_.ratio_bins >= 8);
+  SOMPI_REQUIRE(od_.t_h > 0.0 && od_.rate_usd_h > 0.0);
+
+  const std::size_t bins = config_.ratio_bins;
+  const std::size_t n = groups.size();
+  cell_off_.resize(n);
+  min_spot_term_.resize(n);
+  max_w_ceil_.assign(n, 0);
+  min_tail_.assign(n * bins, std::numeric_limits<double>::infinity());
+
+  std::size_t total_cells = 0;
+  for (std::size_t g = 0; g < n; ++g) {
+    SOMPI_REQUIRE(f_of[g].size() == groups[g].failure.bid_count());
+    cell_off_[g] = total_cells;
+    total_cells += groups[g].failure.bid_count();
+  }
+  cells_.resize(total_cells);
+
+  std::vector<double> bucket(bins);
+  for (std::size_t g = 0; g < n; ++g) {
+    const GroupSetup& grp = groups[g];
+    double min_spot = std::numeric_limits<double>::infinity();
+    double* min_tail = min_tail_.data() + g * bins;
+    for (std::size_t b = 0; b < grp.failure.bid_count(); ++b) {
+      Cell& c = cells_[cell_off_[g] + b];
+      c.f_steps = f_of[g][b];
+      const GroupSchedule sched(grp.t_steps, c.f_steps, grp.o_steps, grp.r_steps);
+      const double w = sched.wall_duration();
+      SOMPI_REQUIRE_MSG(w <= static_cast<double>(grp.failure.horizon()),
+                        "failure-model horizon too short for group wall duration");
+      c.wall = w;
+      c.w_ceil = static_cast<std::size_t>(std::ceil(w));
+      max_w_ceil_[g] = std::max(max_w_ceil_[g], c.w_ceil);
+
+      const double s_price = grp.failure.expected_price(b);
+      const double e_life = grp.failure.expected_lifetime(b, w);
+      c.spot_term = s_price * grp.instances * e_life * config_.step_hours;
+      min_spot = std::min(min_spot, c.spot_term);
+
+      c.one_minus_complete = 1.0 - grp.failure.survival_at(b, w);
+
+      c.life_off = life_pool_.size();
+      for (std::size_t t = 0; t < c.w_ceil; ++t)
+        life_pool_.push_back(1.0 - grp.failure.survival(b, t + 1));
+
+      std::fill(bucket.begin(), bucket.end(), 0.0);
+      for (std::size_t t = 0; t < c.w_ceil; ++t) {
+        const double p = grp.failure.pmf(b, t);
+        if (p <= 0.0) continue;
+        const double v = sched.ratio_at(static_cast<double>(t));
+        const auto j_top = static_cast<std::ptrdiff_t>(
+            std::ceil(v * static_cast<double>(bins) - 0.5));
+        if (j_top >= 1)
+          bucket[static_cast<std::size_t>(
+              std::min<std::ptrdiff_t>(j_top, static_cast<std::ptrdiff_t>(bins)) - 1)] += p;
+      }
+      c.tail_off = tail_pool_.size();
+      tail_pool_.resize(c.tail_off + bins);
+      double suffix = 0.0;
+      for (std::size_t j = bins; j-- > 0;) {
+        suffix += bucket[j];
+        tail_pool_[c.tail_off + j] = suffix;
+      }
+      for (std::size_t j = 0; j < bins; ++j)
+        min_tail[j] = std::min(min_tail[j], tail_pool_[c.tail_off + j]);
+    }
+    min_spot_term_[g] = min_spot;
+  }
+}
+
+std::size_t CostTables::bid_count(std::size_t g) const {
+  return (*groups_)[g].failure.bid_count();
+}
+
+SubsetEvaluator::SubsetEvaluator(const CostTables& tables, std::vector<std::size_t> members)
+    : tables_(&tables), members_(std::move(members)) {
+  SOMPI_REQUIRE(!members_.empty());
+  const std::size_t k = members_.size();
+  const std::size_t bins = tables.config().ratio_bins;
+  for (std::size_t g : members_) {
+    SOMPI_REQUIRE(g < tables.group_count());
+    grid_len_ = std::max(grid_len_, tables.max_w_ceil(g));
+  }
+  // Level 0 holds the fold identities; the naive evaluator starts from the
+  // same values (all-ones CDF/CCDF grids, zero spot cost, unit all-fail).
+  life_state_.assign((k + 1) * grid_len_, 1.0);
+  ratio_state_.assign((k + 1) * bins, 1.0);
+  spot_sum_.assign(k + 1, 0.0);
+  all_fail_.assign(k + 1, 1.0);
+
+  // Subset-level admissible bound: min spot terms folded in group order,
+  // plus the on-demand floor from the per-bin min tails — the same
+  // association order evaluate() uses, so rounding monotonicity applies.
+  double spot_lb = 0.0;
+  for (std::size_t g : members_) spot_lb += tables.min_spot_term(g);
+  std::vector<double> ccdf_lb(bins, 1.0);
+  for (std::size_t g : members_) {
+    const double* mt = tables.min_ratio_tail(g);
+    for (std::size_t j = 0; j < bins; ++j) ccdf_lb[j] *= mt[j];
+  }
+  double ratio_lb = 0.0;
+  for (std::size_t j = 0; j < bins; ++j) ratio_lb += ccdf_lb[j];
+  ratio_lb /= static_cast<double>(bins);
+  od_floor_ = tables.od().rate_usd_h * tables.od().t_h * ratio_lb;
+  subset_bound_ = spot_lb + od_floor_;
+}
+
+const Expectation& SubsetEvaluator::evaluate(const std::vector<std::size_t>& bids) {
+  const std::size_t k = members_.size();
+  SOMPI_REQUIRE(bids.size() == k);
+  const std::size_t bins = tables_->config().ratio_bins;
+
+  for (std::size_t i = valid_; i < k; ++i) {
+    const CostTables::Cell& c = tables_->cell(members_[i], bids[i]);
+    // Lifetime CDF product on the common grid. Entries at or beyond this
+    // tuple's max wall stay exactly 1.0 and contribute an exact +0.0 to the
+    // expectation sum below, so the wider grid cannot perturb any bit.
+    const double* in_life = life_state_.data() + i * grid_len_;
+    double* out_life = life_state_.data() + (i + 1) * grid_len_;
+    const double* lf = tables_->life_factors(c);
+    std::size_t t = 0;
+    for (; t < c.w_ceil; ++t) out_life[t] = in_life[t] * lf[t];
+    for (; t < grid_len_; ++t) out_life[t] = in_life[t];
+
+    const double* in_r = ratio_state_.data() + i * bins;
+    double* out_r = ratio_state_.data() + (i + 1) * bins;
+    const double* tail = tables_->ratio_tail(c);
+    for (std::size_t j = 0; j < bins; ++j) out_r[j] = in_r[j] * tail[j];
+
+    spot_sum_[i + 1] = spot_sum_[i] + c.spot_term;
+    all_fail_[i + 1] = all_fail_[i] * c.one_minus_complete;
+  }
+  valid_ = k;
+
+  Expectation e;
+  const double* life = life_state_.data() + k * grid_len_;
+  double e_max_life = 0.0;
+  for (std::size_t t = 0; t < grid_len_; ++t) e_max_life += 1.0 - life[t];
+  e.spot_time_h = e_max_life * tables_->config().step_hours;
+
+  const double* ccdf = ratio_state_.data() + k * bins;
+  double e_min_ratio = 0.0;
+  for (std::size_t j = 0; j < bins; ++j) e_min_ratio += ccdf[j];
+  e_min_ratio /= static_cast<double>(bins);
+
+  const OnDemandChoice& od = tables_->od();
+  e.e_min_ratio = e_min_ratio;
+  e.spot_cost_usd = spot_sum_[k];
+  e.p_complete_on_spot = 1.0 - all_fail_[k];
+  e.od_cost_usd = od.rate_usd_h * od.t_h * e_min_ratio;
+  e.od_time_h = od.t_h * e_min_ratio;
+  e.cost_usd = e.spot_cost_usd + e.od_cost_usd;
+  e.time_h = e.spot_time_h + e.od_time_h;
+  scratch_ = e;
+  return scratch_;
+}
+
+double SubsetEvaluator::cost_lower_bound(const std::vector<std::size_t>& bids,
+                                         std::size_t level) const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < members_.size(); ++i)
+    s += i <= level ? tables_->cell(members_[i], bids[i]).spot_term
+                    : tables_->min_spot_term(members_[i]);
+  return s + od_floor_;
 }
 
 }  // namespace sompi

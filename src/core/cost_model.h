@@ -71,4 +71,138 @@ class CostModel {
   mutable std::vector<double> walls_;
 };
 
+// ---------------------------------------------------------------------------
+// Optimizer fast path (DESIGN.md "Optimizer fast path").
+//
+// CostModel::evaluate rebuilds every per-group lifetime CDF and Ratio-tail
+// vector from scratch on each decision vector — O(k·(wall + ratio_bins))
+// redundant work per tuple, the dominant cost of the Level-2 bid-tuple
+// enumeration. Because the checkpoint interval is tied to the bid
+// (F_i = φ_i(P_i), §4.2.2), every tuple-independent term depends only on the
+// (group, bid) pair: CostTables hoists them all into SoA tables built once
+// per optimizer run, and SubsetEvaluator folds the precomputed vectors with
+// per-prefix cached state so a tuple whose digits changed from index c
+// onward costs O((k−c)·(wall + ratio_bins)) — O(wall + ratio_bins) for the
+// common last-digit step — instead of a full rebuild.
+//
+// Bit-identity contract: SubsetEvaluator::evaluate performs exactly the same
+// floating-point operations, in exactly the same order, as
+// CostModel::evaluate at the same decisions (the factor vectors are
+// precomputed but each was produced by the identical expression, and the
+// prefix cache only memoizes the left-to-right fold the naive code performs
+// anyway). Differential tests assert 0-ULP agreement on every Expectation
+// field (tests/test_cost_model_fast.cpp).
+// ---------------------------------------------------------------------------
+
+/// Per-(group, bid) precomputed kernels over a candidate-group list, with
+/// the checkpoint interval tied to the bid via f_of[g][b]. Groups are
+/// borrowed; the pointees must outlive the tables. Read-only after
+/// construction and therefore safe to share across optimizer threads.
+class CostTables {
+ public:
+  struct Cell {
+    double wall = 0.0;                 ///< W(F) in fractional steps
+    std::size_t w_ceil = 0;            ///< ceil(W)
+    int f_steps = 1;                   ///< the tied interval φ(P)
+    double spot_term = 0.0;            ///< S·M·E[min(fp, W)]·h (Formula 5)
+    double one_minus_complete = 1.0;   ///< 1 − P[group finishes on spot]
+    std::size_t life_off = 0;          ///< lifetime factors, w_ceil entries
+    std::size_t tail_off = 0;          ///< Ratio tails, ratio_bins entries
+  };
+
+  CostTables(const std::vector<GroupSetup>& groups, const OnDemandChoice& od,
+             CostModel::Config config, const std::vector<std::vector<int>>& f_of);
+
+  std::size_t group_count() const { return groups_->size(); }
+  std::size_t bid_count(std::size_t g) const;
+  const GroupSetup& group(std::size_t g) const { return (*groups_)[g]; }
+  const OnDemandChoice& od() const { return od_; }
+  const CostModel::Config& config() const { return config_; }
+
+  const Cell& cell(std::size_t g, std::size_t b) const {
+    return cells_[cell_off_[g] + b];
+  }
+  /// P[lifetime ≤ t+1] factors for t in [0, w_ceil) — the multiplicands of
+  /// the cross-group max-lifetime CDF product (Formula 10).
+  const double* life_factors(const Cell& c) const { return life_pool_.data() + c.life_off; }
+  /// P[Ratio > r_j] per integration bin — the multiplicands of the
+  /// min-Ratio complementary-CDF product (Formulas 6/7/11).
+  const double* ratio_tail(const Cell& c) const { return tail_pool_.data() + c.tail_off; }
+
+  /// min over the group's bids of spot_term — the admissible per-group
+  /// spot-cost marginal used by the branch-and-bound lower bounds.
+  double min_spot_term(std::size_t g) const { return min_spot_term_[g]; }
+  /// Per-bin min over the group's bids of ratio_tail — lower-bounds the
+  /// group's factor in the min-Ratio product for any bid choice.
+  const double* min_ratio_tail(std::size_t g) const {
+    return min_tail_.data() + g * config_.ratio_bins;
+  }
+  /// max over the group's bids of w_ceil (sizes the common lifetime grid).
+  std::size_t max_w_ceil(std::size_t g) const { return max_w_ceil_[g]; }
+
+ private:
+  const std::vector<GroupSetup>* groups_;
+  OnDemandChoice od_;
+  CostModel::Config config_;
+  std::vector<std::size_t> cell_off_;  ///< first cell index per group
+  std::vector<Cell> cells_;
+  std::vector<double> life_pool_;
+  std::vector<double> tail_pool_;
+  std::vector<double> min_spot_term_;
+  std::vector<double> min_tail_;
+  std::vector<std::size_t> max_w_ceil_;
+};
+
+/// Incremental evaluator for one k-of-K subset: caches the left-to-right
+/// fold state after every group position so that re-evaluating a tuple whose
+/// digits changed only from index c re-runs the fold from level c, not from
+/// scratch — bit-identical to CostModel::evaluate by construction (see the
+/// contract above). Not thread-safe; one instance per subset search.
+class SubsetEvaluator {
+ public:
+  /// `members` indexes into the tables' candidate list, in subset order.
+  SubsetEvaluator(const CostTables& tables, std::vector<std::size_t> members);
+
+  std::size_t size() const { return members_.size(); }
+
+  /// Declares that digits at positions >= level changed since the last
+  /// evaluate() call; cached fold levels above it are invalidated.
+  void note_change(std::size_t level) { valid_ = std::min(valid_, level); }
+
+  /// Evaluates the tuple (bid per member, interval tied via the tables'
+  /// f_of). Resumes the fold at the lowest invalidated level. The returned
+  /// reference is into internal scratch, valid until the next call.
+  const Expectation& evaluate(const std::vector<std::size_t>& bids);
+
+  /// Rigorous lower bound on evaluate(b').cost_usd for ANY tuple b' agreeing
+  /// with `bids` on positions [0, level]: the exact spot-term prefix folded
+  /// with each remaining group's min spot term (in group order), plus the
+  /// subset's on-demand floor. Because every term is non-negative, term-wise
+  /// ≤ the real terms, and IEEE rounding is monotone, the bound never
+  /// exceeds the cost evaluate() actually computes — pruning on it can only
+  /// discard provably-worse tuples (admissibility proof sketch in DESIGN.md
+  /// "Optimizer fast path"). O(k) scalar work.
+  double cost_lower_bound(const std::vector<std::size_t>& bids, std::size_t level) const;
+
+  /// Rigorous lower bound on the cost of every tuple of this subset: min
+  /// spot terms plus the irreducible on-demand floor (min-Ratio tails folded
+  /// from the per-group bid minima). Computed once at construction.
+  double subset_cost_bound() const { return subset_bound_; }
+
+ private:
+  const CostTables* tables_;
+  std::vector<std::size_t> members_;
+  std::size_t grid_len_ = 0;   ///< common lifetime-grid length
+  std::size_t valid_ = 0;      ///< fold levels [0, valid_] are current
+  // Level-indexed fold state: level i holds the accumulators after folding
+  // members [0, i). Vectors are flattened (level-major).
+  std::vector<double> life_state_;   ///< (k+1) × grid_len_
+  std::vector<double> ratio_state_;  ///< (k+1) × ratio_bins
+  std::vector<double> spot_sum_;     ///< (k+1)
+  std::vector<double> all_fail_;     ///< (k+1)
+  double od_floor_ = 0.0;      ///< on-demand floor from per-group min tails
+  double subset_bound_ = 0.0;
+  Expectation scratch_;
+};
+
 }  // namespace sompi

@@ -1,10 +1,13 @@
 #include "core/optimizer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <numeric>
+#include <optional>
 
 #include "common/combinatorics.h"
 #include "common/error.h"
@@ -140,14 +143,74 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
     std::vector<std::size_t> subset;
     std::vector<GroupDecision> decisions;
     Expectation expectation;
+    /// Logical evaluation count of the exhaustive scan — invariant under
+    /// engine/pruning/threads, feeds Plan::model_evaluations (fingerprint).
     std::size_t evaluations = 0;
+    /// What the engine actually did (Plan::stats; fingerprint-excluded).
+    PlanStats stats;
   };
 
-  const auto eval_subset = [&](std::size_t task) {
+  // Per-(group, bid) guard tables, hoisted out of the tuple loop: the
+  // reference scan recomputes group_worst_h (an O(wall) scan) per tuple per
+  // group; both the deadline-fit and the survival-vs-0.5 test depend only on
+  // the (group, bid) pair once F is tied to the bid.
+  std::vector<std::size_t> bid_off(candidates.size() + 1, 0);
+  for (std::size_t g = 0; g < candidates.size(); ++g)
+    bid_off[g + 1] = bid_off[g] + candidates[g].failure.bid_count();
+  std::vector<unsigned char> fits(bid_off.back(), 1);
+  std::vector<unsigned char> surv_ok(bid_off.back(), 1);
+  if (config_.worst_case_guard) {
+    parallel_for(candidates.size(), config_.threads, [&](std::size_t g) {
+      const GroupSetup& grp = candidates[g];
+      for (std::size_t b = 0; b < grp.failure.bid_count(); ++b) {
+        const GroupSchedule sched(grp.t_steps, f_of[g][b], grp.o_steps, grp.r_steps);
+        fits[bid_off[g] + b] = group_worst_h(grp, f_of[g][b]) <= deadline_h;
+        surv_ok[bid_off[g] + b] =
+            !(grp.failure.survival_at(b, sched.wall_duration()) < 0.5);
+      }
+    });
+  }
+
+  // Exhaustive-scan evaluation count for one subset, in closed form. The
+  // reference engine evaluates (a) every all-fit tuple, (b) for k >= 2,
+  // every tuple with some unfit digit whose groups all pass the survival
+  // test, and (c) for k == 1, the guard-clamped second shot per bid where
+  // the clamp is active. With the guard off, every tuple is evaluated.
+  const auto logical_evaluations = [&](const std::vector<std::size_t>& subset) {
+    if (!config_.worst_case_guard) {
+      std::size_t n = 1;
+      for (std::size_t g : subset) n *= candidates[g].failure.bid_count();
+      return n;
+    }
+    std::size_t n_fit = 1, n_surv = 1, n_surv_fit = 1;
+    for (std::size_t g : subset) {
+      std::size_t fit = 0, surv = 0, both = 0;
+      for (std::size_t b = 0; b < candidates[g].failure.bid_count(); ++b) {
+        fit += fits[bid_off[g] + b];
+        surv += surv_ok[bid_off[g] + b];
+        both += fits[bid_off[g] + b] & surv_ok[bid_off[g] + b];
+      }
+      n_fit *= fit;
+      n_surv *= surv;
+      n_surv_fit *= both;
+    }
+    std::size_t n = n_fit;
+    if (subset.size() >= 2) n += n_surv - n_surv_fit;
+    if (subset.size() == 1 && config_.phi_mode != PhiMode::kDisabled) {
+      const std::size_t g = subset[0];
+      const int clamp = f_guard_max[g];
+      for (std::size_t b = 0; b < candidates[g].failure.bid_count(); ++b)
+        n += clamp >= 1 && clamp < f_of[g][b];
+    }
+    return n;
+  };
+
+  const auto eval_subset_reference = [&](std::size_t task) {
     const std::vector<std::size_t>& subset = subsets[task];
     const std::size_t k = subset.size();
     SubsetBest best;
     best.order = task;
+    best.stats.subsets_searched = 1;
 
     std::vector<const GroupSetup*> view;
     std::vector<std::size_t> radices;
@@ -180,6 +243,7 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
           }
           const Expectation e = model.evaluate(d);
           ++best.evaluations;
+          ++best.stats.evaluations;
           const double p_all_fail = 1.0 - e.p_complete_on_spot;
           if (p_all_fail > config_.miss_tolerance) return;
           if (e.time_h <= deadline_h && e.cost_usd < best.cost) {
@@ -193,6 +257,7 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
       }
       const Expectation e = model.evaluate(d);
       ++best.evaluations;
+      ++best.stats.evaluations;
       if (e.time_h <= deadline_h && e.cost_usd < best.cost) {
         best.cost = e.cost_usd;
         best.subset = subset;
@@ -202,6 +267,7 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
     };
 
     for_each_tuple(radices, [&](const std::vector<std::size_t>& bids) {
+      ++best.stats.tuples_visited;
       for (std::size_t i = 0; i < k; ++i)
         decisions[i] = {bids[i], f_of[subset[i]][bids[i]]};
       consider(decisions);
@@ -222,14 +288,195 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
     return best;
   };
 
+  // --- Incremental engine (DESIGN.md "Optimizer fast path"). ---
+  // Per-(group, bid) kernels precomputed once over the full candidate list;
+  // per-subset searches walk a lex-order odometer with per-prefix cached
+  // fold state and cut subtrees whose admissible cost bound exceeds the
+  // cross-subset incumbent. Plans are bit-identical to the reference scan.
+  std::optional<CostTables> tables;
+  if (config_.engine == SearchEngine::kIncremental && !candidates.empty())
+    tables.emplace(candidates, od, model_cfg, f_of);
+
+  // Best accepted cost seen by any subset so far. Any accepted candidate's
+  // cost upper-bounds the final plan cost, so pruning strictly above it is
+  // safe no matter how threads interleave; only the prune *counters* are
+  // schedule-dependent (hence Plan::stats is fingerprint-excluded).
+  std::atomic<double> incumbent{std::numeric_limits<double>::infinity()};
+  const auto offer_incumbent = [&incumbent](double cost) {
+    double cur = incumbent.load(std::memory_order_relaxed);
+    while (cost < cur &&
+           !incumbent.compare_exchange_weak(cur, cost, std::memory_order_relaxed)) {
+    }
+  };
+
+  const auto eval_subset_fast = [&](std::size_t task) {
+    const std::vector<std::size_t>& subset = subsets[task];
+    const std::size_t k = subset.size();
+    SubsetBest best;
+    best.order = task;
+    best.evaluations = logical_evaluations(subset);
+
+    std::vector<std::size_t> radices;
+    radices.reserve(k);
+    std::size_t total_tuples = 1;
+    for (std::size_t g : subset) {
+      radices.push_back(candidates[g].failure.bid_count());
+      total_tuples *= radices.back();
+    }
+
+    // The reference scan visits tuples digit-0-fastest (colex) and accepts
+    // strict improvements only, so among equal-cost tuples it keeps the one
+    // with the lowest colex rank. The odometer visits in lex order; breaking
+    // cost ties by colex rank reproduces the reference winner exactly
+    // instead of relying on costs never tying.
+    std::vector<std::uint64_t> colex_w(k);
+    std::uint64_t w = 1;
+    for (std::size_t i = 0; i < k; ++i) {
+      colex_w[i] = w;
+      w *= radices[i];
+    }
+    const auto colex_rank = [&](const std::vector<std::size_t>& bids) {
+      std::uint64_t r = 0;
+      for (std::size_t i = 0; i < k; ++i) r += colex_w[i] * bids[i];
+      return r;
+    };
+    std::uint64_t best_rank = std::numeric_limits<std::uint64_t>::max();
+
+    // Guard-clamped second shots exist only for single-group subsets and use
+    // an interval outside the precomputed tables, where spot-term
+    // monotonicity in F is not bitwise-guaranteed — so k == 1 subsets (only
+    // O(bid_count) tuples) are searched unpruned.
+    const bool prune = config_.prune && k >= 2;
+
+    SubsetEvaluator ev(*tables, subset);
+    if (prune) {
+      const double inc = incumbent.load(std::memory_order_relaxed);
+      if (inc < std::numeric_limits<double>::infinity() &&
+          ev.subset_cost_bound() > inc) {
+        best.stats.subsets_pruned = 1;
+        best.stats.tuples_pruned = total_tuples;
+        return best;
+      }
+    }
+    best.stats.subsets_searched = 1;
+
+    std::optional<CostModel> clamp_model;  // lazy; k == 1 second shots only
+    std::vector<GroupDecision> decisions(k);
+    const auto accept = [&](const Expectation& e, const std::vector<GroupDecision>& d,
+                            std::uint64_t rank) {
+      if (!(e.time_h <= deadline_h)) return;
+      if (e.cost_usd < best.cost || (e.cost_usd == best.cost && rank < best_rank)) {
+        best.cost = e.cost_usd;
+        best_rank = rank;
+        best.subset = subset;
+        best.decisions = d;
+        best.expectation = e;
+        offer_incumbent(e.cost_usd);
+      }
+    };
+
+    TupleOdometer odo(radices);
+    std::size_t changed = 0;
+    while (!odo.done()) {
+      const std::vector<std::size_t>& bids = odo.digits();
+      ev.note_change(changed);
+      if (prune) {
+        const double inc =
+            std::min(best.cost, incumbent.load(std::memory_order_relaxed));
+        if (inc < std::numeric_limits<double>::infinity()) {
+          // After advance/skip the digits below `changed` are zero, so the
+          // current tuple is the first of the subtree rooted at its prefix
+          // [0, changed] — one cut abandons the whole subtree.
+          if (changed + 1 < k && ev.cost_lower_bound(bids, changed) > inc) {
+            ++best.stats.subtrees_pruned;
+            best.stats.tuples_pruned +=
+                static_cast<std::size_t>(odo.subtree_size(changed));
+            changed = odo.skip_from(changed);
+            continue;
+          }
+          if (ev.cost_lower_bound(bids, k - 1) > inc) {
+            ++best.stats.tuples_pruned;
+            changed = odo.advance();
+            continue;
+          }
+        }
+      }
+      ++best.stats.tuples_visited;
+
+      for (std::size_t i = 0; i < k; ++i)
+        decisions[i] = {bids[i], f_of[subset[i]][bids[i]]};
+
+      // Guard filter, table-driven (same predicates the reference scan
+      // computes per tuple): a tuple whose worst case misses the deadline is
+      // evaluated only when genuine replication can stand in.
+      bool guard_branch = false;  // some digit's worst case misses
+      bool guard_reject = false;  // ... and replication cannot stand in
+      if (config_.worst_case_guard) {
+        for (std::size_t i = 0; i < k; ++i)
+          if (!fits[bid_off[subset[i]] + bids[i]]) {
+            guard_branch = true;
+            break;
+          }
+        if (guard_branch) {
+          if (k < 2) {
+            guard_reject = true;
+          } else {
+            for (std::size_t i = 0; i < k; ++i)
+              if (!surv_ok[bid_off[subset[i]] + bids[i]]) {
+                guard_reject = true;
+                break;
+              }
+          }
+        }
+      }
+      if (!guard_reject) {
+        const Expectation& e = ev.evaluate(bids);
+        ++best.stats.evaluations;
+        const bool miss =
+            guard_branch && 1.0 - e.p_complete_on_spot > config_.miss_tolerance;
+        if (!miss) accept(e, decisions, colex_rank(bids));
+      }
+
+      // Single-group second shot with the guard-clamped interval, exactly as
+      // in the reference scan. The clamped interval is not in the tables, so
+      // it goes through the naive evaluator (bit-identical by definition).
+      if (config_.worst_case_guard && k == 1 && config_.phi_mode != PhiMode::kDisabled) {
+        const int clamp = f_guard_max[subset[0]];
+        if (clamp >= 1 && clamp < decisions[0].f_steps) {
+          if (!clamp_model)
+            clamp_model.emplace(
+                std::vector<const GroupSetup*>{&candidates[subset[0]]}, od, model_cfg);
+          std::vector<GroupDecision> clamped = decisions;
+          clamped[0].f_steps = clamp;
+          const Expectation e = clamp_model->evaluate(clamped);
+          ++best.stats.evaluations;
+          // worst(clamp) fits the deadline by the binary-search invariant,
+          // so the reference takes the plain acceptance branch here too.
+          accept(e, clamped, colex_rank(bids));
+        }
+      }
+
+      changed = odo.advance();
+    }
+    return best;
+  };
+
+  const auto eval_subset = [&](std::size_t task) {
+    return config_.engine == SearchEngine::kIncremental ? eval_subset_fast(task)
+                                                        : eval_subset_reference(task);
+  };
+
   // Strict-improvement acceptance inside a subset plus the (cost, order)
   // tie-break across subsets reproduce the serial scan's winner exactly.
   const SubsetBest best = parallel_reduce(
       subsets.size(), config_.threads, SubsetBest{}, eval_subset,
       [](SubsetBest a, SubsetBest b) {
         const bool b_wins = b.cost < a.cost || (b.cost == a.cost && b.order < a.order);
+        PlanStats stats = a.stats;
+        stats += b.stats;
         SubsetBest& winner = b_wins ? b : a;
         winner.evaluations = a.evaluations + b.evaluations;
+        winner.stats = stats;
         return std::move(winner);
       });
 
@@ -240,6 +487,7 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
   const std::size_t evaluations = best.evaluations;
 
   plan.model_evaluations = evaluations;
+  plan.stats = best.stats;
   plan.spot_feasible = best_cost < std::numeric_limits<double>::infinity();
 
   // Fall back to on-demand when no spot configuration fits the deadline or
@@ -270,8 +518,11 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
 
   plan.optimize_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_begin).count();
-  log_debug("optimize ", app.name, ": ", evaluations, " evaluations in ",
-            plan.optimize_seconds, "s, expected $", plan.expected.cost_usd);
+  log_debug("optimize ", app.name, ": ", evaluations, " logical evaluations (",
+            plan.stats.evaluations, " performed, ", plan.stats.tuples_pruned,
+            " tuples pruned, ", plan.stats.subtrees_pruned, " subtree cuts, ",
+            plan.stats.subsets_pruned, " subsets pruned) in ", plan.optimize_seconds,
+            "s, expected $", plan.expected.cost_usd);
   return plan;
 }
 

@@ -15,6 +15,18 @@
 
 namespace sompi {
 
+/// Level-2 search engine selection.
+enum class SearchEngine {
+  /// Precomputed per-(group, bid) tables + odometer-incremental evaluation
+  /// + branch-and-bound pruning (DESIGN.md "Optimizer fast path"). Returns
+  /// plans bit-identical to kReference.
+  kIncremental,
+  /// The literal pre-optimization scan: a fresh CostModel::evaluate per
+  /// tuple, no pruning. Retained as the differential oracle and the
+  /// benchmark baseline.
+  kReference,
+};
+
 struct OptimizerConfig {
   /// Fraction of the deadline reserved for checkpoint/recovery when picking
   /// the on-demand tier (paper default 20%, §5.2).
@@ -49,6 +61,13 @@ struct OptimizerConfig {
   /// at any setting — per-subset searches are independent and the reduction
   /// breaks cost ties by enumeration order, exactly like the serial scan.
   unsigned threads = 1;
+  /// Level-2 engine. Both settings return bit-identical plans (enforced by
+  /// the golden-plan tests and tests/test_cost_model_fast.cpp).
+  SearchEngine engine = SearchEngine::kIncremental;
+  /// Branch-and-bound pruning in the incremental engine. The admissible
+  /// bound only discards tuples provably worse than the incumbent, so the
+  /// chosen plan is unchanged; Plan::stats prune counters become nonzero.
+  bool prune = true;
 };
 
 class SompiOptimizer {

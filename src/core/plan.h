@@ -25,6 +25,32 @@ struct GroupPlan {
   int f_steps = 0;        ///< F_i (== t_steps means no checkpoints)
 };
 
+/// Search-work accounting for one optimize() call. Unlike
+/// Plan::model_evaluations (the *logical* evaluation count of the exhaustive
+/// scan, which is deterministic and part of the plan fingerprint), these
+/// count the work the engine *actually* performed: with branch-and-bound
+/// enabled the prune counters depend on how fast the cross-thread incumbent
+/// tightened, so they are reproducible only at threads = 1 and are
+/// deliberately excluded from the plan fingerprint.
+struct PlanStats {
+  std::size_t evaluations = 0;       ///< cost-model evaluations performed
+  std::size_t tuples_visited = 0;    ///< bid tuples reached by the odometer
+  std::size_t tuples_pruned = 0;     ///< tuples skipped without evaluation
+  std::size_t subtrees_pruned = 0;   ///< odometer subtree cuts taken
+  std::size_t subsets_pruned = 0;    ///< whole subsets skipped by their bound
+  std::size_t subsets_searched = 0;  ///< subsets actually enumerated
+
+  PlanStats& operator+=(const PlanStats& o) {
+    evaluations += o.evaluations;
+    tuples_visited += o.tuples_visited;
+    tuples_pruned += o.tuples_pruned;
+    subtrees_pruned += o.subtrees_pruned;
+    subsets_pruned += o.subsets_pruned;
+    subsets_searched += o.subsets_searched;
+    return *this;
+  }
+};
+
 /// A full plan plus the model's expectation for it and optimizer statistics.
 struct Plan {
   std::string app;
@@ -42,7 +68,11 @@ struct Plan {
   bool spot_feasible = false;
 
   // Optimizer accounting (the paper's "optimization overhead" metric).
+  // model_evaluations is the logical count of the exhaustive scan — it is
+  // invariant under engine choice, pruning, and thread count, and is part of
+  // the plan fingerprint. stats holds what the engine actually did.
   std::size_t model_evaluations = 0;
+  PlanStats stats;
   double optimize_seconds = 0.0;
 
   bool uses_spot() const { return !groups.empty(); }

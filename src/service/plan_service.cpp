@@ -86,9 +86,13 @@ std::size_t PlanService::invalidate_stale() {
   return dropped;
 }
 
-void PlanService::record_solve(double seconds) {
+void PlanService::record_solve(double seconds, const Plan& plan) {
   std::lock_guard<std::mutex> lock(latency_mutex_);
   solve_seconds_total_ += seconds;
+  model_evaluations_ += plan.model_evaluations;
+  evaluations_performed_ += plan.stats.evaluations;
+  tuples_pruned_ += plan.stats.tuples_pruned;
+  subsets_pruned_ += plan.stats.subsets_pruned;
   if (latency_ring_.size() < config_.latency_window) {
     latency_ring_.push_back(seconds);
   } else {
@@ -187,7 +191,7 @@ PlanResponse PlanService::serve(const PlanRequest& request) {
     // identical request finds either the flight or the cached plan, so one
     // (request, epoch) burst can never trigger a second solve.
     cache_.insert(key, snap.epoch, result);
-    record_solve(seconds);
+    record_solve(seconds, *result);
     solves_.fetch_add(1, std::memory_order_relaxed);
   } catch (...) {
     flight->promise.set_exception(std::current_exception());
@@ -264,6 +268,10 @@ ServiceStats PlanService::stats() const {
   {
     std::lock_guard<std::mutex> lock(latency_mutex_);
     s.solve_seconds_total = solve_seconds_total_;
+    s.model_evaluations = model_evaluations_;
+    s.evaluations_performed = evaluations_performed_;
+    s.tuples_pruned = tuples_pruned_;
+    s.subsets_pruned = subsets_pruned_;
     if (!latency_ring_.empty()) {
       s.solve_p50_ms = percentile(latency_ring_, 0.50) * 1e3;
       s.solve_p99_ms = percentile(latency_ring_, 0.99) * 1e3;

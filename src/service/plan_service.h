@@ -80,6 +80,13 @@ struct ServiceStats {
   std::uint64_t sheds = 0;
   std::uint64_t stale_evicted = 0;  ///< cache entries reclaimed on epoch bumps
   double solve_seconds_total = 0.0;
+  // Cumulative optimizer work across all solves (from Plan::model_evaluations
+  // / Plan::stats): how much search the service actually ran, and how much
+  // the branch-and-bound fast path avoided.
+  std::uint64_t model_evaluations = 0;      ///< logical (exhaustive-scan) count
+  std::uint64_t evaluations_performed = 0;  ///< evaluations actually run
+  std::uint64_t tuples_pruned = 0;          ///< bid tuples skipped by pruning
+  std::uint64_t subsets_pruned = 0;         ///< whole subsets skipped
   /// Percentiles over the trailing ServiceConfig::latency_window solves
   /// (0 when nothing has been solved yet).
   double solve_p50_ms = 0.0;
@@ -162,7 +169,7 @@ class PlanService {
   void note_epoch(std::uint64_t epoch);
   /// board epoch clamped to the oldest registered live epoch.
   std::uint64_t sweep_horizon(std::uint64_t epoch) const;
-  void record_solve(double seconds);
+  void record_solve(double seconds, const Plan& plan);
   /// Removes the flight, releases its solve slot, wakes queued waiters.
   void retire_flight(const std::string& flight_key);
 
@@ -190,8 +197,12 @@ class PlanService {
   mutable std::mutex active_mutex_;
   std::multiset<std::uint64_t> active_epochs_;
 
-  mutable std::mutex latency_mutex_;
+  mutable std::mutex latency_mutex_;  ///< guards the per-solve accounting below
   double solve_seconds_total_ = 0.0;
+  std::uint64_t model_evaluations_ = 0;
+  std::uint64_t evaluations_performed_ = 0;
+  std::uint64_t tuples_pruned_ = 0;
+  std::uint64_t subsets_pruned_ = 0;
   std::vector<double> latency_ring_;
   std::size_t latency_next_ = 0;
 };

@@ -25,33 +25,61 @@ double SpotTrace::price_at_hours(double hours) const {
   return price(i);
 }
 
+void SpotTrace::ensure_index_locked() const {
+  if (index_built_) return;
+  sorted_ = prices_;
+  std::sort(sorted_.begin(), sorted_.end());
+  mean_memo_.assign(prices_.size() + 1, std::numeric_limits<double>::quiet_NaN());
+  index_built_ = true;
+}
+
 double SpotTrace::max_price() const {
   SOMPI_REQUIRE(!prices_.empty());
-  return *std::max_element(prices_.begin(), prices_.end());
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  ensure_index_locked();
+  return sorted_.back();
 }
 
 double SpotTrace::min_price() const {
   SOMPI_REQUIRE(!prices_.empty());
-  return *std::min_element(prices_.begin(), prices_.end());
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  ensure_index_locked();
+  return sorted_.front();
 }
 
 double SpotTrace::mean_below(double bid) const {
-  double sum = 0.0;
-  std::size_t n = 0;
-  for (double p : prices_) {
-    if (p <= bid) {
-      sum += p;
-      ++n;
+  if (prices_.empty()) return 0.0;
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  ensure_index_locked();
+  // The admitted count determines the admitted multiset (the j smallest
+  // prices, duplicates included), so the mean is memoized per count. The
+  // memoized value comes from the same trace-order scan the naive version
+  // runs — summing in sorted order would change the bits.
+  const std::size_t j = static_cast<std::size_t>(
+      std::upper_bound(sorted_.begin(), sorted_.end(), bid) - sorted_.begin());
+  if (j == 0) return 0.0;
+  double& memo = mean_memo_[j];
+  if (std::isnan(memo)) {
+    const double threshold = sorted_[j - 1];
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (double p : prices_) {
+      if (p <= threshold) {
+        sum += p;
+        ++n;
+      }
     }
+    memo = sum / static_cast<double>(n);
   }
-  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  return memo;
 }
 
 double SpotTrace::availability(double bid) const {
   if (prices_.empty()) return 0.0;
-  std::size_t n = 0;
-  for (double p : prices_)
-    if (p <= bid) ++n;
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  ensure_index_locked();
+  const std::size_t n = static_cast<std::size_t>(
+      std::upper_bound(sorted_.begin(), sorted_.end(), bid) - sorted_.begin());
   return static_cast<double>(n) / static_cast<double>(prices_.size());
 }
 
@@ -87,6 +115,7 @@ void SpotTrace::append(const SpotTrace& more) {
                     "appended trace must use the same step size");
   if (prices_.empty()) step_hours_ = more.step_hours_;
   prices_.insert(prices_.end(), more.prices_.begin(), more.prices_.end());
+  invalidate_index();
 }
 
 }  // namespace sompi

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace sompi {
 namespace {
 
@@ -61,6 +63,59 @@ TEST(Tuples, SinglePosition) {
   std::size_t count = 0;
   for_each_tuple({5}, [&](const std::vector<std::size_t>&) { ++count; });
   EXPECT_EQ(count, 5u);
+}
+
+TEST(TupleOdometer, LexOrderAndChangeIndices) {
+  // Last digit fastest; changed_from is the lowest index that differs from
+  // the previous tuple (0 for the first).
+  std::vector<std::vector<std::size_t>> seen;
+  std::vector<std::size_t> changes;
+  for_each_tuple_lex({2, 3}, [&](const std::vector<std::size_t>& t, std::size_t c) {
+    seen.push_back(t);
+    changes.push_back(c);
+  });
+  const std::vector<std::vector<std::size_t>> expected{{0, 0}, {0, 1}, {0, 2},
+                                                       {1, 0}, {1, 1}, {1, 2}};
+  EXPECT_EQ(seen, expected);
+  EXPECT_EQ(changes, (std::vector<std::size_t>{0, 1, 1, 0, 1, 1}));
+}
+
+TEST(TupleOdometer, VisitsSameSetAsColexEnumeration) {
+  std::vector<std::vector<std::size_t>> lex, colex;
+  const std::vector<std::size_t> radices{3, 2, 4};
+  for_each_tuple_lex(radices,
+                     [&](const std::vector<std::size_t>& t, std::size_t) { lex.push_back(t); });
+  for_each_tuple(radices, [&](const std::vector<std::size_t>& t) { colex.push_back(t); });
+  std::sort(lex.begin(), lex.end());
+  std::sort(colex.begin(), colex.end());
+  EXPECT_EQ(lex, colex);
+}
+
+TEST(TupleOdometer, SkipFromCutsExactlyTheSubtree) {
+  // Cutting at level 0 from {1, 0, 0} skips every {1, *, *} tuple.
+  TupleOdometer od({3, 2, 2});
+  std::size_t advanced = 0;
+  while (!od.done() && od.digits()[0] == 0) {
+    od.advance();
+    ++advanced;
+  }
+  EXPECT_EQ(advanced, 4u);  // {0,*,*} exhausted
+  EXPECT_EQ(od.digits(), (std::vector<std::size_t>{1, 0, 0}));
+  EXPECT_DOUBLE_EQ(od.subtree_size(0), 4.0);
+  const std::size_t changed = od.skip_from(0);
+  EXPECT_EQ(changed, 0u);
+  EXPECT_EQ(od.digits(), (std::vector<std::size_t>{2, 0, 0}));
+  // Skipping the last root subtree exhausts the enumeration.
+  od.skip_from(0);
+  EXPECT_TRUE(od.done());
+}
+
+TEST(TupleOdometer, SkipFromDeepestLevelIsAdvance) {
+  TupleOdometer a({2, 3});
+  TupleOdometer b({2, 3});
+  a.advance();
+  b.skip_from(1);
+  EXPECT_EQ(a.digits(), b.digits());
 }
 
 TEST(Binomial, KnownValues) {

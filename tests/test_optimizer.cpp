@@ -124,6 +124,47 @@ TEST_F(OptimizerTest, LogSearchCloseToUniformGridOptimum) {
   EXPECT_LT(log_plan.expected.cost_usd, uni_plan.expected.cost_usd * 1.15 + 1e-9);
 }
 
+TEST_F(OptimizerTest, PlanCarriesSearchStats) {
+  // The debug log used to be the only place evaluation counts surfaced;
+  // Plan::stats now reports the engine's actual work to callers.
+  const SompiOptimizer opt(&catalog_, &est_, fast_config());
+  const AppProfile bt = paper_profile("BT");
+  const Plan plan = opt.optimize(bt, market_, selector_.baseline(bt).t_h * 1.5);
+
+  EXPECT_GT(plan.stats.evaluations, 0u);
+  EXPECT_GT(plan.stats.tuples_visited, 0u);
+  EXPECT_GT(plan.stats.subsets_searched, 0u);
+  // Default engine prunes, so it performs at most the logical count.
+  EXPECT_LE(plan.stats.evaluations, plan.model_evaluations);
+
+  // Disabling pruning restores the exhaustive work profile exactly.
+  OptimizerConfig noprune = fast_config();
+  noprune.prune = false;
+  const Plan full = SompiOptimizer(&catalog_, &est_, noprune)
+                        .optimize(bt, market_, selector_.baseline(bt).t_h * 1.5);
+  EXPECT_EQ(full.stats.evaluations, full.model_evaluations);
+  EXPECT_EQ(full.stats.tuples_pruned, 0u);
+  EXPECT_EQ(full.stats.subsets_pruned, 0u);
+  EXPECT_EQ(full.model_evaluations, plan.model_evaluations);
+}
+
+TEST_F(OptimizerTest, ReferenceEngineProducesIdenticalPlans) {
+  OptimizerConfig ref = fast_config();
+  ref.engine = SearchEngine::kReference;
+  const AppProfile lu = paper_profile("LU");
+  const double deadline = selector_.baseline(lu).t_h * 1.3;
+  const Plan a = SompiOptimizer(&catalog_, &est_, fast_config()).optimize(lu, market_, deadline);
+  const Plan b = SompiOptimizer(&catalog_, &est_, ref).optimize(lu, market_, deadline);
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t i = 0; i < a.groups.size(); ++i) {
+    EXPECT_EQ(a.groups[i].name, b.groups[i].name);
+    EXPECT_DOUBLE_EQ(a.groups[i].bid_usd, b.groups[i].bid_usd);
+    EXPECT_EQ(a.groups[i].f_steps, b.groups[i].f_steps);
+  }
+  EXPECT_DOUBLE_EQ(a.expected.cost_usd, b.expected.cost_usd);
+  EXPECT_EQ(a.model_evaluations, b.model_evaluations);
+}
+
 TEST_F(OptimizerTest, CommAppConvergesOnCc2) {
   // §5.3.1: for communication-intensive workloads every sensible plan uses
   // cc2.8xlarge groups.

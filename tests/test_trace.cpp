@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <random>
+
 #include "common/error.h"
 
 namespace sompi {
@@ -76,6 +81,67 @@ TEST(SpotTrace, Append) {
 TEST(SpotTrace, RejectsNegativePricesAndBadStep) {
   EXPECT_THROW(SpotTrace(0.5, {-1.0}), PreconditionError);
   EXPECT_THROW(SpotTrace(0.0, {1.0}), PreconditionError);
+}
+
+// --- Lazy sorted-index queries vs the naive O(n) scans. ---
+
+double naive_mean_below(const SpotTrace& t, double bid) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (double p : t.prices())
+    if (p <= bid) {
+      sum += p;
+      ++n;
+    }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+TEST(SpotTraceIndex, MeanBelowMatchesNaiveScanBitwise) {
+  // The indexed fast path must return the naive scan's exact bits — the
+  // failure model's expected prices feed golden-pinned plan fingerprints.
+  std::mt19937_64 rng(2024);
+  std::uniform_real_distribution<double> price(0.0, 2.0);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<double> prices(257);
+    for (double& p : prices) p = price(rng);
+    if (round % 3 == 0)  // duplicate-heavy traces stress the tie handling
+      for (std::size_t i = 0; i + 1 < prices.size(); i += 2) prices[i] = prices[i + 1];
+    const SpotTrace t(0.25, prices);
+    for (int q = 0; q < 50; ++q) {
+      // Mix arbitrary bids with exact price points (threshold ties).
+      const double bid = q % 2 == 0 ? price(rng) : prices[rng() % prices.size()];
+      const double fast = t.mean_below(bid);
+      const double naive = naive_mean_below(t, bid);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(fast), std::bit_cast<std::uint64_t>(naive))
+          << "round " << round << " bid " << bid;
+      EXPECT_DOUBLE_EQ(t.availability(bid),
+                       static_cast<double>(std::count_if(
+                           prices.begin(), prices.end(),
+                           [&](double p) { return p <= bid; })) /
+                           static_cast<double>(prices.size()));
+    }
+    EXPECT_DOUBLE_EQ(t.max_price(), *std::max_element(prices.begin(), prices.end()));
+    EXPECT_DOUBLE_EQ(t.min_price(), *std::min_element(prices.begin(), prices.end()));
+  }
+}
+
+TEST(SpotTraceIndex, AppendInvalidatesTheIndex) {
+  SpotTrace t(0.5, {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(t.mean_below(1.5), 1.0);  // builds the index
+  t.append(SpotTrace(0.5, {0.5}));
+  EXPECT_DOUBLE_EQ(t.mean_below(1.5), 0.75);  // sees the appended step
+  EXPECT_DOUBLE_EQ(t.max_price(), 2.0);
+  EXPECT_DOUBLE_EQ(t.min_price(), 0.5);
+}
+
+TEST(SpotTraceIndex, CopiesQueryIndependently) {
+  SpotTrace t(0.5, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(t.mean_below(10.0), 2.0);  // builds the index
+  SpotTrace copy = t;                         // copies drop the cache
+  EXPECT_DOUBLE_EQ(copy.mean_below(1.0), 1.0);
+  copy = SpotTrace(0.5, {5.0});
+  EXPECT_DOUBLE_EQ(copy.max_price(), 5.0);
+  EXPECT_DOUBLE_EQ(t.mean_below(10.0), 2.0);  // original unaffected
 }
 
 TEST(SpotTrace, HistogramCoversPrices) {
