@@ -10,6 +10,12 @@
 //         n concurrent identical requests — watch single-flight collapse them
 //   tick [steps=8]
 //         ingest the next pre-generated market steps and bump the epoch
+//   feed <steps> [producers=1]
+//         replay the next steps through the streaming feed pipeline
+//         (src/feed): ticks flow through the bounded MPSC queue when
+//         producers > 1, commit through the resolution frontier, and publish
+//         epoch batches with windowed re-estimation — the live-ingestion
+//         path, where tick is the hand-rolled batch one
 //   epoch   print the current market epoch
 //   stats   print the service counters and solve-latency percentiles
 //   help    this text
@@ -21,6 +27,7 @@
 //   tick                 → epoch 2
 //   plan BT 1.5          → solved (market moved)
 //   burst SP 1.4 8       → 1 solve + 7 joins
+//   feed 96 4            → 4 producers stream a day of ticks, epochs advance
 #include <unistd.h>
 
 #include <algorithm>
@@ -33,6 +40,8 @@
 #include <thread>
 #include <vector>
 
+#include "feed/pipeline.h"
+#include "feed/tick_source.h"
 #include "profile/paper_profiles.h"
 #include "service/plan_service.h"
 
@@ -133,7 +142,8 @@ int main(int argc, char** argv) {
 
       if (cmd == "help") {
         std::printf("commands: plan <APP> <factor> [type=..]* [zone=..]* | "
-                    "burst <APP> <factor> <n> | tick [steps] | epoch | stats | quit\n");
+                    "burst <APP> <factor> <n> | tick [steps] | "
+                    "feed <steps> [producers] | epoch | stats | quit\n");
 
       } else if (cmd == "plan" || cmd == "burst") {
         std::string app_name;
@@ -194,6 +204,52 @@ int main(int argc, char** argv) {
         const std::uint64_t epoch = board.ingest(updates);
         std::printf("→ ingested %zu step(s)/group, epoch %llu, stale evicted %zu\n", steps,
                     static_cast<unsigned long long>(epoch), service.invalidate_stale());
+
+      } else if (cmd == "feed") {
+        std::size_t steps = 8, producers = 1;
+        in >> steps >> producers;
+        steps = std::min(steps, total_steps - cursor);
+        if (steps == 0) {
+          std::printf("→ market feed exhausted (regenerate with --days)\n");
+          continue;
+        }
+        producers = std::clamp<std::size_t>(producers, 1, 8);
+        // A fresh pipeline keys off the board's current length, so repeated
+        // feed commands resume exactly where the last one (or tick) stopped.
+        feed::FeedConfig fcfg;
+        fcfg.publish_every = 4;
+        fcfg.estimation.samples = 128;
+        fcfg.estimation.horizon_steps = 32;
+        feed::FeedPipeline pipe(&board, fcfg);
+        if (producers == 1) {
+          feed::ReplayTickSource source(&full, {}, cursor, steps);
+          pipe.ingest(source);
+        } else {
+          const std::vector<CircleGroupSpec> all = catalog.all_groups();
+          pipe.start();
+          std::vector<std::thread> threads;
+          for (std::size_t p = 0; p < producers; ++p)
+            threads.emplace_back([&, p] {
+              std::vector<CircleGroupSpec> mine;
+              for (std::size_t g = p; g < all.size(); g += producers)
+                mine.push_back(all[g]);
+              feed::ReplayTickSource shard(&full, mine, cursor, steps);
+              pipe.pump(shard);
+            });
+          for (auto& th : threads) th.join();
+          pipe.stop();
+        }
+        pipe.flush();
+        cursor += steps;
+        const feed::FeedStats fs = pipe.stats();
+        std::printf("→ streamed %llu tick(s) via %zu producer(s): %llu step(s) committed, "
+                    "%llu epoch(s) published, digest %016llx, epoch %llu, stale evicted %zu\n",
+                    static_cast<unsigned long long>(fs.ticks_ingested), producers,
+                    static_cast<unsigned long long>(fs.committed_steps),
+                    static_cast<unsigned long long>(fs.epochs_published),
+                    static_cast<unsigned long long>(pipe.commit_digest()),
+                    static_cast<unsigned long long>(board.epoch()),
+                    service.invalidate_stale());
 
       } else if (cmd == "epoch") {
         std::printf("epoch %llu\n", static_cast<unsigned long long>(board.epoch()));

@@ -1,5 +1,7 @@
 #include "common/csv.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -30,7 +32,8 @@ std::vector<std::string> split_line(const std::string& line) {
 }
 }  // namespace
 
-CsvTable parse_csv(const std::string& text) {
+namespace {
+CsvTable parse_csv_impl(const std::string& text, bool lenient, CsvParseStats* stats) {
   CsvTable table;
   std::istringstream is(text);
   std::string line;
@@ -40,13 +43,37 @@ CsvTable parse_csv(const std::string& text) {
     if (table.header.empty()) {
       table.header = std::move(cells);
     } else {
-      if (cells.size() != table.header.size())
-        throw IoError("csv row width mismatch: got " + std::to_string(cells.size()) +
-                      " cells, expected " + std::to_string(table.header.size()));
+      if (cells.size() != table.header.size()) {
+        if (!lenient)
+          throw IoError("csv row width mismatch: got " + std::to_string(cells.size()) +
+                        " cells, expected " + std::to_string(table.header.size()));
+        if (stats != nullptr) ++stats->ragged_skipped;
+        continue;
+      }
       table.rows.push_back(std::move(cells));
+      if (stats != nullptr) ++stats->rows_parsed;
     }
   }
   return table;
+}
+}  // namespace
+
+CsvTable parse_csv(const std::string& text) {
+  return parse_csv_impl(text, /*lenient=*/false, nullptr);
+}
+
+CsvTable parse_csv_lenient(const std::string& text, CsvParseStats* stats) {
+  return parse_csv_impl(text, /*lenient=*/true, stats);
+}
+
+bool csv_number(const std::string& cell, double* out) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (end != cell.c_str() + cell.size()) return false;
+  if (!std::isfinite(v)) return false;
+  if (out != nullptr) *out = v;
+  return true;
 }
 
 CsvTable read_csv_file(const std::string& path) {

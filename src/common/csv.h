@@ -20,6 +20,22 @@ struct CsvTable {
 /// Parses CSV text. Throws IoError on ragged rows.
 CsvTable parse_csv(const std::string& text);
 
+/// Per-parse corruption accounting for the lenient parser.
+struct CsvParseStats {
+  std::size_t rows_parsed = 0;     ///< data rows kept
+  std::size_t ragged_skipped = 0;  ///< truncated/over-wide rows dropped
+};
+
+/// Lenient variant for externally produced files (market-feed dumps):
+/// rows whose width does not match the header are skipped and counted
+/// instead of aborting the whole parse. The header row itself must parse.
+CsvTable parse_csv_lenient(const std::string& text, CsvParseStats* stats = nullptr);
+
+/// Strict full-cell numeric parse: true iff the entire cell is one finite
+/// double (no trailing junk, no empty cell). Feed ingestion uses this to
+/// skip-with-counter rows whose numeric fields are corrupt.
+bool csv_number(const std::string& cell, double* out);
+
 /// Reads and parses a CSV file. Throws IoError when unreadable.
 CsvTable read_csv_file(const std::string& path);
 

@@ -38,6 +38,7 @@ AdaptiveResult AdaptiveEngine::run(const AppProfile& app, ExecutionOracle& oracl
   bool have_sticky = false;
 
   while (remaining > kMinProgress && result.windows < kMaxWindows) {
+    if (config_.window_hook) config_.window_hook(result.windows, now);
     const double elapsed = now - start_h;
     const double left = deadline_h - elapsed;
     const AppProfile residual = scale_profile(app, remaining);

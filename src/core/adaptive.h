@@ -10,6 +10,8 @@
 // finishes the run on the pre-selected on-demand tier.
 #pragma once
 
+#include <functional>
+
 #include "core/optimizer.h"
 
 namespace sompi {
@@ -56,6 +58,11 @@ struct AdaptiveConfig {
   /// Disable to get the w/o-MT ablation: the initial plan is never
   /// re-optimized as the market drifts.
   bool update_maintenance = true;
+  /// Called at every window boundary, before any market history is read —
+  /// (window_index, now_h). A live-feed driver uses this to advance its
+  /// ingestion pipeline to `now_h`, so the re-estimation below plans against
+  /// ticks the feed has actually committed. Unset in pure replay runs.
+  std::function<void(int window_index, double now_h)> window_hook;
   OptimizerConfig opt;
 };
 

@@ -19,6 +19,9 @@ const char* channel_label(Channel channel) {
     case Channel::kCkptPreLoad: return "ckpt.pre_load";
     case Channel::kSpotKill: return "sim.spot_kill";
     case Channel::kServiceShed: return "service.shed";
+    case Channel::kFeedDrop: return "feed.drop";
+    case Channel::kFeedDup: return "feed.dup";
+    case Channel::kFeedLate: return "feed.late";
   }
   return "?";
 }
@@ -45,6 +48,12 @@ FaultPlan FaultPlan::from_seed(std::uint64_t seed) {
     plan.epoch_bump_solves.push_back(static_cast<std::uint32_t>(rng.uniform_index(16)));
   std::sort(plan.epoch_bump_solves.begin(), plan.epoch_bump_solves.end());
   plan.max_faults = static_cast<std::uint32_t>(rng.uniform_index(12));
+  // Feed-chaos rates are drawn last so every earlier field keeps the exact
+  // value it had before the feed channels existed (same-seed plans stay
+  // comparable across versions).
+  plan.p_tick_drop = intensity * rng.uniform(0.0, 0.15);
+  plan.p_tick_dup = intensity * rng.uniform(0.0, 0.15);
+  plan.p_tick_late = intensity * rng.uniform(0.0, 0.20);
   return plan;
 }
 

@@ -33,6 +33,9 @@ enum class Channel : int {
   kCkptPreLoad,        ///< crash/IO error entering a restore
   kSpotKill,           ///< out-of-bid kill forced at a (group, step)
   kServiceShed,        ///< admission control forced to shed a request
+  kFeedDrop,           ///< market tick lost before ingestion
+  kFeedDup,            ///< market tick delivered twice
+  kFeedLate,           ///< market tick delayed past its successor
 };
 
 const char* channel_label(Channel channel);
@@ -60,6 +63,11 @@ struct FaultPlan {
   /// Probability that a (group, step) is force-killed regardless of the
   /// trace price. Stateless: the same (group, step) always answers the same.
   double p_spot_kill = 0.0;
+
+  // --- market feed (consulted by feed::ChaosTickSource) -------------------
+  double p_tick_drop = 0.0;  ///< tick lost before the queue
+  double p_tick_dup = 0.0;   ///< tick emitted twice
+  double p_tick_late = 0.0;  ///< tick held back one slot (out-of-order)
 
   // --- serving layer (consulted by PlanService / the scenario driver) -----
   double p_shed = 0.0;  ///< forced admission-control shed per request

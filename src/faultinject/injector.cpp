@@ -45,6 +45,9 @@ double FaultInjector::channel_probability(Channel channel) const {
     case Channel::kCkptPreLoad: return plan_.p_load_error;
     case Channel::kSpotKill: return plan_.p_spot_kill;
     case Channel::kServiceShed: return plan_.p_shed;
+    case Channel::kFeedDrop: return plan_.p_tick_drop;
+    case Channel::kFeedDup: return plan_.p_tick_dup;
+    case Channel::kFeedLate: return plan_.p_tick_late;
   }
   return 0.0;
 }

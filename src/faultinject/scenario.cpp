@@ -8,10 +8,12 @@
 #include <cstdlib>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -26,6 +28,8 @@
 #include "core/schedule.h"
 #include "faultinject/faulty_store.h"
 #include "faultinject/injector.h"
+#include "feed/pipeline.h"
+#include "feed/tick_source.h"
 #include "minimpi/runtime.h"
 #include "profile/estimator.h"
 #include "profile/paper_profiles.h"
@@ -560,25 +564,235 @@ ScenarioOutcome run_plan_scenario(std::uint64_t seed) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Scenario 5: the feed pipeline under tick chaos.
+//
+// A recorded market is split into a visible prefix (priming the board) and a
+// hidden tail (the "live" feed). The tail is replayed twice through
+// identically seeded per-group chaos chains: once synchronously from a
+// single round-robin consumer, once through the bounded queue from several
+// producer threads. Both runs must commit bit-identical price matrices and
+// epoch sequences — the pipeline's determinism gate.
+
+/// Round-robin one tick from each per-group source until all are exhausted,
+/// delivering them through `deliver`. Per-group order is preserved (the only
+/// order determinism is defined over); cross-group order is deliberately
+/// interleaved.
+void drain_round_robin(std::vector<std::unique_ptr<feed::TickSource>>& sources,
+                       const std::function<void(const feed::Tick&)>& deliver) {
+  bool any = true;
+  while (any) {
+    any = false;
+    for (auto& source : sources) {
+      if (!source) continue;
+      if (std::optional<feed::Tick> tick = source->next()) {
+        deliver(*tick);
+        any = true;
+      } else {
+        source.reset();
+      }
+    }
+  }
+}
+
+ScenarioOutcome run_feed_scenario(std::uint64_t seed) {
+  ScenarioOutcome out;
+  out.seed = seed;
+  out.kind = "feed";
+  Violations violations;
+
+  Rng rng(seed ^ 0xFEEDD1CE5ULL);
+  const Catalog catalog = paper_catalog();
+  const Market full = generate_market(catalog, paper_market_profile(catalog),
+                                      1.0 + rng.uniform(0.0, 1.0), 0.25, rng());
+  const std::size_t len = full.trace({0, 0}).steps();
+  const std::size_t visible = len / 2;
+  const std::vector<CircleGroupSpec> all_groups = catalog.all_groups();
+
+  feed::FeedConfig fcfg;
+  fcfg.window_steps = 16 + rng.uniform_index(32);
+  fcfg.publish_every = 4 + rng.uniform_index(12);
+  fcfg.late_horizon = 2 + rng.uniform_index(4);
+  fcfg.queue_capacity = 32 + rng.uniform_index(96);
+  fcfg.estimate_bid_levels = 4;
+  fcfg.estimation.samples = 64;
+  fcfg.estimation.horizon_steps = 24;
+  const FaultPlan fplan = FaultPlan::from_seed(seed);
+
+  const auto chaos_chains = [&](FaultInjector& injector) {
+    // One replay + chaos chain per group: decision streams are keyed by
+    // group, so the post-chaos stream is sharding-independent.
+    std::vector<std::unique_ptr<feed::TickSource>> inners;
+    std::vector<std::unique_ptr<feed::TickSource>> chains;
+    for (const CircleGroupSpec& g : all_groups) {
+      inners.push_back(std::make_unique<feed::ReplayTickSource>(
+          &full, std::vector<CircleGroupSpec>{g}, visible, len - visible));
+      chains.push_back(
+          std::make_unique<feed::ChaosTickSource>(inners.back().get(), &injector));
+    }
+    return std::pair(std::move(inners), std::move(chains));
+  };
+
+  // --- Run A: synchronous, single consumer, interleaved group order. ---
+  MarketBoard board_a(full.window(0, visible));
+  feed::FeedPipeline pipe_a(&board_a, fcfg);
+  FaultInjector injector_a(fplan);
+  {
+    auto [inners, chains] = chaos_chains(injector_a);
+    drain_round_robin(chains, [&](const feed::Tick& t) { pipe_a.offer(t); });
+  }
+  pipe_a.flush();
+
+  // --- Run B: multi-producer through the bounded queue. ---
+  MarketBoard board_b(full.window(0, visible));
+  feed::FeedPipeline pipe_b(&board_b, fcfg);
+  FaultInjector injector_b(fplan);
+  {
+    auto [inners, chains] = chaos_chains(injector_b);
+    const std::size_t producers = 2 + rng.uniform_index(3);
+    pipe_b.start();
+    std::vector<std::thread> threads;
+    for (std::size_t p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        // Producer p owns groups p, p+producers, ... — round-robin within
+        // its shard so per-group FIFO order is preserved.
+        std::vector<std::unique_ptr<feed::TickSource>> shard;
+        for (std::size_t g = p; g < chains.size(); g += producers)
+          shard.push_back(std::move(chains[g]));
+        drain_round_robin(shard, [&](const feed::Tick& t) { pipe_b.enqueue(t); });
+      });
+    }
+    for (auto& t : threads) t.join();
+    pipe_b.stop();
+  }
+  pipe_b.flush();
+
+  // --- Invariant: producer count is invisible. ---
+  if (pipe_a.commit_digest() != pipe_b.commit_digest())
+    violations.record("multi-producer run diverged from the synchronous run (digest)");
+  const feed::FeedStats stats_a = pipe_a.stats();
+  const feed::FeedStats stats_b = pipe_b.stats();
+  if (stats_a.ticks_ingested != stats_b.ticks_ingested ||
+      stats_a.committed_steps != stats_b.committed_steps ||
+      stats_a.committed_values != stats_b.committed_values ||
+      stats_a.gaps_filled != stats_b.gaps_filled ||
+      stats_a.duplicates_dropped != stats_b.duplicates_dropped ||
+      stats_a.late_dropped != stats_b.late_dropped ||
+      stats_a.epochs_published != stats_b.epochs_published)
+    violations.record("multi-producer run diverged from the synchronous run (stats)");
+  const auto log_a = pipe_a.publish_log();
+  const auto log_b = pipe_b.publish_log();
+  if (log_a.size() != log_b.size())
+    violations.record("publish logs differ in length across producer counts");
+  for (std::size_t i = 0; i < std::min(log_a.size(), log_b.size()); ++i)
+    if (log_a[i].epoch != log_b[i].epoch || log_a[i].rows != log_b[i].rows ||
+        log_a[i].end_step != log_b[i].end_step)
+      violations.record("publish logs diverged across producer counts");
+
+  // --- Invariant: conservation laws. ---
+  const std::size_t groups_n = all_groups.size();
+  if (stats_a.ticks_ingested !=
+      stats_a.committed_values + stats_a.duplicates_dropped + stats_a.late_dropped)
+    violations.record("tick conservation violated");
+  if (stats_a.committed_values + stats_a.gaps_filled !=
+      stats_a.committed_steps * groups_n)
+    violations.record("commit conservation violated");
+
+  // --- Invariant: without chaos the committed market IS the recorded one. ---
+  MarketBoard board_c(full.window(0, visible));
+  feed::FeedPipeline pipe_c(&board_c, fcfg);
+  feed::ReplayTickSource clean(&full, {}, visible, len - visible);
+  pipe_c.ingest(clean);
+  pipe_c.flush();
+  const feed::FeedStats stats_c = pipe_c.stats();
+  if (stats_c.gaps_filled != 0 || stats_c.duplicates_dropped != 0 ||
+      stats_c.late_dropped != 0)
+    violations.record("clean replay reported chaos counters");
+  const MarketSnapshot snap_c = board_c.snapshot();
+  bool clean_match = snap_c.market->trace({0, 0}).steps() == len;
+  if (clean_match)
+    for (const CircleGroupSpec& g : all_groups)
+      for (std::size_t s = 0; s < len && clean_match; ++s)
+        if (snap_c.market->trace(g).price(s) != full.trace(g).price(s))
+          clean_match = false;
+  if (!clean_match)
+    violations.record("clean replay did not reconstruct the recorded market bit-identically");
+
+  // --- Invariant: plans at feed-published epochs are cache-coherent. ---
+  const ExecTimeEstimator estimator;
+  ServiceConfig scfg;
+  scfg.cache.shards = 2;
+  scfg.cache.capacity = 8;
+  scfg.opt = tiny_optimizer_config();
+  PlanService service(&catalog, &estimator, &board_a, scfg);
+  const OnDemandSelector selector(&catalog, &estimator);
+  PlanRequest request;
+  request.app = paper_profile("BT");
+  request.deadline_h = selector.baseline(request.app).t_h * (1.2 + rng.uniform(0.0, 2.0));
+  const MarketSnapshot snap_a = board_a.snapshot();
+  const PlanResponse response = service.serve(request);
+  if (response.outcome == PlanOutcome::kShed || response.plan == nullptr) {
+    violations.record("un-shed service shed a request at a feed-published epoch");
+  } else {
+    if (response.epoch != snap_a.epoch)
+      violations.record("service answered at an unexpected feed epoch");
+    const Plan fresh = service.solve(canonicalized(request), *snap_a.market);
+    if (plan_fingerprint(*response.plan) != plan_fingerprint(fresh))
+      violations.record("plan served on a feed-published market is not "
+                        "fingerprint-identical to a fresh solve");
+  }
+
+  Digest digest;
+  digest.mix(out.kind);
+  digest.mix(pipe_a.commit_digest());
+  digest.mix(stats_a.ticks_ingested);
+  digest.mix(stats_a.committed_steps);
+  digest.mix(stats_a.committed_values);
+  digest.mix(stats_a.gaps_filled);
+  digest.mix(stats_a.duplicates_dropped);
+  digest.mix(stats_a.late_dropped);
+  digest.mix(stats_a.epochs_published);
+  for (const feed::PublishRecord& r : log_a) {
+    digest.mix(r.epoch);
+    digest.mix(r.rows);
+    digest.mix(r.end_step);
+  }
+  const feed::FeedEstimates estimates = pipe_a.latest_estimates();
+  digest.mix(estimates.window_end_step);
+  for (const feed::GroupEstimate& e : estimates.groups) {
+    digest.mix(e.window_max_price);
+    for (const double v : e.expected_price) digest.mix(v);
+    for (const double v : e.mtbf_steps) digest.mix(v);
+  }
+  if (response.plan != nullptr) digest.mix(plan_fingerprint(*response.plan));
+
+  out.digest = digest.value();
+  out.failed = violations.any();
+  out.detail = violations.first();
+  return out;
+}
+
 }  // namespace
 
 const char* scenario_kind_name(std::uint64_t seed) {
-  switch (seed % 5) {
+  switch (seed % 6) {
     case 0: return "checkpoint";
     case 1: return "incremental";
     case 2: return "replay";
     case 3: return "service";
-    default: return "plan";
+    case 4: return "plan";
+    default: return "feed";
   }
 }
 
 ScenarioOutcome run_scenario(std::uint64_t seed) {
-  switch (seed % 5) {
+  switch (seed % 6) {
     case 0: return run_checkpoint_scenario(seed, /*incremental=*/false);
     case 1: return run_checkpoint_scenario(seed, /*incremental=*/true);
     case 2: return run_replay_scenario(seed);
     case 3: return run_service_scenario(seed);
-    default: return run_plan_scenario(seed);
+    case 4: return run_plan_scenario(seed);
+    default: return run_feed_scenario(seed);
   }
 }
 

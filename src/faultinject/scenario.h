@@ -2,7 +2,7 @@
 // subsystem under an injected failure schedule, plus the invariants that
 // must hold for ANY schedule.
 //
-// The five scenario kinds (selected by seed % 5) and their invariants:
+// The six scenario kinds (selected by seed % 6) and their invariants:
 //
 //   checkpoint / incremental — an iterative mini-MPI app checkpoints under
 //     storage faults, torn uploads, protocol crashes and a tick-kill.
@@ -27,6 +27,15 @@
 //
 //   plan — the optimizer is a pure function: same inputs → bit-identical
 //     plan fingerprints across repeated solves and thread counts.
+//
+//   feed — a market-feed pipeline replays a trace tail into a MarketBoard
+//     under injected tick chaos (drops, duplicates, reordering).
+//     Invariants: a synchronous single-source run and a multi-producer
+//     queued run of the same post-chaos streams commit bit-identical price
+//     matrices, epoch sequences and digests; without chaos the committed
+//     market bit-matches the recorded trace; the tick/commit conservation
+//     laws hold; a plan served at the final epoch is fingerprint-identical
+//     to a fresh solve on the published market.
 //
 // Every observable a scenario digests is deterministic at any thread count,
 // so `run_scenario(seed).digest` is byte-comparable across machines and

@@ -1,0 +1,34 @@
+#include "feed/board_oracle.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sompi::feed {
+
+FeedHistoryOracle::FeedHistoryOracle(MarketBoard* board, ExecutionOracle* inner)
+    : board_(board), inner_(inner) {
+  SOMPI_REQUIRE(board_ != nullptr && inner_ != nullptr);
+}
+
+WindowOutcome FeedHistoryOracle::run_window(const Plan& plan, double start_h,
+                                            double window_h) {
+  return inner_->run_window(plan, start_h, window_h);
+}
+
+Market FeedHistoryOracle::history_at(double now_h, double lookback_h) {
+  SOMPI_REQUIRE(now_h >= 0.0);
+  const MarketSnapshot snap = board_->snapshot();
+  const Market& market = *snap.market;
+  // Mirror MarketReplayOracle::history_at exactly — same truncation, same
+  // window call — so a feed-driven adaptive run sees bit-identical history.
+  const double step_h = market.trace({0, 0}).step_hours();
+  const auto now_step = static_cast<std::size_t>(now_h / step_h);
+  const double from_h = std::max(0.0, now_h - lookback_h);
+  const auto from_step = static_cast<std::size_t>(from_h / step_h);
+  SOMPI_REQUIRE_MSG(now_step <= market.trace({0, 0}).steps(),
+                    "feed has not committed history up to now_h");
+  return market.window(from_step, now_step - from_step);
+}
+
+}  // namespace sompi::feed

@@ -1,0 +1,35 @@
+// FeedHistoryOracle — an ExecutionOracle whose market history comes from a
+// live MarketBoard instead of a pre-recorded trace.
+//
+// The adaptive engine asks history_at(now, lookback) at every window
+// boundary; this oracle answers from the board's current snapshot using the
+// same step arithmetic as MarketReplayOracle, so an adaptive run driven by a
+// replayed feed (board primed with the prefix, pipeline committing the tail)
+// is bit-identical to one driven by the full recorded market — provided the
+// feed has committed up to `now` (the driver advances it via
+// AdaptiveConfig::window_hook). Window execution delegates to an inner
+// oracle (trace replay in tests; live execution in production).
+#pragma once
+
+#include "core/adaptive.h"
+#include "service/market_board.h"
+
+namespace sompi::feed {
+
+class FeedHistoryOracle final : public ExecutionOracle {
+ public:
+  /// Both pointers are borrowed and must outlive the oracle.
+  FeedHistoryOracle(MarketBoard* board, ExecutionOracle* inner);
+
+  WindowOutcome run_window(const Plan& plan, double start_h, double window_h) override;
+
+  /// The trailing `lookback_h` before `now_h`, sliced from the board's
+  /// current snapshot. Requires the feed to have committed through `now_h`.
+  Market history_at(double now_h, double lookback_h) override;
+
+ private:
+  MarketBoard* board_;
+  ExecutionOracle* inner_;
+};
+
+}  // namespace sompi::feed

@@ -1,0 +1,53 @@
+// The unit of market ingestion: one spot-price observation for one circle
+// group at one trace step.
+//
+// Ticks carry a *canonical* sequence number derived from their position in
+// the market timeline — seq = step * group_count + group_ordinal — not from
+// arrival order. Canonical numbering is what lets a sharded replay (one
+// producer per group subset) and an unsharded replay assign identical
+// sequence numbers to the same observation, which the pipeline's determinism
+// contract (DESIGN.md §10) builds on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cloud/catalog.h"
+
+namespace sompi::feed {
+
+struct Tick {
+  /// Canonical sequence number: step * group_count + ordinal(group).
+  std::uint64_t seq = 0;
+  CircleGroupSpec group;
+  /// Absolute step index on the market timeline (step 0 = trace start).
+  std::uint64_t step = 0;
+  double price = 0.0;
+};
+
+/// Flat index of a circle group in a catalog: type_index * zones + zone_index
+/// — the same ordering Market uses for its trace array.
+inline std::size_t group_ordinal(const CircleGroupSpec& group, std::size_t zones) {
+  return group.type_index * zones + group.zone_index;
+}
+
+/// Canonical sequence number for (step, group) in a catalog with
+/// `group_count` circle groups.
+inline std::uint64_t canonical_seq(std::uint64_t step, std::size_t ordinal,
+                                   std::size_t group_count) {
+  return step * static_cast<std::uint64_t>(group_count) +
+         static_cast<std::uint64_t>(ordinal);
+}
+
+/// A pull-based stream of ticks. Sources are single-consumer: next() is not
+/// thread-safe, but distinct sources are independent, so a sharded feed runs
+/// one source per producer thread.
+class TickSource {
+ public:
+  virtual ~TickSource() = default;
+
+  /// The next tick, or nullopt when the stream is exhausted.
+  virtual std::optional<Tick> next() = 0;
+};
+
+}  // namespace sompi::feed

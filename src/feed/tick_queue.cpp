@@ -1,0 +1,86 @@
+#include "feed/tick_queue.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sompi::feed {
+
+TickQueue::TickQueue(std::size_t capacity) : capacity_(capacity) {
+  SOMPI_REQUIRE_MSG(capacity > 0, "tick queue capacity must be positive");
+}
+
+bool TickQueue::push(const Tick& tick) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (queue_.size() >= capacity_ && !closed_) {
+    ++stats_.blocked_pushes;
+    not_full_.wait(lock, [&] { return queue_.size() < capacity_ || closed_; });
+  }
+  if (closed_) {
+    ++stats_.rejected_closed;
+    return false;
+  }
+  queue_.push_back(tick);
+  ++stats_.pushed;
+  stats_.max_depth = std::max(stats_.max_depth, queue_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool TickQueue::try_push(const Tick& tick) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      ++stats_.rejected_closed;
+      return false;
+    }
+    if (queue_.size() >= capacity_) {
+      ++stats_.rejected_full;
+      return false;
+    }
+    queue_.push_back(tick);
+    ++stats_.pushed;
+    stats_.max_depth = std::max(stats_.max_depth, queue_.size());
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<Tick> TickQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  Tick tick = queue_.front();
+  queue_.pop_front();
+  ++stats_.popped;
+  lock.unlock();
+  not_full_.notify_one();
+  return tick;
+}
+
+void TickQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool TickQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t TickQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+TickQueue::Stats TickQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace sompi::feed

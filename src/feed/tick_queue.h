@@ -1,0 +1,63 @@
+// Bounded MPSC tick queue with explicit backpressure.
+//
+// Producers either block (push) or get an immediate refusal (try_push) when
+// the queue is at capacity — memory stays bounded no matter how far the
+// producers outrun the consumer, and shedding is an explicit, counted event
+// rather than silent growth. The queue imposes NO cross-producer ordering:
+// the pipeline's determinism comes from per-group FIFO delivery (each group's
+// ticks pushed by one producer, in stream order), which a mutex-protected
+// FIFO preserves per producer.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "feed/tick.h"
+
+namespace sompi::feed {
+
+class TickQueue {
+ public:
+  struct Stats {
+    std::uint64_t pushed = 0;          ///< ticks accepted
+    std::uint64_t popped = 0;          ///< ticks handed to the consumer
+    std::uint64_t rejected_full = 0;   ///< try_push refusals (backpressure)
+    std::uint64_t rejected_closed = 0; ///< pushes after close()
+    std::uint64_t blocked_pushes = 0;  ///< pushes that had to wait for space
+    std::size_t max_depth = 0;         ///< high-water mark
+  };
+
+  explicit TickQueue(std::size_t capacity);
+
+  /// Blocks until space is available; false when the queue was closed.
+  bool push(const Tick& tick);
+
+  /// Never blocks; false when full (backpressure) or closed.
+  bool try_push(const Tick& tick);
+
+  /// Blocks until a tick is available; nullopt once closed AND drained.
+  std::optional<Tick> pop();
+
+  /// Wakes every blocked producer/consumer; subsequent pushes fail,
+  /// remaining ticks still drain through pop().
+  void close();
+
+  bool closed() const;
+  std::size_t depth() const;
+  std::size_t capacity() const { return capacity_; }
+  Stats stats() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Tick> queue_;
+  bool closed_ = false;
+  Stats stats_;
+};
+
+}  // namespace sompi::feed

@@ -1,0 +1,216 @@
+#include "feed/tick_source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/csv.h"
+#include "common/error.h"
+
+namespace sompi::feed {
+
+namespace {
+
+std::vector<CircleGroupSpec> groups_or_all(const Catalog& catalog,
+                                           std::vector<CircleGroupSpec> groups) {
+  if (groups.empty()) return catalog.all_groups();
+  return groups;
+}
+
+std::string group_key(const CircleGroupSpec& g) {
+  return std::to_string(g.type_index) + ':' + std::to_string(g.zone_index);
+}
+
+}  // namespace
+
+// --- ReplayTickSource -------------------------------------------------------
+
+ReplayTickSource::ReplayTickSource(const Market* market,
+                                   std::vector<CircleGroupSpec> groups,
+                                   std::uint64_t start_step, std::uint64_t steps)
+    : market_(market),
+      groups_(groups_or_all(market->catalog(), std::move(groups))),
+      step_(start_step),
+      zones_(market->catalog().zones().size()),
+      group_count_(market->catalog().types().size() * market->catalog().zones().size()) {
+  const std::uint64_t trace_len = market_->trace({0, 0}).steps();
+  end_step_ = std::min(trace_len, start_step + steps);
+}
+
+std::optional<Tick> ReplayTickSource::next() {
+  if (step_ >= end_step_ || groups_.empty()) return std::nullopt;
+  const CircleGroupSpec g = groups_[group_cursor_];
+  Tick tick;
+  tick.group = g;
+  tick.step = step_;
+  tick.seq = canonical_seq(step_, group_ordinal(g, zones_), group_count_);
+  tick.price = market_->trace(g).price(static_cast<std::size_t>(step_));
+  if (++group_cursor_ == groups_.size()) {
+    group_cursor_ = 0;
+    ++step_;
+  }
+  return tick;
+}
+
+// --- SyntheticTickSource ----------------------------------------------------
+
+SyntheticTickSource::SyntheticTickSource(const Catalog* catalog,
+                                         std::vector<CircleGroupSpec> groups,
+                                         Config config)
+    : catalog_(catalog),
+      config_(config),
+      group_count_(catalog->types().size() * catalog->zones().size()) {
+  const std::size_t zones = catalog_->zones().size();
+  for (const CircleGroupSpec& g : groups_or_all(*catalog_, std::move(groups))) {
+    Walk walk;
+    walk.group = g;
+    walk.ordinal = group_ordinal(g, zones);
+    // Seeded from (seed, ordinal) alone: the walk is the same no matter
+    // which shard the group lands in.
+    std::uint64_t state =
+        config_.seed ^ (0x9E3779B97F4A7C15ULL * (walk.ordinal + 1));
+    walk.rng = Rng(splitmix64(state));
+    walk.price = base_spot_price(catalog_->type(g.type_index));
+    walks_.push_back(std::move(walk));
+  }
+}
+
+std::optional<Tick> SyntheticTickSource::next() {
+  if (emitted_steps_ >= config_.steps || walks_.empty()) return std::nullopt;
+  Walk& walk = walks_[group_cursor_];
+  const double base = base_spot_price(catalog_->type(walk.group.type_index));
+  // Multiplicative walk with mild reversion toward the CALM base; spikes are
+  // transient (they do not move the walk state), like real demand bursts.
+  walk.price *= std::exp(walk.rng.normal(0.0, config_.sigma));
+  walk.price = base * std::pow(walk.price / base, 0.995);
+  walk.price = std::clamp(walk.price, 1e-4, 50.0 * base);
+  double emitted = walk.price;
+  if (walk.rng.bernoulli(config_.spike_p))
+    emitted *= walk.rng.uniform(2.0, config_.spike_max_mult);
+
+  Tick tick;
+  tick.group = walk.group;
+  tick.step = config_.start_step + emitted_steps_;
+  tick.seq = canonical_seq(tick.step, walk.ordinal, group_count_);
+  tick.price = emitted;
+  if (++group_cursor_ == walks_.size()) {
+    group_cursor_ = 0;
+    ++emitted_steps_;
+  }
+  return tick;
+}
+
+// --- CsvTickSource ----------------------------------------------------------
+
+CsvTickSource::CsvTickSource(const Catalog* catalog, const std::string& csv_text) {
+  CsvParseStats parse_stats;
+  const CsvTable table = parse_csv_lenient(csv_text, &parse_stats);
+  stats_.ragged_skipped = parse_stats.ragged_skipped;
+  stats_.rows_total = parse_stats.rows_parsed + parse_stats.ragged_skipped;
+
+  const std::size_t c_step = table.column("step");
+  const std::size_t c_type = table.column("type");
+  const std::size_t c_zone = table.column("zone");
+  const std::size_t c_price = table.column("price");
+  const std::size_t zones = catalog->zones().size();
+  const std::size_t group_count = catalog->types().size() * zones;
+
+  std::unordered_set<std::uint64_t> seen;
+  for (const auto& row : table.rows) {
+    double step_value = 0.0;
+    double price = 0.0;
+    if (!csv_number(row[c_step], &step_value) || step_value < 0.0 ||
+        step_value != std::floor(step_value) ||
+        !csv_number(row[c_price], &price) || price < 0.0) {
+      ++stats_.bad_number;
+      continue;
+    }
+    std::size_t type_index = catalog->types().size();
+    for (std::size_t i = 0; i < catalog->types().size(); ++i)
+      if (catalog->types()[i].name == row[c_type]) type_index = i;
+    std::size_t zone_index = zones;
+    for (std::size_t i = 0; i < zones; ++i)
+      if (catalog->zones()[i].name == row[c_zone]) zone_index = i;
+    if (type_index == catalog->types().size() || zone_index == zones) {
+      ++stats_.unknown_group;
+      continue;
+    }
+    Tick tick;
+    tick.group = CircleGroupSpec{type_index, zone_index};
+    tick.step = static_cast<std::uint64_t>(step_value);
+    tick.seq =
+        canonical_seq(tick.step, group_ordinal(tick.group, zones), group_count);
+    tick.price = price;
+    if (!seen.insert(tick.seq).second) {
+      ++stats_.duplicate_skipped;
+      continue;
+    }
+    ticks_.push_back(tick);
+    ++stats_.ticks_emitted;
+  }
+}
+
+std::optional<Tick> CsvTickSource::next() {
+  if (ticks_.empty()) return std::nullopt;
+  Tick tick = ticks_.front();
+  ticks_.pop_front();
+  return tick;
+}
+
+// --- VectorTickSource -------------------------------------------------------
+
+VectorTickSource::VectorTickSource(std::vector<Tick> ticks)
+    : ticks_(std::move(ticks)) {}
+
+std::optional<Tick> VectorTickSource::next() {
+  if (cursor_ >= ticks_.size()) return std::nullopt;
+  return ticks_[cursor_++];
+}
+
+// --- ChaosTickSource --------------------------------------------------------
+
+ChaosTickSource::ChaosTickSource(TickSource* inner, fi::FaultInjector* faults)
+    : inner_(inner), faults_(faults) {
+  SOMPI_REQUIRE(inner_ != nullptr && faults_ != nullptr);
+}
+
+std::optional<Tick> ChaosTickSource::next() {
+  while (out_.empty()) {
+    std::optional<Tick> tick = inner_->next();
+    if (!tick) {
+      if (held_) {
+        out_.push_back(*held_);
+        held_.reset();
+        break;
+      }
+      return std::nullopt;
+    }
+    const std::string key = group_key(tick->group);
+    if (faults_->fires(fi::Channel::kFeedDrop, key)) {
+      ++stats_.dropped;
+      continue;
+    }
+    // The hold slot is rolled only when free; since each source is consumed
+    // by one thread, the roll sequence per (channel, group) stream is still
+    // deterministic.
+    if (!held_ && faults_->fires(fi::Channel::kFeedLate, key)) {
+      held_ = *tick;
+      ++stats_.delayed;
+      continue;
+    }
+    out_.push_back(*tick);
+    if (faults_->fires(fi::Channel::kFeedDup, key)) {
+      out_.push_back(*tick);
+      ++stats_.duplicated;
+    }
+    if (held_) {
+      out_.push_back(*held_);
+      held_.reset();
+    }
+  }
+  Tick tick = out_.front();
+  out_.pop_front();
+  return tick;
+}
+
+}  // namespace sompi::feed

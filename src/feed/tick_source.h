@@ -1,0 +1,158 @@
+// Tick sources: where market observations come from.
+//
+//   ReplayTickSource    — replays a recorded Market (or a group-shard of it)
+//   SyntheticTickSource — deterministic per-group random-walk generator
+//   CsvTickSource       — parses a feed dump, skip-with-counter on corruption
+//   VectorTickSource    — programmatic push (tests, examples)
+//   ChaosTickSource     — FaultInjector decorator: drops / dups / delays
+//
+// Every source assigns canonical sequence numbers (tick.h), so sharding a
+// stream across producers never changes the numbering. Chaos decisions are
+// drawn from per-(channel, group) FaultInjector streams: wrapping each
+// group's source in its own ChaosTickSource yields the same post-chaos
+// per-group stream at any producer count — the determinism gate's hinge.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "faultinject/injector.h"
+#include "feed/tick.h"
+#include "trace/market.h"
+
+namespace sompi::feed {
+
+/// Replays steps [start_step, start_step + steps) of a recorded market for a
+/// subset of its groups, step-major (all groups at step s before any at
+/// s + 1). Sequence numbers are canonical for the FULL market, so shards
+/// covering disjoint group subsets jointly reproduce the unsharded stream.
+class ReplayTickSource final : public TickSource {
+ public:
+  /// `market` is borrowed and must outlive the source. An empty `groups`
+  /// means all groups.
+  ReplayTickSource(const Market* market, std::vector<CircleGroupSpec> groups,
+                   std::uint64_t start_step, std::uint64_t steps);
+
+  std::optional<Tick> next() override;
+
+ private:
+  const Market* market_;
+  std::vector<CircleGroupSpec> groups_;
+  std::uint64_t step_;
+  std::uint64_t end_step_;
+  std::size_t group_cursor_ = 0;
+  std::size_t zones_;
+  std::size_t group_count_;
+};
+
+/// Deterministic synthetic feed: every group follows an independent
+/// multiplicative random walk around its CALM base price, with occasional
+/// demand spikes. Each group's walk is seeded from (seed, ordinal) alone, so
+/// the stream content is independent of how groups are sharded.
+class SyntheticTickSource final : public TickSource {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    std::uint64_t start_step = 0;
+    std::uint64_t steps = 0;
+    /// Per-step lognormal volatility of the walk.
+    double sigma = 0.05;
+    /// Probability of a price spike at any step.
+    double spike_p = 0.02;
+    /// Spike magnitude: price multiplied by uniform(2, this).
+    double spike_max_mult = 8.0;
+  };
+
+  /// `catalog` is borrowed. An empty `groups` means all groups.
+  SyntheticTickSource(const Catalog* catalog, std::vector<CircleGroupSpec> groups,
+                      Config config);
+
+  std::optional<Tick> next() override;
+
+ private:
+  struct Walk {
+    CircleGroupSpec group;
+    std::size_t ordinal = 0;
+    Rng rng;
+    double price = 0.0;
+  };
+
+  const Catalog* catalog_;
+  Config config_;
+  std::vector<Walk> walks_;
+  std::uint64_t emitted_steps_ = 0;
+  std::size_t group_cursor_ = 0;
+  std::size_t group_count_;
+};
+
+/// Parses a "step,type,zone,price" CSV dump into a tick stream. Malformed
+/// input is skipped and counted, never fatal: ragged rows (via the lenient
+/// CSV parser), non-numeric step/price fields, unknown type/zone names,
+/// negative prices, and duplicate (step, group) observations each land in
+/// their own counter.
+class CsvTickSource final : public TickSource {
+ public:
+  struct Stats {
+    std::size_t rows_total = 0;        ///< data rows reaching the parser
+    std::size_t ragged_skipped = 0;    ///< truncated / over-wide rows
+    std::size_t bad_number = 0;        ///< non-numeric or negative fields
+    std::size_t unknown_group = 0;     ///< type/zone not in the catalog
+    std::size_t duplicate_skipped = 0; ///< repeated (step, group) rows
+    std::size_t ticks_emitted = 0;
+  };
+
+  /// `catalog` is borrowed. Parses eagerly; stats are final on return.
+  CsvTickSource(const Catalog* catalog, const std::string& csv_text);
+
+  std::optional<Tick> next() override;
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::deque<Tick> ticks_;
+  Stats stats_;
+};
+
+/// A fixed, programmatic tick stream.
+class VectorTickSource final : public TickSource {
+ public:
+  explicit VectorTickSource(std::vector<Tick> ticks);
+  std::optional<Tick> next() override;
+
+ private:
+  std::vector<Tick> ticks_;
+  std::size_t cursor_ = 0;
+};
+
+/// FaultInjector decorator over any source: per-(channel, group) seeded
+/// decisions drop a tick, duplicate it (same canonical seq), or delay it by
+/// holding it in a one-slot buffer until the group's next surviving tick has
+/// been emitted (an out-of-order displacement the pipeline's late horizon
+/// absorbs). Wrap one chaos source per group shard: decision streams are
+/// keyed by group, so the post-chaos stream of each group is a pure function
+/// of (plan seed, that group's clean stream) — independent of sharding.
+class ChaosTickSource final : public TickSource {
+ public:
+  struct Stats {
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t delayed = 0;
+  };
+
+  /// `inner` and `faults` are borrowed and must outlive the source.
+  ChaosTickSource(TickSource* inner, fi::FaultInjector* faults);
+
+  std::optional<Tick> next() override;
+  const Stats& stats() const { return stats_; }
+
+ private:
+  TickSource* inner_;
+  fi::FaultInjector* faults_;
+  std::deque<Tick> out_;
+  std::optional<Tick> held_;
+  Stats stats_;
+};
+
+}  // namespace sompi::feed

@@ -29,8 +29,10 @@ PlanCache::Shard& PlanCache::shard_for(const std::string& key) const {
 std::shared_ptr<const Plan> PlanCache::lookup(const std::string& key, std::uint64_t epoch) {
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   const auto it = shard.index.find(index_key(key, epoch));
   if (it == shard.index.end()) return nullptr;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->plan;
 }
@@ -48,9 +50,11 @@ void PlanCache::insert(const std::string& key, std::uint64_t epoch,
   }
   shard.lru.push_front(Entry{key, epoch, std::move(plan)});
   shard.index.emplace(ik, shard.lru.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
   while (shard.lru.size() > per_shard_capacity_) {
     shard.index.erase(index_key(shard.lru.back().key, shard.lru.back().epoch));
     shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -68,7 +72,18 @@ std::size_t PlanCache::erase_older_than(std::uint64_t epoch) {
       }
     }
   }
+  stale_dropped_.fetch_add(dropped, std::memory_order_relaxed);
   return dropped;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  Stats s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.stale_dropped = stale_dropped_.load(std::memory_order_relaxed);
+  return s;
 }
 
 std::size_t PlanCache::size() const {

@@ -8,6 +8,7 @@
 // section per shard instead of one global lock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -49,6 +50,20 @@ class PlanCache {
   /// concurrent mutation).
   std::size_t size() const;
 
+  /// Monotonic hit-rate accounting. Each counter is individually exact
+  /// (relaxed atomics bumped inside the shard critical sections); the set is
+  /// not a consistent cut, but `hits <= lookups` and
+  /// `lookups == hits + misses` hold for any quiescent snapshot — which is
+  /// what the epoch-churn stress asserts.
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;      ///< LRU capacity evictions
+    std::uint64_t stale_dropped = 0;  ///< removed by erase_older_than
+  };
+  Stats stats() const;
+
  private:
   struct Entry {
     std::string key;
@@ -67,6 +82,12 @@ class PlanCache {
   std::size_t per_shard_capacity_;
   /// unique_ptr because Shard (mutex) is immovable and the count is dynamic.
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> stale_dropped_{0};
 };
 
 }  // namespace sompi

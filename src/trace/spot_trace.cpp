@@ -118,4 +118,16 @@ void SpotTrace::append(const SpotTrace& more) {
   invalidate_index();
 }
 
+void SpotTrace::append(double price) {
+  SOMPI_REQUIRE_MSG(price >= 0.0, "spot price must be non-negative");
+  prices_.push_back(price);
+  invalidate_index();
+}
+
+void SpotTrace::append(const std::vector<double>& prices) {
+  for (double p : prices) SOMPI_REQUIRE_MSG(p >= 0.0, "spot price must be non-negative");
+  prices_.insert(prices_.end(), prices.begin(), prices.end());
+  invalidate_index();
+}
+
 }  // namespace sompi

@@ -47,6 +47,14 @@ class SpotTrace {
     return *this;
   }
 
+  /// Appends a single price step — the feed pipeline's per-tick hot path.
+  /// Invalidates the lazy index and memoized means under the index lock, so
+  /// the next query sees exactly the state a freshly constructed trace would.
+  void append(double price);
+
+  /// Appends a batch of price steps (same invalidation semantics).
+  void append(const std::vector<double>& prices);
+
   std::size_t steps() const { return prices_.size(); }
   bool empty() const { return prices_.empty(); }
   double step_hours() const { return step_hours_; }
@@ -102,7 +110,11 @@ class SpotTrace {
  private:
   /// Builds the sorted index on first use; caller must hold index_mutex_.
   void ensure_index_locked() const;
+  /// Drops the index and memos; takes index_mutex_ so appends on a trace
+  /// whose index was already warmed cannot race a concurrent query into
+  /// serving stale memoized means.
   void invalidate_index() {
+    std::lock_guard<std::mutex> lock(index_mutex_);
     index_built_ = false;
     sorted_.clear();
     mean_memo_.clear();

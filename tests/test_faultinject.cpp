@@ -225,8 +225,8 @@ TEST(FaultyStore, QuietPlanIsATransparentPassthrough) {
 }
 
 TEST(Scenario, DigestIsReproducible) {
-  // One seed per scenario kind (seed % 5 selects the kind).
-  for (std::uint64_t seed : {2ull, 3ull, 4ull, 5ull, 6ull}) {
+  // One seed per scenario kind (seed % 6 selects the kind).
+  for (std::uint64_t seed : {6ull, 7ull, 8ull, 9ull, 10ull, 11ull}) {
     const ScenarioOutcome first = run_scenario(seed);
     const ScenarioOutcome second = run_scenario(seed);
     EXPECT_FALSE(first.failed) << first.kind << ": " << first.detail;

@@ -180,5 +180,68 @@ TEST_F(ServiceStressTest, IdenticalBurstYieldsExactlyOneSolve) {
   }
 }
 
+TEST_F(ServiceStressTest, RapidEpochChurnNeverServesStalePlans) {
+  // MarketBoard + PlanCache under rapid epoch churn: one publisher bumps the
+  // epoch kChurnPublishes times while kWorkers threads look up / insert
+  // continuously. Every plan a lookup returns must carry exactly the epoch
+  // it was requested at (the epoch is baked into Plan::app at insert), and
+  // the cache's hit-rate counters must tally on the quiescent snapshot.
+  constexpr int kChurnPublishes = 200;
+  constexpr int kKeys = 6;
+  PlanCache cache({.shards = 4, .capacity = 64});
+  MarketBoard board(market_);
+
+  auto make_plan = [](std::uint64_t epoch) {
+    auto plan = std::make_shared<Plan>();
+    plan->app = "epoch-" + std::to_string(epoch);  // the staleness tag
+    return std::shared_ptr<const Plan>(std::move(plan));
+  };
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> stale_served{0};
+  std::atomic<std::uint64_t> lookups_done{0};
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      std::uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string key = "req-" + std::to_string((w + local) % kKeys);
+        const std::uint64_t epoch = board.epoch();
+        if (const auto plan = cache.lookup(key, epoch)) {
+          if (plan->app != "epoch-" + std::to_string(epoch))
+            stale_served.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          cache.insert(key, epoch, make_plan(epoch));
+        }
+        ++local;
+      }
+      lookups_done.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  for (int i = 0; i < kChurnPublishes; ++i) {
+    board.ingest({});  // epoch bump
+    cache.erase_older_than(board.epoch());
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : workers) t.join();
+
+  EXPECT_EQ(stale_served.load(), 0u);
+  EXPECT_GT(lookups_done.load(), 0u);
+  const PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.lookups, lookups_done.load());
+  EXPECT_LE(s.hits, s.lookups);
+  // Every insertion was preceded by a miss; racing misses on one (key,
+  // epoch) collapse to a single insertion (the second is a replace).
+  EXPECT_GT(s.insertions, 0u);
+  EXPECT_LE(s.insertions, s.lookups - s.hits);
+  // Nothing vanishes silently: entries are either live, evicted by LRU
+  // pressure, or reclaimed by the stale sweeps.
+  EXPECT_EQ(cache.size() + s.evictions + s.stale_dropped, s.insertions);
+  EXPECT_GT(board.epoch(), static_cast<std::uint64_t>(kChurnPublishes));
+}
+
 }  // namespace
 }  // namespace sompi

@@ -54,6 +54,35 @@ TEST(Csv, ColumnLookup) {
   EXPECT_THROW(t.column("missing"), PreconditionError);
 }
 
+TEST(Csv, LenientSkipsRaggedRowsWithCounter) {
+  CsvParseStats stats;
+  const CsvTable t =
+      parse_csv_lenient("a,b\n1,2\n1,2,3\ntruncated\n3,4\n", &stats);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1][1], "4");
+  EXPECT_EQ(stats.rows_parsed, 2u);
+  EXPECT_EQ(stats.ragged_skipped, 2u);  // over-wide row + truncated line
+}
+
+TEST(Csv, LenientWithoutStatsStillSkips) {
+  const CsvTable t = parse_csv_lenient("a,b\nonly-one-cell\n1,2\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "1");
+}
+
+TEST(Csv, NumberAcceptsFullCellFiniteDoublesOnly) {
+  double v = -1.0;
+  EXPECT_TRUE(csv_number("1.25", &v));
+  EXPECT_DOUBLE_EQ(v, 1.25);
+  EXPECT_TRUE(csv_number("3e2", &v));
+  EXPECT_DOUBLE_EQ(v, 300.0);
+  EXPECT_FALSE(csv_number("", nullptr));
+  EXPECT_FALSE(csv_number("1.2x", nullptr));   // trailing junk
+  EXPECT_FALSE(csv_number("abc", nullptr));
+  EXPECT_FALSE(csv_number("nan", nullptr));    // non-finite
+  EXPECT_FALSE(csv_number("inf", nullptr));
+}
+
 TEST(Csv, FileRoundTrip) {
   CsvTable t;
   t.header = {"k"};

@@ -144,6 +144,44 @@ TEST(SpotTraceIndex, CopiesQueryIndependently) {
   EXPECT_DOUBLE_EQ(t.mean_below(10.0), 2.0);  // original unaffected
 }
 
+TEST(SpotTraceIndex, PointAppendMatchesFreshTraceBitwise) {
+  // The feed pipeline's hot path: point appends interleaved with queries.
+  // After every append the trace must answer exactly like one constructed
+  // from scratch over the same series — stale index or memo bits would leak
+  // into the failure model's expected prices and shift plan fingerprints.
+  std::mt19937_64 rng(77);
+  std::uniform_real_distribution<double> price(0.0, 2.0);
+  std::vector<double> prices;
+  SpotTrace live(0.25, {});
+  for (int i = 0; i < 200; ++i) {
+    const double p = price(rng);
+    prices.push_back(p);
+    live.append(p);
+    if (i % 7 != 0) continue;  // query (and warm the index) on a subset
+    const SpotTrace fresh(0.25, prices);
+    const double bid = i % 2 == 0 ? price(rng) : prices[rng() % prices.size()];
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(live.mean_below(bid)),
+              std::bit_cast<std::uint64_t>(fresh.mean_below(bid)))
+        << "after append " << i;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(live.availability(bid)),
+              std::bit_cast<std::uint64_t>(fresh.availability(bid)));
+    EXPECT_DOUBLE_EQ(live.max_price(), fresh.max_price());
+    EXPECT_DOUBLE_EQ(live.min_price(), fresh.min_price());
+  }
+  EXPECT_EQ(live.steps(), prices.size());
+}
+
+TEST(SpotTraceIndex, BatchAppendInvalidatesWarmIndex) {
+  SpotTrace t(0.5, {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(t.mean_below(2.5), 1.5);  // warms index + memo
+  t.append(std::vector<double>{0.5, 4.0});
+  EXPECT_DOUBLE_EQ(t.mean_below(2.5), (1.0 + 2.0 + 0.5) / 3.0);
+  EXPECT_DOUBLE_EQ(t.max_price(), 4.0);
+  EXPECT_DOUBLE_EQ(t.min_price(), 0.5);
+  EXPECT_THROW(t.append(-0.1), PreconditionError);
+  EXPECT_THROW(t.append(std::vector<double>{1.0, -2.0}), PreconditionError);
+}
+
 TEST(SpotTrace, HistogramCoversPrices) {
   const SpotTrace t = make_trace();
   const Histogram h = t.histogram(0.0, 4.0, 4);
