@@ -71,7 +71,7 @@ int main() {
   const LiveExecutor executor(&market);
   const LiveRunResult run = executor.execute(
       plan, /*start_h=*/0.0, /*world_size=*/4, lu.iterations,
-      [&lu](mpi::Comm& comm, Checkpointer* ck, int checkpoint_every) {
+      [&lu](mpi::Comm& comm, CoordinatedCheckpointing* ck, int checkpoint_every) {
         apps::LuConfig cfg = lu;
         cfg.checkpoint_every = checkpoint_every;
         return apps::lu_run(comm, cfg, ck);

@@ -26,9 +26,11 @@ struct AppResult {
 /// Shared checkpoint cadence logic: checkpoint after iteration `it`
 /// (0-based) when a checkpointer is present, the cadence is positive, the
 /// boundary is hit, and this is not the final iteration (the paper's model
-/// never checkpoints at the very end of a run).
-inline bool should_checkpoint(const Checkpointer* ck, int checkpoint_every, int it,
-                              int total_iterations) {
+/// never checkpoints at the very end of a run). Kernels accept any
+/// CoordinatedCheckpointing implementation — the flat S3 Checkpointer, the
+/// incremental one, or the multi-level hierarchy — through one interface.
+inline bool should_checkpoint(const CoordinatedCheckpointing* ck, int checkpoint_every,
+                              int it, int total_iterations) {
   return ck != nullptr && checkpoint_every > 0 && (it + 1) % checkpoint_every == 0 &&
          it + 1 < total_iterations;
 }

@@ -51,7 +51,7 @@ std::vector<double> transpose_block(mpi::Comm& comm, const std::vector<double>& 
   return transpose_block_t<double>(comm, local, n);
 }
 
-AppResult bt_run(mpi::Comm& comm, const BtConfig& config, Checkpointer* ck,
+AppResult bt_run(mpi::Comm& comm, const BtConfig& config, CoordinatedCheckpointing* ck,
                  StorageBackend* io_store) {
   const int p = comm.size();
   SOMPI_REQUIRE(config.n >= p && config.n % p == 0);

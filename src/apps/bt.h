@@ -29,7 +29,7 @@ struct BtConfig {
 
 /// Distributed ADI run; all ranks return the same checksum. `io_store`
 /// receives BTIO dumps when config.io_every > 0.
-AppResult bt_run(mpi::Comm& comm, const BtConfig& config, Checkpointer* ck = nullptr,
+AppResult bt_run(mpi::Comm& comm, const BtConfig& config, CoordinatedCheckpointing* ck = nullptr,
                  StorageBackend* io_store = nullptr);
 
 /// Sequential oracle.

@@ -83,7 +83,7 @@ double dot_local(const std::vector<double>& a, const std::vector<double>& b) {
 
 }  // namespace
 
-AppResult cg_run(mpi::Comm& comm, const CgConfig& config, Checkpointer* ck) {
+AppResult cg_run(mpi::Comm& comm, const CgConfig& config, CoordinatedCheckpointing* ck) {
   SOMPI_REQUIRE(config.n >= comm.size());
   SOMPI_REQUIRE(config.iterations >= 1);
   SOMPI_REQUIRE(config.shift > 0.0);

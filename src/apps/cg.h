@@ -22,7 +22,7 @@ struct CgConfig {
 
 /// Distributed CG; the checksum is the solution's L2 norm. All ranks return
 /// the same result.
-AppResult cg_run(mpi::Comm& comm, const CgConfig& config, Checkpointer* ck = nullptr);
+AppResult cg_run(mpi::Comm& comm, const CgConfig& config, CoordinatedCheckpointing* ck = nullptr);
 
 /// Sequential oracle.
 double cg_reference(const CgConfig& config);

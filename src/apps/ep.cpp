@@ -50,7 +50,7 @@ double digest(double sum_x, double sum_y, const std::array<std::int64_t, kBins>&
 
 }  // namespace
 
-AppResult ep_run(mpi::Comm& comm, const EpConfig& config, Checkpointer* ck) {
+AppResult ep_run(mpi::Comm& comm, const EpConfig& config, CoordinatedCheckpointing* ck) {
   SOMPI_REQUIRE(config.pairs_per_rank >= 1 && config.batches >= 1);
 
   int start_batch = 0;

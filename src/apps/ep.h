@@ -21,7 +21,7 @@ struct EpConfig {
 
 /// Distributed EP; the checksum combines the global Gaussian sums and the
 /// annulus counts. Deterministic for a given (seed, world size).
-AppResult ep_run(mpi::Comm& comm, const EpConfig& config, Checkpointer* ck = nullptr);
+AppResult ep_run(mpi::Comm& comm, const EpConfig& config, CoordinatedCheckpointing* ck = nullptr);
 
 /// Sequential oracle at the given world size (generation is per rank).
 double ep_reference(const EpConfig& config, int processes);

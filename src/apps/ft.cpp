@@ -61,7 +61,7 @@ double checksum_complex(mpi::Comm& comm, const std::vector<Complex>& block) {
 
 }  // namespace
 
-AppResult ft_run(mpi::Comm& comm, const FtConfig& config, Checkpointer* ck) {
+AppResult ft_run(mpi::Comm& comm, const FtConfig& config, CoordinatedCheckpointing* ck) {
   const int p = comm.size();
   const int n = config.n;
   SOMPI_REQUIRE(n >= p && n % p == 0);

@@ -20,7 +20,7 @@ struct FtConfig {
   std::uint64_t seed = 0xF7;
 };
 
-AppResult ft_run(mpi::Comm& comm, const FtConfig& config, Checkpointer* ck = nullptr);
+AppResult ft_run(mpi::Comm& comm, const FtConfig& config, CoordinatedCheckpointing* ck = nullptr);
 
 double ft_reference(const FtConfig& config);
 

@@ -34,7 +34,7 @@ double digest_slice(const std::vector<std::uint32_t>& keys, std::uint64_t offset
 
 }  // namespace
 
-AppResult is_run(mpi::Comm& comm, const IsConfig& config, Checkpointer* ck) {
+AppResult is_run(mpi::Comm& comm, const IsConfig& config, CoordinatedCheckpointing* ck) {
   SOMPI_REQUIRE(config.keys_per_rank >= 1 && config.key_range >= 1);
   SOMPI_REQUIRE(config.iterations >= 1);
   const int p = comm.size();

@@ -22,7 +22,7 @@ struct IsConfig {
 /// Distributed sort; the checksum is a position-weighted digest of the
 /// globally sorted sequence accumulated across iterations. Throws if any
 /// iteration produces an incorrectly sorted global sequence.
-AppResult is_run(mpi::Comm& comm, const IsConfig& config, Checkpointer* ck = nullptr);
+AppResult is_run(mpi::Comm& comm, const IsConfig& config, CoordinatedCheckpointing* ck = nullptr);
 
 /// Sequential oracle: identical generation and digest, std::sort as sorter.
 /// `processes` mirrors the world size (generation is per-rank).

@@ -68,7 +68,7 @@ void exchange_halos(mpi::Comm& comm, std::vector<double>& u, const RowRange& ran
 
 }  // namespace
 
-AppResult lu_run(mpi::Comm& comm, const LuConfig& config, Checkpointer* ck) {
+AppResult lu_run(mpi::Comm& comm, const LuConfig& config, CoordinatedCheckpointing* ck) {
   SOMPI_REQUIRE(config.nx >= 1 && config.ny >= comm.size());
   SOMPI_REQUIRE(config.iterations >= 1);
 

@@ -18,7 +18,7 @@ struct LuConfig {
 };
 
 /// Runs the distributed solver; all ranks return the same checksum.
-AppResult lu_run(mpi::Comm& comm, const LuConfig& config, Checkpointer* ck = nullptr);
+AppResult lu_run(mpi::Comm& comm, const LuConfig& config, CoordinatedCheckpointing* ck = nullptr);
 
 /// Sequential oracle: same sweep on one grid.
 double lu_reference(const LuConfig& config);

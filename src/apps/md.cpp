@@ -104,7 +104,7 @@ Forces compute_forces(const std::vector<Particle>& owners, const std::vector<Par
 
 }  // namespace
 
-AppResult md_run(mpi::Comm& comm, const MdConfig& config, Checkpointer* ck) {
+AppResult md_run(mpi::Comm& comm, const MdConfig& config, CoordinatedCheckpointing* ck) {
   const int p = comm.size();
   SOMPI_REQUIRE(config.cells >= p && config.cells % p == 0);
   SOMPI_REQUIRE(config.iterations >= 1);

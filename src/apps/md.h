@@ -34,7 +34,7 @@ struct Particle {
 };
 
 /// Distributed MD run; the checksum is the total energy (KE + PE).
-AppResult md_run(mpi::Comm& comm, const MdConfig& config, Checkpointer* ck = nullptr);
+AppResult md_run(mpi::Comm& comm, const MdConfig& config, CoordinatedCheckpointing* ck = nullptr);
 
 /// Sequential oracle: all-pairs forces with minimum image in both
 /// dimensions, same integrator, same initial condition.

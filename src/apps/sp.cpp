@@ -49,7 +49,7 @@ void implicit_penta_rows(std::vector<double>& block, int rows_local, int n, doub
 
 }  // namespace
 
-AppResult sp_run(mpi::Comm& comm, const SpConfig& config, Checkpointer* ck) {
+AppResult sp_run(mpi::Comm& comm, const SpConfig& config, CoordinatedCheckpointing* ck) {
   const int p = comm.size();
   SOMPI_REQUIRE(config.n >= p && config.n % p == 0);
   SOMPI_REQUIRE(config.iterations >= 1);

@@ -19,7 +19,7 @@ struct SpConfig {
   double source = 1.0;
 };
 
-AppResult sp_run(mpi::Comm& comm, const SpConfig& config, Checkpointer* ck = nullptr);
+AppResult sp_run(mpi::Comm& comm, const SpConfig& config, CoordinatedCheckpointing* ck = nullptr);
 
 double sp_reference(const SpConfig& config);
 

@@ -23,7 +23,34 @@
 
 namespace sompi {
 
-class Checkpointer {
+/// Abstract surface of a coordinated checkpointer — what the apps' restore
+/// guards and the replay simulator actually depend on. Implemented by the
+/// flat S3-style Checkpointer, the block-dedup IncrementalCheckpointer, and
+/// the SCR-style MultiLevelCheckpointer (DESIGN.md §11), so the choice of
+/// hierarchy is invisible to the kernels.
+class CoordinatedCheckpointing {
+ public:
+  virtual ~CoordinatedCheckpointing() = default;
+
+  /// Collective: saves one coordinated snapshot; every rank passes its own
+  /// serialized state. Returns the committed version number.
+  virtual int save(mpi::Comm& comm, std::span<const std::byte> rank_state) = 0;
+
+  /// Collective: loads this rank's blob from the latest committed snapshot;
+  /// nullopt when no snapshot exists.
+  virtual std::optional<std::vector<std::byte>> load_latest(mpi::Comm& comm) = 0;
+
+  /// Latest committed version, -1 when none. Non-collective.
+  virtual int latest_version() const = 0;
+
+  /// True when a committed snapshot exists; must not download blob bytes.
+  virtual bool has_snapshot() const = 0;
+
+  /// Collective variant: rank 0 probes, everyone gets the same answer.
+  virtual bool has_snapshot(mpi::Comm& comm) const = 0;
+};
+
+class Checkpointer : public CoordinatedCheckpointing {
  public:
   /// `store` is borrowed and must outlive the checkpointer. `run_id`
   /// namespaces keys, so several applications can share one store.
@@ -34,23 +61,23 @@ class Checkpointer {
 
   /// Collective: saves one coordinated snapshot; every rank passes its own
   /// serialized state. Returns the committed version number.
-  int save(mpi::Comm& comm, std::span<const std::byte> rank_state);
+  int save(mpi::Comm& comm, std::span<const std::byte> rank_state) override;
 
   /// Collective: loads this rank's blob from the latest committed snapshot;
   /// nullopt when no snapshot exists.
-  std::optional<std::vector<std::byte>> load_latest(mpi::Comm& comm);
+  std::optional<std::vector<std::byte>> load_latest(mpi::Comm& comm) override;
 
   /// Latest committed version, -1 when none. Non-collective.
-  int latest_version() const;
+  int latest_version() const override;
 
   /// True when a committed snapshot exists. Non-collective; probes the
   /// commit marker with StorageBackend::exists, so no blob is downloaded.
-  bool has_snapshot() const;
+  bool has_snapshot() const override;
 
   /// Collective variant: rank 0 probes, everyone gets the same answer.
   /// Restore paths guard on this instead of attempting a load, so a cold
   /// start costs one existence probe rather than a load round-trip.
-  bool has_snapshot(mpi::Comm& comm) const;
+  bool has_snapshot(mpi::Comm& comm) const override;
 
   /// Deletes all but the latest committed snapshot (bounded storage).
   /// Non-collective; call from a single rank (e.g. rank 0 after save).

@@ -1,0 +1,119 @@
+#include "checkpoint/compress.h"
+
+#include "common/error.h"
+
+namespace sompi {
+namespace {
+
+// RLE frame: u32 magic "SCZ1", u32 mode, u64 original length, then tokens.
+// Token: u8 header. header & 0x80 → run of (header & 0x7F) + 1 copies of the
+// next byte; else literal block of header + 1 raw bytes. Runs ≥ 3 are
+// encoded as runs, shorter repeats ride in literals.
+constexpr std::uint32_t kMagic = 0x315A4353u;  // "SCZ1"
+constexpr std::size_t kFrameHeader = 4 + 4 + 8;
+constexpr std::size_t kMaxRun = 128;
+constexpr std::size_t kMaxLiteral = 128;
+
+void append_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(std::byte((v >> (8 * i)) & 0xFF));
+}
+
+void append_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(std::byte((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t read_u32(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(std::to_integer<std::uint8_t>(p[i])) << (8 * i);
+  return v;
+}
+
+std::uint64_t read_u64(const std::byte* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(std::to_integer<std::uint8_t>(p[i])) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+const char* compression_mode_label(CompressionMode mode) {
+  switch (mode) {
+    case CompressionMode::kNone: return "none";
+    case CompressionMode::kRle: return "rle";
+  }
+  return "?";
+}
+
+std::vector<std::byte> compress_bytes(CompressionMode mode, std::span<const std::byte> input) {
+  if (mode == CompressionMode::kNone) return {input.begin(), input.end()};
+
+  std::vector<std::byte> out;
+  out.reserve(kFrameHeader + input.size() / 2 + 16);
+  append_u32(out, kMagic);
+  append_u32(out, static_cast<std::uint32_t>(mode));
+  append_u64(out, input.size());
+
+  std::size_t i = 0;
+  std::size_t literal_begin = 0;
+  const auto flush_literals = [&](std::size_t end) {
+    while (literal_begin < end) {
+      const std::size_t n = std::min(kMaxLiteral, end - literal_begin);
+      out.push_back(std::byte(n - 1));
+      out.insert(out.end(), input.begin() + literal_begin, input.begin() + literal_begin + n);
+      literal_begin += n;
+    }
+  };
+  while (i < input.size()) {
+    std::size_t run = 1;
+    while (i + run < input.size() && run < kMaxRun && input[i + run] == input[i]) ++run;
+    if (run >= 3) {
+      flush_literals(i);
+      out.push_back(std::byte(0x80 | (run - 1)));
+      out.push_back(input[i]);
+      i += run;
+      literal_begin = i;
+    } else {
+      i += run;
+    }
+  }
+  flush_literals(input.size());
+  return out;
+}
+
+std::optional<std::vector<std::byte>> decompress_bytes(CompressionMode mode,
+                                                       std::span<const std::byte> input) {
+  if (mode == CompressionMode::kNone)
+    return std::vector<std::byte>(input.begin(), input.end());
+
+  if (input.size() < kFrameHeader) return std::nullopt;
+  if (read_u32(input.data()) != kMagic) return std::nullopt;
+  if (read_u32(input.data() + 4) != static_cast<std::uint32_t>(mode)) return std::nullopt;
+  const std::uint64_t orig_len = read_u64(input.data() + 8);
+
+  std::vector<std::byte> out;
+  out.reserve(orig_len);
+  std::size_t i = kFrameHeader;
+  while (i < input.size()) {
+    const std::uint8_t header = std::to_integer<std::uint8_t>(input[i++]);
+    if (header & 0x80) {
+      if (i >= input.size()) return std::nullopt;  // truncated run
+      const std::size_t n = (header & 0x7F) + 1u;
+      out.insert(out.end(), n, input[i++]);
+    } else {
+      const std::size_t n = header + 1u;
+      if (i + n > input.size()) return std::nullopt;  // truncated literal
+      out.insert(out.end(), input.begin() + i, input.begin() + i + n);
+      i += n;
+    }
+    if (out.size() > orig_len) return std::nullopt;  // overflow vs declared length
+  }
+  if (out.size() != orig_len) return std::nullopt;
+  return out;
+}
+
+double compression_cpu_seconds(const CompressionSpec& spec, std::size_t bytes) {
+  if (spec.mode == CompressionMode::kNone) return 0.0;
+  return spec.cpu_seconds_per_gb * (static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0));
+}
+
+}  // namespace sompi

@@ -18,13 +18,14 @@
 #include <string>
 #include <vector>
 
+#include "checkpoint/checkpointer.h"
 #include "checkpoint/storage.h"
 #include "faultinject/injector.h"
 #include "minimpi/comm.h"
 
 namespace sompi {
 
-class IncrementalCheckpointer {
+class IncrementalCheckpointer : public CoordinatedCheckpointing {
  public:
   /// `store` is borrowed. Blocks of `block_size` bytes (the last block of a
   /// state may be shorter). `faults`, when given, arms the protocol crash
@@ -35,19 +36,19 @@ class IncrementalCheckpointer {
 
   /// Collective: saves a snapshot, uploading only changed blocks. Returns
   /// the committed version.
-  int save(mpi::Comm& comm, std::span<const std::byte> rank_state);
+  int save(mpi::Comm& comm, std::span<const std::byte> rank_state) override;
 
   /// Collective: reconstructs this rank's latest committed state (blocks
   /// may be fetched from older versions). nullopt when none exists.
-  std::optional<std::vector<std::byte>> load_latest(mpi::Comm& comm);
+  std::optional<std::vector<std::byte>> load_latest(mpi::Comm& comm) override;
 
   /// Latest committed version, -1 when none.
-  int latest_version() const;
+  int latest_version() const override;
 
   /// True when a committed snapshot exists — probes the commit marker with
   /// StorageBackend::exists (non-collective / collective; see Checkpointer).
-  bool has_snapshot() const;
-  bool has_snapshot(mpi::Comm& comm) const;
+  bool has_snapshot() const override;
+  bool has_snapshot(mpi::Comm& comm) const override;
 
   /// Logical state bytes passed to save() so far (this process).
   std::uint64_t bytes_logical() const;

@@ -1,0 +1,417 @@
+#include "checkpoint/multilevel.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace sompi {
+namespace {
+
+// p2p tags for the shard/rebuild traffic (user tag space, < 2^18). Saves and
+// loads are collective and issued in the same order on every rank, so plain
+// (source, tag) matching is unambiguous.
+constexpr int kTagBlobToRoot = 7101;
+constexpr int kTagShardFromRoot = 7102;
+constexpr int kTagRebuildBlob = 7103;
+constexpr int kTagRebuildShard = 7104;
+constexpr int kTagRebuiltToRank = 7105;
+
+std::vector<std::byte> pack_optional(const std::optional<std::vector<std::byte>>& blob) {
+  // 1 presence byte + payload: an absent blob is distinguishable from an
+  // empty one.
+  std::vector<std::byte> out;
+  out.reserve(1 + (blob ? blob->size() : 0));
+  out.push_back(std::byte(blob.has_value() ? 1 : 0));
+  if (blob) out.insert(out.end(), blob->begin(), blob->end());
+  return out;
+}
+
+std::optional<std::vector<std::byte>> unpack_optional(const std::vector<std::byte>& wire) {
+  SOMPI_ASSERT(!wire.empty());
+  if (std::to_integer<std::uint8_t>(wire[0]) == 0) return std::nullopt;
+  return std::vector<std::byte>(wire.begin() + 1, wire.end());
+}
+
+}  // namespace
+
+MultiLevelCheckpointer::MultiLevelCheckpointer(StorageBackend* remote, std::string run_id,
+                                               MultiLevelConfig config,
+                                               fi::FaultInjector* faults)
+    : remote_(remote),
+      run_id_(std::move(run_id)),
+      config_(config),
+      faults_(faults),
+      inner_(remote, run_id_, faults) {
+  SOMPI_REQUIRE(remote_ != nullptr);
+  SOMPI_REQUIRE_MSG(config_.redundancy == RedundancyScheme::kNone || config_.cache != nullptr,
+                    "peer redundancy requires a cache level");
+  SOMPI_REQUIRE_MSG(!config_.async_flush || config_.cache != nullptr,
+                    "async flush requires a cache level");
+  if (config_.async_flush) flush_thread_ = std::thread([this] { flush_worker(); });
+}
+
+MultiLevelCheckpointer::~MultiLevelCheckpointer() {
+  if (flush_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(flush_mutex_);
+      flush_stop_ = true;
+    }
+    flush_cv_.notify_all();
+    flush_thread_.join();
+  }
+}
+
+// --- key scheme ---------------------------------------------------------------
+// Cache keys live under "<run>/l0/", shards under "<run>/l1/", remote keys are
+// exactly the flat Checkpointer's "<run>/v<N>/..." — so flushed snapshots are
+// readable by a plain Checkpointer and the degenerate config's keys (and
+// therefore its S3-sim bill) are byte-identical to the pre-multilevel path.
+// Distinct prefixes also mean a prefix scan of one level can never pick up
+// another level's keys — the namespace-collision bug this PR's regression
+// test pins down.
+
+std::string MultiLevelCheckpointer::cache_prefix(int version) const {
+  return run_id_ + "/l0/v" + std::to_string(version) + "/";
+}
+std::string MultiLevelCheckpointer::cache_rank_key(int version, int rank) const {
+  return cache_prefix(version) + "rank" + std::to_string(rank);
+}
+std::string MultiLevelCheckpointer::cache_commit_key(int version) const {
+  return cache_prefix(version) + "COMMIT";
+}
+std::string MultiLevelCheckpointer::shard_key(int version, int rank) const {
+  return run_id_ + "/l1/v" + std::to_string(version) + "/shard" + std::to_string(rank);
+}
+std::string MultiLevelCheckpointer::remote_prefix(int version) const {
+  return run_id_ + "/v" + std::to_string(version) + "/";
+}
+std::string MultiLevelCheckpointer::remote_rank_key(int version, int rank) const {
+  return remote_prefix(version) + "rank" + std::to_string(rank);
+}
+std::string MultiLevelCheckpointer::remote_commit_key(int version) const {
+  return remote_prefix(version) + "COMMIT";
+}
+
+std::vector<int> MultiLevelCheckpointer::committed_versions(const StorageBackend* store,
+                                                            const std::string& list_prefix,
+                                                            std::size_t v_begin) const {
+  std::vector<int> versions;
+  for (const std::string& key : store->list(list_prefix)) {
+    if (key.size() < 7 || key.compare(key.size() - 7, 7, "/COMMIT") != 0) continue;
+    if (key.size() <= v_begin || key[v_begin - 1] != 'v') continue;
+    versions.push_back(std::stoi(key.substr(v_begin, key.size() - 7 - v_begin)));
+  }
+  std::sort(versions.begin(), versions.end());
+  return versions;
+}
+
+int MultiLevelCheckpointer::cache_latest() const {
+  if (config_.cache == nullptr) return -1;
+  const auto v = committed_versions(config_.cache, run_id_ + "/l0/v", run_id_.size() + 5);
+  return v.empty() ? -1 : v.back();
+}
+
+int MultiLevelCheckpointer::remote_latest() const {
+  const auto v = committed_versions(remote_, run_id_ + "/v", run_id_.size() + 2);
+  return v.empty() ? -1 : v.back();
+}
+
+int MultiLevelCheckpointer::latest_version() const {
+  // Max across ALL level namespaces — never let a stale cache version (or a
+  // cache that missed flushed progress) shadow the true frontier.
+  return std::max(cache_latest(), remote_latest());
+}
+
+bool MultiLevelCheckpointer::has_snapshot() const {
+  if (degenerate()) return inner_.has_snapshot();
+  return latest_version() >= 0;
+}
+
+bool MultiLevelCheckpointer::has_snapshot(mpi::Comm& comm) const {
+  if (degenerate()) return inner_.has_snapshot(comm);
+  int found = 0;
+  if (comm.rank() == 0) found = has_snapshot() ? 1 : 0;
+  comm.bcast(found, /*root=*/0);
+  return found != 0;
+}
+
+// --- save ---------------------------------------------------------------------
+
+int MultiLevelCheckpointer::save(mpi::Comm& comm, std::span<const std::byte> rank_state) {
+  if (degenerate()) return inner_.save(comm, rank_state);
+
+  comm.barrier();
+  int version = 0;
+  if (comm.rank() == 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    version = latest_version() + 1;
+  }
+  comm.bcast(version, /*root=*/0);
+
+  // L0: every rank writes its blob to the node-local cache.
+  if (faults_ != nullptr)
+    faults_->protocol_point(fi::Channel::kCkptPreBlob, cache_rank_key(version, comm.rank()));
+  config_.cache->put(cache_rank_key(version, comm.rank()), rank_state);
+
+  // L1 + flush staging: rank 0 gathers the blobs, encodes redundancy shards
+  // and hands each rank its shard; the gathered copies also feed the flush,
+  // so the flush never re-reads the cache (it may be wiped meanwhile).
+  std::vector<std::vector<std::byte>> blobs;
+  if (comm.rank() == 0) {
+    blobs.resize(static_cast<std::size_t>(comm.size()));
+    blobs[0].assign(rank_state.begin(), rank_state.end());
+    for (int r = 1; r < comm.size(); ++r)
+      blobs[static_cast<std::size_t>(r)] = comm.recv_bytes(r, kTagBlobToRoot);
+  } else {
+    comm.send_bytes(0, kTagBlobToRoot, rank_state);
+  }
+  if (config_.redundancy != RedundancyScheme::kNone) {
+    std::vector<std::byte> my_shard;
+    if (comm.rank() == 0) {
+      const auto shards = redundancy_encode(config_.redundancy, blobs);
+      for (int r = 1; r < comm.size(); ++r)
+        comm.send_bytes(r, kTagShardFromRoot, shards[static_cast<std::size_t>(r)]);
+      my_shard = shards[0];
+    } else {
+      my_shard = comm.recv_bytes(0, kTagShardFromRoot);
+    }
+    config_.cache->put(shard_key(version, comm.rank()), my_shard);
+  }
+
+  // Cache commit: same barrier-bracketed protocol as the flat Checkpointer.
+  comm.barrier();
+  if (comm.rank() == 0) {
+    if (faults_ != nullptr)
+      faults_->protocol_point(fi::Channel::kCkptPreCommit, cache_commit_key(version));
+    static constexpr std::byte kMark{1};
+    config_.cache->put(cache_commit_key(version), std::span<const std::byte>(&kMark, 1));
+    if (faults_ != nullptr)
+      faults_->protocol_point(fi::Channel::kCkptPostCommit, cache_commit_key(version));
+
+    // L2: drain to remote — inline, or queued for the flush worker so the
+    // app's next iterations overlap the upload.
+    FlushJob job;
+    job.version = version;
+    job.blobs = std::move(blobs);
+    if (config_.async_flush) {
+      {
+        std::lock_guard<std::mutex> lock(flush_mutex_);
+        flush_queue_.push_back(std::move(job));
+      }
+      flush_cv_.notify_one();
+    } else {
+      run_flush(job);
+    }
+  }
+  comm.barrier();
+  return version;
+}
+
+// --- flush --------------------------------------------------------------------
+
+void MultiLevelCheckpointer::run_flush(const FlushJob& job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++flush_stats_.flushes_started;
+  }
+  // An injected spot kill mid-flush: the remote COMMIT is never written, so
+  // the half-flushed version is invisible to restores — the cache (if it
+  // survives) or an older remote version serves instead.
+  const bool killed =
+      faults_ != nullptr && faults_->fires(fi::Channel::kFlushKill, remote_commit_key(job.version));
+
+  double cpu_seconds = 0.0;
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t flushed_bytes = 0;
+  std::size_t uploaded = 0;
+  for (std::size_t r = 0; r < job.blobs.size(); ++r) {
+    if (killed && r >= job.blobs.size() / 2) break;  // kill lands mid-upload
+    const std::vector<std::byte>& blob = job.blobs[r];
+    raw_bytes += blob.size();
+    cpu_seconds += compression_cpu_seconds(config_.compression, blob.size());
+    const std::vector<std::byte> wire = compress_bytes(config_.compression.mode, blob);
+    remote_->put(remote_rank_key(job.version, static_cast<int>(r)), wire);
+    flushed_bytes += wire.size();
+    ++uploaded;
+  }
+  if (!killed && uploaded == job.blobs.size()) {
+    static constexpr std::byte kMark{1};
+    remote_->put(remote_commit_key(job.version), std::span<const std::byte>(&kMark, 1));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  flush_stats_.bytes_before_compression += raw_bytes;
+  flush_stats_.bytes_flushed += flushed_bytes;
+  flush_stats_.compression_cpu_seconds += cpu_seconds;
+  if (killed) {
+    ++flush_stats_.flushes_killed;
+  } else {
+    ++flush_stats_.flushes_completed;
+  }
+}
+
+void MultiLevelCheckpointer::flush_worker() {
+  std::unique_lock<std::mutex> lock(flush_mutex_);
+  for (;;) {
+    flush_cv_.wait(lock, [this] { return flush_stop_ || !flush_queue_.empty(); });
+    if (flush_queue_.empty()) {
+      if (flush_stop_) return;
+      continue;
+    }
+    const FlushJob job = std::move(flush_queue_.front());
+    flush_queue_.pop_front();
+    flush_busy_ = true;
+    lock.unlock();
+    run_flush(job);
+    lock.lock();
+    flush_busy_ = false;
+    flush_cv_.notify_all();  // wake wait_flush()
+  }
+}
+
+void MultiLevelCheckpointer::wait_flush() {
+  if (!config_.async_flush) return;
+  std::unique_lock<std::mutex> lock(flush_mutex_);
+  flush_cv_.wait(lock, [this] { return flush_queue_.empty() && !flush_busy_; });
+}
+
+// --- load ---------------------------------------------------------------------
+
+std::optional<std::vector<std::byte>> MultiLevelCheckpointer::try_cache_level(mpi::Comm& comm,
+                                                                              int version) {
+  // Every rank probes its own cache blob; one allreduce decides whether the
+  // whole group can be served without rebuilds.
+  std::optional<std::vector<std::byte>> mine =
+      config_.cache->get(cache_rank_key(version, comm.rank()));
+  const int missing = comm.allreduce(mine.has_value() ? 0 : 1, mpi::ReduceOp::kSum);
+  if (missing == 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++recovery_stats_.cache_loads;
+    return mine;
+  }
+  if (config_.redundancy == RedundancyScheme::kNone) return std::nullopt;
+
+  // Peer rebuild: rank 0 collects surviving blobs and shards, runs the
+  // decoder for each lost rank, and returns the rebuilt blobs to their
+  // owners. Decode failures (torn shard, second loss in a chunk group)
+  // surface as nullopt and the caller falls further down the ladder.
+  const std::optional<std::vector<std::byte>> shard =
+      config_.cache->get(shard_key(version, comm.rank()));
+  std::optional<std::vector<std::byte>> rebuilt;
+  if (comm.rank() == 0) {
+    const std::size_t k = static_cast<std::size_t>(comm.size());
+    std::vector<std::optional<std::vector<std::byte>>> blobs(k), shards(k);
+    blobs[0] = mine;
+    shards[0] = shard;
+    for (int r = 1; r < comm.size(); ++r) {
+      blobs[static_cast<std::size_t>(r)] = unpack_optional(comm.recv_bytes(r, kTagRebuildBlob));
+      shards[static_cast<std::size_t>(r)] = unpack_optional(comm.recv_bytes(r, kTagRebuildShard));
+    }
+    bool all_ok = true;
+    std::size_t rebuilds = 0;
+    for (std::size_t i = 0; i < k && all_ok; ++i) {
+      if (blobs[i].has_value()) continue;
+      auto decoded = redundancy_decode(config_.redundancy, blobs, shards, i);
+      if (!decoded.has_value()) {
+        all_ok = false;
+        break;
+      }
+      blobs[i] = std::move(decoded);
+      ++rebuilds;
+    }
+    for (int r = 1; r < comm.size(); ++r)
+      comm.send_bytes(r, kTagRebuiltToRank,
+                      pack_optional(all_ok ? blobs[static_cast<std::size_t>(r)] : std::nullopt));
+    if (all_ok) {
+      rebuilt = blobs[0];
+      std::lock_guard<std::mutex> lock(mutex_);
+      recovery_stats_.peer_rebuilds += rebuilds;
+      recovery_stats_.cache_loads += k - rebuilds;
+    }
+  } else {
+    comm.send_bytes(0, kTagRebuildBlob, pack_optional(mine));
+    comm.send_bytes(0, kTagRebuildShard, pack_optional(shard));
+    rebuilt = unpack_optional(comm.recv_bytes(0, kTagRebuiltToRank));
+  }
+  return rebuilt;
+}
+
+std::optional<std::vector<std::byte>> MultiLevelCheckpointer::try_remote_level(mpi::Comm& comm,
+                                                                               int version) {
+  if (faults_ != nullptr)
+    faults_->protocol_point(fi::Channel::kCkptPreLoad, remote_rank_key(version, comm.rank()));
+  const auto wire = remote_->get(remote_rank_key(version, comm.rank()));
+  if (!wire)
+    throw IoError("committed checkpoint missing rank blob: " +
+                  remote_rank_key(version, comm.rank()));
+  auto blob = decompress_bytes(config_.compression.mode, *wire);
+  if (!blob)
+    throw IoError("committed checkpoint blob failed to decompress: " +
+                  remote_rank_key(version, comm.rank()));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++recovery_stats_.remote_loads;
+  }
+  return blob;
+}
+
+std::optional<std::vector<std::byte>> MultiLevelCheckpointer::load_latest(mpi::Comm& comm) {
+  if (degenerate()) return inner_.load_latest(comm);
+
+  // Rank 0 plans the candidate list: committed versions from every level,
+  // newest first, each tagged with where it is committed. Version order
+  // before level order is what makes a newer flushed snapshot always beat a
+  // stale cache one.
+  std::vector<int> candidates;  // encoded as version*4 + (cache?1:0)*2 + (remote?1:0)
+  if (comm.rank() == 0) {
+    const auto cache_v =
+        committed_versions(config_.cache, run_id_ + "/l0/v", run_id_.size() + 5);
+    const auto remote_v = committed_versions(remote_, run_id_ + "/v", run_id_.size() + 2);
+    std::set<int, std::greater<int>> all(cache_v.begin(), cache_v.end());
+    all.insert(remote_v.begin(), remote_v.end());
+    for (const int v : all) {
+      const bool in_cache = std::binary_search(cache_v.begin(), cache_v.end(), v);
+      const bool in_remote = std::binary_search(remote_v.begin(), remote_v.end(), v);
+      candidates.push_back(v * 4 + (in_cache ? 2 : 0) + (in_remote ? 1 : 0));
+    }
+  }
+  comm.bcast(candidates, /*root=*/0);
+
+  for (const int encoded : candidates) {
+    const int version = encoded / 4;
+    const bool in_cache = (encoded & 2) != 0;
+    const bool in_remote = (encoded & 1) != 0;
+    if (in_cache) {
+      auto blob = try_cache_level(comm, version);
+      // try_cache_level is collective and agrees across ranks by
+      // construction (rank 0 decides, everyone gets its verdict).
+      if (blob.has_value()) return blob;
+    }
+    if (in_remote) return try_remote_level(comm, version);
+  }
+  return std::nullopt;
+}
+
+// --- stats --------------------------------------------------------------------
+
+FlushStats MultiLevelCheckpointer::flush_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return flush_stats_;
+}
+
+RecoveryStats MultiLevelCheckpointer::recovery_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recovery_stats_;
+}
+
+double MultiLevelCheckpointer::compression_cost_usd(BillingModel model, double usd_per_hour,
+                                                    int instances) const {
+  double cpu_seconds = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cpu_seconds = flush_stats_.compression_cpu_seconds;
+  }
+  return billed_cost(model, usd_per_hour, cpu_seconds / 3600.0, instances);
+}
+
+}  // namespace sompi

@@ -1,0 +1,167 @@
+// SCR-style multi-level coordinated checkpointing (DESIGN.md §11).
+//
+// The paper writes every checkpoint straight to S3 (§4.4); LLNL SCR showed
+// that a hierarchy is strictly better: a node-local cache level absorbs the
+// checkpoint write at memory/disk speed, a partner/XOR redundancy level lets
+// the circle group rebuild any single lost rank from its peers, and an
+// asynchronous flush drains committed cache snapshots to remote storage
+// while the application keeps computing. The levels, cheapest first:
+//
+//   L0 cache   — this group's node-local StorageBackend; dies with a node.
+//   L1 peers   — redundancy shards (partner copy or rotated XOR parity)
+//                stored next to the cache blobs; any single-rank loss (and,
+//                for partner, any non-adjacent loss set) is rebuilt without
+//                touching remote storage.
+//   L2 remote  — the paper's S3-sim level, written by the flush; survives
+//                whole-group out-of-bid kills.
+//
+// Restore walks committed versions newest-first and each version down that
+// ladder, so the most advanced recoverable snapshot always wins and a stale
+// cache version can never shadow a newer flushed one: save() assigns
+// versions above the max committed version across ALL levels, and the
+// restore candidate order is by version first, level second.
+//
+// The degenerate configuration (no cache level) delegates verbatim to the
+// flat Checkpointer over the remote store — identical keys, identical
+// billing, bit-identical behaviour to the pre-multilevel path. That is the
+// anchor the differential tests in tests/test_multilevel_ckpt.cpp pin.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "checkpoint/checkpointer.h"
+#include "checkpoint/compress.h"
+#include "checkpoint/redundancy.h"
+#include "checkpoint/storage.h"
+#include "cloud/billing.h"
+#include "faultinject/injector.h"
+#include "minimpi/comm.h"
+
+namespace sompi {
+
+/// Configuration of the hierarchy. The default (no cache store) is the
+/// degenerate single-S3-level setup.
+struct MultiLevelConfig {
+  /// Node-local cache level; nullptr disables L0/L1 entirely (degenerate).
+  /// Borrowed; must outlive the checkpointer.
+  StorageBackend* cache = nullptr;
+  /// Peer redundancy encoded into the cache level (needs `cache`).
+  RedundancyScheme redundancy = RedundancyScheme::kNone;
+  /// Compression applied to blobs on the remote flush path.
+  CompressionSpec compression;
+  /// Drain cache→remote on a background thread, overlapping compute.
+  bool async_flush = false;
+};
+
+struct FlushStats {
+  std::uint64_t flushes_started = 0;
+  std::uint64_t flushes_completed = 0;
+  std::uint64_t flushes_killed = 0;  ///< aborted by an injected kFlushKill
+  std::uint64_t bytes_before_compression = 0;
+  std::uint64_t bytes_flushed = 0;
+  double compression_cpu_seconds = 0.0;
+};
+
+struct RecoveryStats {
+  std::uint64_t cache_loads = 0;    ///< rank blobs served from L0
+  std::uint64_t peer_rebuilds = 0;  ///< rank blobs rebuilt from L1 shards
+  std::uint64_t remote_loads = 0;   ///< rank blobs fetched from L2
+};
+
+class MultiLevelCheckpointer : public CoordinatedCheckpointing {
+ public:
+  /// `remote` is the durable (S3-sim) level; borrowed, like every store.
+  MultiLevelCheckpointer(StorageBackend* remote, std::string run_id,
+                         MultiLevelConfig config = {},
+                         fi::FaultInjector* faults = nullptr);
+  ~MultiLevelCheckpointer() override;
+
+  MultiLevelCheckpointer(const MultiLevelCheckpointer&) = delete;
+  MultiLevelCheckpointer& operator=(const MultiLevelCheckpointer&) = delete;
+
+  int save(mpi::Comm& comm, std::span<const std::byte> rank_state) override;
+  std::optional<std::vector<std::byte>> load_latest(mpi::Comm& comm) override;
+
+  /// Max committed version across all levels, -1 when none.
+  int latest_version() const override;
+  bool has_snapshot() const override;
+  bool has_snapshot(mpi::Comm& comm) const override;
+
+  /// Blocks until every queued async flush has drained (no-op when flushing
+  /// synchronously). Call before tearing down the remote store or reading
+  /// flush-dependent billing.
+  void wait_flush();
+
+  FlushStats flush_stats() const;
+  RecoveryStats recovery_stats() const;
+
+  /// Compression CPU billed as compute time through src/cloud/billing —
+  /// the CPU-seconds-vs-bytes knob's cost side.
+  double compression_cost_usd(BillingModel model, double usd_per_hour,
+                              int instances = 1) const;
+
+  const std::string& run_id() const { return run_id_; }
+  bool degenerate() const { return config_.cache == nullptr; }
+
+ private:
+  struct FlushJob {
+    int version = 0;
+    std::vector<std::vector<std::byte>> blobs;  // one per rank
+  };
+
+  std::string cache_prefix(int version) const;
+  std::string cache_rank_key(int version, int rank) const;
+  std::string cache_commit_key(int version) const;
+  std::string shard_key(int version, int rank) const;
+  std::string remote_prefix(int version) const;
+  std::string remote_rank_key(int version, int rank) const;
+  std::string remote_commit_key(int version) const;
+
+  /// Committed versions in a namespace, via list() (no GET billing).
+  std::vector<int> committed_versions(const StorageBackend* store,
+                                      const std::string& list_prefix,
+                                      std::size_t v_begin) const;
+  int cache_latest() const;
+  int remote_latest() const;
+
+  /// Runs one flush job to completion (or injected kill). Called from the
+  /// worker thread or inline when async_flush is off.
+  void run_flush(const FlushJob& job);
+  void flush_worker();
+
+  /// Collective cache+peer restore of `version`; nullopt when the ladder
+  /// cannot rebuild every rank (fall through to remote / older versions).
+  std::optional<std::vector<std::byte>> try_cache_level(mpi::Comm& comm, int version);
+  /// Collective remote restore; nullopt when not committed there.
+  std::optional<std::vector<std::byte>> try_remote_level(mpi::Comm& comm, int version);
+
+  StorageBackend* remote_;
+  std::string run_id_;
+  MultiLevelConfig config_;
+  fi::FaultInjector* faults_;
+
+  /// The degenerate path: a plain Checkpointer over the remote store with
+  /// the same run id — byte-identical keys and billing.
+  Checkpointer inner_;
+
+  mutable std::mutex mutex_;  // stats + rank-0 version bookkeeping
+  FlushStats flush_stats_;
+  RecoveryStats recovery_stats_;
+
+  // Async flush machinery (rank 0 enqueues, one worker drains).
+  std::mutex flush_mutex_;
+  std::condition_variable flush_cv_;
+  std::deque<FlushJob> flush_queue_;
+  bool flush_stop_ = false;
+  bool flush_busy_ = false;
+  std::thread flush_thread_;
+};
+
+}  // namespace sompi

@@ -1,0 +1,253 @@
+#include "checkpoint/redundancy.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace sompi {
+namespace {
+
+// Shard layout (all integers little-endian fixed-width):
+//
+//   u32 magic       'S','R','D','1'
+//   u32 scheme      RedundancyScheme
+//   u32 k           group size
+//   u32 owner       rank that stores this shard
+//   u64 chunk_size  XOR parity chunk size (0 for partner/none)
+//   k × { u64 length, u64 checksum }   per-rank blob metadata
+//   payload bytes
+//
+// The per-rank metadata table is what makes torn shards detectable: a
+// truncated payload fails the length check, a corrupted one fails the
+// checksum of the rebuilt blob, and shards from different encode calls
+// disagree on the metadata table and are rejected before any XOR happens.
+constexpr std::uint32_t kMagic = 0x31445253u;  // "SRD1"
+
+struct ShardHeader {
+  RedundancyScheme scheme = RedundancyScheme::kNone;
+  std::uint32_t k = 0;
+  std::uint32_t owner = 0;
+  std::uint64_t chunk_size = 0;
+  std::vector<std::uint64_t> lengths;
+  std::vector<std::uint64_t> checksums;
+};
+
+std::size_t header_bytes(std::size_t k) { return 4u * 4u + 8u + k * 16u; }
+
+void append_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(std::byte((v >> (8 * i)) & 0xFF));
+}
+
+void append_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(std::byte((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t read_u32(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(std::to_integer<std::uint8_t>(p[i])) << (8 * i);
+  return v;
+}
+
+std::uint64_t read_u64(const std::byte* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(std::to_integer<std::uint8_t>(p[i])) << (8 * i);
+  return v;
+}
+
+std::vector<std::byte> serialize_header(const ShardHeader& h) {
+  std::vector<std::byte> out;
+  out.reserve(header_bytes(h.k));
+  append_u32(out, kMagic);
+  append_u32(out, static_cast<std::uint32_t>(h.scheme));
+  append_u32(out, h.k);
+  append_u32(out, h.owner);
+  append_u64(out, h.chunk_size);
+  for (std::uint32_t i = 0; i < h.k; ++i) {
+    append_u64(out, h.lengths[i]);
+    append_u64(out, h.checksums[i]);
+  }
+  return out;
+}
+
+std::optional<ShardHeader> parse_header(const std::vector<std::byte>& shard,
+                                        RedundancyScheme want_scheme, std::size_t want_k,
+                                        std::size_t want_owner) {
+  if (shard.size() < header_bytes(want_k)) return std::nullopt;
+  const std::byte* p = shard.data();
+  if (read_u32(p) != kMagic) return std::nullopt;
+  ShardHeader h;
+  h.scheme = static_cast<RedundancyScheme>(read_u32(p + 4));
+  h.k = read_u32(p + 8);
+  h.owner = read_u32(p + 12);
+  h.chunk_size = read_u64(p + 16);
+  if (h.scheme != want_scheme || h.k != want_k || h.owner != want_owner) return std::nullopt;
+  h.lengths.resize(h.k);
+  h.checksums.resize(h.k);
+  for (std::uint32_t i = 0; i < h.k; ++i) {
+    h.lengths[i] = read_u64(p + 24 + 16 * i);
+    h.checksums[i] = read_u64(p + 32 + 16 * i);
+  }
+  return h;
+}
+
+/// Chunk index of blob j's contribution stored in rank m's parity shard:
+/// the rotation ((j - m) mod k) - 1 walks every chunk 0..k-2 exactly once
+/// as m ranges over the ranks != j, so each chunk of blob j lives in exactly
+/// one parity shard.
+std::size_t xor_chunk_index(std::size_t j, std::size_t m, std::size_t k) {
+  return (j + k - m) % k - 1;
+}
+
+/// XORs chunk `c` of `blob` (zero-padded to chunk_size) into dst.
+void xor_chunk_into(std::byte* dst, const std::vector<std::byte>& blob, std::size_t c,
+                    std::size_t chunk_size) {
+  const std::size_t begin = c * chunk_size;
+  if (begin >= blob.size()) return;
+  const std::size_t n = std::min(chunk_size, blob.size() - begin);
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= blob[begin + i];
+}
+
+}  // namespace
+
+const char* redundancy_scheme_label(RedundancyScheme scheme) {
+  switch (scheme) {
+    case RedundancyScheme::kNone: return "none";
+    case RedundancyScheme::kPartner: return "partner";
+    case RedundancyScheme::kXor: return "xor";
+  }
+  return "?";
+}
+
+std::uint64_t redundancy_checksum(std::span<const std::byte> bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const std::byte b : bytes) {
+    h ^= std::to_integer<std::uint8_t>(b);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::vector<std::vector<std::byte>> redundancy_encode(
+    RedundancyScheme scheme, const std::vector<std::vector<std::byte>>& blobs) {
+  const std::size_t k = blobs.size();
+  SOMPI_REQUIRE(k >= 1);
+  if (scheme == RedundancyScheme::kNone)
+    return std::vector<std::vector<std::byte>>(k);
+
+  ShardHeader h;
+  h.scheme = scheme;
+  h.k = static_cast<std::uint32_t>(k);
+  h.lengths.resize(k);
+  h.checksums.resize(k);
+  std::size_t max_len = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    h.lengths[i] = blobs[i].size();
+    h.checksums[i] = redundancy_checksum(blobs[i]);
+    max_len = std::max(max_len, blobs[i].size());
+  }
+
+  // XOR needs k >= 2 to have peers; with k == 1 (or a 2-rank XOR group,
+  // where one chunk of parity IS the partner blob) fall back to partner
+  // semantics. The header still says what was requested so decode agrees.
+  const bool xor_mode = scheme == RedundancyScheme::kXor && k >= 3;
+  h.chunk_size = xor_mode ? (max_len + (k - 2)) / (k - 1) : 0;
+
+  std::vector<std::vector<std::byte>> shards(k);
+  for (std::size_t m = 0; m < k; ++m) {
+    h.owner = static_cast<std::uint32_t>(m);
+    shards[m] = serialize_header(h);
+    if (k == 1) continue;  // no peer to protect
+    if (!xor_mode) {
+      // Partner copy: rank m keeps the previous rank's full blob.
+      const std::vector<std::byte>& src = blobs[(m + k - 1) % k];
+      shards[m].insert(shards[m].end(), src.begin(), src.end());
+    } else {
+      const std::size_t base = shards[m].size();
+      shards[m].resize(base + h.chunk_size, std::byte{0});
+      for (std::size_t j = 0; j < k; ++j) {
+        if (j == m) continue;
+        xor_chunk_into(shards[m].data() + base, blobs[j], xor_chunk_index(j, m, k),
+                       h.chunk_size);
+      }
+    }
+  }
+  return shards;
+}
+
+std::optional<std::vector<std::byte>> redundancy_decode(
+    RedundancyScheme scheme,
+    const std::vector<std::optional<std::vector<std::byte>>>& blobs,
+    const std::vector<std::optional<std::vector<std::byte>>>& shards,
+    std::size_t lost) {
+  const std::size_t k = blobs.size();
+  SOMPI_REQUIRE(k >= 1 && shards.size() == k && lost < k);
+  if (scheme == RedundancyScheme::kNone || k == 1) return std::nullopt;
+
+  // Parse every surviving shard; all must agree on the metadata table (they
+  // were written by one encode call) or the decode is unsafe.
+  std::optional<ShardHeader> meta;
+  std::vector<std::optional<ShardHeader>> headers(k);
+  for (std::size_t m = 0; m < k; ++m) {
+    if (m == lost || !shards[m].has_value()) continue;
+    headers[m] = parse_header(*shards[m], scheme, k, m);
+    if (!headers[m].has_value()) continue;
+    if (!meta.has_value()) {
+      meta = headers[m];
+    } else if (headers[m]->lengths != meta->lengths ||
+               headers[m]->checksums != meta->checksums ||
+               headers[m]->chunk_size != meta->chunk_size) {
+      return std::nullopt;  // mixed-generation shards — refuse to guess
+    }
+  }
+  if (!meta.has_value()) return std::nullopt;
+
+  const std::uint64_t want_len = meta->lengths[lost];
+  const std::uint64_t want_sum = meta->checksums[lost];
+  const auto verified = [&](std::vector<std::byte> blob) -> std::optional<std::vector<std::byte>> {
+    if (blob.size() != want_len || redundancy_checksum(blob) != want_sum) return std::nullopt;
+    return blob;
+  };
+
+  const bool xor_mode = scheme == RedundancyScheme::kXor && k >= 3;
+  if (!xor_mode) {
+    // Partner: the next rank holds a full copy after the header.
+    const std::size_t holder = (lost + 1) % k;
+    if (holder == lost) return std::nullopt;
+    const auto& hh = headers[holder];
+    if (!hh.has_value() || !shards[holder].has_value()) return std::nullopt;
+    const std::vector<std::byte>& s = *shards[holder];
+    const std::size_t base = header_bytes(k);
+    if (s.size() != base + want_len) return std::nullopt;  // torn copy
+    return verified(std::vector<std::byte>(s.begin() + base, s.end()));
+  }
+
+  // XOR: chunk ((lost - m) mod k) - 1 of the lost blob is rebuilt from rank
+  // m's parity by XORing back every survivor's contribution. Every m != lost
+  // contributes exactly one distinct chunk, so all k-1 chunks are covered.
+  const std::size_t chunk_size = meta->chunk_size;
+  if (chunk_size == 0) return std::nullopt;
+  std::vector<std::byte> out((k - 1) * chunk_size, std::byte{0});
+  for (std::size_t m = 0; m < k; ++m) {
+    if (m == lost) continue;
+    if (!headers[m].has_value() || !shards[m].has_value()) return std::nullopt;
+    const std::vector<std::byte>& s = *shards[m];
+    const std::size_t base = header_bytes(k);
+    if (s.size() != base + chunk_size) return std::nullopt;  // torn parity
+    const std::size_t c = xor_chunk_index(lost, m, k);
+    std::byte* dst = out.data() + c * chunk_size;
+    std::memcpy(dst, s.data() + base, chunk_size);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (j == m || j == lost) continue;
+      if (!blobs[j].has_value()) return std::nullopt;  // second loss — out of reach
+      if (blobs[j]->size() != meta->lengths[j] ||
+          redundancy_checksum(*blobs[j]) != meta->checksums[j])
+        return std::nullopt;  // survivor doesn't match the encoded generation
+      xor_chunk_into(dst, *blobs[j], xor_chunk_index(j, m, k), chunk_size);
+    }
+  }
+  out.resize(want_len);
+  return verified(std::move(out));
+}
+
+}  // namespace sompi

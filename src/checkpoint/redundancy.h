@@ -1,0 +1,63 @@
+// Partner/XOR redundancy encoding across the ranks of a circle group
+// (the SCR-style "level 1" of the multi-level checkpoint hierarchy,
+// DESIGN.md §11).
+//
+// The paper stores every checkpoint in S3; LLNL SCR shows that most
+// failures lose only part of a group (a node's local cache), and that a
+// small redundancy shard stored by each peer lets the group rebuild the
+// lost snapshot without touching remote storage at all. We provide two
+// schemes as pure functions over the group's rank blobs:
+//
+//   kPartner — rank i stores a full copy of rank (i-1 mod k)'s blob.
+//     Any loss set with no two adjacent ranks (in particular any single
+//     rank) is recoverable; storage overhead is 1x.
+//   kXor — RAID-5 style rotated parity. Each blob is split into k-1
+//     chunks; rank m stores the parity  p_m = XOR_{j != m} chunk_{(j-m) mod
+//     k - 1}(blob_j).  Any single-rank loss is recoverable from the k-1
+//     surviving blobs plus their parities; storage overhead is 1/(k-1)x
+//     (for k = 2 the scheme degenerates to a partner copy).
+//
+// Every shard carries a header recording the group size, the scheme, and
+// the length + FNV-1a checksum of every rank's blob. decode() verifies the
+// rebuilt blob against that checksum and the headers against each other, so
+// a torn or corrupted shard (FaultyStore truncates uploads) can never yield
+// a decodable-but-wrong snapshot — the failure is detected and the caller
+// falls down the recovery ladder instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace sompi {
+
+enum class RedundancyScheme : int {
+  kNone = 0,     ///< no peer redundancy (cache + remote only)
+  kPartner = 1,  ///< full copy at the next rank
+  kXor = 2,      ///< rotated XOR parity across the group
+};
+
+const char* redundancy_scheme_label(RedundancyScheme scheme);
+
+/// FNV-1a over a byte span — the blob checksum recorded in shard headers.
+std::uint64_t redundancy_checksum(std::span<const std::byte> bytes);
+
+/// Encodes the group's rank blobs (`blobs[i]` is rank i's snapshot) into one
+/// shard per rank; rank i stores `result[i]` next to its own blob. kNone
+/// returns empty shards. Requires blobs.size() >= 1.
+std::vector<std::vector<std::byte>> redundancy_encode(
+    RedundancyScheme scheme, const std::vector<std::vector<std::byte>>& blobs);
+
+/// Rebuilds rank `lost`'s blob from the surviving blobs and shards (nullopt
+/// entries are lost along with the rank). Returns nullopt when the loss set
+/// is unrecoverable under the scheme or when any integrity check fails —
+/// never bytes that differ from the encoded snapshot.
+std::optional<std::vector<std::byte>> redundancy_decode(
+    RedundancyScheme scheme,
+    const std::vector<std::optional<std::vector<std::byte>>>& blobs,
+    const std::vector<std::optional<std::vector<std::byte>>>& shards,
+    std::size_t lost);
+
+}  // namespace sompi

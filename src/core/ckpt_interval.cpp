@@ -9,10 +9,12 @@
 
 namespace sompi {
 
-int CheckpointPlanner::young_daly(const GroupSetup& group, std::size_t bid_index) {
+int CheckpointPlanner::young_daly(const GroupSetup& group, std::size_t bid_index,
+                                  double o_scale) {
   const double mtbf = group.failure.mtbf(bid_index);
-  if (group.o_steps <= 0.0) return 1;  // free checkpoints: checkpoint every step
-  const double f = std::sqrt(2.0 * group.o_steps * mtbf);
+  const double o = group.o_steps * o_scale;
+  if (o <= 0.0) return 1;  // free checkpoints: checkpoint every step
+  const double f = std::sqrt(2.0 * o * mtbf);
   return std::clamp(static_cast<int>(std::lround(f)), 1, group.t_steps);
 }
 
@@ -36,8 +38,10 @@ std::vector<int> CheckpointPlanner::candidate_intervals(int t_steps, int young) 
 }
 
 double CheckpointPlanner::objective(const GroupSetup& group, std::size_t bid_index, int f_steps,
-                                    const OnDemandChoice& od) const {
-  const GroupSchedule sched(group.t_steps, f_steps, group.o_steps, group.r_steps);
+                                    const OnDemandChoice& od, double o_scale,
+                                    double r_scale) const {
+  const GroupSchedule sched(group.t_steps, f_steps, group.o_steps * o_scale,
+                            group.r_steps * r_scale);
   const double w = sched.wall_duration();
   const auto& fm = group.failure;
 
@@ -57,15 +61,16 @@ double CheckpointPlanner::objective(const GroupSetup& group, std::size_t bid_ind
 }
 
 int CheckpointPlanner::choose(const GroupSetup& group, std::size_t bid_index,
-                              const OnDemandChoice& od) const {
+                              const OnDemandChoice& od, double o_scale,
+                              double r_scale) const {
   if (config_.mode == PhiMode::kDisabled) return group.t_steps;
-  const int young = young_daly(group, bid_index);
+  const int young = young_daly(group, bid_index, o_scale);
   if (config_.mode == PhiMode::kYoungDaly) return young;
 
   int best_f = group.t_steps;
   double best_j = std::numeric_limits<double>::infinity();
   for (int f : candidate_intervals(group.t_steps, young)) {
-    const double j = objective(group, bid_index, f, od);
+    const double j = objective(group, bid_index, f, od, o_scale, r_scale);
     if (j < best_j) {
       best_j = j;
       best_f = f;

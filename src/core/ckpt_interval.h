@@ -37,17 +37,24 @@ class CheckpointPlanner {
 
   explicit CheckpointPlanner(Config config) : config_(config) {}
 
-  /// Young/Daly interval in steps, clamped to [1, T_i].
-  static int young_daly(const GroupSetup& group, std::size_t bid_index);
+  /// Young/Daly interval in steps, clamped to [1, T_i]. `o_scale` is the
+  /// checkpoint-level policy's O multiplier (1.0 = the flat S3 path; exact).
+  static int young_daly(const GroupSetup& group, std::size_t bid_index,
+                        double o_scale = 1.0);
 
   /// φ_i(P_i): the checkpoint interval for `group` at the given bid level.
-  /// `od` supplies the recovery price used by the numeric objective.
-  int choose(const GroupSetup& group, std::size_t bid_index, const OnDemandChoice& od) const;
+  /// `od` supplies the recovery price used by the numeric objective. The
+  /// optional scales evaluate φ under a checkpoint-level policy's effective
+  /// O_i/R_i; the defaults multiply by exactly 1.0 and are bit-identical to
+  /// the unscaled form.
+  int choose(const GroupSetup& group, std::size_t bid_index, const OnDemandChoice& od,
+             double o_scale = 1.0, double r_scale = 1.0) const;
 
   /// The single-group objective J_i(F) — exposed for tests and the φ
   /// optimality property check.
   double objective(const GroupSetup& group, std::size_t bid_index, int f_steps,
-                   const OnDemandChoice& od) const;
+                   const OnDemandChoice& od, double o_scale = 1.0,
+                   double r_scale = 1.0) const;
 
   /// The numeric mode's candidate grid for a given T (deduplicated,
   /// ascending, always contains 1 and T).

@@ -33,9 +33,14 @@ Expectation CostModel::evaluate(const std::vector<GroupDecision>& decisions) con
   // Wall durations first, to size the common lifetime grid (Formula 10).
   walls_.resize(k);
   std::size_t max_wall = 0;
+  // The decision's level-policy scales multiply O_i/R_i; the degenerate
+  // scales are exactly 1.0 and IEEE multiplication by 1.0 is exact, so the
+  // pre-multilevel decisions take a bit-identical path through here.
   for (std::size_t i = 0; i < k; ++i) {
     const auto& g = *groups_[i];
-    const GroupSchedule sched(g.t_steps, decisions[i].f_steps, g.o_steps, g.r_steps);
+    const GroupSchedule sched(g.t_steps, decisions[i].f_steps,
+                              g.o_steps * decisions[i].o_scale,
+                              g.r_steps * decisions[i].r_scale);
     walls_[i] = sched.wall_duration();
     SOMPI_REQUIRE_MSG(walls_[i] <= static_cast<double>(g.failure.horizon()),
                       "failure-model horizon too short for group wall duration");
@@ -49,7 +54,8 @@ Expectation CostModel::evaluate(const std::vector<GroupDecision>& decisions) con
   for (std::size_t i = 0; i < k; ++i) {
     const auto& g = *groups_[i];
     const auto& d = decisions[i];
-    const GroupSchedule sched(g.t_steps, d.f_steps, g.o_steps, g.r_steps);
+    const GroupSchedule sched(g.t_steps, d.f_steps, g.o_steps * d.o_scale,
+                              g.r_steps * d.r_scale);
     const double w = walls_[i];
     const auto b = d.bid_index;
 
@@ -119,7 +125,8 @@ Expectation CostModel::evaluate_joint_exact(const std::vector<GroupDecision>& de
   scheds.reserve(k);
   for (std::size_t i = 0; i < k; ++i) {
     const auto& g = *groups_[i];
-    scheds.emplace_back(g.t_steps, decisions[i].f_steps, g.o_steps, g.r_steps);
+    scheds.emplace_back(g.t_steps, decisions[i].f_steps, g.o_steps * decisions[i].o_scale,
+                        g.r_steps * decisions[i].r_scale);
     outcomes[i] = static_cast<std::size_t>(std::ceil(scheds[i].wall_duration())) + 1;
   }
 
@@ -182,9 +189,30 @@ Expectation CostModel::evaluate_joint_exact(const std::vector<GroupDecision>& de
 
 CostTables::CostTables(const std::vector<GroupSetup>& groups, const OnDemandChoice& od,
                        CostModel::Config config, const std::vector<std::vector<int>>& f_of)
+    : CostTables(groups, od, config, [&] {
+        // Degenerate lowering: one choice per bid, scales exactly 1.0 — the
+        // generic constructor then performs the identical operations in the
+        // identical order as the pre-multilevel bid-only build.
+        std::vector<std::vector<ChoiceSpec>> choices(f_of.size());
+        for (std::size_t g = 0; g < f_of.size(); ++g) {
+          choices[g].resize(f_of[g].size());
+          for (std::size_t b = 0; b < f_of[g].size(); ++b) {
+            choices[g][b].bid_index = b;
+            choices[g][b].f_steps = f_of[g][b];
+          }
+        }
+        return choices;
+      }()) {
+  for (std::size_t g = 0; g < groups.size(); ++g)
+    SOMPI_REQUIRE(f_of[g].size() == groups[g].failure.bid_count());
+}
+
+CostTables::CostTables(const std::vector<GroupSetup>& groups, const OnDemandChoice& od,
+                       CostModel::Config config,
+                       const std::vector<std::vector<ChoiceSpec>>& choices)
     : groups_(&groups), od_(od), config_(config) {
   SOMPI_REQUIRE(!groups.empty());
-  SOMPI_REQUIRE(f_of.size() == groups.size());
+  SOMPI_REQUIRE(choices.size() == groups.size());
   SOMPI_REQUIRE(config_.step_hours > 0.0);
   SOMPI_REQUIRE(config_.ratio_bins >= 8);
   SOMPI_REQUIRE(od_.t_h > 0.0 && od_.rate_usd_h > 0.0);
@@ -198,9 +226,9 @@ CostTables::CostTables(const std::vector<GroupSetup>& groups, const OnDemandChoi
 
   std::size_t total_cells = 0;
   for (std::size_t g = 0; g < n; ++g) {
-    SOMPI_REQUIRE(f_of[g].size() == groups[g].failure.bid_count());
+    SOMPI_REQUIRE(!choices[g].empty());
     cell_off_[g] = total_cells;
-    total_cells += groups[g].failure.bid_count();
+    total_cells += choices[g].size();
   }
   cells_.resize(total_cells);
 
@@ -209,10 +237,14 @@ CostTables::CostTables(const std::vector<GroupSetup>& groups, const OnDemandChoi
     const GroupSetup& grp = groups[g];
     double min_spot = std::numeric_limits<double>::infinity();
     double* min_tail = min_tail_.data() + g * bins;
-    for (std::size_t b = 0; b < grp.failure.bid_count(); ++b) {
-      Cell& c = cells_[cell_off_[g] + b];
-      c.f_steps = f_of[g][b];
-      const GroupSchedule sched(grp.t_steps, c.f_steps, grp.o_steps, grp.r_steps);
+    for (std::size_t ci = 0; ci < choices[g].size(); ++ci) {
+      Cell& c = cells_[cell_off_[g] + ci];
+      c.choice = choices[g][ci];
+      const std::size_t b = c.choice.bid_index;
+      SOMPI_REQUIRE(b < grp.failure.bid_count());
+      c.f_steps = c.choice.f_steps;
+      const GroupSchedule sched(grp.t_steps, c.f_steps, grp.o_steps * c.choice.o_scale,
+                                grp.r_steps * c.choice.r_scale);
       const double w = sched.wall_duration();
       SOMPI_REQUIRE_MSG(w <= static_cast<double>(grp.failure.horizon()),
                         "failure-model horizon too short for group wall duration");
@@ -258,6 +290,11 @@ CostTables::CostTables(const std::vector<GroupSetup>& groups, const OnDemandChoi
 
 std::size_t CostTables::bid_count(std::size_t g) const {
   return (*groups_)[g].failure.bid_count();
+}
+
+std::size_t CostTables::choice_count(std::size_t g) const {
+  const std::size_t end = g + 1 < cell_off_.size() ? cell_off_[g + 1] : cells_.size();
+  return end - cell_off_[g];
 }
 
 SubsetEvaluator::SubsetEvaluator(const CostTables& tables, std::vector<std::size_t> members)

@@ -94,8 +94,21 @@ class CostModel {
 // field (tests/test_cost_model_fast.cpp).
 // ---------------------------------------------------------------------------
 
-/// Per-(group, bid) precomputed kernels over a candidate-group list, with
-/// the checkpoint interval tied to the bid via f_of[g][b]. Groups are
+/// One enumerable choice of a group: a bid level plus its tied checkpoint
+/// interval plus the checkpoint-level policy's exact O/R multipliers. The
+/// degenerate choice (scales 1.0, policy 0) is the pre-multilevel (bid, F)
+/// pair — CostTables built from it are bit-identical to the bid-only tables.
+struct ChoiceSpec {
+  std::size_t bid_index = 0;
+  int f_steps = 1;
+  double o_scale = 1.0;
+  double r_scale = 1.0;
+  std::size_t policy_index = 0;
+};
+
+/// Per-(group, choice) precomputed kernels over a candidate-group list,
+/// where a choice is a (bid, tied interval, level policy) triple — the
+/// bid-only construction is the degenerate single-policy case. Groups are
 /// borrowed; the pointees must outlive the tables. Read-only after
 /// construction and therefore safe to share across optimizer threads.
 class CostTables {
@@ -108,12 +121,23 @@ class CostTables {
     double one_minus_complete = 1.0;   ///< 1 − P[group finishes on spot]
     std::size_t life_off = 0;          ///< lifetime factors, w_ceil entries
     std::size_t tail_off = 0;          ///< Ratio tails, ratio_bins entries
+    ChoiceSpec choice;                 ///< the decoded decision of this cell
   };
 
+  /// Generalized form: choices[g] enumerates the (bid, F, policy) choices of
+  /// group g, in enumeration order.
+  CostTables(const std::vector<GroupSetup>& groups, const OnDemandChoice& od,
+             CostModel::Config config,
+             const std::vector<std::vector<ChoiceSpec>>& choices);
+
+  /// Bid-only convenience (the pre-multilevel surface): one choice per bid
+  /// with the interval tied via f_of[g][b] and degenerate scales.
   CostTables(const std::vector<GroupSetup>& groups, const OnDemandChoice& od,
              CostModel::Config config, const std::vector<std::vector<int>>& f_of);
 
   std::size_t group_count() const { return groups_->size(); }
+  /// Enumerable choices of group g (== bid count in the degenerate case).
+  std::size_t choice_count(std::size_t g) const;
   std::size_t bid_count(std::size_t g) const;
   const GroupSetup& group(std::size_t g) const { return (*groups_)[g]; }
   const OnDemandChoice& od() const { return od_; }

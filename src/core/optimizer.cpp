@@ -68,7 +68,27 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
     candidates = std::move(kept);
   }
 
-  // Dimension reduction: F_i = φ_i(P_i), precomputed per (group, bid).
+  // Checkpoint-level policies (DESIGN.md §11). An empty config list is the
+  // degenerate single-policy set {s3}. Each group's composite choice index is
+  //   c = p · bid_count(g) + b,
+  // so with one policy c == b: enumeration order, tuple radices, colex ranks
+  // and logical evaluation counts all coincide with the pre-multilevel scan.
+  std::vector<CkptPolicy> policies = config_.ckpt_policies;
+  if (policies.empty()) policies.push_back(CkptPolicy{});
+  const std::size_t n_pol = policies.size();
+  const auto choice_count = [&](std::size_t g) {
+    return n_pol * candidates[g].failure.bid_count();
+  };
+  const auto decode = [&](std::size_t g, std::size_t c,
+                          const std::vector<std::vector<int>>& f_of) {
+    const std::size_t bids = candidates[g].failure.bid_count();
+    const std::size_t p = c / bids;
+    return GroupDecision{c % bids, f_of[g][c], policies[p].o_scale,
+                         policies[p].r_scale, p};
+  };
+
+  // Dimension reduction: F_i = φ_i(P_i), precomputed per composite
+  // (group, policy, bid) choice — φ sees the policy's effective O/R.
   CheckpointPlanner::Config phi_cfg;
   phi_cfg.mode = config_.phi_mode;
   phi_cfg.step_hours = config_.setup.step_hours;
@@ -76,9 +96,12 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
   const CheckpointPlanner phi(phi_cfg);
   std::vector<std::vector<int>> f_of(candidates.size());
   parallel_for(candidates.size(), config_.threads, [&](std::size_t i) {
-    f_of[i].resize(candidates[i].failure.bid_count());
-    for (std::size_t b = 0; b < f_of[i].size(); ++b)
-      f_of[i][b] = phi.choose(candidates[i], b, od);
+    const std::size_t bids = candidates[i].failure.bid_count();
+    f_of[i].resize(n_pol * bids);
+    for (std::size_t c = 0; c < f_of[i].size(); ++c) {
+      const CkptPolicy& pol = policies[c / bids];
+      f_of[i][c] = phi.choose(candidates[i], c % bids, od, pol.o_scale, pol.r_scale);
+    }
   });
 
   const CostModel::Config model_cfg{.step_hours = config_.setup.step_hours,
@@ -90,8 +113,10 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
   // max over t of (t + Ratio(t)·T_od). The max over all groups bounds the
   // joint worst case of any plan: if every group dies at time t_i,
   //   Time <= max_i t_i + T_od·min_i Ratio_i(t_i) <= max_i (t_i + T_od·Ratio_i(t_i)).
-  const auto group_worst_h = [&](const GroupSetup& g, int f_steps) {
-    const GroupSchedule sched(g.t_steps, f_steps, g.o_steps, g.r_steps);
+  const auto group_worst_h = [&](const GroupSetup& g, int f_steps, double o_scale,
+                                 double r_scale) {
+    const GroupSchedule sched(g.t_steps, f_steps, g.o_steps * o_scale,
+                              g.r_steps * r_scale);
     const double w = sched.wall_duration();
     double worst = w * step_h;  // clean completion
     for (std::size_t t = 0; t < static_cast<std::size_t>(std::ceil(w)); ++t) {
@@ -105,21 +130,25 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
   // Largest checkpoint interval whose worst case still fits the deadline —
   // the guard-clamped alternative tried for single-group plans. worst(F) is
   // monotone in F (fewer checkpoints → more redone work), so binary search.
-  std::vector<int> f_guard_max(candidates.size(), 0);
+  // The clamp depends on the policy's effective O/R, so it is per (group,
+  // policy), indexed g·n_pol + p.
+  std::vector<int> f_guard_max(candidates.size() * n_pol, 0);
   if (config_.worst_case_guard) {
-    parallel_for(candidates.size(), config_.threads, [&](std::size_t i) {
-      const GroupSetup& g = candidates[i];
-      if (group_worst_h(g, 1) > deadline_h) return;  // even F = 1 unsafe
+    parallel_for(candidates.size() * n_pol, config_.threads, [&](std::size_t idx) {
+      const GroupSetup& g = candidates[idx / n_pol];
+      const CkptPolicy& pol = policies[idx % n_pol];
+      if (group_worst_h(g, 1, pol.o_scale, pol.r_scale) > deadline_h)
+        return;  // even F = 1 unsafe
       int lo = 1, hi = g.t_steps;
       while (lo < hi) {
         const int mid = lo + (hi - lo + 1) / 2;
-        if (group_worst_h(g, mid) <= deadline_h) {
+        if (group_worst_h(g, mid, pol.o_scale, pol.r_scale) <= deadline_h) {
           lo = mid;
         } else {
           hi = mid - 1;
         }
       }
-      f_guard_max[i] = lo;
+      f_guard_max[idx] = lo;
     });
   }
 
@@ -150,23 +179,28 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
     PlanStats stats;
   };
 
-  // Per-(group, bid) guard tables, hoisted out of the tuple loop: the
-  // reference scan recomputes group_worst_h (an O(wall) scan) per tuple per
-  // group; both the deadline-fit and the survival-vs-0.5 test depend only on
-  // the (group, bid) pair once F is tied to the bid.
-  std::vector<std::size_t> bid_off(candidates.size() + 1, 0);
+  // Per-(group, composite-choice) guard tables, hoisted out of the tuple
+  // loop: the reference scan recomputes group_worst_h (an O(wall) scan) per
+  // tuple per group; both the deadline-fit and the survival-vs-0.5 test
+  // depend only on the (group, policy, bid) triple once F is tied to them.
+  std::vector<std::size_t> choice_off(candidates.size() + 1, 0);
   for (std::size_t g = 0; g < candidates.size(); ++g)
-    bid_off[g + 1] = bid_off[g] + candidates[g].failure.bid_count();
-  std::vector<unsigned char> fits(bid_off.back(), 1);
-  std::vector<unsigned char> surv_ok(bid_off.back(), 1);
+    choice_off[g + 1] = choice_off[g] + choice_count(g);
+  std::vector<unsigned char> fits(choice_off.back(), 1);
+  std::vector<unsigned char> surv_ok(choice_off.back(), 1);
   if (config_.worst_case_guard) {
     parallel_for(candidates.size(), config_.threads, [&](std::size_t g) {
       const GroupSetup& grp = candidates[g];
-      for (std::size_t b = 0; b < grp.failure.bid_count(); ++b) {
-        const GroupSchedule sched(grp.t_steps, f_of[g][b], grp.o_steps, grp.r_steps);
-        fits[bid_off[g] + b] = group_worst_h(grp, f_of[g][b]) <= deadline_h;
-        surv_ok[bid_off[g] + b] =
-            !(grp.failure.survival_at(b, sched.wall_duration()) < 0.5);
+      const std::size_t bids = grp.failure.bid_count();
+      for (std::size_t c = 0; c < choice_count(g); ++c) {
+        const CkptPolicy& pol = policies[c / bids];
+        const GroupSchedule sched(grp.t_steps, f_of[g][c],
+                                  grp.o_steps * pol.o_scale,
+                                  grp.r_steps * pol.r_scale);
+        fits[choice_off[g] + c] =
+            group_worst_h(grp, f_of[g][c], pol.o_scale, pol.r_scale) <= deadline_h;
+        surv_ok[choice_off[g] + c] =
+            !(grp.failure.survival_at(c % bids, sched.wall_duration()) < 0.5);
       }
     });
   }
@@ -179,16 +213,16 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
   const auto logical_evaluations = [&](const std::vector<std::size_t>& subset) {
     if (!config_.worst_case_guard) {
       std::size_t n = 1;
-      for (std::size_t g : subset) n *= candidates[g].failure.bid_count();
+      for (std::size_t g : subset) n *= choice_count(g);
       return n;
     }
     std::size_t n_fit = 1, n_surv = 1, n_surv_fit = 1;
     for (std::size_t g : subset) {
       std::size_t fit = 0, surv = 0, both = 0;
-      for (std::size_t b = 0; b < candidates[g].failure.bid_count(); ++b) {
-        fit += fits[bid_off[g] + b];
-        surv += surv_ok[bid_off[g] + b];
-        both += fits[bid_off[g] + b] & surv_ok[bid_off[g] + b];
+      for (std::size_t c = 0; c < choice_count(g); ++c) {
+        fit += fits[choice_off[g] + c];
+        surv += surv_ok[choice_off[g] + c];
+        both += fits[choice_off[g] + c] & surv_ok[choice_off[g] + c];
       }
       n_fit *= fit;
       n_surv *= surv;
@@ -198,9 +232,11 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
     if (subset.size() >= 2) n += n_surv - n_surv_fit;
     if (subset.size() == 1 && config_.phi_mode != PhiMode::kDisabled) {
       const std::size_t g = subset[0];
-      const int clamp = f_guard_max[g];
-      for (std::size_t b = 0; b < candidates[g].failure.bid_count(); ++b)
-        n += clamp >= 1 && clamp < f_of[g][b];
+      const std::size_t bids = candidates[g].failure.bid_count();
+      for (std::size_t c = 0; c < choice_count(g); ++c) {
+        const int clamp = f_guard_max[g * n_pol + c / bids];
+        n += clamp >= 1 && clamp < f_of[g][c];
+      }
     }
     return n;
   };
@@ -218,7 +254,7 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
     radices.reserve(k);
     for (std::size_t i : subset) {
       view.push_back(&candidates[i]);
-      radices.push_back(candidates[i].failure.bid_count());
+      radices.push_back(n_pol * candidates[i].failure.bid_count());
     }
     const CostModel model(std::move(view), od, model_cfg);
 
@@ -227,7 +263,8 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
       if (config_.worst_case_guard) {
         double worst = 0.0;
         for (std::size_t i = 0; i < k; ++i)
-          worst = std::max(worst, group_worst_h(candidates[subset[i]], d[i].f_steps));
+          worst = std::max(worst, group_worst_h(candidates[subset[i]], d[i].f_steps,
+                                                d[i].o_scale, d[i].r_scale));
         if (worst > deadline_h) {
           // Worst case does not fit: only GENUINE replication may stand in
           // — at least two replicas, each individually likely to finish
@@ -238,7 +275,9 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
           if (k < 2) return;
           for (std::size_t i = 0; i < k; ++i) {
             const GroupSetup& g = candidates[subset[i]];
-            const GroupSchedule sched(g.t_steps, d[i].f_steps, g.o_steps, g.r_steps);
+            const GroupSchedule sched(g.t_steps, d[i].f_steps,
+                                      g.o_steps * d[i].o_scale,
+                                      g.r_steps * d[i].r_scale);
             if (g.failure.survival_at(d[i].bid_index, sched.wall_duration()) < 0.5) return;
           }
           const Expectation e = model.evaluate(d);
@@ -266,10 +305,10 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
       }
     };
 
-    for_each_tuple(radices, [&](const std::vector<std::size_t>& bids) {
+    for_each_tuple(radices, [&](const std::vector<std::size_t>& digits) {
       ++best.stats.tuples_visited;
       for (std::size_t i = 0; i < k; ++i)
-        decisions[i] = {bids[i], f_of[subset[i]][bids[i]]};
+        decisions[i] = decode(subset[i], digits[i], f_of);
       consider(decisions);
 
       // Single-group plans get a second shot with the guard-clamped
@@ -277,7 +316,7 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
       // (Not when checkpointing is ablated away — the clamp would
       // silently re-enable it.)
       if (config_.worst_case_guard && k == 1 && config_.phi_mode != PhiMode::kDisabled) {
-        const int clamp = f_guard_max[subset[0]];
+        const int clamp = f_guard_max[subset[0] * n_pol + decisions[0].policy_index];
         if (clamp >= 1 && clamp < decisions[0].f_steps) {
           std::vector<GroupDecision> clamped = decisions;
           clamped[0].f_steps = clamp;
@@ -294,8 +333,19 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
   // fold state and cut subtrees whose admissible cost bound exceeds the
   // cross-subset incumbent. Plans are bit-identical to the reference scan.
   std::optional<CostTables> tables;
-  if (config_.engine == SearchEngine::kIncremental && !candidates.empty())
-    tables.emplace(candidates, od, model_cfg, f_of);
+  if (config_.engine == SearchEngine::kIncremental && !candidates.empty()) {
+    std::vector<std::vector<ChoiceSpec>> choices(candidates.size());
+    for (std::size_t g = 0; g < candidates.size(); ++g) {
+      const std::size_t bids = candidates[g].failure.bid_count();
+      choices[g].resize(choice_count(g));
+      for (std::size_t c = 0; c < choices[g].size(); ++c) {
+        const std::size_t p = c / bids;
+        choices[g][c] = ChoiceSpec{c % bids, f_of[g][c], policies[p].o_scale,
+                                   policies[p].r_scale, p};
+      }
+    }
+    tables.emplace(candidates, od, model_cfg, choices);
+  }
 
   // Best accepted cost seen by any subset so far. Any accepted candidate's
   // cost upper-bounds the final plan cost, so pruning strictly above it is
@@ -320,7 +370,7 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
     radices.reserve(k);
     std::size_t total_tuples = 1;
     for (std::size_t g : subset) {
-      radices.push_back(candidates[g].failure.bid_count());
+      radices.push_back(choice_count(g));
       total_tuples *= radices.back();
     }
 
@@ -404,7 +454,7 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
       ++best.stats.tuples_visited;
 
       for (std::size_t i = 0; i < k; ++i)
-        decisions[i] = {bids[i], f_of[subset[i]][bids[i]]};
+        decisions[i] = decode(subset[i], bids[i], f_of);
 
       // Guard filter, table-driven (same predicates the reference scan
       // computes per tuple): a tuple whose worst case misses the deadline is
@@ -413,7 +463,7 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
       bool guard_reject = false;  // ... and replication cannot stand in
       if (config_.worst_case_guard) {
         for (std::size_t i = 0; i < k; ++i)
-          if (!fits[bid_off[subset[i]] + bids[i]]) {
+          if (!fits[choice_off[subset[i]] + bids[i]]) {
             guard_branch = true;
             break;
           }
@@ -422,7 +472,7 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
             guard_reject = true;
           } else {
             for (std::size_t i = 0; i < k; ++i)
-              if (!surv_ok[bid_off[subset[i]] + bids[i]]) {
+              if (!surv_ok[choice_off[subset[i]] + bids[i]]) {
                 guard_reject = true;
                 break;
               }
@@ -441,7 +491,7 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
       // in the reference scan. The clamped interval is not in the tables, so
       // it goes through the naive evaluator (bit-identical by definition).
       if (config_.worst_case_guard && k == 1 && config_.phi_mode != PhiMode::kDisabled) {
-        const int clamp = f_guard_max[subset[0]];
+        const int clamp = f_guard_max[subset[0] * n_pol + decisions[0].policy_index];
         if (clamp >= 1 && clamp < decisions[0].f_steps) {
           if (!clamp_model)
             clamp_model.emplace(
@@ -507,10 +557,11 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
           .name = catalog_->group_name(g.spec),
           .instances = g.instances,
           .t_steps = g.t_steps,
-          .o_steps = g.o_steps,
-          .r_steps = g.r_steps,
+          .o_steps = g.o_steps * d.o_scale,
+          .r_steps = g.r_steps * d.r_scale,
           .bid_usd = g.failure.bid(d.bid_index),
           .f_steps = d.f_steps,
+          .ckpt_policy = policies[d.policy_index].name,
       });
     }
     plan.expected = best_expectation;

@@ -68,6 +68,13 @@ struct OptimizerConfig {
   /// bound only discards tuples provably worse than the incumbent, so the
   /// chosen plan is unchanged; Plan::stats prune counters become nonzero.
   bool prune = true;
+  /// Checkpoint-level policies enumerated per group as a third decision
+  /// dimension next to bid and interval (DESIGN.md §11). Empty means the
+  /// degenerate single-policy set {CkptPolicy::single_s3()}, whose plans are
+  /// bit-identical to the pre-multilevel optimizer; listing several policies
+  /// can only lower the optimum, since the search is exact over the
+  /// enlarged choice set (the fuzzer's dominance gate).
+  std::vector<CkptPolicy> ckpt_policies = {};
 };
 
 class SompiOptimizer {

@@ -19,10 +19,14 @@ struct GroupPlan {
   std::string name;       ///< "type@zone", for reports
   int instances = 0;      ///< M_i
   int t_steps = 0;        ///< T_i (productive steps)
-  double o_steps = 0.0;   ///< O_i
-  double r_steps = 0.0;   ///< R_i
+  double o_steps = 0.0;   ///< O_i — effective, under the chosen level policy
+  double r_steps = 0.0;   ///< R_i — effective, under the chosen level policy
   double bid_usd = 0.0;   ///< P_i
   int f_steps = 0;        ///< F_i (== t_steps means no checkpoints)
+  /// Checkpoint-level policy name; "s3" is the flat pre-multilevel path
+  /// (and is omitted from the plan fingerprint, keeping degenerate plans
+  /// byte-identical to their pre-multilevel fingerprints).
+  std::string ckpt_policy = "s3";
 };
 
 /// Search-work accounting for one optimize() call. Unlike

@@ -5,12 +5,42 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "cloud/catalog.h"
 #include "core/failure_model.h"
 
 namespace sompi {
+
+/// A checkpoint-level policy: which storage hierarchy a group's checkpoints
+/// use (DESIGN.md §11). In the cost model a policy acts as a pair of exact
+/// multipliers on the group's base overheads — O_i and R_i become per-level
+/// quantities O_i·o_scale and R_i·r_scale — so the level choice joins bid
+/// price and checkpoint interval as an optimizer decision dimension. The
+/// default policy is the paper's flat S3 path with both scales exactly 1.0:
+/// multiplying by 1.0 is bit-exact in IEEE arithmetic, so every degenerate
+/// evaluation is bit-identical to the pre-multilevel code path.
+struct CkptPolicy {
+  std::string name = "s3";
+  /// Multiplier on O_i: what a checkpoint write costs under this hierarchy.
+  double o_scale = 1.0;
+  /// Multiplier on R_i (and the redo Ratio): what recovery costs.
+  double r_scale = 1.0;
+
+  bool degenerate() const { return o_scale == 1.0 && r_scale == 1.0; }
+
+  /// The paper's flat S3 path — the bit-identity anchor.
+  static CkptPolicy single_s3() { return {}; }
+  /// Node-local cache + async S3 flush: writes land at cache speed (the
+  /// flush overlaps compute), but a whole-group kill recovers from the
+  /// possibly-lagging remote copy through the ladder — slightly dearer R.
+  static CkptPolicy cache_s3() { return {"cache+s3", 0.45, 1.10}; }
+  /// Cache + XOR peer redundancy + async flush: encoding shards costs extra
+  /// on the write path, but single-node losses rebuild from peers without
+  /// touching remote storage — cheaper R.
+  static CkptPolicy cache_xor_s3() { return {"cache+xor+s3", 0.60, 0.90}; }
+};
 
 /// Everything fixed about one circle group once the application and the
 /// market history are known.
@@ -28,11 +58,17 @@ struct GroupSetup {
   FailureModel failure;
 };
 
-/// The optimizer's per-group decision: which bid level and which checkpoint
-/// interval to use.
+/// The optimizer's per-group decision: which bid level, which checkpoint
+/// interval, and which checkpoint-level policy to use. The policy enters the
+/// model as exact O/R multipliers; the defaults (1.0, policy 0) reproduce
+/// the pre-multilevel two-field decision bit-for-bit, so existing positional
+/// initializers `{bid, f}` keep their old meaning.
 struct GroupDecision {
   std::size_t bid_index = 0;  ///< into GroupSetup::failure.bids()
   int f_steps = 1;            ///< F_i in [1, T_i]; F_i == T_i disables checkpoints
+  double o_scale = 1.0;       ///< CkptPolicy::o_scale of the chosen level policy
+  double r_scale = 1.0;       ///< CkptPolicy::r_scale of the chosen level policy
+  std::size_t policy_index = 0;  ///< into OptimizerConfig::ckpt_policies
 };
 
 /// The selected on-demand recovery tier d* (paper §4.1).

@@ -22,6 +22,9 @@ const char* channel_label(Channel channel) {
     case Channel::kFeedDrop: return "feed.drop";
     case Channel::kFeedDup: return "feed.dup";
     case Channel::kFeedLate: return "feed.late";
+    case Channel::kCacheWipe: return "ckpt.cache_wipe";
+    case Channel::kPartnerLoss: return "ckpt.partner_loss";
+    case Channel::kFlushKill: return "ckpt.flush_kill";
   }
   return "?";
 }
@@ -54,6 +57,11 @@ FaultPlan FaultPlan::from_seed(std::uint64_t seed) {
   plan.p_tick_drop = intensity * rng.uniform(0.0, 0.15);
   plan.p_tick_dup = intensity * rng.uniform(0.0, 0.15);
   plan.p_tick_late = intensity * rng.uniform(0.0, 0.20);
+  // Multi-level channels are drawn after the feed ones for the same reason:
+  // earlier fields keep their exact same-seed values across versions.
+  plan.p_cache_wipe = rng.uniform(0.0, 0.35);
+  plan.p_partner_loss = intensity * rng.uniform(0.0, 0.25);
+  plan.p_flush_kill = intensity * rng.uniform(0.0, 0.25);
   return plan;
 }
 

@@ -36,6 +36,9 @@ enum class Channel : int {
   kFeedDrop,           ///< market tick lost before ingestion
   kFeedDup,            ///< market tick delivered twice
   kFeedLate,           ///< market tick delayed past its successor
+  kCacheWipe,          ///< node-local checkpoint cache level lost (node died)
+  kPartnerLoss,        ///< a peer's redundancy shard lost with its node
+  kFlushKill,          ///< spot kill lands mid async cache→remote flush
 };
 
 const char* channel_label(Channel channel);
@@ -68,6 +71,11 @@ struct FaultPlan {
   double p_tick_drop = 0.0;  ///< tick lost before the queue
   double p_tick_dup = 0.0;   ///< tick emitted twice
   double p_tick_late = 0.0;  ///< tick held back one slot (out-of-order)
+
+  // --- multi-level checkpointing (consulted by the multilevel scenario) ---
+  double p_cache_wipe = 0.0;    ///< node-local cache level wiped between saves
+  double p_partner_loss = 0.0;  ///< one peer redundancy shard lost alongside
+  double p_flush_kill = 0.0;    ///< async flush killed before the remote COMMIT
 
   // --- serving layer (consulted by PlanService / the scenario driver) -----
   double p_shed = 0.0;  ///< forced admission-control shed per request

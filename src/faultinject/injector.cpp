@@ -48,6 +48,9 @@ double FaultInjector::channel_probability(Channel channel) const {
     case Channel::kFeedDrop: return plan_.p_tick_drop;
     case Channel::kFeedDup: return plan_.p_tick_dup;
     case Channel::kFeedLate: return plan_.p_tick_late;
+    case Channel::kCacheWipe: return plan_.p_cache_wipe;
+    case Channel::kPartnerLoss: return plan_.p_partner_loss;
+    case Channel::kFlushKill: return plan_.p_flush_kill;
   }
   return 0.0;
 }

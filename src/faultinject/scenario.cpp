@@ -18,7 +18,10 @@
 #include <vector>
 
 #include "checkpoint/checkpointer.h"
+#include "checkpoint/compress.h"
 #include "checkpoint/incremental.h"
+#include "checkpoint/multilevel.h"
+#include "checkpoint/redundancy.h"
 #include "checkpoint/state_buffer.h"
 #include "checkpoint/storage.h"
 #include "cloud/catalog.h"
@@ -772,27 +775,321 @@ ScenarioOutcome run_feed_scenario(std::uint64_t seed) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Scenario 6: the multi-level checkpoint hierarchy under chaos.
+//
+// The scenario-0 lockstep app runs over a MultiLevelCheckpointer (node-local
+// cache + peer redundancy + S3-sim remote) while the plan's multi-level
+// channels fire: single-node cache wipes, peer shard losses, and flush kills
+// that leave remote versions uncommitted. Per version at most ONE of
+// {single-rank cache wipe, single shard loss} is injected, so the newest
+// committed version is always recoverable at the cache level — which makes
+// the post-mortem gates exact:
+//
+//   * the final restore returns the final iteration's exact bytes WITHOUT a
+//     single billed S3-sim GET (single-rank losses resolve from peers);
+//   * after a total cache loss, the newest REMOTE-committed version restores
+//     with exactly `ranks` GETs and bytes matching a recorded commit — or,
+//     when every flush was killed, load_latest reports nothing rather than
+//     serving a half-flushed version;
+//   * the optimizer's multi-level policy set never costs more than the
+//     single-level one (exact search over a superset), and the empty policy
+//     list keeps the degenerate fingerprint byte-identical.
+
+ScenarioOutcome run_multilevel_scenario(std::uint64_t seed) {
+  ScenarioOutcome out;
+  out.seed = seed;
+  out.kind = "multilevel";
+  Violations violations;
+
+  Rng rng(seed ^ 0x3117E7E1ULL);
+  const int ranks = 2 + static_cast<int>(rng.uniform_index(4));
+  const int total_iters = 6 + static_cast<int>(rng.uniform_index(14));
+  const int ckpt_every = 1 + static_cast<int>(rng.uniform_index(4));
+  const std::size_t doubles = 24 + rng.uniform_index(72);
+  const RedundancyScheme scheme = (ranks >= 3 && rng.bernoulli(0.5))
+                                      ? RedundancyScheme::kXor
+                                      : RedundancyScheme::kPartner;
+  const bool rle = rng.bernoulli(0.5);
+
+  const FaultPlan plan = FaultPlan::from_seed(seed);
+  FaultInjector injector(plan);
+  MemoryStore cache;
+  S3Sim remote;
+  MultiLevelConfig mcfg;
+  mcfg.cache = &cache;
+  mcfg.redundancy = scheme;
+  mcfg.compression.mode = rle ? CompressionMode::kRle : CompressionMode::kNone;
+  mcfg.compression.cpu_seconds_per_gb = 4.0;
+  // Synchronous flush keeps every attempt's op sequence a pure function of
+  // the committed-save sequence (an async worker would interleave
+  // nondeterministically with the injector's per-key streams).
+  MultiLevelCheckpointer ml(&remote, "fuzz-ml", mcfg, &injector);
+
+  const auto cache_blob_key = [](int version, int rank) {
+    return "fuzz-ml/l0/v" + std::to_string(version) + "/rank" + std::to_string(rank);
+  };
+  const auto shard_key = [](int version, int rank) {
+    return "fuzz-ml/l1/v" + std::to_string(version) + "/shard" + std::to_string(rank);
+  };
+
+  // Written by rank 0 only; reads happen after join() (which synchronizes).
+  std::vector<std::pair<int, int>> committed;  // (version, iter), commit order
+  int max_attempted = 0;
+  int last_restored = -1;
+
+  const auto rank_fn = [&](mpi::Comm& comm) {
+    int iter = 0;
+    if (ml.has_snapshot(comm)) {
+      const auto blob = ml.load_latest(comm);
+      if (!blob) {
+        violations.record("has_snapshot true but load_latest returned nothing");
+        return;
+      }
+      StateReader reader(*blob);
+      iter = reader.read<std::int32_t>();
+      if (comm.rank() == 0) {
+        if (iter > max_attempted)
+          violations.record("restored progress exceeds last attempted checkpoint: iter " +
+                            std::to_string(iter) + " > " + std::to_string(max_attempted));
+        if (iter < last_restored)
+          violations.record("restored progress regressed across attempts");
+        last_restored = iter;
+      }
+      const auto want = expected_state(seed, comm.rank(), iter, doubles);
+      if (*blob != want)
+        violations.record("restored state of rank " + std::to_string(comm.rank()) +
+                          " does not match the bytes saved at iteration " +
+                          std::to_string(iter));
+    }
+    while (iter < total_iters) {
+      comm.tick();
+      (void)comm.allreduce(state_value(seed, comm.rank(), iter, 0), mpi::ReduceOp::kSum);
+      ++iter;
+      if (iter % ckpt_every == 0 || iter == total_iters) {
+        if (comm.rank() == 0) max_attempted = std::max(max_attempted, iter);
+        const auto bytes = expected_state(seed, comm.rank(), iter, doubles);
+        const int version = ml.save(comm, bytes);
+        if (comm.rank() == 0) {
+          committed.emplace_back(version, iter);
+          // Post-save chaos, one loss per version at most (see the header
+          // comment): a whole node dies (blob + own shard), or one peer
+          // shard rots away. Other ranks are already blocked on the next
+          // collective, so the wipe races with no storage traffic.
+          const std::string vtag = std::to_string(version);
+          if (injector.fires(Channel::kCacheWipe, "wipe/v" + vtag)) {
+            std::uint64_t s = seed ^ (0x51C7ULL + static_cast<std::uint64_t>(version));
+            const int victim =
+                static_cast<int>(splitmix64(s) % static_cast<std::uint64_t>(ranks));
+            cache.remove(cache_blob_key(version, victim));
+            cache.remove(shard_key(version, victim));
+          } else if (injector.fires(Channel::kPartnerLoss, "peer/v" + vtag)) {
+            std::uint64_t s = seed ^ (0x9EE2ULL + static_cast<std::uint64_t>(version));
+            const int victim =
+                static_cast<int>(splitmix64(s) % static_cast<std::uint64_t>(ranks));
+            cache.remove(shard_key(version, victim));
+          }
+        }
+      }
+    }
+  };
+
+  const int max_attempts = static_cast<int>(plan.max_faults) + 4;
+  bool completed = false;
+  int attempts = 0;
+  for (; attempts < max_attempts && !completed; ++attempts) {
+    if (attempts >= static_cast<int>(plan.max_faults) + 1) injector.quiesce();
+    const mpi::RunResult result =
+        attempts == 0 ? mpi::Runtime::run_with_plan(ranks, rank_fn, plan)
+                      : mpi::Runtime::run(ranks, rank_fn);
+    if (violations.any()) break;
+    completed = result.completed;
+    for (const std::string& err : result.errors) {
+      if (!InjectedFault::describes(err)) {
+        violations.record("non-injected error escaped: " + err);
+        break;
+      }
+    }
+    if (violations.any()) break;
+  }
+  if (!violations.any() && !completed)
+    violations.record("run did not complete within the fault budget (" +
+                      std::to_string(max_attempts) + " attempts)");
+
+  // Post-mortem, chaos disabled. The newest committed version carries the
+  // final iteration and is cache-recoverable by construction, so the restore
+  // must return the final bytes without one billed S3-sim GET.
+  MultiLevelCheckpointer verify(&remote, "fuzz-ml", mcfg, nullptr);
+  if (!violations.any()) {
+    const std::uint64_t gets_before = remote.get_count();
+    const mpi::RunResult result = mpi::Runtime::run(ranks, [&](mpi::Comm& comm) {
+      const auto blob = verify.load_latest(comm);
+      if (!blob) {
+        violations.record("no committed snapshot after a completed run");
+        return;
+      }
+      const auto want = expected_state(seed, comm.rank(), total_iters, doubles);
+      if (*blob != want)
+        violations.record("final committed snapshot of rank " + std::to_string(comm.rank()) +
+                          " is not the final state");
+    });
+    if (!result.completed && !violations.any())
+      violations.record("chaos-free verification world failed");
+    if (remote.get_count() != gets_before)
+      violations.record("cache-level restore performed " +
+                        std::to_string(remote.get_count() - gets_before) +
+                        " billed S3-sim GET(s); single-rank losses must resolve "
+                        "from peers");
+  }
+
+  // Total cache loss: only REMOTE-committed versions may serve, each GET
+  // billed, and a version whose flush was killed must stay invisible.
+  if (!violations.any()) {
+    for (const std::string& key : cache.list("")) cache.remove(key);
+    std::vector<int> remote_versions;
+    for (const std::string& key : remote.list("fuzz-ml/v"))
+      if (key.size() > 7 && key.compare(key.size() - 7, 7, "/COMMIT") == 0)
+        remote_versions.push_back(std::stoi(key.substr(9, key.size() - 7 - 9)));
+    std::sort(remote_versions.begin(), remote_versions.end());
+
+    MultiLevelCheckpointer cold(&remote, "fuzz-ml", mcfg, nullptr);
+    if (remote_versions.empty()) {
+      const mpi::RunResult result = mpi::Runtime::run(ranks, [&](mpi::Comm& comm) {
+        if (cold.has_snapshot(comm) || cold.load_latest(comm))
+          violations.record("restore served a snapshot though no version was "
+                            "remote-committed and the cache is gone");
+      });
+      if (!result.completed && !violations.any())
+        violations.record("chaos-free cold-restore world failed");
+    } else {
+      const int newest = remote_versions.back();
+      int want_iter = -1;
+      for (const auto& [v, it] : committed)
+        if (v == newest) want_iter = it;
+      if (want_iter < 0) {
+        violations.record("remote-committed version " + std::to_string(newest) +
+                          " was never recorded as committed");
+      } else {
+        const std::uint64_t gets_before = remote.get_count();
+        const mpi::RunResult result = mpi::Runtime::run(ranks, [&](mpi::Comm& comm) {
+          const auto blob = cold.load_latest(comm);
+          if (!blob) {
+            violations.record("remote-committed snapshot did not restore after "
+                              "total cache loss");
+            return;
+          }
+          const auto want = expected_state(seed, comm.rank(), want_iter, doubles);
+          if (*blob != want)
+            violations.record("remote restore of rank " + std::to_string(comm.rank()) +
+                              " does not match the bytes committed at iteration " +
+                              std::to_string(want_iter));
+        });
+        if (!result.completed && !violations.any())
+          violations.record("chaos-free cold-restore world failed");
+        if (violations.any() == false &&
+            remote.get_count() - gets_before != static_cast<std::uint64_t>(ranks))
+          violations.record("remote restore billed " +
+                            std::to_string(remote.get_count() - gets_before) +
+                            " GETs, expected exactly one per rank");
+      }
+    }
+  }
+
+  // Dominance gate: the multi-level policy set is a superset of {s3} and the
+  // search is exact, so its optimum can never cost more — and the empty
+  // policy list must stay fingerprint-identical to an explicit {s3}.
+  Plan plan_single;
+  Plan plan_multi;
+  if (!violations.any()) {
+    const Catalog catalog = paper_catalog();
+    const ExecTimeEstimator estimator;
+    const Market market = generate_market(catalog, random_market_profile(catalog, rng),
+                                          1.0 + rng.uniform(0.0, 1.0), 0.25, rng());
+    const char* names[] = {"BT", "SP", "LU", "FT", "IS"};
+    const AppProfile app = paper_profile(names[rng.uniform_index(5)]);
+    const double deadline_h = OnDemandSelector(&catalog, &estimator).baseline(app).t_h *
+                              (1.2 + rng.uniform(0.0, 3.0));
+
+    OptimizerConfig config = tiny_optimizer_config();
+    const SompiOptimizer single(&catalog, &estimator, config);
+    config.ckpt_policies = {CkptPolicy::single_s3()};
+    const SompiOptimizer explicit_s3(&catalog, &estimator, config);
+    config.ckpt_policies = {CkptPolicy::single_s3(), CkptPolicy::cache_s3(),
+                            CkptPolicy::cache_xor_s3()};
+    const SompiOptimizer multi(&catalog, &estimator, config);
+
+    plan_single = single.optimize(app, market, deadline_h);
+    plan_multi = multi.optimize(app, market, deadline_h);
+    if (plan_multi.expected.cost_usd > plan_single.expected.cost_usd)
+      violations.record("multi-level policy plan costs more than the single-level "
+                        "plan despite an exact search over a superset");
+    if (plan_fingerprint(plan_single) !=
+        plan_fingerprint(explicit_s3.optimize(app, market, deadline_h)))
+      violations.record("explicit {s3} policy list changed the degenerate plan "
+                        "fingerprint");
+  }
+
+  const FlushStats fs = ml.flush_stats();
+  const RecoveryStats rs = verify.recovery_stats();
+  Digest digest;
+  digest.mix(out.kind);
+  digest.mix(static_cast<std::uint64_t>(ranks));
+  digest.mix(static_cast<std::uint64_t>(total_iters));
+  digest.mix(static_cast<std::uint64_t>(ckpt_every));
+  digest.mix(std::string(redundancy_scheme_label(scheme)));
+  digest.mix(rle);
+  digest.mix(static_cast<std::uint64_t>(attempts));
+  digest.mix(static_cast<std::uint64_t>(committed.size()));
+  for (const auto& [v, it] : committed) {
+    digest.mix(static_cast<std::uint64_t>(v));
+    digest.mix(static_cast<std::uint64_t>(it));
+  }
+  digest.mix(injector.injected_count());
+  digest.mix(fs.flushes_started);
+  digest.mix(fs.flushes_completed);
+  digest.mix(fs.flushes_killed);
+  digest.mix(fs.bytes_before_compression);
+  digest.mix(fs.bytes_flushed);
+  digest.mix(rs.cache_loads);
+  digest.mix(rs.peer_rebuilds);
+  digest.mix(rs.remote_loads);
+  digest.mix(remote.put_count());
+  digest.mix(remote.get_count());
+  digest.mix(remote.bytes_uploaded());
+  digest.mix(remote.bytes_downloaded());
+  digest.mix(plan_fingerprint(plan_single));
+  digest.mix(plan_fingerprint(plan_multi));
+  for (int r = 0; r < ranks; ++r)
+    digest.mix_bytes(expected_state(seed, r, total_iters, doubles));
+  out.digest = digest.value();
+  out.failed = violations.any();
+  out.detail = violations.first();
+  return out;
+}
+
 }  // namespace
 
 const char* scenario_kind_name(std::uint64_t seed) {
-  switch (seed % 6) {
+  switch (seed % 7) {
     case 0: return "checkpoint";
     case 1: return "incremental";
     case 2: return "replay";
     case 3: return "service";
     case 4: return "plan";
-    default: return "feed";
+    case 5: return "feed";
+    default: return "multilevel";
   }
 }
 
 ScenarioOutcome run_scenario(std::uint64_t seed) {
-  switch (seed % 6) {
+  switch (seed % 7) {
     case 0: return run_checkpoint_scenario(seed, /*incremental=*/false);
     case 1: return run_checkpoint_scenario(seed, /*incremental=*/true);
     case 2: return run_replay_scenario(seed);
     case 3: return run_service_scenario(seed);
     case 4: return run_plan_scenario(seed);
-    default: return run_feed_scenario(seed);
+    case 5: return run_feed_scenario(seed);
+    default: return run_multilevel_scenario(seed);
   }
 }
 

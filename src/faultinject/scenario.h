@@ -2,7 +2,7 @@
 // subsystem under an injected failure schedule, plus the invariants that
 // must hold for ANY schedule.
 //
-// The six scenario kinds (selected by seed % 6) and their invariants:
+// The seven scenario kinds (selected by seed % 7) and their invariants:
 //
 //   checkpoint / incremental — an iterative mini-MPI app checkpoints under
 //     storage faults, torn uploads, protocol crashes and a tick-kill.
@@ -36,6 +36,18 @@
 //     market bit-matches the recorded trace; the tick/commit conservation
 //     laws hold; a plan served at the final epoch is fingerprint-identical
 //     to a fresh solve on the published market.
+//
+//   multilevel — the scenario-0 app runs over the multi-level checkpoint
+//     hierarchy (node cache + peer redundancy + S3-sim remote) under cache
+//     wipes, shard losses and killed flushes, at most one loss per version.
+//     Invariants: the run completes within the fault budget and restores
+//     never regress; the post-mortem restore returns the final iteration's
+//     exact bytes with ZERO billed S3-sim GETs (single-rank losses rebuild
+//     from peers); after a total cache loss only remote-committed versions
+//     serve — exactly one GET per rank, killed flushes stay invisible; the
+//     optimizer's multi-level policy set never costs more than single-level
+//     and an empty policy list keeps the degenerate fingerprint
+//     byte-identical.
 //
 // Every observable a scenario digests is deterministic at any thread count,
 // so `run_scenario(seed).digest` is byte-comparable across machines and

@@ -93,6 +93,11 @@ void PlanService::record_solve(double seconds, const Plan& plan) {
   evaluations_performed_ += plan.stats.evaluations;
   tuples_pruned_ += plan.stats.tuples_pruned;
   subsets_pruned_ += plan.stats.subsets_pruned;
+  for (const GroupPlan& g : plan.groups)
+    if (g.ckpt_policy != "s3") {
+      ++multilevel_plans_;
+      break;
+    }
   if (latency_ring_.size() < config_.latency_window) {
     latency_ring_.push_back(seconds);
   } else {
@@ -272,6 +277,7 @@ ServiceStats PlanService::stats() const {
     s.evaluations_performed = evaluations_performed_;
     s.tuples_pruned = tuples_pruned_;
     s.subsets_pruned = subsets_pruned_;
+    s.multilevel_plans = multilevel_plans_;
     if (!latency_ring_.empty()) {
       s.solve_p50_ms = percentile(latency_ring_, 0.50) * 1e3;
       s.solve_p99_ms = percentile(latency_ring_, 0.99) * 1e3;

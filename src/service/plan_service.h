@@ -87,6 +87,10 @@ struct ServiceStats {
   std::uint64_t evaluations_performed = 0;  ///< evaluations actually run
   std::uint64_t tuples_pruned = 0;          ///< bid tuples skipped by pruning
   std::uint64_t subsets_pruned = 0;         ///< whole subsets skipped
+  /// Solves whose winning plan uses a non-flat checkpoint-level policy in at
+  /// least one group (ckpt_policy != "s3") — how often the multi-level
+  /// hierarchy actually beat the flat S3 path.
+  std::uint64_t multilevel_plans = 0;
   /// Percentiles over the trailing ServiceConfig::latency_window solves
   /// (0 when nothing has been solved yet).
   double solve_p50_ms = 0.0;
@@ -203,6 +207,7 @@ class PlanService {
   std::uint64_t evaluations_performed_ = 0;
   std::uint64_t tuples_pruned_ = 0;
   std::uint64_t subsets_pruned_ = 0;
+  std::uint64_t multilevel_plans_ = 0;
   std::vector<double> latency_ring_;
   std::size_t latency_next_ = 0;
 };

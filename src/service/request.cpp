@@ -80,6 +80,9 @@ std::string plan_fingerprint(const Plan& plan) {
     put_double(os, "o", g.o_steps);
     put_double(os, "r", g.r_steps);
     put_double(os, "bid", g.bid_usd);
+    // The flat S3 policy is omitted so degenerate plans keep their
+    // pre-multilevel fingerprints byte-for-byte.
+    if (g.ckpt_policy != "s3") put_string(os, "ckpt", g.ckpt_policy);
   }
   os << ']';
   put_double(os, "ecost", plan.expected.cost_usd);

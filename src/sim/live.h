@@ -48,7 +48,7 @@ class LiveExecutor {
   /// Runs the application: `checkpoint_every` is in app iterations (0 = no
   /// checkpoints); `ck` may be null when checkpointing is off.
   using AppRunner =
-      std::function<apps::AppResult(mpi::Comm& comm, Checkpointer* ck, int checkpoint_every)>;
+      std::function<apps::AppResult(mpi::Comm& comm, CoordinatedCheckpointing* ck, int checkpoint_every)>;
 
   /// The market is borrowed and must outlive the executor.
   explicit LiveExecutor(const Market* market);

@@ -1,6 +1,6 @@
 // Golden-file regression harness for the optimizer (ISSUE 3 satellite).
 //
-// Three canned spot-price markets — fully determined by hard-coded seeds —
+// Four canned spot-price markets — fully determined by hard-coded seeds —
 // are solved with a fixed optimizer configuration, and the resulting plan
 // fingerprints are diffed against committed golden files. Any drift in trace
 // generation, the cost model, or the optimizer search shows up as a failing
@@ -41,15 +41,19 @@ struct GoldenCase {
   double days;            // market history length
   std::uint64_t seed;     // trace-generation (and profile) seed
   bool paper_profile;     // paper volatility zoo vs seeded random profile
+  bool multilevel;        // enumerate checkpoint-level policies (DESIGN.md §11)
 };
 
-// Three regimes: a calm paper market with a loose deadline (replication is
-// cheap), a random market under a moderate deadline, and a random market
-// under a deadline tight enough to force the worst-case guard to matter.
+// Four regimes: a calm paper market with a loose deadline (replication is
+// cheap), a random market under a moderate deadline, a random market under a
+// deadline tight enough to force the worst-case guard to matter, and the
+// moderate market re-solved with the multi-level checkpoint policies
+// enumerated — pinning which level policy the optimizer picks per group.
 constexpr GoldenCase kCases[] = {
-    {"paper_calm_bt", "BT", 2.0, 2.0, 11, true},
-    {"random_mid_sp", "SP", 1.5, 1.5, 1729, false},
-    {"random_tight_ft", "FT", 1.15, 3.0, 42, false},
+    {"paper_calm_bt", "BT", 2.0, 2.0, 11, true, false},
+    {"random_mid_sp", "SP", 1.5, 1.5, 1729, false, false},
+    {"random_tight_ft", "FT", 1.15, 3.0, 42, false, false},
+    {"multilevel_mid_sp", "SP", 1.5, 1.5, 1729, false, true},
 };
 
 /// FNV-1a over every price bit-pattern of every group trace, in catalog
@@ -101,7 +105,11 @@ std::string render_case(const GoldenCase& c) {
   const double deadline_h =
       OnDemandSelector(&catalog, &estimator).baseline(app).t_h * c.deadline_factor;
 
-  const SompiOptimizer optimizer(&catalog, &estimator, golden_config());
+  OptimizerConfig config = golden_config();
+  if (c.multilevel)
+    config.ckpt_policies = {CkptPolicy::single_s3(), CkptPolicy::cache_s3(),
+                            CkptPolicy::cache_xor_s3()};
+  const SompiOptimizer optimizer(&catalog, &estimator, config);
   const Plan plan = optimizer.optimize(app, market, deadline_h);
 
   std::ostringstream os;

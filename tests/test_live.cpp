@@ -50,7 +50,7 @@ class LiveTest : public ::testing::Test {
     cfg_.nx = 16;
     cfg_.ny = 16;
     cfg_.iterations = iterations;
-    return [this](mpi::Comm& comm, Checkpointer* ck, int checkpoint_every) {
+    return [this](mpi::Comm& comm, CoordinatedCheckpointing* ck, int checkpoint_every) {
       apps::LuConfig cfg = cfg_;
       cfg.checkpoint_every = checkpoint_every;
       return apps::lu_run(comm, cfg, ck);
