@@ -16,6 +16,12 @@
 //         producers > 1, commit through the resolution frontier, and publish
 //         epoch batches with windowed re-estimation — the live-ingestion
 //         path, where tick is the hand-rolled batch one
+//   platform [<file>|example] [APP]
+//         load and inspect a declarative platform file (src/platform):
+//         parse counters, host/link/zone tables, and the per-(type, zone)
+//         derived T/O/R profiles a platform-aware optimizer would consume.
+//         With no path (or "example") the built-in heterogeneous example
+//         platform (examples/platforms/hetero_slow_zone.plat) is shown
 //   epoch   print the current market epoch
 //   stats   print the service counters and solve-latency percentiles
 //   help    this text
@@ -42,6 +48,9 @@
 
 #include "feed/pipeline.h"
 #include "feed/tick_source.h"
+#include "platform/examples.h"
+#include "platform/parser.h"
+#include "profile/estimator.h"
 #include "profile/paper_profiles.h"
 #include "service/plan_service.h"
 
@@ -83,6 +92,47 @@ void print_stats(const ServiceStats& s) {
               "total %.2f s\n",
               s.cache_entries, static_cast<unsigned long long>(s.stale_evicted), s.solve_p50_ms,
               s.solve_p99_ms, s.solve_seconds_total);
+}
+
+void print_platform(const Catalog& catalog, const platform::Platform& plat,
+                    const platform::PlatformParseStats& stats, const AppProfile& app) {
+  std::printf("parsed %zu host(s), %zu link(s), %zu zone(s)", stats.hosts_parsed,
+              stats.links_parsed, stats.zones_parsed);
+  if (stats.skipped() > 0)
+    std::printf(" — %zu line(s) skipped (unknown %zu, no-name %zu, missing %zu, bad %zu, "
+                "dup %zu, dangling %zu)",
+                stats.skipped(), stats.unknown_directive, stats.missing_name,
+                stats.missing_field, stats.bad_field, stats.duplicate_name,
+                stats.dangling_link);
+  std::printf("\n");
+
+  for (const platform::Host& h : plat.hosts())
+    std::printf("  host %-12s gips/core %-5.2f nic %-6.2f Gbit/s lat %-5.0f us "
+                "disk %.0f MB/s\n",
+                h.type.c_str(), h.gips_per_core, h.nic_gbps, h.nic_latency_us, h.disk_mbps);
+  for (const platform::Link& l : plat.links())
+    std::printf("  link %-12s %-7.2f Gbit/s lat %-5.0f us %s\n", l.name.c_str(), l.gbps,
+                l.latency_us, l.shared ? "shared" : "dedicated");
+  for (const platform::ZoneNode& z : plat.zones())
+    std::printf("  zone %-12s intra=%s uplink=%s compute_scale=%.2f\n", z.name.c_str(),
+                plat.link(z.intra_link).name.c_str(), plat.link(z.uplink).name.c_str(),
+                z.compute_scale);
+
+  // The derived per-(type, zone) profiles a platform-aware optimizer feeds
+  // into the cost model: productive hours T, checkpoint overhead O and
+  // recovery overhead R for `app`.
+  const ExecTimeEstimator est(&plat);
+  std::printf("  derived profiles for %s (T / O / R hours):\n", app.name.c_str());
+  for (const InstanceType& type : catalog.types()) {
+    std::printf("    %-12s", type.name.c_str());
+    for (const Zone& zone : catalog.zones()) {
+      const double t_h = est.hours(app, type, zone.name);
+      const CheckpointCosts ck = est.checkpoint_costs(app, type, zone.name);
+      std::printf("  %s %.2f/%.3f/%.3f", zone.name.c_str(), t_h, ck.checkpoint_h,
+                  ck.recovery_h);
+    }
+    std::printf("\n");
+  }
 }
 
 }  // namespace
@@ -143,7 +193,8 @@ int main(int argc, char** argv) {
       if (cmd == "help") {
         std::printf("commands: plan <APP> <factor> [type=..]* [zone=..]* | "
                     "burst <APP> <factor> <n> | tick [steps] | "
-                    "feed <steps> [producers] | epoch | stats | quit\n");
+                    "feed <steps> [producers] | platform [file|example] [APP] | "
+                    "epoch | stats | quit\n");
 
       } else if (cmd == "plan" || cmd == "burst") {
         std::string app_name;
@@ -250,6 +301,23 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(pipe.commit_digest()),
                     static_cast<unsigned long long>(board.epoch()),
                     service.invalidate_stale());
+
+      } else if (cmd == "platform") {
+        std::string path, app_name;
+        in >> path >> app_name;
+        const AppProfile app = resolve_app(app_name.empty() ? "BT" : app_name);
+        platform::PlatformParseStats pstats;
+        if (path.empty() || path == "example") {
+          const platform::Platform plat =
+              platform::parse_platform(platform::example_hetero_platform_text(), &pstats);
+          std::printf("→ built-in example platform (examples/platforms/"
+                      "hetero_slow_zone.plat)\n");
+          print_platform(catalog, plat, pstats, app);
+        } else {
+          const platform::Platform plat = platform::read_platform_file(path, &pstats);
+          std::printf("→ %s\n", path.c_str());
+          print_platform(catalog, plat, pstats, app);
+        }
 
       } else if (cmd == "epoch") {
         std::printf("epoch %llu\n", static_cast<unsigned long long>(board.epoch()));

@@ -153,6 +153,11 @@ int MultiLevelCheckpointer::save(mpi::Comm& comm, std::span<const std::byte> ran
   if (faults_ != nullptr)
     faults_->protocol_point(fi::Channel::kCkptPreBlob, cache_rank_key(version, comm.rank()));
   config_.cache->put(cache_rank_key(version, comm.rank()), rank_state);
+  if (config_.transfer != nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    flush_stats_.model_cache_write_seconds +=
+        config_.transfer->cache_write_seconds(rank_state.size());
+  }
 
   // L1 + flush staging: rank 0 gathers the blobs, encodes redundancy shards
   // and hands each rank its shard; the gathered copies also feed the flush,
@@ -177,6 +182,11 @@ int MultiLevelCheckpointer::save(mpi::Comm& comm, std::span<const std::byte> ran
       my_shard = comm.recv_bytes(0, kTagShardFromRoot);
     }
     config_.cache->put(shard_key(version, comm.rank()), my_shard);
+    if (config_.transfer != nullptr) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      flush_stats_.model_cache_write_seconds +=
+          config_.transfer->cache_write_seconds(my_shard.size());
+    }
   }
 
   // Cache commit: same barrier-bracketed protocol as the flat Checkpointer.
@@ -243,6 +253,8 @@ void MultiLevelCheckpointer::run_flush(const FlushJob& job) {
   flush_stats_.bytes_before_compression += raw_bytes;
   flush_stats_.bytes_flushed += flushed_bytes;
   flush_stats_.compression_cpu_seconds += cpu_seconds;
+  if (config_.transfer != nullptr)
+    flush_stats_.model_flush_seconds += config_.transfer->flush_seconds(flushed_bytes);
   if (killed) {
     ++flush_stats_.flushes_killed;
   } else {
@@ -287,6 +299,9 @@ std::optional<std::vector<std::byte>> MultiLevelCheckpointer::try_cache_level(mp
   if (missing == 0) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++recovery_stats_.cache_loads;
+    if (config_.transfer != nullptr)
+      recovery_stats_.model_restore_seconds +=
+          config_.transfer->restore_seconds(mine->size(), /*from_cache=*/true);
     return mine;
   }
   if (config_.redundancy == RedundancyScheme::kNone) return std::nullopt;
@@ -327,6 +342,10 @@ std::optional<std::vector<std::byte>> MultiLevelCheckpointer::try_cache_level(mp
       std::lock_guard<std::mutex> lock(mutex_);
       recovery_stats_.peer_rebuilds += rebuilds;
       recovery_stats_.cache_loads += k - rebuilds;
+      if (config_.transfer != nullptr)
+        for (const auto& b : blobs)
+          recovery_stats_.model_restore_seconds +=
+              config_.transfer->restore_seconds(b->size(), /*from_cache=*/true);
     }
   } else {
     comm.send_bytes(0, kTagRebuildBlob, pack_optional(mine));
@@ -351,6 +370,9 @@ std::optional<std::vector<std::byte>> MultiLevelCheckpointer::try_remote_level(m
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++recovery_stats_.remote_loads;
+    if (config_.transfer != nullptr)
+      recovery_stats_.model_restore_seconds +=
+          config_.transfer->restore_seconds(wire->size(), /*from_cache=*/false);
   }
   return blob;
 }

@@ -46,6 +46,23 @@
 
 namespace sompi {
 
+/// Per-transfer simulated-time source for checkpoint I/O. Implemented by the
+/// platform layer (platform::PlatformTransferModel routes cache writes
+/// through the host disk and flush/remote traffic through the zone uplink);
+/// declared here so the checkpoint layer needs no platform dependency. Every
+/// method must be a pure function of its arguments.
+class CkptTransferModel {
+ public:
+  virtual ~CkptTransferModel() = default;
+  /// Modeled seconds one rank's `bytes` blob takes to land in the L0 cache.
+  virtual double cache_write_seconds(std::uint64_t bytes) const = 0;
+  /// Modeled seconds `bytes` of wire data take to drain cache→remote.
+  virtual double flush_seconds(std::uint64_t bytes) const = 0;
+  /// Modeled seconds one rank's `bytes` restore read takes; `from_cache`
+  /// selects the disk path (L0/L1) vs the uplink path (L2).
+  virtual double restore_seconds(std::uint64_t bytes, bool from_cache) const = 0;
+};
+
 /// Configuration of the hierarchy. The default (no cache store) is the
 /// degenerate single-S3-level setup.
 struct MultiLevelConfig {
@@ -58,6 +75,10 @@ struct MultiLevelConfig {
   CompressionSpec compression;
   /// Drain cache→remote on a background thread, overlapping compute.
   bool async_flush = false;
+  /// Platform transfer model billing modeled seconds for cache writes,
+  /// flushes and restores into the stats below. Borrowed; nullptr (the
+  /// default) charges nothing and leaves behaviour byte-identical.
+  const CkptTransferModel* transfer = nullptr;
 };
 
 struct FlushStats {
@@ -67,12 +88,20 @@ struct FlushStats {
   std::uint64_t bytes_before_compression = 0;
   std::uint64_t bytes_flushed = 0;
   double compression_cpu_seconds = 0.0;
+  /// Platform-modeled seconds for L0 cache writes (sum over ranks) and for
+  /// wire bytes drained through the zone uplink; zero without a transfer
+  /// model.
+  double model_cache_write_seconds = 0.0;
+  double model_flush_seconds = 0.0;
 };
 
 struct RecoveryStats {
   std::uint64_t cache_loads = 0;    ///< rank blobs served from L0
   std::uint64_t peer_rebuilds = 0;  ///< rank blobs rebuilt from L1 shards
   std::uint64_t remote_loads = 0;   ///< rank blobs fetched from L2
+  /// Platform-modeled seconds spent reading restore bytes (disk for L0/L1,
+  /// uplink for L2); zero without a transfer model.
+  double model_restore_seconds = 0.0;
 };
 
 class MultiLevelCheckpointer : public CoordinatedCheckpointing {

@@ -30,11 +30,15 @@ GroupSetup SetupBuilder::build_with_bids(const AppProfile& app, const CircleGrou
                                          std::vector<double> bids) const {
   SOMPI_REQUIRE(config.step_hours > 0.0);
   const InstanceType& type = catalog_->type(spec.type_index);
+  // Zone-qualified estimates: with a platform-aware estimator the group's
+  // zone folds its fabric/uplink into T_i, O_i and R_i (flat platforms and
+  // the catalog-only estimator reproduce the zone-less numbers bit-exactly).
+  const std::string& zone = catalog_->zone(spec.zone_index).name;
 
-  const double t_h = estimator_->hours(app, type);
+  const double t_h = estimator_->hours(app, type, zone);
   const int t_steps = std::max(1, static_cast<int>(std::ceil(t_h / config.step_hours)));
 
-  const CheckpointCosts ck = estimator_->checkpoint_costs(app, type);
+  const CheckpointCosts ck = estimator_->checkpoint_costs(app, type, zone);
   const double o_steps = ck.checkpoint_h / config.step_hours;
   const double r_steps = ck.recovery_h / config.step_hours;
 
@@ -60,7 +64,8 @@ std::vector<GroupSetup> SetupBuilder::build_candidates(const AppProfile& app,
                                                        double max_hours) const {
   std::vector<GroupSetup> out;
   for (const CircleGroupSpec& spec : catalog_->all_groups()) {
-    const double t_h = estimator_->hours(app, catalog_->type(spec.type_index));
+    const double t_h = estimator_->hours(app, catalog_->type(spec.type_index),
+                                         catalog_->zone(spec.zone_index).name);
     if (t_h > max_hours) continue;  // cannot complete before the deadline
     out.push_back(build(app, spec, history, config));
   }

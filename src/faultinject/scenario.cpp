@@ -34,6 +34,9 @@
 #include "feed/pipeline.h"
 #include "feed/tick_source.h"
 #include "minimpi/runtime.h"
+#include "platform/models.h"
+#include "platform/parser.h"
+#include "platform/platform.h"
 #include "profile/estimator.h"
 #include "profile/paper_profiles.h"
 #include "service/market_board.h"
@@ -1067,29 +1070,240 @@ ScenarioOutcome run_multilevel_scenario(std::uint64_t seed) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Scenario 7: a random heterogeneous platform through the whole stack.
+//
+// A seeded random platform (perturbed host rates, shared/dedicated links,
+// derated zones) is rendered to the declarative text format, reparsed, and
+// driven through the estimator and the optimizer. Invariants: the
+// render→parse round trip is lossless (zero skipped lines, bit-identical
+// effective specs at several flow counts); injected garbage lines are
+// skipped and counted without disturbing the well-formed declarations;
+// Platform::flat reproduces the catalog-only estimator 0 ULP; shared links
+// never gain bandwidth from extra flows; allreduce composes as exactly two
+// bcasts; and the plan solved over the random platform is bit-identical
+// across repeated solves and thread counts.
+
+/// Lossless double → text for the platform format: max_digits10 round-trips
+/// the exact bit pattern through the parser's strtod.
+std::string platform_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string render_platform(const platform::Platform& p) {
+  std::string text;
+  for (const platform::Host& h : p.hosts())
+    text += "host " + h.type + " gips=" + platform_number(h.gips_per_core) +
+            " nic_gbps=" + platform_number(h.nic_gbps) +
+            " lat_us=" + platform_number(h.nic_latency_us) +
+            " disk_mbps=" + platform_number(h.disk_mbps) + "\n";
+  for (const platform::Link& l : p.links())
+    text += "link " + l.name + " gbps=" + platform_number(l.gbps) +
+            " lat_us=" + platform_number(l.latency_us) + (l.shared ? " shared" : "") + "\n";
+  for (const platform::ZoneNode& z : p.zones())
+    text += "zone " + z.name + " intra=" + p.link(z.intra_link).name +
+            " uplink=" + p.link(z.uplink).name +
+            " compute_scale=" + platform_number(z.compute_scale) + "\n";
+  return text;
+}
+
+platform::Platform random_platform(const Catalog& catalog, Rng& rng) {
+  std::vector<platform::Host> hosts;
+  for (const InstanceType& t : catalog.types()) {
+    if (rng.bernoulli(0.2)) continue;  // unmodeled type: catalog fallback path
+    hosts.push_back(platform::Host{t.name, t.gips_per_core * rng.uniform(0.6, 1.1),
+                                   t.net_gbps * rng.uniform(0.5, 1.5),
+                                   t.net_latency_us * rng.uniform(0.5, 2.0),
+                                   t.io_mbps * rng.uniform(0.5, 1.5)});
+  }
+  const std::size_t n_links = 2 + rng.uniform_index(3);
+  std::vector<platform::Link> links;
+  for (std::size_t i = 0; i < n_links; ++i)
+    links.push_back(platform::Link{"l" + std::to_string(i), rng.uniform(0.5, 50.0),
+                                   rng.uniform(0.0, 1000.0), rng.bernoulli(0.5)});
+  std::vector<platform::ZoneNode> zones;
+  for (const Zone& z : catalog.zones()) {
+    if (rng.bernoulli(0.2)) continue;  // unmodeled zone: flat fallback path
+    zones.push_back(platform::ZoneNode{z.name, rng.uniform_index(n_links),
+                                       rng.uniform_index(n_links), rng.uniform(0.7, 1.0)});
+  }
+  return platform::Platform(std::move(hosts), std::move(links), std::move(zones));
+}
+
+void mix_spec(Digest& digest, const platform::EffectiveSpec& s) {
+  digest.mix(static_cast<std::uint64_t>(s.cores));
+  digest.mix(s.gips_per_core);
+  digest.mix(s.net_gbps);
+  digest.mix(s.net_latency_us);
+  digest.mix(s.io_mbps);
+  digest.mix(s.uplink_gbps);
+  digest.mix(s.uplink_latency_us);
+}
+
+bool specs_identical(const platform::EffectiveSpec& a, const platform::EffectiveSpec& b) {
+  return a.cores == b.cores &&
+         std::bit_cast<std::uint64_t>(a.gips_per_core) ==
+             std::bit_cast<std::uint64_t>(b.gips_per_core) &&
+         std::bit_cast<std::uint64_t>(a.net_gbps) == std::bit_cast<std::uint64_t>(b.net_gbps) &&
+         std::bit_cast<std::uint64_t>(a.net_latency_us) ==
+             std::bit_cast<std::uint64_t>(b.net_latency_us) &&
+         std::bit_cast<std::uint64_t>(a.io_mbps) == std::bit_cast<std::uint64_t>(b.io_mbps) &&
+         std::bit_cast<std::uint64_t>(a.uplink_gbps) ==
+             std::bit_cast<std::uint64_t>(b.uplink_gbps) &&
+         std::bit_cast<std::uint64_t>(a.uplink_latency_us) ==
+             std::bit_cast<std::uint64_t>(b.uplink_latency_us);
+}
+
+ScenarioOutcome run_platform_scenario(std::uint64_t seed) {
+  ScenarioOutcome out;
+  out.seed = seed;
+  out.kind = "platform";
+  Violations violations;
+  Digest digest;
+  digest.mix(out.kind);
+
+  Rng rng(seed ^ 0x9E37A7F4C2B1ULL);
+  const Catalog catalog = paper_catalog();
+  const platform::Platform plat = random_platform(catalog, rng);
+
+  // Render → parse round trip: lossless, no skipped lines, bit-identical
+  // effective specs at several flow counts.
+  const std::string text = render_platform(plat);
+  platform::PlatformParseStats stats;
+  const platform::Platform reparsed = platform::parse_platform(text, &stats);
+  if (stats.skipped() != 0) violations.record("round-tripped platform text has skipped lines");
+  if (stats.hosts_parsed != plat.hosts().size() || stats.links_parsed != plat.links().size() ||
+      stats.zones_parsed != plat.zones().size())
+    violations.record("round trip changed the platform entity counts");
+  for (const InstanceType& type : catalog.types()) {
+    for (const Zone& zone : catalog.zones()) {
+      for (const int flows : {1, 3, 17}) {
+        const platform::EffectiveSpec a = plat.effective(type, zone.name, flows);
+        const platform::EffectiveSpec b = reparsed.effective(type, zone.name, flows);
+        if (!specs_identical(a, b))
+          violations.record("round trip changed an effective spec: " + type.name + "/" +
+                            zone.name);
+        if (flows == 1) mix_spec(digest, a);
+        // Fair sharing can only take bandwidth away as flows contend.
+        const platform::EffectiveSpec crowded = plat.effective(type, zone.name, 64);
+        if (crowded.net_gbps > a.net_gbps || crowded.uplink_gbps > a.uplink_gbps)
+          violations.record("extra flows increased a fair-share bandwidth");
+      }
+    }
+  }
+
+  // Lenient parsing: seeded garbage lines are skipped and counted without
+  // disturbing one well-formed declaration.
+  {
+    std::string corrupted = text;
+    const std::size_t garbage = 1 + rng.uniform_index(4);
+    for (std::size_t i = 0; i < garbage; ++i) {
+      switch (rng.uniform_index(3)) {
+        case 0: corrupted += "router r" + std::to_string(i) + " gbps=1\n"; break;
+        case 1: corrupted += "host\n"; break;
+        default: corrupted += "link g" + std::to_string(i) + " gbps=fast\n"; break;
+      }
+    }
+    platform::PlatformParseStats cstats;
+    (void)platform::parse_platform(corrupted, &cstats);
+    if (cstats.skipped() != garbage)
+      violations.record("garbage lines were not all skipped-with-counter");
+    if (cstats.hosts_parsed != stats.hosts_parsed || cstats.links_parsed != stats.links_parsed ||
+        cstats.zones_parsed != stats.zones_parsed)
+      violations.record("garbage lines disturbed well-formed declarations");
+    digest.mix(static_cast<std::uint64_t>(cstats.skipped()));
+  }
+
+  // Flat anchor: the flat platform reproduces the catalog-only estimator
+  // 0 ULP on every (app, type, zone) profile component.
+  const char* names[] = {"BT", "SP", "LU", "FT", "IS"};
+  const AppProfile app = paper_profile(names[rng.uniform_index(5)]);
+  const platform::Platform flat = platform::Platform::flat(catalog);
+  const ExecTimeEstimator legacy;
+  const ExecTimeEstimator flat_est(&flat);
+  for (const InstanceType& type : catalog.types()) {
+    for (const Zone& zone : catalog.zones()) {
+      if (std::bit_cast<std::uint64_t>(legacy.hours(app, type)) !=
+          std::bit_cast<std::uint64_t>(flat_est.hours(app, type, zone.name)))
+        violations.record("flat platform drifted from the catalog estimator: hours");
+      const CheckpointCosts a = legacy.checkpoint_costs(app, type);
+      const CheckpointCosts b = flat_est.checkpoint_costs(app, type, zone.name);
+      if (std::bit_cast<std::uint64_t>(a.checkpoint_h) !=
+              std::bit_cast<std::uint64_t>(b.checkpoint_h) ||
+          std::bit_cast<std::uint64_t>(a.recovery_h) !=
+              std::bit_cast<std::uint64_t>(b.recovery_h))
+        violations.record("flat platform drifted from the catalog estimator: checkpoint");
+    }
+  }
+
+  // Collective composition: allreduce is exactly two bcasts, bit for bit.
+  {
+    const platform::NetworkModel net(&plat);
+    const InstanceType& type = catalog.type(rng.uniform_index(catalog.types().size()));
+    const Zone& zone = catalog.zones()[rng.uniform_index(catalog.zones().size())];
+    const std::size_t bytes = 1 + rng.uniform_index(1 << 20);
+    const int ranks = 1 + static_cast<int>(rng.uniform_index(64));
+    const double bc = net.bcast_seconds(type, zone.name, bytes, ranks);
+    if (std::bit_cast<std::uint64_t>(net.allreduce_seconds(type, zone.name, bytes, ranks)) !=
+        std::bit_cast<std::uint64_t>(2.0 * bc))
+      violations.record("allreduce is not exactly two bcasts");
+    digest.mix(bc);
+  }
+
+  // The optimizer over the random platform is a pure function: repeated
+  // solves and thread counts produce bit-identical plan fingerprints.
+  {
+    const ExecTimeEstimator estimator(&plat);
+    const double deadline_h =
+        OnDemandSelector(&catalog, &legacy).baseline(app).t_h * (2.0 + rng.uniform(0.0, 3.0));
+    const Market market =
+        generate_market(catalog, random_market_profile(catalog, rng), 1.0, 0.25, rng());
+    OptimizerConfig config = tiny_optimizer_config();
+    config.threads = 1;
+    const SompiOptimizer serial(&catalog, &estimator, config);
+    config.threads = 2;
+    const SompiOptimizer pooled(&catalog, &estimator, config);
+    const std::string fp = plan_fingerprint(serial.optimize(app, market, deadline_h));
+    if (fp != plan_fingerprint(serial.optimize(app, market, deadline_h)))
+      violations.record("same-platform re-solve changed the plan fingerprint");
+    if (fp != plan_fingerprint(pooled.optimize(app, market, deadline_h)))
+      violations.record("thread count changed the platform plan fingerprint");
+    digest.mix(fp);
+  }
+
+  out.digest = digest.value();
+  out.failed = violations.any();
+  out.detail = violations.first();
+  return out;
+}
+
 }  // namespace
 
 const char* scenario_kind_name(std::uint64_t seed) {
-  switch (seed % 7) {
+  switch (seed % 8) {
     case 0: return "checkpoint";
     case 1: return "incremental";
     case 2: return "replay";
     case 3: return "service";
     case 4: return "plan";
     case 5: return "feed";
-    default: return "multilevel";
+    case 6: return "multilevel";
+    default: return "platform";
   }
 }
 
 ScenarioOutcome run_scenario(std::uint64_t seed) {
-  switch (seed % 7) {
+  switch (seed % 8) {
     case 0: return run_checkpoint_scenario(seed, /*incremental=*/false);
     case 1: return run_checkpoint_scenario(seed, /*incremental=*/true);
     case 2: return run_replay_scenario(seed);
     case 3: return run_service_scenario(seed);
     case 4: return run_plan_scenario(seed);
     case 5: return run_feed_scenario(seed);
-    default: return run_multilevel_scenario(seed);
+    case 6: return run_multilevel_scenario(seed);
+    default: return run_platform_scenario(seed);
   }
 }
 

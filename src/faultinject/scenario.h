@@ -2,7 +2,7 @@
 // subsystem under an injected failure schedule, plus the invariants that
 // must hold for ANY schedule.
 //
-// The seven scenario kinds (selected by seed % 7) and their invariants:
+// The eight scenario kinds (selected by seed % 8) and their invariants:
 //
 //   checkpoint / incremental — an iterative mini-MPI app checkpoints under
 //     storage faults, torn uploads, protocol crashes and a tick-kill.
@@ -48,6 +48,17 @@
 //     optimizer's multi-level policy set never costs more than single-level
 //     and an empty policy list keeps the degenerate fingerprint
 //     byte-identical.
+//
+//   platform — a seeded random heterogeneous platform (perturbed host
+//     rates, shared/dedicated links, derated zones) is rendered to the
+//     declarative text format, reparsed, and solved over. Invariants: the
+//     render→parse round trip is lossless (zero skipped lines,
+//     bit-identical effective specs); injected garbage lines skip with
+//     per-class counters without disturbing well-formed declarations;
+//     Platform::flat reproduces the catalog estimator 0 ULP; fair sharing
+//     never gains bandwidth from extra flows; allreduce is exactly two
+//     bcasts; plans over the platform are bit-identical across repeated
+//     solves and thread counts.
 //
 // Every observable a scenario digests is deterministic at any thread count,
 // so `run_scenario(seed).digest` is byte-comparable across machines and

@@ -159,6 +159,8 @@ void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
   auto& st = world_->stats(world_rank(rank_));
   ++st.messages_sent;
   st.bytes_sent += payload.size();
+  if (const OpCoster* coster = world_->op_coster(); coster != nullptr)
+    st.model_net_seconds += coster->message_seconds(payload.size());
   world_->mailbox(w_dest).deliver(std::move(m));
 }
 

@@ -40,6 +40,12 @@ class World {
   RankStats& stats(int rank);
   FailureController& failures() { return *failures_; }
 
+  /// Attaches a platform op coster (borrowed; must outlive the world): every
+  /// send is charged to the sender's RankStats::model_net_seconds. Call
+  /// before launching ranks; nullptr (the default) charges nothing.
+  void set_op_coster(const OpCoster* coster) { op_coster_ = coster; }
+  const OpCoster* op_coster() const { return op_coster_; }
+
   /// Throws KilledError (after announcing the kill to barrier waiters) when
   /// the failure controller has fired. Called at protocol points only
   /// (tick, barrier entry) — never per message, so a kill cannot change how
@@ -68,6 +74,7 @@ class World {
 
  private:
   FailureController* failures_;
+  const OpCoster* op_coster_ = nullptr;
   std::vector<Mailbox> mailboxes_;
   std::vector<RankStats> stats_;
   std::vector<std::atomic<bool>> departed_;

@@ -47,6 +47,11 @@ class Runtime {
   int world_size() const { return world_size_; }
   FailureController& failures() { return failures_; }
 
+  /// Attaches a platform op coster (borrowed) before launch(): every send is
+  /// charged to the sender's RankStats::model_net_seconds, so
+  /// RunResult::total_stats() reports platform-modeled network time.
+  void set_op_coster(const OpCoster* coster) { world_.set_op_coster(coster); }
+
   /// Starts every rank running fn(comm). Call exactly once.
   void launch(RankFn fn);
 

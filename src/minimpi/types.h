@@ -33,6 +33,18 @@ struct Message {
   std::vector<std::byte> payload;
 };
 
+/// Per-operation simulated-time charge source. Implemented by the platform
+/// layer (platform::PlatformOpCoster costs each message as one transfer
+/// through the zone fabric: latency + bytes/bandwidth with fair-share
+/// contention); declared here so mini-MPI needs no platform dependency.
+class OpCoster {
+ public:
+  virtual ~OpCoster() = default;
+  /// Modeled seconds one eager point-to-point message of `bytes` occupies
+  /// the sending instance's NIC. Must be a pure function of `bytes`.
+  virtual double message_seconds(std::size_t bytes) const = 0;
+};
+
 /// Per-rank traffic counters — the profiling hook behind the paper's
 /// <#instr, Data_send, Data_recv, ...> application profile (§4.4).
 struct RankStats {
@@ -40,12 +52,18 @@ struct RankStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_received = 0;
   std::uint64_t bytes_received = 0;
+  /// Platform-modeled network seconds charged to this rank's sends (zero
+  /// unless an OpCoster is attached to the world). Deterministic: each
+  /// rank's send sequence is a pure function of its own execution, and the
+  /// charge is a pure function of the message size.
+  double model_net_seconds = 0.0;
 
   void merge(const RankStats& other) {
     messages_sent += other.messages_sent;
     bytes_sent += other.bytes_sent;
     messages_received += other.messages_received;
     bytes_received += other.bytes_received;
+    model_net_seconds += other.model_net_seconds;
   }
 };
 

@@ -1,0 +1,45 @@
+#include "platform/examples.h"
+
+#include "platform/parser.h"
+
+namespace sompi::platform {
+
+const std::string& example_hetero_platform_text() {
+  // Keep byte-identical to examples/platforms/hetero_slow_zone.plat —
+  // tests/test_platform.cpp pins the file against this string.
+  static const std::string text = R"(# Heterogeneous example platform: a slow-network zone (us-east-1c).
+#
+# Hosts carry the catalog capability columns of the paper's instance types;
+# us-east-1a/1b keep a fast dedicated fabric but share an 8 Gbit/s storage
+# uplink, while us-east-1c sits behind a congested shared fabric and a slow
+# shared uplink with derated compute. Groups placed in 1c therefore get
+# longer kernel, checkpoint and restart profiles, and the optimizer routes
+# around the zone (or re-bids inside it).
+
+host m1.small    gips=2.8  nic_gbps=0.10 lat_us=350 disk_mbps=40
+host m1.medium   gips=2.9  nic_gbps=0.15 lat_us=300 disk_mbps=50
+host m1.large    gips=2.85 nic_gbps=0.25 lat_us=250 disk_mbps=60
+host c3.xlarge   gips=3.3  nic_gbps=0.55 lat_us=150 disk_mbps=80
+host cc2.8xlarge gips=3.6  nic_gbps=10   lat_us=60  disk_mbps=200
+
+link fabric-fast gbps=100  lat_us=0
+link s3-shared   gbps=8    lat_us=120 shared
+link fabric-slow gbps=0.35 lat_us=400 shared
+link s3-slow     gbps=0.25 lat_us=900 shared
+
+zone us-east-1a intra=fabric-fast uplink=s3-shared
+zone us-east-1b intra=fabric-fast uplink=s3-shared
+zone us-east-1c intra=fabric-slow uplink=s3-slow compute_scale=0.92
+)";
+  return text;
+}
+
+Platform example_hetero_platform() {
+  PlatformParseStats stats;
+  Platform p = parse_platform(example_hetero_platform_text(), &stats);
+  // The example must stay pristine: any skipped line is a programming error.
+  SOMPI_REQUIRE_MSG(stats.skipped() == 0, "example platform text has malformed lines");
+  return p;
+}
+
+}  // namespace sompi::platform

@@ -1,0 +1,29 @@
+// Built-in example platforms (DESIGN.md §12).
+//
+// The heterogeneous example models the scenario the paper could not run:
+// us-east-1c sits behind a congested shared fabric and a slow object-storage
+// uplink, and every zone's storage path is a shared (contended) link rather
+// than a dedicated one. Against the flat anchor this platform makes the
+// optimizer re-cost every candidate circle group — slow-network zones get
+// longer kernel/checkpoint/restart profiles — and the chosen plan's
+// fingerprint diverges from the flat plan while staying bit-identical at
+// any thread count (the §12 acceptance gate).
+//
+// The committed file `examples/platforms/hetero_slow_zone.plat` holds
+// exactly example_hetero_platform_text(); tests pin the two together.
+#pragma once
+
+#include <string>
+
+#include "platform/platform.h"
+
+namespace sompi::platform {
+
+/// The platform-file text of the heterogeneous example (parseable by
+/// parse_platform with zero skipped lines).
+const std::string& example_hetero_platform_text();
+
+/// Parsed form of example_hetero_platform_text().
+Platform example_hetero_platform();
+
+}  // namespace sompi::platform

@@ -1,0 +1,128 @@
+#include "platform/models.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sompi::platform {
+
+namespace {
+
+/// latency + bytes/bandwidth, the primitive every transfer reduces to.
+double transfer_seconds(double latency_us, double gbps, double bytes) {
+  return latency_us * 1e-6 + bytes * 8.0 / (gbps * 1e9);
+}
+
+/// Disk transfers have no modeled latency term: the checkpoint path's fixed
+/// costs live in the estimator's kCheckpointFixedH / kRecoveryFixedH.
+double disk_seconds(double mbps, double bytes) { return bytes / (mbps * 1e6); }
+
+}  // namespace
+
+// --- ComputeModel -----------------------------------------------------------
+
+ComputeModel::ComputeModel(const Platform* platform) : platform_(platform) {
+  SOMPI_REQUIRE(platform_ != nullptr);
+}
+
+double ComputeModel::kernel_seconds(const InstanceType& type, std::string_view zone,
+                                    double instr_gi, int processes) const {
+  SOMPI_REQUIRE(processes >= 1);
+  const EffectiveSpec s = platform_->effective(type, zone, /*flows=*/1);
+  return instr_gi / (static_cast<double>(processes) * s.gips_per_core);
+}
+
+// --- NetworkModel -----------------------------------------------------------
+
+NetworkModel::NetworkModel(const Platform* platform) : platform_(platform) {
+  SOMPI_REQUIRE(platform_ != nullptr);
+}
+
+double NetworkModel::p2p_seconds(const InstanceType& type, std::string_view zone,
+                                 std::size_t bytes, int flows) const {
+  const EffectiveSpec s = platform_->effective(type, zone, flows);
+  return transfer_seconds(s.net_latency_us, s.net_gbps, static_cast<double>(bytes));
+}
+
+double NetworkModel::bcast_seconds(const InstanceType& type, std::string_view zone,
+                                   std::size_t bytes, int ranks) const {
+  SOMPI_REQUIRE(ranks >= 1);
+  double total = 0.0;
+  // Round r doubles the informed set: min(informed, n - informed) transfers
+  // cross the fabric concurrently.
+  for (int informed = 1; informed < ranks; informed *= 2) {
+    const int transfers = std::min(informed, ranks - informed);
+    total += p2p_seconds(type, zone, bytes, transfers);
+  }
+  return total;
+}
+
+double NetworkModel::allreduce_seconds(const InstanceType& type, std::string_view zone,
+                                       std::size_t bytes, int ranks) const {
+  // Binomial-tree reduce mirrors the bcast tree's rounds, then the result is
+  // broadcast back down — mini-MPI's composition (comm.h allreduce).
+  return bcast_seconds(type, zone, bytes, ranks) * 2.0;
+}
+
+double NetworkModel::cache_write_seconds(const InstanceType& type, std::string_view zone,
+                                         std::uint64_t total_bytes, int instances) const {
+  SOMPI_REQUIRE(instances >= 1);
+  const EffectiveSpec s = platform_->effective(type, zone, instances);
+  // Instances write their shares to local disk in parallel.
+  return disk_seconds(s.io_mbps,
+                      static_cast<double>(total_bytes) / static_cast<double>(instances));
+}
+
+double NetworkModel::flush_seconds(const InstanceType& type, std::string_view zone,
+                                   std::uint64_t total_bytes, int instances) const {
+  SOMPI_REQUIRE(instances >= 1);
+  const EffectiveSpec s = platform_->effective(type, zone, instances);
+  // Every instance pushes its share through its uplink allocation in
+  // parallel; a shared uplink has already been fair-shared by effective().
+  return transfer_seconds(s.uplink_latency_us, s.uplink_gbps,
+                          static_cast<double>(total_bytes) / static_cast<double>(instances));
+}
+
+double NetworkModel::restore_seconds(const InstanceType& type, std::string_view zone,
+                                     std::uint64_t total_bytes, int instances,
+                                     bool from_cache) const {
+  return from_cache ? cache_write_seconds(type, zone, total_bytes, instances)
+                    : flush_seconds(type, zone, total_bytes, instances);
+}
+
+// --- PlatformOpCoster -------------------------------------------------------
+
+PlatformOpCoster::PlatformOpCoster(const Platform* platform, const InstanceType& type,
+                                   std::string zone, int flows) {
+  SOMPI_REQUIRE(platform != nullptr);
+  const EffectiveSpec s = platform->effective(type, zone, flows);
+  latency_s_ = s.net_latency_us * 1e-6;
+  gbps_ = s.net_gbps;
+}
+
+double PlatformOpCoster::message_seconds(std::size_t bytes) const {
+  return latency_s_ + static_cast<double>(bytes) * 8.0 / (gbps_ * 1e9);
+}
+
+// --- PlatformTransferModel --------------------------------------------------
+
+PlatformTransferModel::PlatformTransferModel(const Platform* platform,
+                                             const InstanceType& type, std::string zone,
+                                             int instances)
+    : net_(platform), type_(type), zone_(std::move(zone)), instances_(instances) {
+  SOMPI_REQUIRE(instances_ >= 1);
+}
+
+double PlatformTransferModel::cache_write_seconds(std::uint64_t bytes) const {
+  return net_.cache_write_seconds(type_, zone_, bytes, instances_);
+}
+
+double PlatformTransferModel::flush_seconds(std::uint64_t bytes) const {
+  return net_.flush_seconds(type_, zone_, bytes, instances_);
+}
+
+double PlatformTransferModel::restore_seconds(std::uint64_t bytes, bool from_cache) const {
+  return net_.restore_seconds(type_, zone_, bytes, instances_, from_cache);
+}
+
+}  // namespace sompi::platform

@@ -1,0 +1,125 @@
+// Deterministic op-level cost models over a Platform (DESIGN.md §12).
+//
+// ComputeModel and NetworkModel turn the declarative platform description
+// into per-operation timings: kernel seconds from host flop rates, mini-MPI
+// point-to-point and tree-shaped collective costs from link latency +
+// bytes/bandwidth with fair-share contention, and checkpoint I/O from the
+// snapshot bytes pushed through the host disk (cache level) or the zone
+// uplink (S3-sim level). Everything is a pure function of (platform, type,
+// zone, sizes) — no clocks, no randomness — so the numbers are bit-identical
+// across machines and thread counts and can be gated exactly in CI.
+//
+// Two adapters feed the models into the execution layers:
+//   PlatformOpCoster     — mpi::OpCoster: charges each eager p2p message to
+//                          the sending rank's modeled-network-seconds counter.
+//   PlatformTransferModel — CkptTransferModel: bills MultiLevelCheckpointer
+//                          cache writes, remote flushes and restores.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "checkpoint/multilevel.h"
+#include "cloud/catalog.h"
+#include "minimpi/types.h"
+#include "platform/platform.h"
+
+namespace sompi::platform {
+
+/// Kernel (CPU) time through the platform's host flop rates.
+class ComputeModel {
+ public:
+  /// The platform is borrowed and must outlive the model.
+  explicit ComputeModel(const Platform* platform);
+
+  /// Seconds to execute `instr_gi` giga-instructions spread over `processes`
+  /// ranks, one rank per core of `type` in `zone`.
+  double kernel_seconds(const InstanceType& type, std::string_view zone, double instr_gi,
+                        int processes) const;
+
+ private:
+  const Platform* platform_;
+};
+
+/// Network + checkpoint-I/O time through the platform's links.
+class NetworkModel {
+ public:
+  /// The platform is borrowed and must outlive the model.
+  explicit NetworkModel(const Platform* platform);
+
+  const Platform& platform() const { return *platform_; }
+
+  /// One eager point-to-point message of `bytes` between two instances of
+  /// `type` in `zone`, with `flows` concurrent flows sharing the fabric:
+  /// latency + bytes/bandwidth, the bandwidth fair-shared on shared links.
+  double p2p_seconds(const InstanceType& type, std::string_view zone, std::size_t bytes,
+                     int flows = 1) const;
+
+  /// Tree-shaped broadcast to `ranks` participants: ceil(log2 n) rounds; in
+  /// round r, min(2^r, n - 2^r) transfers cross the fabric concurrently and
+  /// contend on shared links.
+  double bcast_seconds(const InstanceType& type, std::string_view zone, std::size_t bytes,
+                       int ranks) const;
+
+  /// Tree reduce up + tree broadcast down (how mini-MPI composes allreduce).
+  double allreduce_seconds(const InstanceType& type, std::string_view zone,
+                           std::size_t bytes, int ranks) const;
+
+  /// Snapshot write to the node-local cache level: bytes through the host
+  /// disk, instances writing in parallel.
+  double cache_write_seconds(const InstanceType& type, std::string_view zone,
+                             std::uint64_t total_bytes, int instances) const;
+
+  /// Snapshot flush to remote object storage: bytes through the zone uplink,
+  /// fair-shared across the group's instances.
+  double flush_seconds(const InstanceType& type, std::string_view zone,
+                       std::uint64_t total_bytes, int instances) const;
+
+  /// Snapshot restore: from the cache level (disk read) or from remote
+  /// storage (uplink, fair-shared).
+  double restore_seconds(const InstanceType& type, std::string_view zone,
+                         std::uint64_t total_bytes, int instances, bool from_cache) const;
+
+ private:
+  const Platform* platform_;
+};
+
+/// mpi::OpCoster over a fixed (type, zone, flows) context: every message is
+/// costed as one p2p transfer. Attach with World::set_op_coster so a
+/// mini-MPI run accumulates platform-modeled network seconds per rank.
+class PlatformOpCoster final : public mpi::OpCoster {
+ public:
+  PlatformOpCoster(const Platform* platform, const InstanceType& type, std::string zone,
+                   int flows = 1);
+
+  double message_seconds(std::size_t bytes) const override;
+
+ private:
+  // Folded once at construction: per-message latency and effective rate.
+  double latency_s_ = 0.0;
+  double gbps_ = 1.0;
+};
+
+/// CkptTransferModel over a fixed (type, zone, instances) context: bills the
+/// multi-level checkpointer's cache writes, flushes and restores through the
+/// platform's disk and uplink — the cache-vs-S3 levels get different
+/// platform-derived latencies, which is exactly the asymmetry the level
+/// policies trade on.
+class PlatformTransferModel final : public CkptTransferModel {
+ public:
+  PlatformTransferModel(const Platform* platform, const InstanceType& type, std::string zone,
+                        int instances = 1);
+
+  double cache_write_seconds(std::uint64_t bytes) const override;
+  double flush_seconds(std::uint64_t bytes) const override;
+  double restore_seconds(std::uint64_t bytes, bool from_cache) const override;
+
+ private:
+  NetworkModel net_;
+  InstanceType type_;
+  std::string zone_;
+  int instances_;
+};
+
+}  // namespace sompi::platform

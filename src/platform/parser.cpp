@@ -1,0 +1,233 @@
+#include "platform/parser.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/error.h"
+
+namespace sompi::platform {
+
+namespace {
+
+/// Splits one line into whitespace-separated tokens, dropping '#' comments.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line.substr(0, line.find('#')));
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+/// Accumulates key=value fields for one directive line; flags ("shared")
+/// are keys without '='.
+struct Fields {
+  std::vector<std::pair<std::string, std::string>> kv;
+  std::vector<std::string> flags;
+  bool malformed = false;  ///< a token that is neither k=v nor a bare flag
+
+  static Fields parse(const std::vector<std::string>& tokens, std::size_t first) {
+    Fields f;
+    for (std::size_t i = first; i < tokens.size(); ++i) {
+      const std::string& t = tokens[i];
+      const std::size_t eq = t.find('=');
+      if (eq == std::string::npos) {
+        f.flags.push_back(t);
+      } else if (eq == 0 || eq + 1 >= t.size()) {
+        f.malformed = true;  // "=x" or "k="
+      } else {
+        f.kv.emplace_back(t.substr(0, eq), t.substr(eq + 1));
+      }
+    }
+    return f;
+  }
+
+  const std::string* value(const std::string& key) const {
+    for (const auto& [k, v] : kv)
+      if (k == key) return &v;
+    return nullptr;
+  }
+
+  bool flag(const std::string& name) const {
+    for (const std::string& f : flags)
+      if (f == name) return true;
+    return false;
+  }
+};
+
+/// Strict positive-number field parse (csv_number rejects trailing junk).
+std::optional<double> positive_number(const Fields& f, const std::string& key) {
+  const std::string* cell = f.value(key);
+  if (cell == nullptr) return std::nullopt;
+  double v = 0.0;
+  if (!csv_number(*cell, &v) || v <= 0.0) return std::nullopt;
+  return v;
+}
+
+/// Non-negative variant (latencies may be zero).
+std::optional<double> nonneg_number(const Fields& f, const std::string& key) {
+  const std::string* cell = f.value(key);
+  if (cell == nullptr) return std::nullopt;
+  double v = 0.0;
+  if (!csv_number(*cell, &v) || v < 0.0) return std::nullopt;
+  return v;
+}
+
+bool known_keys(const Fields& f, std::initializer_list<const char*> keys,
+                std::initializer_list<const char*> flags) {
+  for (const auto& [k, v] : f.kv) {
+    bool ok = false;
+    for (const char* key : keys) ok = ok || k == key;
+    if (!ok) return false;
+  }
+  for (const std::string& flag : f.flags) {
+    bool ok = false;
+    for (const char* name : flags) ok = ok || flag == name;
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Platform parse_platform(const std::string& text, PlatformParseStats* stats) {
+  PlatformParseStats local;
+  PlatformParseStats& s = stats != nullptr ? *stats : local;
+  s = PlatformParseStats{};
+
+  std::vector<Host> hosts;
+  std::vector<Link> links;
+  struct PendingZone {
+    std::string name;
+    std::string intra;
+    std::string uplink;
+    double compute_scale = 1.0;
+  };
+  std::vector<PendingZone> pending_zones;
+
+  const auto find_link = [&links](const std::string& name) -> std::optional<std::size_t> {
+    for (std::size_t i = 0; i < links.size(); ++i)
+      if (links[i].name == name) return i;
+    return std::nullopt;
+  };
+
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;  // blank / comment
+    const std::string& directive = tokens[0];
+
+    if (directive != "host" && directive != "link" && directive != "zone") {
+      ++s.unknown_directive;
+      continue;
+    }
+    if (tokens.size() < 2 || tokens[1].find('=') != std::string::npos) {
+      ++s.missing_name;
+      continue;
+    }
+    const std::string& name = tokens[1];
+    const Fields f = Fields::parse(tokens, 2);
+
+    if (directive == "host") {
+      if (f.malformed || !known_keys(f, {"gips", "nic_gbps", "lat_us", "disk_mbps"}, {})) {
+        ++s.bad_field;
+        continue;
+      }
+      const auto gips = positive_number(f, "gips");
+      const auto nic = positive_number(f, "nic_gbps");
+      const auto lat = nonneg_number(f, "lat_us");
+      const auto disk = positive_number(f, "disk_mbps");
+      // Distinguish "key absent" (missing_field) from "key present but
+      // unusable" (bad_field): a host must declare all four rates.
+      if (f.value("gips") == nullptr || f.value("nic_gbps") == nullptr ||
+          f.value("lat_us") == nullptr || f.value("disk_mbps") == nullptr) {
+        ++s.missing_field;
+        continue;
+      }
+      if (!gips || !nic || !lat || !disk) {
+        ++s.bad_field;
+        continue;
+      }
+      bool duplicate = false;
+      for (const Host& h : hosts) duplicate = duplicate || h.type == name;
+      if (duplicate) {
+        ++s.duplicate_name;
+        continue;
+      }
+      hosts.push_back(Host{name, *gips, *nic, *lat, *disk});
+      ++s.hosts_parsed;
+    } else if (directive == "link") {
+      if (f.malformed || !known_keys(f, {"gbps", "lat_us"}, {"shared"})) {
+        ++s.bad_field;
+        continue;
+      }
+      if (f.value("gbps") == nullptr) {
+        ++s.missing_field;
+        continue;
+      }
+      const auto gbps = positive_number(f, "gbps");
+      const auto lat = f.value("lat_us") != nullptr ? nonneg_number(f, "lat_us")
+                                                    : std::optional<double>(0.0);
+      if (!gbps || !lat) {
+        ++s.bad_field;
+        continue;
+      }
+      if (find_link(name)) {
+        ++s.duplicate_name;
+        continue;
+      }
+      links.push_back(Link{name, *gbps, *lat, f.flag("shared")});
+      ++s.links_parsed;
+    } else {  // zone
+      if (f.malformed || !known_keys(f, {"intra", "uplink", "compute_scale"}, {})) {
+        ++s.bad_field;
+        continue;
+      }
+      if (f.value("intra") == nullptr || f.value("uplink") == nullptr) {
+        ++s.missing_field;
+        continue;
+      }
+      const auto scale = f.value("compute_scale") != nullptr
+                             ? positive_number(f, "compute_scale")
+                             : std::optional<double>(1.0);
+      if (!scale) {
+        ++s.bad_field;
+        continue;
+      }
+      bool duplicate = false;
+      for (const PendingZone& z : pending_zones) duplicate = duplicate || z.name == name;
+      if (duplicate) {
+        ++s.duplicate_name;
+        continue;
+      }
+      pending_zones.push_back(PendingZone{name, *f.value("intra"), *f.value("uplink"), *scale});
+    }
+  }
+
+  // Zones resolve after all links are known, so declaration order is free.
+  std::vector<ZoneNode> zones;
+  for (const PendingZone& z : pending_zones) {
+    const auto intra = find_link(z.intra);
+    const auto uplink = find_link(z.uplink);
+    if (!intra || !uplink) {
+      ++s.dangling_link;
+      continue;
+    }
+    zones.push_back(ZoneNode{z.name, *intra, *uplink, z.compute_scale});
+    ++s.zones_parsed;
+  }
+
+  return Platform(std::move(hosts), std::move(links), std::move(zones));
+}
+
+Platform read_platform_file(const std::string& path, PlatformParseStats* stats) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot read platform file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_platform(buffer.str(), stats);
+}
+
+}  // namespace sompi::platform

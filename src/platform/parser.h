@@ -1,0 +1,57 @@
+// Lenient platform-file parser (DESIGN.md §12).
+//
+// Line-oriented declarative format, '#' comments, whitespace-separated
+// key=value fields:
+//
+//   host <type>  gips=<g/core> nic_gbps=<bw> lat_us=<l> disk_mbps=<bw>
+//   link <name>  gbps=<bw> lat_us=<l> [shared]
+//   zone <name>  intra=<link> uplink=<link> [compute_scale=<s>]
+//
+// Required fields: hosts must declare all four rates (a partially-described
+// host would silently mix file and catalog numbers); links must declare
+// gbps; zones must declare both intra= and uplink=. Links default lat_us=0
+// and dedicated; zones default compute_scale=1. Types/zones the file does
+// not mention at all fall back to the catalog columns in
+// Platform::effective — a partial platform degrades to flat per entry.
+//
+// Error handling follows the common/csv lenient pattern: a malformed line is
+// skipped and counted by corruption class instead of aborting the parse —
+// externally produced platform files (ops dumps, generators) keep every
+// well-formed declaration. The per-class counters make the damage visible
+// and unit-testable (tests/test_platform.cpp covers each class).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "platform/platform.h"
+
+namespace sompi::platform {
+
+/// Per-parse corruption accounting, one counter per corruption class.
+struct PlatformParseStats {
+  std::size_t hosts_parsed = 0;
+  std::size_t links_parsed = 0;
+  std::size_t zones_parsed = 0;
+  std::size_t unknown_directive = 0;  ///< first token not host/link/zone
+  std::size_t missing_name = 0;       ///< directive without a name token
+  std::size_t missing_field = 0;      ///< required key absent (host rates, link gbps, zone links)
+  std::size_t bad_field = 0;          ///< unparsable/non-positive value or unknown key
+  std::size_t duplicate_name = 0;     ///< host/link/zone redefined (first wins)
+  std::size_t dangling_link = 0;      ///< zone referencing an undeclared link
+
+  std::size_t skipped() const {
+    return unknown_directive + missing_name + missing_field + bad_field + duplicate_name +
+           dangling_link;
+  }
+};
+
+/// Parses platform text leniently. Malformed lines are skipped and counted;
+/// only an unusable *result* throws (a platform needs at least one link when
+/// any zone parsed — Platform's constructor invariants still hold).
+Platform parse_platform(const std::string& text, PlatformParseStats* stats = nullptr);
+
+/// Reads and parses a platform file. Throws IoError when unreadable.
+Platform read_platform_file(const std::string& path, PlatformParseStats* stats = nullptr);
+
+}  // namespace sompi::platform

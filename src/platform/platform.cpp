@@ -1,0 +1,110 @@
+#include "platform/platform.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sompi::platform {
+
+namespace {
+
+/// Effectively-infinite link rate for the flat anchor: large enough that the
+/// fair share of any realistic flow count still exceeds every NIC (so the
+/// min() clamp returns the NIC rate bit-exactly), small enough that the
+/// division cannot overflow.
+constexpr double kUnconstrainedGbps = 1e18;
+
+}  // namespace
+
+Platform::Platform(std::vector<Host> hosts, std::vector<Link> links,
+                   std::vector<ZoneNode> zones)
+    : hosts_(std::move(hosts)), links_(std::move(links)), zones_(std::move(zones)) {
+  for (const Host& h : hosts_) {
+    SOMPI_REQUIRE_MSG(!h.type.empty(), "platform host needs a type name");
+    SOMPI_REQUIRE_MSG(h.gips_per_core > 0.0 && h.nic_gbps > 0.0 && h.disk_mbps > 0.0 &&
+                          h.nic_latency_us >= 0.0,
+                      "platform host rates must be positive: " + h.type);
+  }
+  for (const Link& l : links_) {
+    SOMPI_REQUIRE_MSG(!l.name.empty(), "platform link needs a name");
+    SOMPI_REQUIRE_MSG(l.gbps > 0.0 && l.latency_us >= 0.0,
+                      "platform link rates must be positive: " + l.name);
+  }
+  for (const ZoneNode& z : zones_) {
+    SOMPI_REQUIRE_MSG(!z.name.empty(), "platform zone needs a name");
+    SOMPI_REQUIRE_MSG(z.intra_link < links_.size() && z.uplink < links_.size(),
+                      "platform zone references an unknown link: " + z.name);
+    SOMPI_REQUIRE_MSG(z.compute_scale > 0.0,
+                      "platform zone compute_scale must be positive: " + z.name);
+  }
+}
+
+Platform Platform::flat(const Catalog& catalog) {
+  std::vector<Host> hosts;
+  hosts.reserve(catalog.types().size());
+  for (const InstanceType& t : catalog.types())
+    hosts.push_back(Host{t.name, t.gips_per_core, t.net_gbps, t.net_latency_us, t.io_mbps});
+  std::vector<Link> links = {Link{"flat", kUnconstrainedGbps, 0.0, /*shared=*/false}};
+  std::vector<ZoneNode> zones;
+  zones.reserve(catalog.zones().size());
+  for (const Zone& z : catalog.zones()) zones.push_back(ZoneNode{z.name, 0, 0, 1.0});
+  return Platform(std::move(hosts), std::move(links), std::move(zones));
+}
+
+const Host* Platform::host(std::string_view type_name) const {
+  for (const Host& h : hosts_)
+    if (h.type == type_name) return &h;
+  return nullptr;
+}
+
+const ZoneNode* Platform::zone(std::string_view zone_name) const {
+  for (const ZoneNode& z : zones_)
+    if (z.name == zone_name) return &z;
+  return nullptr;
+}
+
+const Link& Platform::link(std::size_t index) const {
+  SOMPI_REQUIRE(index < links_.size());
+  return links_[index];
+}
+
+double Platform::link_share_gbps(const Link& link, int flows) {
+  SOMPI_REQUIRE(flows >= 1);
+  return link.shared ? link.gbps / static_cast<double>(flows) : link.gbps;
+}
+
+EffectiveSpec Platform::effective(const InstanceType& type, std::string_view zone_name,
+                                  int flows) const {
+  SOMPI_REQUIRE(flows >= 1);
+  const Host* h = host(type.name);
+  EffectiveSpec s;
+  s.cores = type.cores;  // topology-independent; the catalog owns it
+  const double gips = h != nullptr ? h->gips_per_core : type.gips_per_core;
+  const double nic = h != nullptr ? h->nic_gbps : type.net_gbps;
+  const double lat = h != nullptr ? h->nic_latency_us : type.net_latency_us;
+  s.io_mbps = h != nullptr ? h->disk_mbps : type.io_mbps;
+
+  const ZoneNode* z = zone(zone_name);
+  if (z == nullptr) {
+    // Unmodeled zone: the flat view of the host rates.
+    s.gips_per_core = gips;
+    s.net_gbps = nic;
+    s.net_latency_us = lat;
+    s.uplink_gbps = nic;
+    s.uplink_latency_us = 0.0;
+    return s;
+  }
+
+  // Every fold below is bit-exact for the flat anchor: ×1.0, +0.0 and
+  // min(x, huge) all return their operand unchanged in IEEE arithmetic.
+  s.gips_per_core = gips * z->compute_scale;
+  const Link& intra = link(z->intra_link);
+  s.net_gbps = std::min(nic, link_share_gbps(intra, flows));
+  s.net_latency_us = lat + intra.latency_us;
+  const Link& up = link(z->uplink);
+  s.uplink_gbps = std::min(nic, link_share_gbps(up, flows));
+  s.uplink_latency_us = up.latency_us;
+  return s;
+}
+
+}  // namespace sompi::platform

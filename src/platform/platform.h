@@ -1,0 +1,122 @@
+// Declarative platform model (DESIGN.md §12) — the SMPI/surf-style answer to
+// "where do kernel time, checkpoint overhead and restart cost come from?".
+//
+// The paper treats every instance type as a catalog row of flat constants
+// (gips/core, NIC Gbit/s, latency, disk MB/s). SimGrid's SMPI shows the
+// alternative: describe the *platform* — hosts with flop rates and disk
+// bandwidth, links with latency/bandwidth, a zone topology with fair-share
+// contention on shared links — and derive every timing from it. This module
+// is that description plus the derivation:
+//
+//   Host      — per-instance-type capability template (rates only; the
+//               catalog keeps ownership of cores and prices).
+//   Link      — latency + bandwidth; `shared` links split bandwidth fairly
+//               among concurrent flows (SimGrid's MAX-MIN fair sharing,
+//               restricted to the symmetric case, where it is exact).
+//   ZoneNode  — one availability zone: an intra-zone fabric link for MPI
+//               traffic, an uplink for checkpoint/object-storage traffic,
+//               and a compute derating factor.
+//
+//   Platform::effective(type, zone, flows) folds the three into the
+//   EffectiveSpec the execution-time estimator consumes.
+//
+// Flat-anchor invariant: Platform::flat(catalog) reproduces the catalog
+// constants BIT-EXACTLY — effective() returns doubles identical to the
+// InstanceType fields (the folds are ×1.0, +0.0 and min-against-huge, all
+// exact in IEEE arithmetic), so every golden plan, fuzz digest and bench
+// counter is unchanged with the platform layer active. Heterogeneity is
+// opt-in per zone/host, never a tax on the flat path.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cloud/catalog.h"
+
+namespace sompi::platform {
+
+/// Capability template for one instance type. Rates only: core counts and
+/// prices stay in the Catalog so M_i and billing cannot drift from the
+/// platform description.
+struct Host {
+  std::string type;            ///< catalog instance-type name
+  double gips_per_core = 1.0;  ///< flop (instruction) rate per core
+  double nic_gbps = 1.0;       ///< per-instance NIC bandwidth
+  double nic_latency_us = 0.0; ///< one-way small-message latency
+  double disk_mbps = 50.0;     ///< local disk bandwidth (checkpoint cache)
+};
+
+/// One network link. A `shared` link splits its bandwidth fairly among the
+/// concurrent flows crossing it; a dedicated link gives every flow the full
+/// rate (a switch with per-port capacity).
+struct Link {
+  std::string name;
+  double gbps = 1.0;
+  double latency_us = 0.0;
+  bool shared = false;
+};
+
+/// One availability zone of the topology.
+struct ZoneNode {
+  std::string name;
+  std::size_t intra_link = 0;  ///< index into links(): instance<->instance
+  std::size_t uplink = 0;      ///< index into links(): zone <-> object store
+  double compute_scale = 1.0;  ///< host derating in this zone (1.0 = none)
+};
+
+/// What one instance of a type effectively gets in a zone once the zone's
+/// links and derating are folded in. Field-compatible with the InstanceType
+/// capability columns so the estimator arithmetic is shared verbatim.
+struct EffectiveSpec {
+  int cores = 1;
+  double gips_per_core = 1.0;
+  double net_gbps = 1.0;        ///< intra-zone effective bandwidth per instance
+  double net_latency_us = 0.0;  ///< NIC + fabric one-way latency
+  double io_mbps = 50.0;        ///< local disk bandwidth
+  double uplink_gbps = 1.0;     ///< per-instance share of the storage path
+  /// Storage-request latency: the uplink link's latency alone (the NIC's
+  /// microseconds are noise against an object-store round trip), so the flat
+  /// anchor's zero-latency link folds to exactly 0.0.
+  double uplink_latency_us = 0.0;
+};
+
+class Platform {
+ public:
+  Platform(std::vector<Host> hosts, std::vector<Link> links, std::vector<ZoneNode> zones);
+
+  /// The regression anchor: one host per catalog type copying its capability
+  /// columns, one dedicated infinite-bandwidth zero-latency link, every
+  /// catalog zone wired to it. effective() is bit-exact to the catalog.
+  static Platform flat(const Catalog& catalog);
+
+  const std::vector<Host>& hosts() const { return hosts_; }
+  const std::vector<Link>& links() const { return links_; }
+  const std::vector<ZoneNode>& zones() const { return zones_; }
+
+  /// Host template for a type name; nullptr when the platform does not model
+  /// it (effective() then falls back to the catalog columns).
+  const Host* host(std::string_view type_name) const;
+  /// Zone by name; nullptr when absent (effective() falls back to flat).
+  const ZoneNode* zone(std::string_view zone_name) const;
+  const Link& link(std::size_t index) const;
+
+  /// Effective capability of one instance of `type` in `zone_name` when
+  /// `flows` concurrent flows (normally the group's instance count) share
+  /// the zone's links. Unknown types/zones fall back to the catalog columns
+  /// — a partial platform degrades to flat, never throws.
+  EffectiveSpec effective(const InstanceType& type, std::string_view zone_name,
+                          int flows) const;
+
+  /// Fair-share bandwidth one of `flows` concurrent flows gets through a
+  /// link, before the NIC clamp.
+  static double link_share_gbps(const Link& link, int flows);
+
+ private:
+  std::vector<Host> hosts_;
+  std::vector<Link> links_;
+  std::vector<ZoneNode> zones_;
+};
+
+}  // namespace sompi::platform

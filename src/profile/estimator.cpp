@@ -13,35 +13,82 @@ double ExecTimeEstimator::inter_instance_fraction(int cores, int n) {
   return static_cast<double>(n - cores) / static_cast<double>(n - 1);
 }
 
-TimeBreakdown ExecTimeEstimator::estimate(const AppProfile& app,
-                                          const InstanceType& type) const {
+platform::EffectiveSpec ExecTimeEstimator::type_spec(const InstanceType& type) {
+  platform::EffectiveSpec s;
+  s.cores = type.cores;
+  s.gips_per_core = type.gips_per_core;
+  s.net_gbps = type.net_gbps;
+  s.net_latency_us = type.net_latency_us;
+  s.io_mbps = type.io_mbps;
+  s.uplink_gbps = type.net_gbps;
+  s.uplink_latency_us = 0.0;  // the paper's S3 path bills bandwidth only
+  return s;
+}
+
+platform::EffectiveSpec ExecTimeEstimator::spec_for(const AppProfile& app,
+                                                    const InstanceType& type,
+                                                    std::string_view zone_name) const {
+  if (platform_ == nullptr) return type_spec(type);
+  SOMPI_REQUIRE_MSG(app.processes >= 1, "profile needs a process count");
+  // Each instance of the group is one flow on the zone's shared links.
+  const int instances = (app.processes + type.cores - 1) / type.cores;
+  platform::EffectiveSpec s = platform_->effective(type, zone_name, instances);
+  // Flat platforms carry zero extra uplink latency, so this spec (and every
+  // estimate below) stays bit-identical to type_spec().
+  return s;
+}
+
+TimeBreakdown ExecTimeEstimator::estimate_spec(const AppProfile& app,
+                                               const platform::EffectiveSpec& spec) const {
   SOMPI_REQUIRE_MSG(app.processes >= 1, "profile needs a process count");
   const int n = app.processes;
-  const int cores_used = std::min(type.cores, n);
+  const int cores_used = std::min(spec.cores, n);
 
   TimeBreakdown b;
 
   // CPU: all N ranks compute in parallel, one rank per core.
-  b.cpu_h = app.instr_gi / (static_cast<double>(n) * type.gips_per_core) / 3600.0;
+  b.cpu_h = app.instr_gi / (static_cast<double>(n) * spec.gips_per_core) / 3600.0;
 
   // Network: each instance pushes its ranks' inter-instance share of the
   // total traffic through its own NIC; instances transmit concurrently.
-  const double frac = inter_instance_fraction(type.cores, n);
+  const double frac = inter_instance_fraction(spec.cores, n);
   const double egress_gbit_per_inst =
       app.comm_gb * 8.0 * (static_cast<double>(cores_used) / n) * frac;
-  const double bw_s = egress_gbit_per_inst / type.net_gbps;
+  const double bw_s = egress_gbit_per_inst / spec.net_gbps;
   // Latency: a rank's messages are issued sequentially.
-  const double lat_s = app.msgs_per_rank * frac * type.net_latency_us * 1e-6;
+  const double lat_s = app.msgs_per_rank * frac * spec.net_latency_us * 1e-6;
   b.net_h = (bw_s + lat_s) / 3600.0;
 
   // I/O: aggregate bandwidth scales with the instance count.
-  const int instances = (n + type.cores - 1) / type.cores;
-  const double agg_io_gb_s = static_cast<double>(instances) * type.io_mbps / 1000.0;
+  const int instances = (n + spec.cores - 1) / spec.cores;
+  const double agg_io_gb_s = static_cast<double>(instances) * spec.io_mbps / 1000.0;
   const double io_s =
       (app.io_seq_gb + app.io_rand_gb * kRandomIoPenalty) / agg_io_gb_s;
   b.io_h = io_s / 3600.0;
 
   return b;
+}
+
+CheckpointCosts ExecTimeEstimator::checkpoint_costs_spec(
+    const AppProfile& app, const platform::EffectiveSpec& spec) const {
+  SOMPI_REQUIRE(app.processes >= 1);
+  const int instances = (app.processes + spec.cores - 1) / spec.cores;
+  // State is uploaded to object storage through every NIC in parallel; the
+  // zone uplink (fair-shared across the group's instances) can clamp the
+  // per-instance rate below the NIC. The latency term is 0 for the flat
+  // view, so adding it is exact there.
+  const double transfer_s =
+      app.state_gb * 8.0 / (static_cast<double>(instances) * spec.uplink_gbps) +
+      spec.uplink_latency_us * 1e-6;
+  CheckpointCosts c;
+  c.checkpoint_h = transfer_s / 3600.0 + kCheckpointFixedH;
+  c.recovery_h = transfer_s / 3600.0 + kRecoveryFixedH;
+  return c;
+}
+
+TimeBreakdown ExecTimeEstimator::estimate(const AppProfile& app,
+                                          const InstanceType& type) const {
+  return estimate_spec(app, type_spec(type));
 }
 
 double ExecTimeEstimator::hours(const AppProfile& app, const InstanceType& type) const {
@@ -50,15 +97,23 @@ double ExecTimeEstimator::hours(const AppProfile& app, const InstanceType& type)
 
 CheckpointCosts ExecTimeEstimator::checkpoint_costs(const AppProfile& app,
                                                     const InstanceType& type) const {
-  SOMPI_REQUIRE(app.processes >= 1);
-  const int instances = (app.processes + type.cores - 1) / type.cores;
-  // State is uploaded to object storage through every NIC in parallel.
-  const double transfer_s =
-      app.state_gb * 8.0 / (static_cast<double>(instances) * type.net_gbps);
-  CheckpointCosts c;
-  c.checkpoint_h = transfer_s / 3600.0 + kCheckpointFixedH;
-  c.recovery_h = transfer_s / 3600.0 + kRecoveryFixedH;
-  return c;
+  return checkpoint_costs_spec(app, type_spec(type));
+}
+
+TimeBreakdown ExecTimeEstimator::estimate(const AppProfile& app, const InstanceType& type,
+                                          std::string_view zone_name) const {
+  return estimate_spec(app, spec_for(app, type, zone_name));
+}
+
+double ExecTimeEstimator::hours(const AppProfile& app, const InstanceType& type,
+                                std::string_view zone_name) const {
+  return estimate(app, type, zone_name).total_h();
+}
+
+CheckpointCosts ExecTimeEstimator::checkpoint_costs(const AppProfile& app,
+                                                    const InstanceType& type,
+                                                    std::string_view zone_name) const {
+  return checkpoint_costs_spec(app, spec_for(app, type, zone_name));
 }
 
 }  // namespace sompi

@@ -7,9 +7,21 @@
 // effect that makes cc2.8xlarge the winner for communication-bound codes),
 // I/O from the aggregate disk bandwidth of all instances (more instances =
 // more I/O parallelism — the effect that favours the m1 family for BTIO).
+//
+// Two sources feed the arithmetic:
+//   - the legacy catalog view: InstanceType capability columns, used by the
+//     zone-less overloads (and by the zone overloads when no platform is
+//     attached) — exactly the paper's flat-constant model;
+//   - a platform::Platform: the zone-qualified overloads fold the zone's
+//     fabric/uplink links and compute derating into an EffectiveSpec first
+//     (DESIGN.md §12). Platform::flat() reproduces the catalog bit-exactly,
+//     so attaching the flat platform changes no estimate by even one ULP.
 #pragma once
 
+#include <string_view>
+
 #include "cloud/catalog.h"
+#include "platform/platform.h"
 #include "profile/app_profile.h"
 
 namespace sompi {
@@ -38,12 +50,21 @@ class ExecTimeEstimator {
   /// Restart (relaunch + rebuild communicators) fixed cost, hours.
   static constexpr double kRecoveryFixedH = 0.01;
 
+  /// Catalog-only estimator (the paper's flat-constant model).
+  ExecTimeEstimator() = default;
+  /// Platform-aware estimator: the zone-qualified overloads derive their
+  /// numbers from `platform` (borrowed; must outlive the estimator). nullptr
+  /// behaves exactly like the default constructor.
+  explicit ExecTimeEstimator(const platform::Platform* platform) : platform_(platform) {}
+
+  const platform::Platform* platform() const { return platform_; }
+
   /// Fraction of a rank's traffic that crosses the network when `cores`
   /// ranks share an instance out of `n` total (uniform partner model).
   static double inter_instance_fraction(int cores, int n);
 
   /// Estimates the productive execution time of `app` on instances of
-  /// `type` (one rank per core).
+  /// `type` (one rank per core), from the flat catalog columns.
   TimeBreakdown estimate(const AppProfile& app, const InstanceType& type) const;
 
   /// Convenience: total hours only.
@@ -52,6 +73,31 @@ class ExecTimeEstimator {
   /// Checkpoint overhead O and recovery overhead R: the full application
   /// state is pushed to (pulled from) object storage through the NICs.
   CheckpointCosts checkpoint_costs(const AppProfile& app, const InstanceType& type) const;
+
+  /// Zone-qualified variants: the attached platform folds `zone_name`'s
+  /// links and derating in (the group's instance count is the flow count on
+  /// shared links). Without a platform they equal the flat overloads.
+  TimeBreakdown estimate(const AppProfile& app, const InstanceType& type,
+                         std::string_view zone_name) const;
+  double hours(const AppProfile& app, const InstanceType& type,
+               std::string_view zone_name) const;
+  CheckpointCosts checkpoint_costs(const AppProfile& app, const InstanceType& type,
+                                   std::string_view zone_name) const;
+
+ private:
+  /// The one arithmetic path: every overload builds an EffectiveSpec and
+  /// lands here, so catalog and platform estimates cannot drift.
+  TimeBreakdown estimate_spec(const AppProfile& app,
+                              const platform::EffectiveSpec& spec) const;
+  CheckpointCosts checkpoint_costs_spec(const AppProfile& app,
+                                        const platform::EffectiveSpec& spec) const;
+  /// Spec the zone overloads use: platform-derived, or the flat type view.
+  platform::EffectiveSpec spec_for(const AppProfile& app, const InstanceType& type,
+                                   std::string_view zone_name) const;
+  /// The catalog capability columns copied verbatim (uplink = NIC).
+  static platform::EffectiveSpec type_spec(const InstanceType& type);
+
+  const platform::Platform* platform_ = nullptr;
 };
 
 }  // namespace sompi

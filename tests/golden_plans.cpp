@@ -25,6 +25,7 @@
 #include "common/rng.h"
 #include "core/ondemand.h"
 #include "core/optimizer.h"
+#include "platform/platform.h"
 #include "profile/estimator.h"
 #include "profile/paper_profiles.h"
 #include "service/request.h"
@@ -93,19 +94,20 @@ OptimizerConfig golden_config() {
   return config;
 }
 
-std::string render_case(const GoldenCase& c) {
+std::string render_case_with(const GoldenCase& c, const ExecTimeEstimator& estimator,
+                             unsigned threads) {
   const Catalog catalog = paper_catalog();
   Rng rng(c.seed);
   const MarketProfile profile =
       c.paper_profile ? paper_market_profile(catalog) : random_market_profile(catalog, rng);
   const Market market = generate_market(catalog, profile, c.days, 0.25, c.seed);
 
-  const ExecTimeEstimator estimator;
   const AppProfile app = paper_profile(c.app);
   const double deadline_h =
       OnDemandSelector(&catalog, &estimator).baseline(app).t_h * c.deadline_factor;
 
   OptimizerConfig config = golden_config();
+  config.threads = threads;
   if (c.multilevel)
     config.ckpt_policies = {CkptPolicy::single_s3(), CkptPolicy::cache_s3(),
                             CkptPolicy::cache_xor_s3()};
@@ -117,6 +119,10 @@ std::string render_case(const GoldenCase& c) {
   os << "market=" << std::hex << market_digest(catalog, market) << std::dec << "\n";
   os << "fingerprint=" << plan_fingerprint(plan) << "\n";
   return os.str();
+}
+
+std::string render_case(const GoldenCase& c) {
+  return render_case_with(c, ExecTimeEstimator(), 1);
 }
 
 std::string golden_path(const std::string& dir, const GoldenCase& c) {
@@ -150,6 +156,27 @@ void print_diff(const std::string& name, const std::string& want, const std::str
     }
     if (!w_ok || !g_ok) break;
   }
+}
+
+/// Flat-anchor invariant (DESIGN.md §12): re-solving every golden case with
+/// the flat-platform estimator must reproduce the catalog-only render byte
+/// for byte, at one and at eight worker threads. Returns failures.
+int verify_flat_anchor(const GoldenCase& c, const std::string& want) {
+  const Catalog catalog = paper_catalog();
+  const platform::Platform flat = platform::Platform::flat(catalog);
+  const ExecTimeEstimator estimator(&flat);
+  int failures = 0;
+  for (const unsigned threads : {1u, 8u}) {
+    const std::string got = render_case_with(c, estimator, threads);
+    if (got != want) {
+      std::printf("FAIL %s: flat-platform re-solve drifted (%u threads)\n", c.name, threads);
+      print_diff(c.name, want, got);
+      ++failures;
+    } else {
+      std::printf("ok %s (flat platform, %u threads)\n", c.name, threads);
+    }
+  }
+  return failures;
 }
 
 [[noreturn]] void usage_error(const char* argv0) {
@@ -203,6 +230,7 @@ int main(int argc, char** argv) {
       continue;
     }
     std::printf("ok %s\n", c.name);
+    failures += verify_flat_anchor(c, actual);
   }
   if (failures > 0) {
     std::printf("golden_plans: %d of %zu cases drifted\n", failures, std::size(kCases));
