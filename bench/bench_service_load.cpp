@@ -3,8 +3,9 @@
 //
 //   $ ./bench_service_load [--threads T=4] [--iters N=500] [--requests R=8]
 //                          [--fresh-every K=200] [--json <path>]
+//                          [--shards N] [--check <baseline.json>]
 //
-// Three phases:
+// Default (single-service) mode, three phases:
 //   1. UNCACHED — solve R distinct requests once each, optimizer only: the
 //      baseline cost of planning without the serving layer.
 //   2. WARM     — T closed-loop threads × N iterations over the same R
@@ -16,17 +17,34 @@
 //
 // Acceptance gates printed at the end (ISSUE 2): warm throughput ≥ 50× the
 // uncached solve rate, warm hit rate ≥ 90%, burst solves == 1.
+//
+// --shards N switches to the sharded-tier mode (ISSUE 8): a pinned
+// solve-bound workload of unique requests runs through a sequential 1-shard
+// oracle, then concurrently through a 1-shard and an N-shard tier, then a
+// cross-shard spray burst. Gates: every concurrent response bit-matches the
+// oracle fingerprint; unique solves, conservation and the dedup ledger are
+// exact; the burst solves once; and N-shard throughput clears a
+// hardware-aware floor of min(N, threads, cores) × 1-shard throughput × 0.3
+// (wall clock is never gated tighter than that — shared runners are noisy).
+// --check additionally compares the deterministic counters against a
+// committed baseline (bench/BENCH_sharded_service.json), exact-equality.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <map>
 #include <numeric>
+#include <optional>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "service/plan_service.h"
+#include "service/sharded/batch.h"
+#include "service/sharded/sharded_service.h"
 
 using namespace sompi;
 
@@ -43,7 +61,9 @@ struct Args {
   int iters = 500;
   int requests = 8;
   int fresh_every = 200;
+  int shards = 0;  // 0 = legacy single-service mode
   std::string json_path;
+  std::string check_path;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -55,6 +75,8 @@ Args parse_args(int argc, char** argv) {
     if (arg == "--iters") a.iters = std::atoi(argv[i + 1]);
     if (arg == "--requests") a.requests = std::atoi(argv[i + 1]);
     if (arg == "--fresh-every") a.fresh_every = std::atoi(argv[i + 1]);
+    if (arg == "--shards") a.shards = std::atoi(argv[i + 1]);
+    if (arg == "--check") a.check_path = argv[i + 1];
   }
   return a;
 }
@@ -63,10 +85,234 @@ void gate(const char* what, bool ok) {
   std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
 }
 
+// Flat-JSON field extractor, same idiom as bench_feed_throughput's --check:
+// the bench JSON is one object per record, so substring scoping suffices.
+std::optional<double> baseline_field(const std::string& text, const std::string& record,
+                                     const std::string& key) {
+  const std::string tag = "\"name\": \"" + record + "\"";
+  const std::size_t at = text.find(tag);
+  if (at == std::string::npos) return std::nullopt;
+  const std::size_t end = text.find('}', at);
+  const std::string want = "\"" + key + "\": ";
+  const std::size_t field = text.find(want, at);
+  if (field == std::string::npos || field > end) return std::nullopt;
+  return std::strtod(text.c_str() + field + want.size(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-tier mode.
+
+int run_sharded(const Args& args) {
+  bench::banner("SERVICE-LOAD/SHARDED",
+                "N-shard plan tier vs single-shard oracle: equivalence + scaling");
+
+  // The workload is PINNED (not derived from --iters/--requests): the
+  // committed baseline gates its deterministic counters exactly, so every
+  // invocation must run the identical request set.
+  constexpr int kUnique = 48;
+  constexpr int kBurst = 16;
+  const std::size_t shards = static_cast<std::size_t>(std::max(args.shards, 1));
+
+  Catalog catalog = paper_catalog();
+  ExecTimeEstimator est;
+  Market market = generate_market(catalog, paper_market_profile(catalog), /*days=*/3.0,
+                                  /*step_hours=*/0.25, /*seed=*/2014);
+
+  const AppProfile bt = paper_profile("BT");
+  const double baseline_h = OnDemandSelector(&catalog, &est).baseline(bt).t_h;
+  const auto request_for = [&](int which) {
+    PlanRequest r;
+    r.app = bt;
+    // Every request unique: the scaling phases are deliberately solve-bound
+    // (one solve slot per shard), so shard count is the parallelism axis.
+    r.deadline_h = baseline_h * (1.4 + 0.01 * which);
+    return r;
+  };
+
+  const auto tier_config = [&](std::size_t n) {
+    ShardedConfig c;
+    c.shards = n;
+    c.vnodes = 64;
+    c.salt = 0x5CA1EDULL;
+    c.service.cache = {.shards = 4, .capacity = 256};
+    c.service.max_concurrent_solves = 1;  // solve-bound by construction
+    c.service.max_queued_solves = 4096;   // nothing sheds
+    // Small solves so the pinned workload stays fast; what matters is that
+    // they dominate the per-request cost.
+    c.service.opt.max_candidates = 2;
+    c.service.opt.max_groups = 1;
+    c.service.opt.setup.log_levels = 2;
+    c.service.opt.setup.failure.samples = 200;
+    c.service.opt.ratio_bins = 16;
+    return c;
+  };
+
+  // --- Phase 1: sequential single-shard oracle ----------------------------
+  std::map<std::string, std::string> oracle_fp;  // canonical key → fingerprint
+  double oracle_wall_s = 0.0;
+  {
+    ShardedPlanService oracle(&catalog, &est, market, tier_config(1));
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kUnique; ++i) {
+      const PlanRequest r = request_for(i);
+      const PlanResponse response = oracle.serve(r);
+      if (response.plan == nullptr) {
+        std::fprintf(stderr, "FAIL: oracle shed a request\n");
+        return 1;
+      }
+      oracle_fp[canonical_key(canonicalized(r))] = plan_fingerprint(*response.plan);
+    }
+    oracle_wall_s = seconds_since(t0);
+    if (oracle.stats().total.solves != static_cast<std::uint64_t>(kUnique)) {
+      std::fprintf(stderr, "FAIL: oracle did not solve every unique request\n");
+      return 1;
+    }
+  }
+  std::printf("oracle:   %d sequential solves in %.2f s (1 shard)\n", kUnique, oracle_wall_s);
+
+  // One concurrent closed-loop pass over the workload: T threads drain a
+  // shared index, each request sprayed round-robin across the tier's shards.
+  std::atomic<std::uint64_t> fp_mismatches{0};
+  const auto run_pass = [&](ShardedPlanService& tier) {
+    std::atomic<int> next{0};
+    const auto t0 = Clock::now();
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < std::max(1u, args.threads); ++t) {
+      threads.emplace_back([&] {
+        for (;;) {
+          const int i = next.fetch_add(1);
+          if (i >= kUnique) return;
+          const PlanRequest r = request_for(i);
+          const PlanResponse response =
+              tier.serve_on(static_cast<std::size_t>(i) % tier.shard_count(), r);
+          if (response.plan == nullptr ||
+              plan_fingerprint(*response.plan) != oracle_fp[canonical_key(canonicalized(r))])
+            fp_mismatches.fetch_add(1);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    return seconds_since(t0);
+  };
+
+  // --- Phase 2: concurrent, 1 shard vs N shards ---------------------------
+  ShardedPlanService one(&catalog, &est, market, tier_config(1));
+  const double wall_1 = run_pass(one);
+  const double rps_1 = kUnique / wall_1;
+
+  ShardedPlanService tier(&catalog, &est, market, tier_config(shards));
+  const double wall_n = run_pass(tier);
+  const double rps_n = kUnique / wall_n;
+  std::printf("scale:    1 shard %.0f plans/s  |  %zu shards %.0f plans/s  (%.2fx)\n", rps_1,
+              shards, rps_n, rps_n / rps_1);
+
+  // --- Phase 3: identical cross-shard burst -------------------------------
+  const ShardedStats pre_burst = tier.stats();
+  {
+    std::vector<std::thread> burst;
+    for (int t = 0; t < kBurst; ++t)
+      burst.emplace_back([&, t] {
+        (void)tier.serve_on(static_cast<std::size_t>(t) % tier.shard_count(),
+                            request_for(kUnique));  // a key no phase has seen
+      });
+    for (auto& th : burst) th.join();
+  }
+  const ShardedStats post_burst = tier.stats();
+  const std::uint64_t burst_solves = post_burst.total.solves - pre_burst.total.solves;
+  std::printf("burst:    %d identical sprayed requests → %llu solve(s)\n", kBurst,
+              static_cast<unsigned long long>(burst_solves));
+
+  // --- Gates ---------------------------------------------------------------
+  const ShardedStats stats = tier.stats();
+  std::uint64_t sum_requests = 0;
+  for (const ServiceStats& shard : stats.per_shard) sum_requests += shard.requests;
+  const bool conserve =
+      sum_requests == stats.total.requests &&
+      stats.total.hits + stats.total.solves + stats.total.dedup_joins + stats.total.sheds ==
+          stats.total.requests &&
+      stats.routed + stats.sprayed == stats.total.requests;
+  // Hardware-aware scaling floor: the tier is solve-bound with one solve
+  // slot per shard, so the ideal speedup is min(shards, threads, cores);
+  // demand 30% of it — loose enough for noisy shared runners, tight enough
+  // to catch accidental serialization (a global lock would pin this to ~1x).
+  const double cores = std::max(1u, std::thread::hardware_concurrency());
+  const double expected =
+      std::min({static_cast<double>(shards), static_cast<double>(std::max(1u, args.threads)),
+                cores});
+  const bool scaling_ok = rps_n >= 0.3 * expected * rps_1;
+
+  bench::note("acceptance gates");
+  gate("every concurrent plan bit-matches the 1-shard oracle", fp_mismatches.load() == 0);
+  gate("unique solves == unique requests (exactly-once economy)",
+       stats.total.solves == static_cast<std::uint64_t>(kUnique) + burst_solves);
+  gate("zero duplicate solves in the tier ledger", stats.duplicate_solves == 0);
+  gate("per-shard counters conserve the aggregate", conserve);
+  gate("zero sheds under the roomy queue", stats.total.sheds == 0);
+  gate("exactly one solve per cross-shard identical burst", burst_solves == 1);
+  std::printf("  [%s] N-shard throughput clears the hw-aware floor "
+              "(%.0f >= 0.3 * %.0f * %.0f)\n",
+              scaling_ok ? "PASS" : "FAIL", rps_n, expected, rps_1);
+
+  bool ok = fp_mismatches.load() == 0 && stats.duplicate_solves == 0 && conserve &&
+            stats.total.sheds == 0 && burst_solves == 1 && scaling_ok &&
+            stats.total.solves == static_cast<std::uint64_t>(kUnique) + burst_solves;
+
+  std::vector<bench::JsonResult> results;
+  results.push_back({"sharded_oracle", static_cast<std::size_t>(kUnique),
+                     oracle_wall_s / kUnique * 1e3, 0.0, 0.0,
+                     {{"unique_requests", kUnique}}});
+  results.push_back({"sharded_scale", static_cast<std::size_t>(kUnique),
+                     wall_n / kUnique * 1e3, 0.0, 0.0,
+                     {{"shards", static_cast<double>(shards)},
+                      {"requests", static_cast<double>(stats.total.requests)},
+                      {"unique_solves", static_cast<double>(stats.total.solves - burst_solves)},
+                      {"burst_solves", static_cast<double>(burst_solves)},
+                      {"sheds", static_cast<double>(stats.total.sheds)},
+                      {"rps_1shard", rps_1},
+                      {"rps_nshard", rps_n}}});
+
+  if (!args.check_path.empty()) {
+    std::ifstream in(args.check_path);
+    if (!in) {
+      std::fprintf(stderr, "FAIL: cannot read baseline %s\n", args.check_path.c_str());
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string baseline = buf.str();
+    // Exact-equality gate on the DETERMINISTIC counters only (rps_* are wall
+    // clock — never gated against a baseline recorded on another machine).
+    for (const bench::JsonResult& r : results) {
+      for (const auto& [key, value] : r.counters) {
+        if (key != "unique_requests" && key != "shards" && key != "requests" &&
+            key != "unique_solves" && key != "burst_solves" && key != "sheds")
+          continue;
+        const std::optional<double> base = baseline_field(baseline, r.name, key);
+        if (!base) {
+          std::fprintf(stderr, "FAIL: baseline %s lacks %s for %s\n", args.check_path.c_str(),
+                       key.c_str(), r.name.c_str());
+          ok = false;
+          continue;
+        }
+        if (value != *base) {
+          std::fprintf(stderr, "FAIL: %s %s = %.0f != baseline %.0f\n", r.name.c_str(),
+                       key.c_str(), value, *base);
+          ok = false;
+        }
+      }
+    }
+    if (ok) bench::note("deterministic-counter check passed against " + args.check_path);
+  }
+
+  if (!args.json_path.empty()) bench::write_json(args.json_path, results);
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
+  if (args.shards > 0) return run_sharded(args);
   bench::banner("SERVICE-LOAD",
                 "PlanService under closed-loop concurrent load (epoch cache + single-flight)");
 

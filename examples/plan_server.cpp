@@ -22,6 +22,13 @@
 //         derived T/O/R profiles a platform-aware optimizer would consume.
 //         With no path (or "example") the built-in heterogeneous example
 //         platform (examples/platforms/hetero_slow_zone.plat) is shown
+//   shards <N> [APP] [factor] [burst=8]
+//         spin up an N-shard replicated serving tier (src/service/sharded)
+//         over the current market: spray `burst` identical requests onto
+//         different shards (the cross-shard dedup tier forwards them all to
+//         the ring-home shard — exactly one solve), then push a small batch
+//         through the async submit_batch/harvest API, and print per-shard +
+//         aggregate counters with the dedup ledger's verdict
 //   epoch   print the current market epoch
 //   stats   print the service counters and solve-latency percentiles
 //   help    this text
@@ -34,6 +41,7 @@
 //   plan BT 1.5          → solved (market moved)
 //   burst SP 1.4 8       → 1 solve + 7 joins
 //   feed 96 4            → 4 producers stream a day of ticks, epochs advance
+//   shards 4 BT 1.5 8    → 8-way spray across 4 shards: 1 solve, 0 duplicates
 #include <unistd.h>
 
 #include <algorithm>
@@ -53,6 +61,8 @@
 #include "profile/estimator.h"
 #include "profile/paper_profiles.h"
 #include "service/plan_service.h"
+#include "service/sharded/batch.h"
+#include "service/sharded/sharded_service.h"
 
 using namespace sompi;
 
@@ -194,7 +204,7 @@ int main(int argc, char** argv) {
         std::printf("commands: plan <APP> <factor> [type=..]* [zone=..]* | "
                     "burst <APP> <factor> <n> | tick [steps] | "
                     "feed <steps> [producers] | platform [file|example] [APP] | "
-                    "epoch | stats | quit\n");
+                    "shards <N> [APP] [factor] [burst] | epoch | stats | quit\n");
 
       } else if (cmd == "plan" || cmd == "burst") {
         std::string app_name;
@@ -318,6 +328,91 @@ int main(int argc, char** argv) {
           std::printf("→ %s\n", path.c_str());
           print_platform(catalog, plat, pstats, app);
         }
+
+      } else if (cmd == "shards") {
+        std::size_t n = 4;
+        std::string app_name = "BT";
+        double factor = 1.5;
+        int burst = 8;
+        in >> n >> app_name >> factor >> burst;
+        n = std::clamp<std::size_t>(n, 1, 16);
+        if (burst < 1) burst = 8;
+
+        // A fresh tier over the board's CURRENT market: every shard's
+        // replica starts bit-identical, fed by one fan-out from here on.
+        ShardedConfig scfg;
+        scfg.shards = n;
+        scfg.service.max_concurrent_solves = solves;
+        scfg.service.max_queued_solves = std::max<std::size_t>(queue, 64);
+        scfg.service.opt.max_candidates = 5;
+        scfg.service.opt.setup.log_levels = 5;
+        ShardedPlanService tier(&catalog, &est, *board.snapshot().market, scfg);
+
+        PlanRequest request;
+        request.app = resolve_app(app_name);
+        request.deadline_h = selector.baseline(request.app).t_h * factor;
+        const std::size_t home = tier.home_shard(request);
+
+        // Spray the identical request onto `burst` different landing shards
+        // at once — the load-balancer-gone-wrong case the dedup tier exists
+        // for.
+        std::vector<std::thread> threads;
+        for (int t = 0; t < burst; ++t)
+          threads.emplace_back([&, t] {
+            (void)tier.serve_on(static_cast<std::size_t>(t) % tier.shard_count(), request);
+          });
+        for (auto& th : threads) th.join();
+
+        ShardedStats ss = tier.stats();
+        std::printf("→ sprayed %d identical request(s) across %zu shard(s): "
+                    "%llu solve(s), %llu join(s), %llu hit(s), %llu forwarded home to "
+                    "shard %zu\n",
+                    burst, n, static_cast<unsigned long long>(ss.total.solves),
+                    static_cast<unsigned long long>(ss.total.dedup_joins),
+                    static_cast<unsigned long long>(ss.total.hits),
+                    static_cast<unsigned long long>(ss.forwarded), home);
+        std::printf("  dedup ledger: %zu distinct solve(s), %llu duplicate(s) — %s\n",
+                    tier.distinct_solves(),
+                    static_cast<unsigned long long>(ss.duplicate_solves),
+                    ss.duplicate_solves == 0 ? "exactly-once economy holds" : "VIOLATED");
+
+        // The async batch front door: a few distinct deadlines through
+        // submit_batch, drained, then harvested exactly once each.
+        {
+          AsyncBatchService batch_api(&tier, {.workers = 4, .queue_capacity = 64});
+          std::vector<PlanRequest> requests;
+          for (int i = 0; i < 6; ++i) {
+            PlanRequest r = request;
+            r.deadline_h = request.deadline_h * (1.0 + 0.05 * i);
+            requests.push_back(std::move(r));
+          }
+          batch_api.submit_batch(requests);
+          batch_api.drain();
+          const std::vector<BatchCompletion> done = batch_api.harvest();
+          std::printf("  batch: %zu submitted → %zu completed, outcomes:", requests.size(),
+                      done.size());
+          for (const BatchCompletion& c : done)
+            std::printf(" #%llu=%s", static_cast<unsigned long long>(c.ticket),
+                        c.error.empty() ? outcome_label(c.response.outcome) : "error");
+          std::printf("\n");
+        }
+
+        ss = tier.stats();
+        for (std::size_t i = 0; i < tier.shard_count(); ++i) {
+          const ServiceStats& sh = ss.per_shard[i];
+          std::printf("  shard %zu%s: requests %llu, hits %llu, solves %llu, joins %llu, "
+                      "cache %zu\n",
+                      i, i == home ? " (home)" : "",
+                      static_cast<unsigned long long>(sh.requests),
+                      static_cast<unsigned long long>(sh.hits),
+                      static_cast<unsigned long long>(sh.solves),
+                      static_cast<unsigned long long>(sh.dedup_joins), sh.cache_entries);
+        }
+        std::printf("  aggregate: requests %llu (routed %llu, sprayed %llu), epoch %llu\n",
+                    static_cast<unsigned long long>(ss.total.requests),
+                    static_cast<unsigned long long>(ss.routed),
+                    static_cast<unsigned long long>(ss.sprayed),
+                    static_cast<unsigned long long>(ss.total.epoch));
 
       } else if (cmd == "epoch") {
         std::printf("epoch %llu\n", static_cast<unsigned long long>(board.epoch()));

@@ -41,6 +41,7 @@
 #include "profile/paper_profiles.h"
 #include "service/market_board.h"
 #include "service/plan_service.h"
+#include "service/sharded/sharded_service.h"
 #include "sim/replay.h"
 #include "trace/market.h"
 
@@ -1279,10 +1280,127 @@ ScenarioOutcome run_platform_scenario(std::uint64_t seed) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Scenario 8: the sharded serving tier vs its single-shard oracle.
+
+ScenarioOutcome run_sharded_scenario(std::uint64_t seed) {
+  ScenarioOutcome out;
+  out.seed = seed;
+  out.kind = "sharded";
+  Violations violations;
+
+  Rng rng(seed ^ 0x54A2DED5EEDULL);
+  const Catalog catalog = paper_catalog();
+  const ExecTimeEstimator estimator;
+  const Market market =
+      generate_market(catalog, paper_market_profile(catalog), 1.5, 0.25, rng());
+
+  // A seeded tier shape from the acceptance set {1, 2, 4, 8}, with a seeded
+  // ring salt — the equivalence contract must hold for EVERY one.
+  const std::size_t shard_choices[] = {1, 2, 4, 8};
+  const std::size_t shards = shard_choices[rng.uniform_index(4)];
+  ShardedConfig config;
+  config.shards = shards;
+  config.vnodes = 16;
+  config.salt = rng();
+  config.service.cache.shards = 2;
+  // Ample tier budget: with a 3-request pool the per-shard ceil split can
+  // never evict a fitting key, so hit/solve classification stays comparable.
+  config.service.cache.capacity = 32;
+  config.service.max_concurrent_solves = 2;
+  config.service.max_queued_solves = 16;  // roomy: this scenario never sheds
+  config.service.latency_window = 32;
+  config.service.opt = tiny_optimizer_config();
+
+  ShardedConfig oracle_config = config;
+  oracle_config.shards = 1;
+  ShardedPlanService tier(&catalog, &estimator, market, config);
+  ShardedPlanService oracle(&catalog, &estimator, market, oracle_config);
+
+  const OnDemandSelector selector(&catalog, &estimator);
+  std::vector<PlanRequest> pool;
+  for (const char* name : {"BT", "SP", "FT"}) {
+    PlanRequest r;
+    r.app = paper_profile(name);
+    r.deadline_h = selector.baseline(r.app).t_h * (1.2 + rng.uniform(0.0, 3.0));
+    pool.push_back(std::move(r));
+  }
+
+  Digest digest;
+  digest.mix(out.kind);
+  digest.mix(shards);
+  bool wiped = false;
+  const std::size_t n_requests = 6 + rng.uniform_index(7);
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    if (rng.bernoulli(0.25)) {
+      // Identical updates through both fan-outs: the two deployments must
+      // stay on one (epoch → market) timeline.
+      const std::vector<PriceUpdate> updates{
+          PriceUpdate{{0, 0}, {0.01 + rng.uniform(0.0, 0.05)}}};
+      tier.fanout().ingest(updates);
+      oracle.fanout().ingest(updates);
+    }
+    if (rng.bernoulli(0.15)) {
+      // Chaos: a seeded shard loses its whole cache. Fingerprints must
+      // survive; the one-solve economy is legitimately waived below.
+      tier.shard(rng.uniform_index(tier.shard_count())).wipe_cache();
+      wiped = true;
+    }
+    const PlanRequest& request = pool[rng.uniform_index(pool.size())];
+    const PlanResponse got =
+        rng.bernoulli(0.5)
+            ? tier.serve_on(rng.uniform_index(tier.shard_count()), request)
+            : tier.serve(request);
+    const PlanResponse want = oracle.serve(request);
+    digest.mix(std::string(outcome_label(got.outcome)));
+    digest.mix(got.epoch);
+    if (got.epoch != want.epoch)
+      violations.record("tier and oracle answered at different epochs");
+    if (got.plan == nullptr || want.plan == nullptr) {
+      violations.record("roomy-queue scenario produced a shed");
+      continue;
+    }
+    // The headline invariant: bit-identical to the single-shard oracle.
+    if (plan_fingerprint(*got.plan) != plan_fingerprint(*want.plan)) {
+      violations.record("tier plan is not fingerprint-identical to the 1-shard oracle");
+      continue;
+    }
+    digest.mix(plan_fingerprint(*got.plan));
+  }
+
+  // Conservation: per-shard counters sum to the aggregate; the outcome
+  // classes partition the requests; the ledger balances the solve economy.
+  const ShardedStats stats = tier.stats();
+  if (stats.total.requests != n_requests)
+    violations.record("tier request counter lost a request");
+  if (stats.total.hits + stats.total.solves + stats.total.dedup_joins + stats.total.sheds !=
+      stats.total.requests)
+    violations.record("tier outcome classes do not partition the requests");
+  std::uint64_t sum_requests = 0;
+  for (const ServiceStats& shard : stats.per_shard) sum_requests += shard.requests;
+  if (sum_requests != stats.total.requests)
+    violations.record("per-shard request counters do not sum to the aggregate");
+  if (stats.routed + stats.sprayed != stats.total.requests)
+    violations.record("front-door counters do not sum to the aggregate");
+  if (!wiped && stats.duplicate_solves != 0)
+    violations.record("duplicate solve without cache-wipe chaos");
+  if (stats.total.solves != tier.distinct_solves() + stats.duplicate_solves)
+    violations.record("solve ledger does not balance the solve counter");
+  digest.mix(stats.total.hits);
+  digest.mix(stats.total.solves);
+  digest.mix(stats.duplicate_solves);
+  digest.mix(stats.forwarded);
+
+  out.digest = digest.value();
+  out.failed = violations.any();
+  out.detail = violations.first();
+  return out;
+}
+
 }  // namespace
 
 const char* scenario_kind_name(std::uint64_t seed) {
-  switch (seed % 8) {
+  switch (seed % 9) {
     case 0: return "checkpoint";
     case 1: return "incremental";
     case 2: return "replay";
@@ -1290,12 +1408,13 @@ const char* scenario_kind_name(std::uint64_t seed) {
     case 4: return "plan";
     case 5: return "feed";
     case 6: return "multilevel";
-    default: return "platform";
+    case 7: return "platform";
+    default: return "sharded";
   }
 }
 
 ScenarioOutcome run_scenario(std::uint64_t seed) {
-  switch (seed % 8) {
+  switch (seed % 9) {
     case 0: return run_checkpoint_scenario(seed, /*incremental=*/false);
     case 1: return run_checkpoint_scenario(seed, /*incremental=*/true);
     case 2: return run_replay_scenario(seed);
@@ -1303,7 +1422,8 @@ ScenarioOutcome run_scenario(std::uint64_t seed) {
     case 4: return run_plan_scenario(seed);
     case 5: return run_feed_scenario(seed);
     case 6: return run_multilevel_scenario(seed);
-    default: return run_platform_scenario(seed);
+    case 7: return run_platform_scenario(seed);
+    default: return run_sharded_scenario(seed);
   }
 }
 

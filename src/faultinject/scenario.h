@@ -2,7 +2,7 @@
 // subsystem under an injected failure schedule, plus the invariants that
 // must hold for ANY schedule.
 //
-// The eight scenario kinds (selected by seed % 8) and their invariants:
+// The nine scenario kinds (selected by seed % 9) and their invariants:
 //
 //   checkpoint / incremental — an iterative mini-MPI app checkpoints under
 //     storage faults, torn uploads, protocol crashes and a tick-kill.
@@ -59,6 +59,16 @@
 //     never gains bandwidth from extra flows; allreduce is exactly two
 //     bcasts; plans over the platform are bit-identical across repeated
 //     solves and thread counts.
+//
+//   sharded — a seeded {1, 2, 4, 8}-shard serving tier (consistent-hash
+//     router, fan-out-replicated boards, cross-shard dedup) runs a request
+//     stream mixing ring-routed and sprayed landings, epoch bumps and
+//     seeded cache wipes, in lockstep with a single-shard oracle fed the
+//     identical updates. Invariants: every tier response is
+//     fingerprint-identical to the oracle's at the same epoch; per-shard
+//     counters sum to the aggregate and the outcome classes partition the
+//     requests; the solve ledger balances the solve counter, with zero
+//     duplicate solves whenever no cache wipe fired.
 //
 // Every observable a scenario digests is deterministic at any thread count,
 // so `run_scenario(seed).digest` is byte-comparable across machines and

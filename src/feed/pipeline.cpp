@@ -10,14 +10,25 @@
 namespace sompi::feed {
 
 FeedPipeline::FeedPipeline(MarketBoard* board, FeedConfig config)
-    : board_(board), config_(config) {
-  SOMPI_REQUIRE(board_ != nullptr);
+    : FeedPipeline(nullptr,
+                   std::make_unique<BoardFanout>(std::vector<MarketBoard*>{board}),
+                   config) {}
+
+FeedPipeline::FeedPipeline(BoardFanout* fanout, FeedConfig config)
+    : FeedPipeline(fanout, nullptr, config) {}
+
+FeedPipeline::FeedPipeline(BoardFanout* fanout, std::unique_ptr<BoardFanout> owned,
+                           FeedConfig config)
+    : owned_fanout_(std::move(owned)),
+      fanout_(fanout != nullptr ? fanout : owned_fanout_.get()),
+      config_(config) {
+  SOMPI_REQUIRE(fanout_ != nullptr);
   SOMPI_REQUIRE(config_.window_steps > 0);
   SOMPI_REQUIRE(config_.publish_every > 0);
   SOMPI_REQUIRE(config_.late_horizon >= 1);
   SOMPI_REQUIRE(config_.queue_capacity > 0);
 
-  const MarketSnapshot snap = board_->snapshot();
+  const MarketSnapshot snap = fanout_->primary()->snapshot();
   const Market& market = *snap.market;
   const Catalog& catalog = market.catalog();
   zones_ = catalog.zones().size();
@@ -155,7 +166,7 @@ void FeedPipeline::publish_batch_locked() {
     updates.push_back(PriceUpdate{g.group, std::move(g.publish_accum)});
     g.publish_accum.clear();
   }
-  const std::uint64_t epoch = board_->ingest(updates);
+  const std::uint64_t epoch = fanout_->ingest(updates);
   ++stats_.epochs_published;
   if (config_.estimate) estimate_locked(epoch);
 

@@ -33,6 +33,7 @@
 #include "core/failure_model.h"
 #include "feed/tick.h"
 #include "feed/tick_queue.h"
+#include "service/board_fanout.h"
 #include "service/market_board.h"
 
 namespace sompi::feed {
@@ -102,6 +103,15 @@ class FeedPipeline {
   /// market primes the timeline: its length is the first feed step and its
   /// trailing `window_steps` prime the estimation windows.
   FeedPipeline(MarketBoard* board, FeedConfig config);
+
+  /// Replicated mode: one pipeline feeding every shard of a sharded serving
+  /// tier. `fanout` is borrowed and must outlive the pipeline; each epoch
+  /// publication goes through the fan-out's versioned barrier, so all
+  /// replicas see the identical epoch sequence this pipeline commits. The
+  /// primary replica primes the timeline exactly as the single-board ctor's
+  /// board does.
+  FeedPipeline(BoardFanout* fanout, FeedConfig config);
+
   ~FeedPipeline();
 
   FeedPipeline(const FeedPipeline&) = delete;
@@ -161,6 +171,11 @@ class FeedPipeline {
     std::vector<double> publish_accum;    ///< committed, unpublished prices
   };
 
+  /// Delegation target of both public ctors: publish through `fanout`,
+  /// which is `owned` when the single-board ctor wrapped its board in a
+  /// one-replica fan-out.
+  FeedPipeline(BoardFanout* fanout, std::unique_ptr<BoardFanout> owned, FeedConfig config);
+
   void apply_tick_locked(const Tick& tick);
   void resolve_group_locked(GroupState& g);
   void commit_ready_locked();
@@ -168,7 +183,10 @@ class FeedPipeline {
   void estimate_locked(std::uint64_t epoch);
   void mix(std::uint64_t value);
 
-  MarketBoard* board_;
+  /// Kept alive only by the single-board ctor (a one-replica fan-out
+  /// wrapping the caller's board); null in replicated mode.
+  std::unique_ptr<BoardFanout> owned_fanout_;
+  BoardFanout* fanout_;
   FeedConfig config_;
   std::size_t zones_ = 0;
   std::size_t group_count_ = 0;

@@ -3,13 +3,14 @@
 #include <functional>
 
 #include "common/error.h"
+#include "common/rng.h"
 
 namespace sompi {
 
 PlanCache::PlanCache(Config config) {
   SOMPI_REQUIRE(config.shards >= 1);
   SOMPI_REQUIRE(config.capacity >= 1);
-  per_shard_capacity_ = (config.capacity + config.shards - 1) / config.shards;
+  capacity_ = config.capacity;
   shards_.reserve(config.shards);
   for (std::size_t i = 0; i < config.shards; ++i)
     shards_.push_back(std::make_unique<Shard>());
@@ -22,8 +23,15 @@ std::string PlanCache::index_key(const std::string& key, std::uint64_t epoch) {
 PlanCache::Shard& PlanCache::shard_for(const std::string& key) const {
   // Sharding by request key alone (not epoch) keeps all epochs of one
   // request in one shard, so erase_older_than contends with at most one
-  // hit path per request.
-  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  // hit path per request. The std::hash value is re-mixed through a salted
+  // splitmix finalizer before the modulo: a raw `hash % shards` correlates
+  // with any outer router partitioning keys by the same obvious formula,
+  // funnelling a whole partition into ONE lock shard and serializing its
+  // hit path (the capacity half of that failure mode is fixed by the
+  // global budget in insert()).
+  std::uint64_t state =
+      static_cast<std::uint64_t>(std::hash<std::string>{}(key)) ^ 0xCAC4E5A17ULL;
+  return *shards_[splitmix64(state) % shards_.size()];
 }
 
 std::shared_ptr<const Plan> PlanCache::lookup(const std::string& key, std::uint64_t epoch) {
@@ -51,9 +59,17 @@ void PlanCache::insert(const std::string& key, std::uint64_t epoch,
   shard.lru.push_front(Entry{key, epoch, std::move(plan)});
   shard.index.emplace(ik, shard.lru.begin());
   insertions_.fetch_add(1, std::memory_order_relaxed);
-  while (shard.lru.size() > per_shard_capacity_) {
+  total_size_.fetch_add(1, std::memory_order_relaxed);
+  // Enforce the GLOBAL budget, evicting from this shard's own LRU tail (the
+  // only one whose lock is held). A fitting key set therefore never evicts,
+  // however skewed the shard assignment — see Config::capacity. The
+  // `size() > 1` guard keeps the entry just inserted resident even when the
+  // excess lives in other shards, so the budget is soft by at most
+  // (shards - 1) entries until inserts (or a stale sweep) land there.
+  while (total_size_.load(std::memory_order_relaxed) > capacity_ && shard.lru.size() > 1) {
     shard.index.erase(index_key(shard.lru.back().key, shard.lru.back().epoch));
     shard.lru.pop_back();
+    total_size_.fetch_sub(1, std::memory_order_relaxed);
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -66,6 +82,7 @@ std::size_t PlanCache::erase_older_than(std::uint64_t epoch) {
       if (it->epoch < epoch) {
         shard->index.erase(index_key(it->key, it->epoch));
         it = shard->lru.erase(it);
+        total_size_.fetch_sub(1, std::memory_order_relaxed);
         ++dropped;
       } else {
         ++it;
@@ -87,12 +104,7 @@ PlanCache::Stats PlanCache::stats() const {
 }
 
 std::size_t PlanCache::size() const {
-  std::size_t total = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    total += shard->lru.size();
-  }
-  return total;
+  return total_size_.load(std::memory_order_relaxed);
 }
 
 }  // namespace sompi

@@ -26,9 +26,15 @@ class PlanCache {
   struct Config {
     /// Independent lock domains; requests hash over them by canonical key.
     std::size_t shards = 8;
-    /// Total entry budget across all shards (per-shard budget is the even
-    /// split, rounded up, so small caches still hold at least one entry per
-    /// shard).
+    /// Total entry budget, enforced GLOBALLY across the lock shards: an
+    /// insert evicts from its own shard's LRU tail only while the summed
+    /// size exceeds this budget. The old per-shard even split silently
+    /// shrank the effective capacity whenever keys skewed across shards —
+    /// fatal once the cache sits behind a shard router, where a whole
+    /// tier's key subset is pre-filtered by an outer hash (see
+    /// test_plan_cache_edges.cpp). With the global budget, any key set of
+    /// size <= capacity classifies hits and misses exactly like one
+    /// unsharded cache would, regardless of skew.
     std::size_t capacity = 1024;
   };
 
@@ -46,8 +52,8 @@ class PlanCache {
   /// Drops every entry with epoch < `epoch`; returns how many were dropped.
   std::size_t erase_older_than(std::uint64_t epoch);
 
-  /// Entries currently cached (sums shard sizes; approximate under
-  /// concurrent mutation).
+  /// Entries currently cached (one atomic across shards; exact on any
+  /// quiescent snapshot).
   std::size_t size() const;
 
   /// Monotonic hit-rate accounting. Each counter is individually exact
@@ -79,9 +85,13 @@ class PlanCache {
   static std::string index_key(const std::string& key, std::uint64_t epoch);
   Shard& shard_for(const std::string& key) const;
 
-  std::size_t per_shard_capacity_;
+  std::size_t capacity_;
   /// unique_ptr because Shard (mutex) is immovable and the count is dynamic.
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Summed shard sizes, maintained inside the shard critical sections; the
+  /// global budget is enforced against this (transient overshoot under
+  /// concurrent inserts is bounded by the number of inserting threads).
+  std::atomic<std::size_t> total_size_{0};
 
   std::atomic<std::uint64_t> lookups_{0};
   std::atomic<std::uint64_t> hits_{0};

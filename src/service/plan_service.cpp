@@ -86,6 +86,14 @@ std::size_t PlanService::invalidate_stale() {
   return dropped;
 }
 
+std::size_t PlanService::wipe_cache() {
+  // Epochs are bounded by the board's (uint64 max is unreachable), so
+  // "older than max" is "everything".
+  const std::size_t dropped = cache_.erase_older_than(std::numeric_limits<std::uint64_t>::max());
+  stale_evicted_.fetch_add(dropped, std::memory_order_relaxed);
+  return dropped;
+}
+
 void PlanService::record_solve(double seconds, const Plan& plan) {
   std::lock_guard<std::mutex> lock(latency_mutex_);
   solve_seconds_total_ += seconds;

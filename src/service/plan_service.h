@@ -147,6 +147,14 @@ class PlanService {
   /// deterministic reclamation points.
   std::size_t invalidate_stale();
 
+  /// Chaos seam: drops EVERY cache entry, current epoch included, counting
+  /// them as stale_evicted. Correctness-neutral by the cache contract (a
+  /// wiped entry re-solves to a bit-identical plan) but it deliberately
+  /// breaks the "exactly one solve per (request, epoch)" economy — the
+  /// sharded chaos battery uses it to prove the tier survives a shard
+  /// losing its cache mid-flight.
+  std::size_t wipe_cache();
+
   ServiceStats stats() const;
 
   /// The deterministic reference solve behind every flight: exactly what a

@@ -1,0 +1,126 @@
+#include "service/sharded/batch.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "common/error.h"
+
+namespace sompi {
+
+AsyncBatchService::AsyncBatchService(ShardedPlanService* tier, BatchConfig config)
+    : tier_(tier), config_(config) {
+  SOMPI_REQUIRE(tier_ != nullptr);
+  SOMPI_REQUIRE(config_.workers >= 1);
+  SOMPI_REQUIRE(config_.queue_capacity >= 1);
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+AsyncBatchService::~AsyncBatchService() { stop(); }
+
+std::uint64_t AsyncBatchService::submit(const PlanRequest& request) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_cv_.wait(lock, [this] { return stopping_ || pending_.size() < config_.queue_capacity; });
+  SOMPI_REQUIRE_MSG(!stopping_, "submit() after stop()");
+  const std::uint64_t ticket = next_ticket_++;
+  pending_.push_back(Pending{ticket, request});
+  max_queue_depth_ = std::max(max_queue_depth_, pending_.size());
+  lock.unlock();
+  queue_cv_.notify_all();
+  return ticket;
+}
+
+std::vector<std::uint64_t> AsyncBatchService::submit_batch(
+    const std::vector<PlanRequest>& requests) {
+  std::vector<std::uint64_t> tickets;
+  tickets.reserve(requests.size());
+  for (const PlanRequest& request : requests) tickets.push_back(submit(request));
+  return tickets;
+}
+
+void AsyncBatchService::worker_loop() {
+  for (;;) {
+    Pending work;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping_ and drained
+      work = std::move(pending_.front());
+      pending_.pop_front();
+      ++in_flight_;
+    }
+    // A pop may have opened queue room for a blocked submitter.
+    queue_cv_.notify_all();
+
+    BatchCompletion completion;
+    completion.ticket = work.ticket;
+    try {
+      completion.response =
+          config_.spray
+              ? tier_->serve_on(static_cast<std::size_t>(work.ticket % tier_->shard_count()),
+                                work.request)
+              : tier_->serve(work.request);
+    } catch (const std::exception& e) {
+      completion.error = e.what();
+    } catch (...) {
+      completion.error = "unknown solve failure";
+    }
+    complete(std::move(completion));
+  }
+}
+
+void AsyncBatchService::complete(BatchCompletion completion) {
+  bool idle;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!completion.error.empty()) ++error_count_;
+    completed_.push_back(std::move(completion));
+    ++completed_count_;
+    --in_flight_;
+    idle = pending_.empty() && in_flight_ == 0;
+  }
+  if (idle) idle_cv_.notify_all();
+}
+
+std::vector<BatchCompletion> AsyncBatchService::harvest(std::size_t max) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<BatchCompletion> out;
+  const std::size_t n =
+      (max == 0) ? completed_.size() : std::min(max, completed_.size());
+  out.assign(std::make_move_iterator(completed_.begin()),
+             std::make_move_iterator(completed_.begin() + static_cast<std::ptrdiff_t>(n)));
+  completed_.erase(completed_.begin(), completed_.begin() + static_cast<std::ptrdiff_t>(n));
+  harvested_count_ += n;
+  return out;
+}
+
+void AsyncBatchService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return pending_.empty() && in_flight_ == 0; });
+}
+
+void AsyncBatchService::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+  workers_.clear();
+}
+
+AsyncBatchService::Stats AsyncBatchService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.submitted = next_ticket_ - 1;
+  s.completed = completed_count_;
+  s.harvested = harvested_count_;
+  s.errors = error_count_;
+  s.max_queue_depth = max_queue_depth_;
+  return s;
+}
+
+}  // namespace sompi

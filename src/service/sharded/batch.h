@@ -1,0 +1,119 @@
+// AsyncBatchService — bounded asynchronous batch front end for the sharded
+// plan tier.
+//
+// Callers submit requests and get back monotonically increasing tickets;
+// a fixed pool of worker threads drains the (bounded) submission queue
+// through ShardedPlanService::serve / serve_on and parks each result as a
+// BatchCompletion. harvest() hands completions back, each EXACTLY once —
+// the harvest-completeness law:
+//
+//   every submitted ticket appears in exactly one harvest() result,
+//   whatever mix of hits, solves, joins, sheds and solver exceptions
+//   its request produced.
+//
+// Sheds are NORMAL completions (outcome kShed, no plan) — overload is data,
+// not an error. A solver exception becomes a completion with a non-empty
+// `error` and no plan; nothing is ever silently dropped. Backpressure is by
+// blocking: submit() waits for queue room instead of failing, so a bursty
+// producer is throttled to what the workers drain (admission-control sheds
+// inside the tier still bound each worker's latency).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/sharded/sharded_service.h"
+
+namespace sompi {
+
+struct BatchConfig {
+  /// Worker threads draining the submission queue.
+  std::size_t workers = 4;
+  /// Submission-queue bound; submit() blocks while full.
+  std::size_t queue_capacity = 1024;
+  /// false: workers call serve() (ring-routed). true: workers call
+  /// serve_on(ticket % shards) — a round-robin spray that exercises the
+  /// cross-shard dedup path on every request.
+  bool spray = false;
+};
+
+struct BatchCompletion {
+  std::uint64_t ticket = 0;
+  PlanResponse response;
+  /// Non-empty iff the solve threw; response.plan is null then.
+  std::string error;
+};
+
+class AsyncBatchService {
+ public:
+  /// `tier` is borrowed and must outlive this service.
+  AsyncBatchService(ShardedPlanService* tier, BatchConfig config);
+  /// Joins the workers; unharvested completions are discarded with the
+  /// object (call drain() + harvest() first if they matter).
+  ~AsyncBatchService();
+
+  AsyncBatchService(const AsyncBatchService&) = delete;
+  AsyncBatchService& operator=(const AsyncBatchService&) = delete;
+
+  /// Enqueues one request, blocking while the queue is full. Returns the
+  /// ticket its completion will carry. Must not be called after stop().
+  std::uint64_t submit(const PlanRequest& request);
+
+  /// Enqueues a batch; returns the tickets in request order.
+  std::vector<std::uint64_t> submit_batch(const std::vector<PlanRequest>& requests);
+
+  /// Takes up to `max` finished completions (0 = all available), in
+  /// completion order. Never blocks; each completion is returned once.
+  std::vector<BatchCompletion> harvest(std::size_t max = 0);
+
+  /// Blocks until every submitted request has completed (queue empty and no
+  /// worker mid-request). Completions then await harvest().
+  void drain();
+
+  /// Stops accepting submissions, drains the queue, joins the workers.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t harvested = 0;
+    std::uint64_t errors = 0;  ///< completions with non-empty error
+    std::size_t max_queue_depth = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Pending {
+    std::uint64_t ticket = 0;
+    PlanRequest request;
+  };
+
+  void worker_loop();
+  void complete(BatchCompletion completion);
+
+  ShardedPlanService* tier_;
+  BatchConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;  ///< waits: submit (room), workers (work)
+  std::condition_variable idle_cv_;   ///< waits: drain (pending empty, none in flight)
+  std::deque<Pending> pending_;
+  std::vector<BatchCompletion> completed_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::uint64_t next_ticket_ = 1;
+  std::uint64_t completed_count_ = 0;
+  std::uint64_t harvested_count_ = 0;
+  std::uint64_t error_count_ = 0;
+  std::size_t max_queue_depth_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sompi

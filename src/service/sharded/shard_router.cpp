@@ -1,0 +1,60 @@
+#include "service/sharded/shard_router.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace sompi {
+
+namespace {
+
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::uint64_t mix64(std::uint64_t value) {
+  std::uint64_t state = value;
+  return splitmix64(state);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(RouterConfig config) : config_(config) {
+  SOMPI_REQUIRE(config_.shards >= 1);
+  SOMPI_REQUIRE(config_.vnodes >= 1);
+  ring_.reserve(config_.shards * config_.vnodes);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    for (std::size_t v = 0; v < config_.vnodes; ++v) {
+      // Point = mix(salt, shard, vnode): a shard's points do not move when
+      // other shards join or leave — the heart of ring stability.
+      const std::uint64_t point =
+          mix64(config_.salt ^ (static_cast<std::uint64_t>(s) * 0x9E3779B97F4A7C15ULL) ^
+                (static_cast<std::uint64_t>(v) * 0xD1B54A32D192ED03ULL) ^
+                0x5CA1AB1E0FULL);
+      ring_.emplace_back(point, static_cast<std::uint32_t>(s));
+    }
+  }
+  // Equal points tie-break on shard id so the ring order never depends on
+  // insertion order.
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::uint64_t ShardRouter::key_point(const std::string& canonical_key, std::uint64_t salt) {
+  return mix64(fnv1a64(canonical_key) ^ salt ^ 0x0FF1CE5EEDULL);
+}
+
+std::size_t ShardRouter::route(const std::string& canonical_key) const {
+  const std::uint64_t point = key_point(canonical_key, config_.salt);
+  auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(point, std::uint32_t{0}));
+  if (it == ring_.end()) it = ring_.begin();  // wrap past the highest point
+  return it->second;
+}
+
+}  // namespace sompi

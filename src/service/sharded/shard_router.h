@@ -1,0 +1,60 @@
+// ShardRouter — consistent-hash ring routing canonical requests to shards.
+//
+// Each shard owns `vnodes` points on a 64-bit ring; a canonical request key
+// hashes to a point and is owned by the first shard point clockwise from it.
+// Two properties the sharded tier's equivalence contract leans on:
+//
+//   * routing is a PURE function of (canonical key, RouterConfig) — the ring
+//     uses the repo's own seeded hash (fnv1a + splitmix finalizer), never
+//     std::hash, so the mapping is bit-identical across processes, machines
+//     and standard libraries, and two independently constructed routers with
+//     the same config agree on every key;
+//   * adding or removing one shard only reassigns the keys whose successor
+//     point belonged to that shard — in expectation K/N of K keys, never a
+//     global reshuffle (the ring-stability property test pins a bound).
+//
+// The salt decorrelates the ring from every other hash in the system —
+// in particular from PlanCache's internal lock-shard hash, so a shard's
+// key subset still spreads evenly over its cache shards (see the sizing
+// note in plan_cache.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sompi {
+
+struct RouterConfig {
+  std::size_t shards = 1;
+  /// Ring points per shard. More points → smoother key balance and smaller
+  /// per-shard movement on resize; 64 keeps the worst shard within ~2x of
+  /// the mean share.
+  std::size_t vnodes = 64;
+  /// Deployment-level seed folded into every ring and key hash.
+  std::uint64_t salt = 0;
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(RouterConfig config);
+
+  /// The shard owning `canonical_key`. O(log(shards * vnodes)).
+  std::size_t route(const std::string& canonical_key) const;
+
+  /// The key's ring position — exposed so tests can reason about movement.
+  static std::uint64_t key_point(const std::string& canonical_key, std::uint64_t salt);
+
+  std::size_t shards() const { return config_.shards; }
+  const RouterConfig& config() const { return config_; }
+
+  /// The sorted ring: (point, shard) pairs. Test/diagnostic surface.
+  const std::vector<std::pair<std::uint64_t, std::uint32_t>>& ring() const { return ring_; }
+
+ private:
+  RouterConfig config_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;  ///< sorted by point
+};
+
+}  // namespace sompi

@@ -6,7 +6,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "profile/paper_profiles.h"
 #include "service/plan_service.h"
@@ -65,6 +68,52 @@ TEST(PlanCacheEdges, LookupRefreshesLruPosition) {
   EXPECT_NE(cache.lookup("a", 1), nullptr);  // survived thanks to the refresh
   EXPECT_EQ(cache.lookup("b", 1), nullptr);  // LRU victim
   EXPECT_NE(cache.lookup("c", 1), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// The capacity budget is GLOBAL across the lock shards. The old per-shard
+// even split broke hit/miss classification whenever keys skewed across the
+// internal shards — fatal behind a shard router, which hands each cache a
+// pre-filtered (hence skewed-looking) key subset.
+
+TEST(PlanCacheEdges, RouterCorrelatedKeySetStillGetsFullCapacity) {
+  // Adversarial skew: 64 keys that all land in ONE std::hash bucket mod 8 —
+  // exactly what a naive outer router using the same formula would produce.
+  // Under the per-shard split (64/8 = 8 per shard) at most a handful would
+  // survive; under the global budget all 64 must be resident and hit.
+  std::vector<std::string> keys;
+  for (std::uint64_t i = 0; keys.size() < 64; ++i) {
+    std::string k = "req-" + std::to_string(i);
+    if (std::hash<std::string>{}(k) % 8 == 3) keys.push_back(std::move(k));
+  }
+
+  PlanCache cache({.shards = 8, .capacity = 64});
+  for (const std::string& k : keys) cache.insert(k, 1, tagged_plan(k));
+
+  EXPECT_EQ(cache.size(), 64u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  for (const std::string& k : keys) {
+    const auto hit = cache.lookup(k, 1);
+    ASSERT_NE(hit, nullptr) << "fitting key evicted: " << k;
+    EXPECT_EQ(hit->app, k);
+  }
+}
+
+TEST(PlanCacheEdges, GlobalBudgetStillEvictsWhenActuallyOverCapacity) {
+  // The fix must not disable eviction: 3x the budget of uniformly spread
+  // keys has to settle near the budget (soft by at most shards-1 entries,
+  // since an insert only evicts from its own shard's tail).
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kCapacity = 32;
+  PlanCache cache({.shards = kShards, .capacity = kCapacity});
+  for (std::size_t i = 0; i < 3 * kCapacity; ++i)
+    cache.insert("key-" + std::to_string(i), 1, tagged_plan("p"));
+
+  EXPECT_LE(cache.size(), kCapacity + kShards - 1);
+  EXPECT_GE(cache.size(), kCapacity / 2);  // eviction is pressure-driven, not a purge
+  const PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.insertions, 3 * kCapacity);
+  EXPECT_EQ(cache.size() + s.evictions + s.stale_dropped, s.insertions);
 }
 
 // ---------------------------------------------------------------------------
