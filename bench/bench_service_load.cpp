@@ -222,8 +222,35 @@ int run_sharded(const Args& args) {
   std::printf("burst:    %d identical sprayed requests → %llu solve(s)\n", kBurst,
               static_cast<unsigned long long>(burst_solves));
 
-  // --- Gates ---------------------------------------------------------------
+  // --- Phase 4: epoch churn — warm re-plans vs the cold oracle -------------
+  // Aggregate counters for the solve-economy gates are snapshotted BEFORE the
+  // churn, which deliberately adds re-solves.
   const ShardedStats stats = tier.stats();
+  std::uint64_t churn_divergence = 0;
+  constexpr int kChurn = 8;
+  for (int c = 0; c < kChurn; ++c) {
+    // Alternate real single-group deltas with forced (empty) bumps; every
+    // served key was solved in phase 2, so each serve is a warm re-plan.
+    if (c % 2 == 0)
+      tier.fanout().ingest({PriceUpdate{{0, 0}, {0.05 + 0.001 * c}}});
+    else
+      tier.fanout().ingest({});
+    const PlanRequest r = request_for(c % 4);
+    const std::size_t home = tier.home_shard(r);
+    const MarketSnapshot snap = tier.board(home).snapshot();
+    const PlanResponse warm = tier.serve(r);
+    if (warm.plan == nullptr ||
+        plan_fingerprint(*warm.plan) !=
+            plan_fingerprint(tier.shard(home).solve(canonicalized(r), *snap.market)))
+      ++churn_divergence;
+  }
+  const std::uint64_t churn_replans =
+      tier.stats().total.replan_count - stats.total.replan_count;
+  std::printf("churn:    %d epoch bumps → %llu warm re-plan(s), %llu divergence(s)\n", kChurn,
+              static_cast<unsigned long long>(churn_replans),
+              static_cast<unsigned long long>(churn_divergence));
+
+  // --- Gates ---------------------------------------------------------------
   std::uint64_t sum_requests = 0;
   for (const ServiceStats& shard : stats.per_shard) sum_requests += shard.requests;
   const bool conserve =
@@ -249,13 +276,16 @@ int run_sharded(const Args& args) {
   gate("per-shard counters conserve the aggregate", conserve);
   gate("zero sheds under the roomy queue", stats.total.sheds == 0);
   gate("exactly one solve per cross-shard identical burst", burst_solves == 1);
+  gate("epoch churn re-plans warm (replan_count > 0)", churn_replans > 0);
+  gate("zero warm/cold fingerprint divergence under epoch churn", churn_divergence == 0);
   std::printf("  [%s] N-shard throughput clears the hw-aware floor "
               "(%.0f >= 0.3 * %.0f * %.0f)\n",
               scaling_ok ? "PASS" : "FAIL", rps_n, expected, rps_1);
 
   bool ok = fp_mismatches.load() == 0 && stats.duplicate_solves == 0 && conserve &&
             stats.total.sheds == 0 && burst_solves == 1 && scaling_ok &&
-            stats.total.solves == static_cast<std::uint64_t>(kUnique) + burst_solves;
+            stats.total.solves == static_cast<std::uint64_t>(kUnique) + burst_solves &&
+            churn_replans > 0 && churn_divergence == 0;
 
   std::vector<bench::JsonResult> results;
   results.push_back({"sharded_oracle", static_cast<std::size_t>(kUnique),
@@ -268,6 +298,8 @@ int run_sharded(const Args& args) {
                       {"unique_solves", static_cast<double>(stats.total.solves - burst_solves)},
                       {"burst_solves", static_cast<double>(burst_solves)},
                       {"sheds", static_cast<double>(stats.total.sheds)},
+                      {"churn_replans", static_cast<double>(churn_replans)},
+                      {"churn_divergence", static_cast<double>(churn_divergence)},
                       {"rps_1shard", rps_1},
                       {"rps_nshard", rps_n}}});
 
@@ -285,7 +317,8 @@ int run_sharded(const Args& args) {
     for (const bench::JsonResult& r : results) {
       for (const auto& [key, value] : r.counters) {
         if (key != "unique_requests" && key != "shards" && key != "requests" &&
-            key != "unique_solves" && key != "burst_solves" && key != "sheds")
+            key != "unique_solves" && key != "burst_solves" && key != "sheds" &&
+            key != "churn_replans" && key != "churn_divergence")
           continue;
         const std::optional<double> base = baseline_field(baseline, r.name, key);
         if (!base) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "common/error.h"
 #include "core/schedule.h"
@@ -207,6 +208,80 @@ CostTables::CostTables(const std::vector<GroupSetup>& groups, const OnDemandChoi
     SOMPI_REQUIRE(f_of[g].size() == groups[g].failure.bid_count());
 }
 
+GroupCostTable::GroupCostTable(const GroupSetup& grp, const OnDemandChoice& od,
+                               CostModel::Config config,
+                               const std::vector<ChoiceSpec>& choices)
+    : ratio_bins_(config.ratio_bins) {
+  SOMPI_REQUIRE(!choices.empty());
+  SOMPI_REQUIRE(config.step_hours > 0.0);
+  SOMPI_REQUIRE(config.ratio_bins >= 8);
+  SOMPI_REQUIRE(od.t_h > 0.0 && od.rate_usd_h > 0.0);
+
+  const std::size_t bins = config.ratio_bins;
+  min_tail_.assign(bins, std::numeric_limits<double>::infinity());
+  cells_.resize(choices.size());
+  // Pool offsets are recorded locally and resolved to pointers only after
+  // both pools stop growing, so every Cell::life/tail stays valid.
+  std::vector<std::size_t> life_off(choices.size());
+  std::vector<std::size_t> tail_off(choices.size());
+
+  std::vector<double> bucket(bins);
+  double min_spot = std::numeric_limits<double>::infinity();
+  for (std::size_t ci = 0; ci < choices.size(); ++ci) {
+    Cell& c = cells_[ci];
+    c.choice = choices[ci];
+    const std::size_t b = c.choice.bid_index;
+    SOMPI_REQUIRE(b < grp.failure.bid_count());
+    c.f_steps = c.choice.f_steps;
+    const GroupSchedule sched(grp.t_steps, c.f_steps, grp.o_steps * c.choice.o_scale,
+                              grp.r_steps * c.choice.r_scale);
+    const double w = sched.wall_duration();
+    SOMPI_REQUIRE_MSG(w <= static_cast<double>(grp.failure.horizon()),
+                      "failure-model horizon too short for group wall duration");
+    c.wall = w;
+    c.w_ceil = static_cast<std::size_t>(std::ceil(w));
+    max_w_ceil_ = std::max(max_w_ceil_, c.w_ceil);
+
+    const double s_price = grp.failure.expected_price(b);
+    const double e_life = grp.failure.expected_lifetime(b, w);
+    c.spot_term = s_price * grp.instances * e_life * config.step_hours;
+    min_spot = std::min(min_spot, c.spot_term);
+
+    c.one_minus_complete = 1.0 - grp.failure.survival_at(b, w);
+
+    life_off[ci] = life_pool_.size();
+    for (std::size_t t = 0; t < c.w_ceil; ++t)
+      life_pool_.push_back(1.0 - grp.failure.survival(b, t + 1));
+
+    std::fill(bucket.begin(), bucket.end(), 0.0);
+    for (std::size_t t = 0; t < c.w_ceil; ++t) {
+      const double p = grp.failure.pmf(b, t);
+      if (p <= 0.0) continue;
+      const double v = sched.ratio_at(static_cast<double>(t));
+      const auto j_top = static_cast<std::ptrdiff_t>(
+          std::ceil(v * static_cast<double>(bins) - 0.5));
+      if (j_top >= 1)
+        bucket[static_cast<std::size_t>(
+            std::min<std::ptrdiff_t>(j_top, static_cast<std::ptrdiff_t>(bins)) - 1)] += p;
+    }
+    tail_off[ci] = tail_pool_.size();
+    tail_pool_.resize(tail_off[ci] + bins);
+    double suffix = 0.0;
+    for (std::size_t j = bins; j-- > 0;) {
+      suffix += bucket[j];
+      tail_pool_[tail_off[ci] + j] = suffix;
+    }
+    for (std::size_t j = 0; j < bins; ++j)
+      min_tail_[j] = std::min(min_tail_[j], tail_pool_[tail_off[ci] + j]);
+  }
+  min_spot_term_ = min_spot;
+
+  for (std::size_t ci = 0; ci < cells_.size(); ++ci) {
+    cells_[ci].life = life_pool_.data() + life_off[ci];
+    cells_[ci].tail = tail_pool_.data() + tail_off[ci];
+  }
+}
+
 CostTables::CostTables(const std::vector<GroupSetup>& groups, const OnDemandChoice& od,
                        CostModel::Config config,
                        const std::vector<std::vector<ChoiceSpec>>& choices)
@@ -217,84 +292,29 @@ CostTables::CostTables(const std::vector<GroupSetup>& groups, const OnDemandChoi
   SOMPI_REQUIRE(config_.ratio_bins >= 8);
   SOMPI_REQUIRE(od_.t_h > 0.0 && od_.rate_usd_h > 0.0);
 
-  const std::size_t bins = config_.ratio_bins;
-  const std::size_t n = groups.size();
-  cell_off_.resize(n);
-  min_spot_term_.resize(n);
-  max_w_ceil_.assign(n, 0);
-  min_tail_.assign(n * bins, std::numeric_limits<double>::infinity());
+  blocks_.reserve(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g)
+    blocks_.push_back(
+        std::make_shared<const GroupCostTable>(groups[g], od_, config_, choices[g]));
+}
 
-  std::size_t total_cells = 0;
-  for (std::size_t g = 0; g < n; ++g) {
-    SOMPI_REQUIRE(!choices[g].empty());
-    cell_off_[g] = total_cells;
-    total_cells += choices[g].size();
-  }
-  cells_.resize(total_cells);
-
-  std::vector<double> bucket(bins);
-  for (std::size_t g = 0; g < n; ++g) {
-    const GroupSetup& grp = groups[g];
-    double min_spot = std::numeric_limits<double>::infinity();
-    double* min_tail = min_tail_.data() + g * bins;
-    for (std::size_t ci = 0; ci < choices[g].size(); ++ci) {
-      Cell& c = cells_[cell_off_[g] + ci];
-      c.choice = choices[g][ci];
-      const std::size_t b = c.choice.bid_index;
-      SOMPI_REQUIRE(b < grp.failure.bid_count());
-      c.f_steps = c.choice.f_steps;
-      const GroupSchedule sched(grp.t_steps, c.f_steps, grp.o_steps * c.choice.o_scale,
-                                grp.r_steps * c.choice.r_scale);
-      const double w = sched.wall_duration();
-      SOMPI_REQUIRE_MSG(w <= static_cast<double>(grp.failure.horizon()),
-                        "failure-model horizon too short for group wall duration");
-      c.wall = w;
-      c.w_ceil = static_cast<std::size_t>(std::ceil(w));
-      max_w_ceil_[g] = std::max(max_w_ceil_[g], c.w_ceil);
-
-      const double s_price = grp.failure.expected_price(b);
-      const double e_life = grp.failure.expected_lifetime(b, w);
-      c.spot_term = s_price * grp.instances * e_life * config_.step_hours;
-      min_spot = std::min(min_spot, c.spot_term);
-
-      c.one_minus_complete = 1.0 - grp.failure.survival_at(b, w);
-
-      c.life_off = life_pool_.size();
-      for (std::size_t t = 0; t < c.w_ceil; ++t)
-        life_pool_.push_back(1.0 - grp.failure.survival(b, t + 1));
-
-      std::fill(bucket.begin(), bucket.end(), 0.0);
-      for (std::size_t t = 0; t < c.w_ceil; ++t) {
-        const double p = grp.failure.pmf(b, t);
-        if (p <= 0.0) continue;
-        const double v = sched.ratio_at(static_cast<double>(t));
-        const auto j_top = static_cast<std::ptrdiff_t>(
-            std::ceil(v * static_cast<double>(bins) - 0.5));
-        if (j_top >= 1)
-          bucket[static_cast<std::size_t>(
-              std::min<std::ptrdiff_t>(j_top, static_cast<std::ptrdiff_t>(bins)) - 1)] += p;
-      }
-      c.tail_off = tail_pool_.size();
-      tail_pool_.resize(c.tail_off + bins);
-      double suffix = 0.0;
-      for (std::size_t j = bins; j-- > 0;) {
-        suffix += bucket[j];
-        tail_pool_[c.tail_off + j] = suffix;
-      }
-      for (std::size_t j = 0; j < bins; ++j)
-        min_tail[j] = std::min(min_tail[j], tail_pool_[c.tail_off + j]);
-    }
-    min_spot_term_[g] = min_spot;
+CostTables::CostTables(const std::vector<GroupSetup>& groups, const OnDemandChoice& od,
+                       CostModel::Config config,
+                       std::vector<std::shared_ptr<const GroupCostTable>> blocks)
+    : groups_(&groups), od_(od), config_(config), blocks_(std::move(blocks)) {
+  SOMPI_REQUIRE(!groups.empty());
+  SOMPI_REQUIRE(blocks_.size() == groups.size());
+  SOMPI_REQUIRE(config_.step_hours > 0.0);
+  SOMPI_REQUIRE(config_.ratio_bins >= 8);
+  SOMPI_REQUIRE(od_.t_h > 0.0 && od_.rate_usd_h > 0.0);
+  for (const auto& blk : blocks_) {
+    SOMPI_REQUIRE(blk != nullptr);
+    SOMPI_REQUIRE(blk->ratio_bins() == config_.ratio_bins);
   }
 }
 
 std::size_t CostTables::bid_count(std::size_t g) const {
   return (*groups_)[g].failure.bid_count();
-}
-
-std::size_t CostTables::choice_count(std::size_t g) const {
-  const std::size_t end = g + 1 < cell_off_.size() ? cell_off_[g + 1] : cells_.size();
-  return end - cell_off_[g];
 }
 
 SubsetEvaluator::SubsetEvaluator(const CostTables& tables, std::vector<std::size_t> members)

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/problem.h"
@@ -106,12 +107,14 @@ struct ChoiceSpec {
   std::size_t policy_index = 0;
 };
 
-/// Per-(group, choice) precomputed kernels over a candidate-group list,
-/// where a choice is a (bid, tied interval, level policy) triple — the
-/// bid-only construction is the degenerate single-policy case. Groups are
-/// borrowed; the pointees must outlive the tables. Read-only after
-/// construction and therefore safe to share across optimizer threads.
-class CostTables {
+/// The immutable per-group block of precomputed (choice → kernel) tables:
+/// every value depends only on (group setup, that group's choice list, od,
+/// config), never on the other groups, so a block built for one solve can be
+/// reused bit-identically by any later solve whose group inputs are
+/// unchanged — the unit the warm-start CostTableStore caches. Non-copyable
+/// and held by shared_ptr: cell pointers into the pools stay valid for the
+/// block's lifetime and the block is safe to share across solver threads.
+class GroupCostTable {
  public:
   struct Cell {
     double wall = 0.0;                 ///< W(F) in fractional steps
@@ -119,10 +122,50 @@ class CostTables {
     int f_steps = 1;                   ///< the tied interval φ(P)
     double spot_term = 0.0;            ///< S·M·E[min(fp, W)]·h (Formula 5)
     double one_minus_complete = 1.0;   ///< 1 − P[group finishes on spot]
-    std::size_t life_off = 0;          ///< lifetime factors, w_ceil entries
-    std::size_t tail_off = 0;          ///< Ratio tails, ratio_bins entries
+    const double* life = nullptr;      ///< lifetime factors, w_ceil entries
+    const double* tail = nullptr;      ///< Ratio tails, ratio_bins entries
     ChoiceSpec choice;                 ///< the decoded decision of this cell
   };
+
+  /// `choices` enumerates the group's (bid, F, policy) choices in
+  /// enumeration order.
+  GroupCostTable(const GroupSetup& group, const OnDemandChoice& od,
+                 CostModel::Config config, const std::vector<ChoiceSpec>& choices);
+  GroupCostTable(const GroupCostTable&) = delete;
+  GroupCostTable& operator=(const GroupCostTable&) = delete;
+
+  std::size_t choice_count() const { return cells_.size(); }
+  const Cell& cell(std::size_t c) const { return cells_[c]; }
+  double min_spot_term() const { return min_spot_term_; }
+  const double* min_ratio_tail() const { return min_tail_.data(); }
+  std::size_t max_w_ceil() const { return max_w_ceil_; }
+  std::size_t ratio_bins() const { return ratio_bins_; }
+  /// Resident size of the block, for the store's byte-cap accounting.
+  std::size_t bytes() const {
+    return sizeof(GroupCostTable) + cells_.size() * sizeof(Cell) +
+           (life_pool_.size() + tail_pool_.size() + min_tail_.size()) * sizeof(double);
+  }
+
+ private:
+  std::size_t ratio_bins_ = 0;
+  std::vector<Cell> cells_;
+  std::vector<double> life_pool_;
+  std::vector<double> tail_pool_;
+  double min_spot_term_ = 0.0;
+  std::vector<double> min_tail_;
+  std::size_t max_w_ceil_ = 0;
+};
+
+/// Per-(group, choice) precomputed kernels over a candidate-group list,
+/// where a choice is a (bid, tied interval, level policy) triple — the
+/// bid-only construction is the degenerate single-policy case. Composes one
+/// GroupCostTable block per group (built here, or reused from a
+/// CostTableStore via the block-composing constructor). Groups are
+/// borrowed; the pointees must outlive the tables. Read-only after
+/// construction and therefore safe to share across optimizer threads.
+class CostTables {
+ public:
+  using Cell = GroupCostTable::Cell;
 
   /// Generalized form: choices[g] enumerates the (bid, F, policy) choices of
   /// group g, in enumeration order.
@@ -135,46 +178,53 @@ class CostTables {
   CostTables(const std::vector<GroupSetup>& groups, const OnDemandChoice& od,
              CostModel::Config config, const std::vector<std::vector<int>>& f_of);
 
+  /// Warm path: composes pre-built per-group blocks (one per group, each
+  /// built from the identical (setup, choices, od, config) inputs) without
+  /// recomputing anything — the composed tables are bit-identical to a
+  /// fresh build because blocks carry no cross-group state.
+  CostTables(const std::vector<GroupSetup>& groups, const OnDemandChoice& od,
+             CostModel::Config config,
+             std::vector<std::shared_ptr<const GroupCostTable>> blocks);
+
   std::size_t group_count() const { return groups_->size(); }
   /// Enumerable choices of group g (== bid count in the degenerate case).
-  std::size_t choice_count(std::size_t g) const;
+  std::size_t choice_count(std::size_t g) const { return blocks_[g]->choice_count(); }
   std::size_t bid_count(std::size_t g) const;
   const GroupSetup& group(std::size_t g) const { return (*groups_)[g]; }
   const OnDemandChoice& od() const { return od_; }
   const CostModel::Config& config() const { return config_; }
 
   const Cell& cell(std::size_t g, std::size_t b) const {
-    return cells_[cell_off_[g] + b];
+    return blocks_[g]->cell(b);
   }
   /// P[lifetime ≤ t+1] factors for t in [0, w_ceil) — the multiplicands of
   /// the cross-group max-lifetime CDF product (Formula 10).
-  const double* life_factors(const Cell& c) const { return life_pool_.data() + c.life_off; }
+  const double* life_factors(const Cell& c) const { return c.life; }
   /// P[Ratio > r_j] per integration bin — the multiplicands of the
   /// min-Ratio complementary-CDF product (Formulas 6/7/11).
-  const double* ratio_tail(const Cell& c) const { return tail_pool_.data() + c.tail_off; }
+  const double* ratio_tail(const Cell& c) const { return c.tail; }
 
   /// min over the group's bids of spot_term — the admissible per-group
   /// spot-cost marginal used by the branch-and-bound lower bounds.
-  double min_spot_term(std::size_t g) const { return min_spot_term_[g]; }
+  double min_spot_term(std::size_t g) const { return blocks_[g]->min_spot_term(); }
   /// Per-bin min over the group's bids of ratio_tail — lower-bounds the
   /// group's factor in the min-Ratio product for any bid choice.
   const double* min_ratio_tail(std::size_t g) const {
-    return min_tail_.data() + g * config_.ratio_bins;
+    return blocks_[g]->min_ratio_tail();
   }
   /// max over the group's bids of w_ceil (sizes the common lifetime grid).
-  std::size_t max_w_ceil(std::size_t g) const { return max_w_ceil_[g]; }
+  std::size_t max_w_ceil(std::size_t g) const { return blocks_[g]->max_w_ceil(); }
+
+  /// Group g's block, shareable with a CostTableStore (and future solves).
+  const std::shared_ptr<const GroupCostTable>& block(std::size_t g) const {
+    return blocks_[g];
+  }
 
  private:
   const std::vector<GroupSetup>* groups_;
   OnDemandChoice od_;
   CostModel::Config config_;
-  std::vector<std::size_t> cell_off_;  ///< first cell index per group
-  std::vector<Cell> cells_;
-  std::vector<double> life_pool_;
-  std::vector<double> tail_pool_;
-  std::vector<double> min_spot_term_;
-  std::vector<double> min_tail_;
-  std::vector<std::size_t> max_w_ceil_;
+  std::vector<std::shared_ptr<const GroupCostTable>> blocks_;
 };
 
 /// Incremental evaluator for one k-of-K subset: caches the left-to-right

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <numeric>
 #include <optional>
@@ -12,10 +13,81 @@
 #include "common/combinatorics.h"
 #include "common/error.h"
 #include "common/log.h"
+#include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/schedule.h"
 
 namespace sompi {
+
+namespace {
+
+void hash_mix(std::uint64_t& h, std::uint64_t v) {
+  std::uint64_t s = h ^ (v + 0x9e3779b97f4a7c15ULL);
+  h = splitmix64(s);
+}
+
+void hash_double(std::uint64_t& h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  hash_mix(h, bits);
+}
+
+void hash_string(std::uint64_t& h, const std::string& s) {
+  hash_mix(h, s.size());
+  for (const char c : s) hash_mix(h, static_cast<unsigned char>(c));
+}
+
+}  // namespace
+
+std::uint64_t replan_config_hash(const OptimizerConfig& config, const AppProfile& app,
+                                 const OnDemandChoice& od, double deadline_h) {
+  std::uint64_t h = 0x7AB1E5EEDULL;
+  hash_double(h, deadline_h);
+  // The app profile: T_i/O_i/R_i derive from it through the estimator. A
+  // store must only be shared across solvers with the same catalog and
+  // estimator — those are identities, not values, so they are the caller's
+  // contract rather than part of the hash.
+  hash_string(h, app.name);
+  hash_mix(h, static_cast<std::uint64_t>(app.category));
+  hash_mix(h, static_cast<std::uint64_t>(app.processes));
+  hash_double(h, app.instr_gi);
+  hash_double(h, app.comm_gb);
+  hash_double(h, app.msgs_per_rank);
+  hash_double(h, app.io_seq_gb);
+  hash_double(h, app.io_rand_gb);
+  hash_double(h, app.state_gb);
+  // The on-demand tier: φ and the guard tables see it.
+  hash_mix(h, od.type_index);
+  hash_double(h, od.t_h);
+  hash_mix(h, static_cast<std::uint64_t>(od.instances));
+  hash_double(h, od.rate_usd_h);
+  hash_mix(h, od.feasible ? 1 : 0);
+  hash_double(h, config.slack);
+  // Problem-construction knobs (the bid grid and the failure estimator).
+  hash_double(h, config.setup.step_hours);
+  hash_mix(h, static_cast<std::uint64_t>(config.setup.bid_grid));
+  hash_mix(h, config.setup.log_levels);
+  hash_mix(h, config.setup.uniform_points);
+  hash_double(h, config.setup.max_bid_over_ondemand);
+  hash_mix(h, config.setup.failure.samples);
+  hash_mix(h, config.setup.failure.horizon_steps);
+  hash_mix(h, config.setup.failure.seed);
+  hash_mix(h, config.setup.failure.wrap ? 1 : 0);
+  // Search knobs that shape artifact content.
+  hash_mix(h, config.ratio_bins);
+  hash_mix(h, static_cast<std::uint64_t>(config.phi_mode));
+  hash_mix(h, config.worst_case_guard ? 1 : 0);
+  // The EFFECTIVE policy list: an empty config means the degenerate {s3}.
+  std::vector<CkptPolicy> policies = config.ckpt_policies;
+  if (policies.empty()) policies.push_back(CkptPolicy{});
+  hash_mix(h, policies.size());
+  for (const CkptPolicy& pol : policies) {
+    hash_string(h, pol.name);
+    hash_double(h, pol.o_scale);
+    hash_double(h, pol.r_scale);
+  }
+  return h;
+}
 
 SompiOptimizer::SompiOptimizer(const Catalog* catalog, const ExecTimeEstimator* estimator,
                                OptimizerConfig config)
@@ -27,19 +99,60 @@ SompiOptimizer::SompiOptimizer(const Catalog* catalog, const ExecTimeEstimator* 
 
 Plan SompiOptimizer::optimize(const AppProfile& app, const Market& history,
                               double deadline_h) const {
-  SOMPI_REQUIRE(deadline_h > 0.0);
-  SetupBuilder builder(catalog_, estimator_);
-  std::vector<GroupSetup> candidates =
-      builder.build_candidates(app, history, config_.setup, deadline_h);
+  return optimize(app, history, deadline_h, nullptr);
+}
 
+Plan SompiOptimizer::optimize(const AppProfile& app, const Market& history, double deadline_h,
+                              ReplanContext* ctx) const {
+  SOMPI_REQUIRE(deadline_h > 0.0);
+  // The on-demand tier first: it depends only on (app, deadline, slack), and
+  // the warm setup lookup hashes it.
   const OnDemandSelector od_selector(catalog_, estimator_);
   const OnDemandChoice od = od_selector.select(app, deadline_h, config_.slack);
 
-  return optimize_over(app, std::move(candidates), od, deadline_h);
+  // SetupBuilder::build_candidates, with the per-group build routed through
+  // the warm store: same specs, same order, same deadline cutoff.
+  std::vector<GroupSetup> candidates;
+  for (const CircleGroupSpec& spec : catalog_->all_groups()) {
+    const double t_h = estimator_->hours(app, catalog_->type(spec.type_index),
+                                         catalog_->zone(spec.zone_index).name);
+    if (t_h > deadline_h) continue;  // cannot complete before the deadline
+    candidates.push_back(setup_for(app, spec, history, od, deadline_h, ctx));
+  }
+
+  return optimize_over(app, std::move(candidates), od, deadline_h, ctx);
+}
+
+GroupSetup SompiOptimizer::setup_for(const AppProfile& app, const CircleGroupSpec& spec,
+                                     const Market& history, const OnDemandChoice& od,
+                                     double deadline_h, ReplanContext* ctx) const {
+  const SetupBuilder builder(catalog_, estimator_);
+  if (ctx == nullptr || !ctx->usable()) return builder.build(app, spec, history, config_.setup);
+
+  const std::size_t zones = catalog_->zones().size();
+  const std::uint64_t version = ctx->versions->at(spec.type_index * zones + spec.zone_index);
+  const std::uint64_t chash = replan_config_hash(config_, app, od, deadline_h);
+  if (const auto art = ctx->store->lookup(ctx->scope, spec, version, chash))
+    return art->setup;
+
+  // Store a setup-only artifact immediately: even if this group is pruned
+  // from the search below max_candidates, the next epoch skips its
+  // Monte-Carlo failure estimation — the dominant cold-solve cost.
+  auto art = std::make_shared<GroupArtifact>(version, builder.build(app, spec, history,
+                                                                   config_.setup));
+  GroupSetup setup = art->setup;
+  ctx->store->store(ctx->scope, spec, chash, std::move(art));
+  return setup;
 }
 
 Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup> candidates,
                                    const OnDemandChoice& od, double deadline_h) const {
+  return optimize_over(app, std::move(candidates), od, deadline_h, nullptr);
+}
+
+Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup> candidates,
+                                   const OnDemandChoice& od, double deadline_h,
+                                   ReplanContext* ctx) const {
   const auto t_begin = std::chrono::steady_clock::now();
 
   Plan plan;
@@ -87,6 +200,30 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
                          policies[p].r_scale, p};
   };
 
+  // Warm start (DESIGN.md §14): resolve each kept candidate's cached
+  // artifact. A hit whose shape matches the current composite choice space
+  // lets every derived table below — φ intervals, guard tables, and (for the
+  // incremental engine) the GroupCostTable block — be reused bit-identically
+  // instead of recomputed; everything else is computed as on the cold path
+  // and stored back for the next epoch.
+  const bool warm = ctx != nullptr && ctx->usable();
+  const std::uint64_t chash = warm ? replan_config_hash(config_, app, od, deadline_h) : 0;
+  const std::size_t zone_count = catalog_->zones().size();
+  const auto version_of = [&](const CircleGroupSpec& spec) {
+    return ctx->versions->at(spec.type_index * zone_count + spec.zone_index);
+  };
+  std::vector<std::shared_ptr<const GroupArtifact>> arts(candidates.size());
+  if (warm)
+    for (std::size_t g = 0; g < candidates.size(); ++g)
+      arts[g] = ctx->store->lookup(ctx->scope, candidates[g].spec,
+                                   version_of(candidates[g].spec), chash);
+  const auto derived_ok = [&](std::size_t g) {
+    const auto& a = arts[g];
+    return a != nullptr && a->has_derived() && a->f_of.size() == choice_count(g) &&
+           a->f_guard_max.size() == n_pol && a->fits.size() == choice_count(g) &&
+           a->surv_ok.size() == choice_count(g);
+  };
+
   // Dimension reduction: F_i = φ_i(P_i), precomputed per composite
   // (group, policy, bid) choice — φ sees the policy's effective O/R.
   CheckpointPlanner::Config phi_cfg;
@@ -96,6 +233,10 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
   const CheckpointPlanner phi(phi_cfg);
   std::vector<std::vector<int>> f_of(candidates.size());
   parallel_for(candidates.size(), config_.threads, [&](std::size_t i) {
+    if (warm && derived_ok(i)) {
+      f_of[i] = arts[i]->f_of;
+      return;
+    }
     const std::size_t bids = candidates[i].failure.bid_count();
     f_of[i].resize(n_pol * bids);
     for (std::size_t c = 0; c < f_of[i].size(); ++c) {
@@ -135,6 +276,10 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
   std::vector<int> f_guard_max(candidates.size() * n_pol, 0);
   if (config_.worst_case_guard) {
     parallel_for(candidates.size() * n_pol, config_.threads, [&](std::size_t idx) {
+      if (warm && derived_ok(idx / n_pol)) {
+        f_guard_max[idx] = arts[idx / n_pol]->f_guard_max[idx % n_pol];
+        return;
+      }
       const GroupSetup& g = candidates[idx / n_pol];
       const CkptPolicy& pol = policies[idx % n_pol];
       if (group_worst_h(g, 1, pol.o_scale, pol.r_scale) > deadline_h)
@@ -190,6 +335,12 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
   std::vector<unsigned char> surv_ok(choice_off.back(), 1);
   if (config_.worst_case_guard) {
     parallel_for(candidates.size(), config_.threads, [&](std::size_t g) {
+      if (warm && derived_ok(g)) {
+        std::copy(arts[g]->fits.begin(), arts[g]->fits.end(), fits.begin() + choice_off[g]);
+        std::copy(arts[g]->surv_ok.begin(), arts[g]->surv_ok.end(),
+                  surv_ok.begin() + choice_off[g]);
+        return;
+      }
       const GroupSetup& grp = candidates[g];
       const std::size_t bids = grp.failure.bid_count();
       for (std::size_t c = 0; c < choice_count(g); ++c) {
@@ -333,18 +484,57 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
   // fold state and cut subtrees whose admissible cost bound exceeds the
   // cross-subset incumbent. Plans are bit-identical to the reference scan.
   std::optional<CostTables> tables;
+  std::size_t tables_reused = 0;
+  std::size_t tables_built = 0;
   if (config_.engine == SearchEngine::kIncremental && !candidates.empty()) {
-    std::vector<std::vector<ChoiceSpec>> choices(candidates.size());
+    // Per-group table blocks: a warm artifact's block is adopted as-is (it
+    // is a pure function of inputs the version + config hash pin), the rest
+    // are built exactly as on the cold path. Reuse is decided up front so
+    // the counters stay exact and the parallel build races nothing.
+    std::vector<unsigned char> reuse(candidates.size(), 0);
     for (std::size_t g = 0; g < candidates.size(); ++g) {
-      const std::size_t bids = candidates[g].failure.bid_count();
-      choices[g].resize(choice_count(g));
-      for (std::size_t c = 0; c < choices[g].size(); ++c) {
-        const std::size_t p = c / bids;
-        choices[g][c] = ChoiceSpec{c % bids, f_of[g][c], policies[p].o_scale,
-                                   policies[p].r_scale, p};
-      }
+      reuse[g] = warm && derived_ok(g) && arts[g]->table != nullptr &&
+                 arts[g]->table->choice_count() == choice_count(g);
+      reuse[g] ? ++tables_reused : ++tables_built;
     }
-    tables.emplace(candidates, od, model_cfg, choices);
+    std::vector<std::shared_ptr<const GroupCostTable>> blocks(candidates.size());
+    parallel_for(candidates.size(), config_.threads, [&](std::size_t g) {
+      if (reuse[g]) {
+        blocks[g] = arts[g]->table;
+        return;
+      }
+      const std::size_t bids = candidates[g].failure.bid_count();
+      std::vector<ChoiceSpec> choices(choice_count(g));
+      for (std::size_t c = 0; c < choices.size(); ++c) {
+        const std::size_t p = c / bids;
+        choices[c] = ChoiceSpec{c % bids, f_of[g][c], policies[p].o_scale,
+                                policies[p].r_scale, p};
+      }
+      blocks[g] = std::make_shared<const GroupCostTable>(candidates[g], od, model_cfg, choices);
+    });
+    tables.emplace(candidates, od, model_cfg, std::move(blocks));
+  }
+
+  // Store back every artifact this solve had to (re)build, so the next
+  // epoch's clean groups start fully warm. Incremental solves store the
+  // table block too; reference solves leave it null (a later incremental
+  // solve rebuilds just the block from the cached setup).
+  if (warm) {
+    for (std::size_t g = 0; g < candidates.size(); ++g) {
+      const bool fully_cached =
+          derived_ok(g) && (!tables.has_value() || arts[g]->table != nullptr);
+      if (fully_cached) continue;
+      auto art = std::make_shared<GroupArtifact>(version_of(candidates[g].spec), candidates[g]);
+      art->f_of = f_of[g];
+      art->f_guard_max.assign(f_guard_max.begin() + static_cast<std::ptrdiff_t>(g * n_pol),
+                              f_guard_max.begin() + static_cast<std::ptrdiff_t>((g + 1) * n_pol));
+      art->fits.assign(fits.begin() + static_cast<std::ptrdiff_t>(choice_off[g]),
+                       fits.begin() + static_cast<std::ptrdiff_t>(choice_off[g + 1]));
+      art->surv_ok.assign(surv_ok.begin() + static_cast<std::ptrdiff_t>(choice_off[g]),
+                          surv_ok.begin() + static_cast<std::ptrdiff_t>(choice_off[g + 1]));
+      if (tables.has_value()) art->table = tables->block(g);
+      ctx->store->store(ctx->scope, candidates[g].spec, chash, std::move(art));
+    }
   }
 
   // Best accepted cost seen by any subset so far. Any accepted candidate's
@@ -358,6 +548,108 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
            !incumbent.compare_exchange_weak(cur, cost, std::memory_order_relaxed)) {
     }
   };
+
+  // Incumbent seeding: re-cost the previous epoch's winning plan under the
+  // CURRENT tables and, if it is still an acceptable tuple of the current
+  // search space, start the incumbent there instead of at infinity. Safe by
+  // admissibility: the true winner costs at most the seed (the seed tuple is
+  // itself enumerated and acceptable), bounds never exceed true costs, and
+  // pruning is strictly-above-incumbent — so the winner's subtree is never
+  // cut and equal-cost ties resolve through the untouched acceptance logic.
+  // Any mapping failure (group no longer a candidate, bid fell off the grid,
+  // guard-clamped interval, policy set changed) just skips the seed.
+  std::size_t warm_seeds = 0;
+  if (warm && ctx->incumbent != nullptr && ctx->incumbent->uses_spot() &&
+      config_.prune && tables.has_value()) {
+    const Plan& prev = *ctx->incumbent;
+    const std::size_t k = prev.groups.size();
+    bool ok = k >= k_min && k <= k_max;
+    std::vector<std::pair<std::size_t, std::size_t>> mapped;  // (candidate, choice)
+    for (const GroupPlan& gp : prev.groups) {
+      if (!ok) break;
+      std::size_t ci = candidates.size();
+      for (std::size_t i = 0; i < candidates.size(); ++i)
+        if (candidates[i].spec.type_index == gp.spec.type_index &&
+            candidates[i].spec.zone_index == gp.spec.zone_index) {
+          ci = i;
+          break;
+        }
+      if (ci == candidates.size()) {
+        ok = false;
+        break;
+      }
+      const GroupSetup& g = candidates[ci];
+      std::size_t p = n_pol;
+      for (std::size_t q = 0; q < n_pol; ++q)
+        if (policies[q].name == gp.ckpt_policy) {
+          p = q;
+          break;
+        }
+      const std::size_t bids = g.failure.bid_count();
+      std::size_t b = bids;
+      for (std::size_t j = 0; j < bids; ++j)
+        if (g.failure.bid(j) == gp.bid_usd) {
+          b = j;
+          break;
+        }
+      // Every field must match the tuple EXACTLY (bit-exact doubles): the
+      // seed must be a tuple the engine itself would evaluate from the
+      // tables, or its cost could undercut every real tuple and prune the
+      // true winner.
+      if (p == n_pol || b == bids || g.instances != gp.instances ||
+          g.t_steps != gp.t_steps || f_of[ci][p * bids + b] != gp.f_steps ||
+          g.o_steps * policies[p].o_scale != gp.o_steps ||
+          g.r_steps * policies[p].r_scale != gp.r_steps) {
+        ok = false;
+        break;
+      }
+      mapped.emplace_back(ci, p * bids + b);
+    }
+    if (ok) {
+      std::sort(mapped.begin(), mapped.end());
+      for (std::size_t i = 0; i + 1 < mapped.size(); ++i)
+        if (mapped[i].first == mapped[i + 1].first) ok = false;
+    }
+    if (ok) {
+      std::vector<std::size_t> members(k), digits(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        members[i] = mapped[i].first;
+        digits[i] = mapped[i].second;
+      }
+      // The engine's guard predicates, verbatim: the seed must be a tuple
+      // the search would ACCEPT, not merely evaluate.
+      bool guard_branch = false;
+      bool guard_reject = false;
+      if (config_.worst_case_guard) {
+        for (std::size_t i = 0; i < k; ++i)
+          if (!fits[choice_off[members[i]] + digits[i]]) {
+            guard_branch = true;
+            break;
+          }
+        if (guard_branch) {
+          if (k < 2) {
+            guard_reject = true;
+          } else {
+            for (std::size_t i = 0; i < k; ++i)
+              if (!surv_ok[choice_off[members[i]] + digits[i]]) {
+                guard_reject = true;
+                break;
+              }
+          }
+        }
+      }
+      if (!guard_reject) {
+        SubsetEvaluator seed_ev(*tables, members);
+        const Expectation& e = seed_ev.evaluate(digits);
+        const bool miss =
+            guard_branch && 1.0 - e.p_complete_on_spot > config_.miss_tolerance;
+        if (!miss && e.time_h <= deadline_h) {
+          offer_incumbent(e.cost_usd);
+          warm_seeds = 1;
+        }
+      }
+    }
+  }
 
   const auto eval_subset_fast = [&](std::size_t task) {
     const std::vector<std::size_t>& subset = subsets[task];
@@ -538,6 +830,9 @@ Plan SompiOptimizer::optimize_over(const AppProfile& app, std::vector<GroupSetup
 
   plan.model_evaluations = evaluations;
   plan.stats = best.stats;
+  plan.stats.tables_reused = tables_reused;
+  plan.stats.tables_built = tables_built;
+  plan.stats.warm_seeds = warm_seeds;
   plan.spot_feasible = best_cost < std::numeric_limits<double>::infinity();
 
   // Fall back to on-demand when no spot configuration fits the deadline or

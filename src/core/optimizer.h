@@ -8,7 +8,13 @@
 //   cheapest configuration whose expected time meets the deadline.
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "core/ckpt_interval.h"
+#include "core/cost_table_store.h"
 #include "core/ondemand.h"
 #include "core/plan.h"
 #include "core/setup_builder.h"
@@ -77,6 +83,42 @@ struct OptimizerConfig {
   std::vector<CkptPolicy> ckpt_policies = {};
 };
 
+/// Warm-start context for one optimize() call (DESIGN.md §14). The store is
+/// borrowed for the duration of the call. With a null context (or a context
+/// missing its store or versions) the optimizer runs the cold path exactly;
+/// with a usable one it reuses cached per-group artifacts whose history
+/// version still matches and seeds the branch-and-bound incumbent with the
+/// previous plan. The chosen plan is bit-identical either way — warm starts
+/// change only the work accounting (PlanStats), never the plan.
+struct ReplanContext {
+  CostTableStore* store = nullptr;
+  /// Artifact namespace — typically the canonical request key: it pins app,
+  /// deadline and constraints, so one scope shares one config hash.
+  std::string scope;
+  /// Per-group history versions of the market snapshot being solved, indexed
+  /// by catalog ordinal (MarketBoard::group_versions()).
+  std::shared_ptr<const std::vector<std::uint64_t>> versions;
+  /// Previous winning plan for this scope; seeds the incumbent bound. Any
+  /// seed that maps onto the current search space is admissible — the true
+  /// winner costs no more than an acceptable tuple's engine-exact cost, and
+  /// pruning is strictly-above — so a stale or unmappable seed degrades to
+  /// a cold search, never to a wrong plan.
+  std::shared_ptr<const Plan> incumbent;
+
+  bool usable() const { return store != nullptr && versions != nullptr; }
+};
+
+/// Hash of every optimizer/app/od/deadline input that can change a cached
+/// per-group artifact's CONTENT. Deliberately excludes knobs that are
+/// bit-neutral for artifacts — threads, engine, prune (determinism
+/// contract), max_groups / max_candidates / enumerate_smaller_subsets
+/// (select which artifacts are used, not what they hold) and miss_tolerance
+/// (evaluation-time acceptance only) — so artifacts survive across solver
+/// variants that share the same problem. False mismatches only cost a
+/// rebuild; false matches are impossible for inputs the hash covers.
+std::uint64_t replan_config_hash(const OptimizerConfig& config, const AppProfile& app,
+                                 const OnDemandChoice& od, double deadline_h);
+
 class SompiOptimizer {
  public:
   SompiOptimizer(const Catalog* catalog, const ExecTimeEstimator* estimator,
@@ -87,11 +129,29 @@ class SompiOptimizer {
   /// Produces the cost-minimizing plan for `app` under `deadline_h`, using
   /// `history` as the spot-price history (the model's only market input).
   Plan optimize(const AppProfile& app, const Market& history, double deadline_h) const;
+  /// Warm-start variant: reuses `ctx`'s cached artifacts for groups whose
+  /// history version matches and stores back what it builds. nullptr (or an
+  /// unusable context) is exactly the cold overload.
+  Plan optimize(const AppProfile& app, const Market& history, double deadline_h,
+                ReplanContext* ctx) const;
 
   /// Like optimize(), but over a fixed candidate-group list (used by the
   /// adaptive engine for residual work and by ablation baselines).
   Plan optimize_over(const AppProfile& app, std::vector<GroupSetup> candidates,
                      const OnDemandChoice& od, double deadline_h) const;
+  Plan optimize_over(const AppProfile& app, std::vector<GroupSetup> candidates,
+                     const OnDemandChoice& od, double deadline_h, ReplanContext* ctx) const;
+
+  /// The per-group unit of SetupBuilder::build_candidates with warm setup
+  /// reuse: returns the cached GroupSetup when `ctx` holds an artifact for
+  /// `spec` at its current history version (skipping the Monte-Carlo failure
+  /// estimation), otherwise builds one and stores a setup-only artifact so
+  /// even groups later pruned from the search never rebuild it. Callers
+  /// that restrict the candidate list (e.g. the service's constraint path)
+  /// apply their own filters and deadline cutoff around this.
+  GroupSetup setup_for(const AppProfile& app, const CircleGroupSpec& spec,
+                       const Market& history, const OnDemandChoice& od, double deadline_h,
+                       ReplanContext* ctx) const;
 
  private:
   const Catalog* catalog_;

@@ -43,6 +43,14 @@ struct PlanStats {
   std::size_t subtrees_pruned = 0;   ///< odometer subtree cuts taken
   std::size_t subsets_pruned = 0;    ///< whole subsets skipped by their bound
   std::size_t subsets_searched = 0;  ///< subsets actually enumerated
+  // Warm-start accounting (DESIGN.md §14). Incremental engine only: how many
+  // per-group cost-table blocks this solve reused from a CostTableStore vs
+  // built fresh, and whether the previous plan seeded the B&B incumbent.
+  // Like the prune counters these never enter the plan fingerprint — a warm
+  // plan is bit-identical to a cold one, only its work accounting differs.
+  std::size_t tables_reused = 0;
+  std::size_t tables_built = 0;
+  std::size_t warm_seeds = 0;
 
   PlanStats& operator+=(const PlanStats& o) {
     evaluations += o.evaluations;
@@ -51,6 +59,9 @@ struct PlanStats {
     subtrees_pruned += o.subtrees_pruned;
     subsets_pruned += o.subsets_pruned;
     subsets_searched += o.subsets_searched;
+    tables_reused += o.tables_reused;
+    tables_built += o.tables_built;
+    warm_seeds += o.warm_seeds;
     return *this;
   }
 };

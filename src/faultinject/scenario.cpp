@@ -1397,10 +1397,163 @@ ScenarioOutcome run_sharded_scenario(std::uint64_t seed) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Scenario 10: warm-start re-planning is invisible (DESIGN.md §14).
+//
+// One board under a random epoch-delta stream — dirty-group sets of random
+// size, including empty forced bumps that move the epoch but no history —
+// served by two warm services (optimizer threads 1 and 8) and checked
+// against the cold solve() oracle in lockstep. Invariants:
+//   * every served plan is fingerprint-identical to a cold solve of its
+//     snapshot, at both thread counts (warm starts must be invisible);
+//   * the first solve of a scope reuses nothing; a re-plan's table span
+//     (reused + built) never changes (the candidate-set size is pinned by
+//     the deadline filter); a CLEAN bump (no group history moved since the
+//     scope's last solve) rebuilds zero tables;
+//   * warm accounting (tables_reused / tables_built / warm_seeds) is
+//     identical across thread counts — it is decided before the search;
+//   * replan_count equals the independently tracked re-solve count.
+// The digest mixes fingerprints, epochs, outcomes and the warm accounting —
+// never prune counters, which are schedule-dependent.
+
+ScenarioOutcome run_warmstart_scenario(std::uint64_t seed) {
+  ScenarioOutcome out;
+  out.seed = seed;
+  out.kind = "warmstart";
+  Violations violations;
+
+  Rng rng(seed ^ 0x3A12B0075EEDULL);
+  const Catalog catalog = paper_catalog();
+  const ExecTimeEstimator estimator;
+  MarketBoard board(generate_market(catalog, paper_market_profile(catalog), 1.5, 0.25, rng()));
+
+  ServiceConfig config;
+  config.cache.shards = 2;
+  config.cache.capacity = 8;
+  config.latency_window = 32;
+  config.opt = tiny_optimizer_config();
+  ServiceConfig config8 = config;
+  config8.opt.threads = 8;
+  PlanService warm1(&catalog, &estimator, &board, config);
+  PlanService warm8(&catalog, &estimator, &board, config8);
+
+  const OnDemandSelector selector(&catalog, &estimator);
+  std::vector<PlanRequest> pool;
+  for (const char* name : {"BT", "SP"}) {
+    PlanRequest r;
+    r.app = paper_profile(name);
+    r.deadline_h = selector.baseline(r.app).t_h * (1.2 + rng.uniform(0.0, 3.0));
+    if (rng.bernoulli(0.4)) {
+      // Constrained scopes route through the service's own candidate loop —
+      // the warm path must be invisible there too.
+      const auto& types = catalog.types();
+      r.allowed_types = {types[rng.uniform_index(types.size())].name,
+                         types[rng.uniform_index(types.size())].name};
+    }
+    pool.push_back(std::move(r));
+  }
+
+  struct ScopeState {
+    std::string key;
+    bool solved = false;
+    bool dirty = false;   ///< some group history moved since the last solve
+    std::size_t span = 0; ///< tables_reused + tables_built of the first solve
+  };
+  std::vector<ScopeState> scopes;
+  const auto scope_state = [&](const std::string& key) -> ScopeState& {
+    for (ScopeState& s : scopes)
+      if (s.key == key) return s;
+    scopes.push_back(ScopeState{key, false, false, 0});
+    return scopes.back();
+  };
+
+  Digest digest;
+  digest.mix(out.kind);
+  std::uint64_t expected_replans = 0;
+  const std::size_t n_rounds = 3 + rng.uniform_index(2);
+  for (std::size_t round = 0; round < n_rounds; ++round) {
+    if (round > 0) {
+      std::vector<PriceUpdate> updates;
+      for (const CircleGroupSpec& spec : catalog.all_groups()) {
+        if (!rng.bernoulli(0.2)) continue;
+        std::vector<double> prices;
+        const std::size_t n = 1 + rng.uniform_index(2);
+        for (std::size_t s = 0; s < n; ++s) prices.push_back(0.02 + rng.uniform(0.0, 1.5));
+        updates.push_back(PriceUpdate{spec, std::move(prices)});
+      }
+      // Empty = forced invalidation: the epoch bumps, the versions stay put.
+      board.ingest(updates);
+      if (!updates.empty())
+        for (ScopeState& s : scopes) s.dirty = true;
+    }
+    for (const PlanRequest& request : pool) {
+      const MarketSnapshot snap = board.snapshot();
+      const PlanResponse r1 = warm1.serve(request);
+      const PlanResponse r8 = warm8.serve(request);
+      digest.mix(std::string(outcome_label(r1.outcome)));
+      digest.mix(r1.epoch);
+      if (r1.outcome != r8.outcome)
+        violations.record("thread-count twins took different serve outcomes");
+      if (r1.plan == nullptr || r8.plan == nullptr) {
+        violations.record("warm service shed an uncontended request");
+        continue;
+      }
+      const Plan fresh = warm1.solve(canonicalized(request), *snap.market);
+      const std::string fp = plan_fingerprint(*r1.plan);
+      if (fp != plan_fingerprint(fresh))
+        violations.record("warm plan (threads=1) is not fingerprint-identical to a cold solve");
+      if (fp != plan_fingerprint(*r8.plan))
+        violations.record("warm plan (threads=8) diverged from the threads=1 plan");
+      digest.mix(fp);
+      if (r1.outcome != PlanOutcome::kSolved) continue;
+
+      ScopeState& st = scope_state(canonical_key(canonicalized(request)));
+      const PlanStats& ws1 = r1.plan->stats;
+      if (ws1.tables_reused != r8.plan->stats.tables_reused ||
+          ws1.tables_built != r8.plan->stats.tables_built ||
+          ws1.warm_seeds != r8.plan->stats.warm_seeds)
+        violations.record("warm accounting diverged across thread counts");
+      const std::size_t span = ws1.tables_reused + ws1.tables_built;
+      if (!st.solved) {
+        st.span = span;
+        if (ws1.tables_reused != 0)
+          violations.record("first solve of a scope reused tables from nowhere");
+      } else {
+        ++expected_replans;
+        if (span != st.span)
+          violations.record("re-plan table span changed though the candidate set is pinned");
+        if (!st.dirty && ws1.tables_built != 0)
+          violations.record("clean epoch bump rebuilt a cost table");
+      }
+      st.solved = true;
+      st.dirty = false;
+      digest.mix(ws1.tables_reused);
+      digest.mix(ws1.tables_built);
+      digest.mix(ws1.warm_seeds);
+    }
+  }
+
+  const ServiceStats stats = warm1.stats();
+  if (stats.requests != stats.hits + stats.solves + stats.dedup_joins + stats.sheds)
+    violations.record("warm service stats do not tally");
+  if (stats.replan_count != expected_replans)
+    violations.record("replan_count does not match the tracked re-solves");
+  digest.mix(stats.solves);
+  digest.mix(stats.replan_count);
+  digest.mix(stats.replan_table_hits);
+  digest.mix(stats.replan_table_misses);
+  digest.mix(stats.warm_seeds);
+
+  out.digest = digest.value();
+  out.failed = violations.any();
+  out.detail = violations.first();
+  return out;
+}
+
 }  // namespace
 
 const char* scenario_kind_name(std::uint64_t seed) {
-  switch (seed % 9) {
+  switch (seed % 10) {
     case 0: return "checkpoint";
     case 1: return "incremental";
     case 2: return "replay";
@@ -1409,12 +1562,13 @@ const char* scenario_kind_name(std::uint64_t seed) {
     case 5: return "feed";
     case 6: return "multilevel";
     case 7: return "platform";
-    default: return "sharded";
+    case 8: return "sharded";
+    default: return "warmstart";
   }
 }
 
 ScenarioOutcome run_scenario(std::uint64_t seed) {
-  switch (seed % 9) {
+  switch (seed % 10) {
     case 0: return run_checkpoint_scenario(seed, /*incremental=*/false);
     case 1: return run_checkpoint_scenario(seed, /*incremental=*/true);
     case 2: return run_replay_scenario(seed);
@@ -1423,7 +1577,8 @@ ScenarioOutcome run_scenario(std::uint64_t seed) {
     case 5: return run_feed_scenario(seed);
     case 6: return run_multilevel_scenario(seed);
     case 7: return run_platform_scenario(seed);
-    default: return run_sharded_scenario(seed);
+    case 8: return run_sharded_scenario(seed);
+    default: return run_warmstart_scenario(seed);
   }
 }
 

@@ -2,7 +2,7 @@
 // subsystem under an injected failure schedule, plus the invariants that
 // must hold for ANY schedule.
 //
-// The nine scenario kinds (selected by seed % 9) and their invariants:
+// The ten scenario kinds (selected by seed % 10) and their invariants:
 //
 //   checkpoint / incremental — an iterative mini-MPI app checkpoints under
 //     storage faults, torn uploads, protocol crashes and a tick-kill.
@@ -69,6 +69,16 @@
 //     counters sum to the aggregate and the outcome classes partition the
 //     requests; the solve ledger balances the solve counter, with zero
 //     duplicate solves whenever no cache wipe fired.
+//
+//   warmstart — one MarketBoard under a random epoch-delta stream (random
+//     dirty-group sets plus empty forced bumps) is served by two warm
+//     services at optimizer threads 1 and 8, in lockstep with the cold
+//     solve() oracle. Invariants: every warm plan is fingerprint-identical
+//     to a cold solve of its snapshot at both thread counts; a scope's
+//     first solve reuses zero tables, a re-plan's table span never changes,
+//     and a clean bump (no history moved since the scope's last solve)
+//     rebuilds zero tables; warm accounting is thread-count invariant;
+//     replan_count matches an independently tracked re-solve census.
 //
 // Every observable a scenario digests is deterministic at any thread count,
 // so `run_scenario(seed).digest` is byte-comparable across machines and

@@ -36,15 +36,18 @@ FeedPipeline::FeedPipeline(BoardFanout* fanout, std::unique_ptr<BoardFanout> own
   SOMPI_REQUIRE_MSG(market.group_count() == group_count_,
                     "board market must cover the full catalog");
 
-  base_step_ = market.trace({0, 0}).steps();
+  // Delta publication withholds all-gap columns, so board traces may have
+  // unequal lengths; the feed timeline restarts at the longest one.
+  base_step_ = 0;
+  for (std::size_t t = 0; t < catalog.types().size(); ++t)
+    for (std::size_t z = 0; z < zones_; ++z)
+      base_step_ = std::max<std::uint64_t>(base_step_, market.trace({t, z}).steps());
   step_hours_ = market.trace({0, 0}).step_hours();
   groups_.reserve(group_count_);
   for (std::size_t t = 0; t < catalog.types().size(); ++t) {
     for (std::size_t z = 0; z < zones_; ++z) {
       const CircleGroupSpec spec{t, z};
       const SpotTrace& trace = market.trace(spec);
-      SOMPI_REQUIRE_MSG(trace.steps() == base_step_,
-                        "board traces must share one length");
       GroupState g;
       g.group = spec;
       g.know = base_step_;
@@ -136,10 +139,12 @@ void FeedPipeline::commit_ready_locked() {
       GroupState& g = groups_[ordinal];
       const auto [price, is_gap] = g.buf.front();
       g.buf.pop_front();
-      if (is_gap)
+      if (is_gap) {
         ++stats_.gaps_filled;
-      else
+      } else {
         ++stats_.committed_values;
+        ++g.accum_real;
+      }
       g.window_trace.append(price);
       // Amortized trim: rebuild to the trailing window only when the trace
       // has doubled, keeping the per-commit append O(1) amortized.
@@ -160,11 +165,33 @@ void FeedPipeline::commit_ready_locked() {
 void FeedPipeline::publish_batch_locked() {
   if (rows_in_batch_ == 0) return;
   const auto started = std::chrono::steady_clock::now();
+  // Delta publication: only groups that resolved at least one REAL tick in
+  // this batch publish their column. An all-gap column is pure carry-forward
+  // — the group heard nothing — and appending it would move that group's
+  // board history (changing its failure-model input bits) for no new
+  // information, which would defeat warm re-plan table reuse. Whether a
+  // column is all-gap depends only on the group's own stream, so the
+  // withhold/publish split is deterministic at any producer count.
   std::vector<PriceUpdate> updates;
+  std::vector<CircleGroupSpec> changed;
   updates.reserve(groups_.size());
   for (GroupState& g : groups_) {
-    updates.push_back(PriceUpdate{g.group, std::move(g.publish_accum)});
+    if (g.accum_real > 0) {
+      changed.push_back(g.group);
+      updates.push_back(PriceUpdate{g.group, std::move(g.publish_accum)});
+    } else {
+      ++stats_.columns_withheld;
+    }
     g.publish_accum.clear();
+    g.accum_real = 0;
+  }
+  if (updates.empty()) {
+    // Nothing changed anywhere: suppress the batch outright — no epoch bump,
+    // no publish record. Suppression is itself deterministic, so skipping
+    // the epoch/end_step digest mixes keeps the digest schedule-invariant.
+    ++stats_.batches_suppressed;
+    rows_in_batch_ = 0;
+    return;
   }
   const std::uint64_t epoch = fanout_->ingest(updates);
   ++stats_.epochs_published;
@@ -174,11 +201,14 @@ void FeedPipeline::publish_batch_locked() {
   record.epoch = epoch;
   record.rows = rows_in_batch_;
   record.end_step = base_step_ + stats_.committed_steps;
+  record.changed_groups = std::move(changed);
   record.publish_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
-  publish_log_.push_back(record);
   mix(epoch);
   mix(record.end_step);
+  for (const CircleGroupSpec& spec : record.changed_groups)
+    mix(group_ordinal(spec, zones_));
+  publish_log_.push_back(std::move(record));
   rows_in_batch_ = 0;
 }
 

@@ -12,7 +12,14 @@
 //   * a market row commits when EVERY group has resolved it; every
 //     `publish_every` committed rows the batch is ingested into the
 //     MarketBoard as one atomic epoch bump, and the per-group failure /
-//     expected-price statistics are re-estimated over the trailing window.
+//     expected-price statistics are re-estimated over the trailing window;
+//   * publication is *delta-precise*: only groups with at least one real
+//     tick in the batch publish their column (all-gap columns are withheld —
+//     a group that heard nothing must not have its board history move, or
+//     downstream warm re-plans could not reuse its cached cost tables
+//     bit-identically), and a batch in which no group changed is suppressed
+//     entirely: no epoch bump, no publish record. Withholding is a pure
+//     function of each group's own stream, so determinism is unaffected.
 //
 // Determinism: a group's resolved column is a pure function of that group's
 // post-chaos tick stream (plus late_horizon and the primed last value) —
@@ -70,6 +77,11 @@ struct FeedStats {
   std::uint64_t committed_steps = 0;     ///< full market rows committed
   std::uint64_t epochs_published = 0;
   std::uint64_t estimates_computed = 0;  ///< per-group estimate recomputations
+  /// All-gap group columns dropped from a batch (the group saw no real tick
+  /// in the batch, so its board history must not move).
+  std::uint64_t columns_withheld = 0;
+  /// Batches where EVERY column was all-gap: no epoch bump at all.
+  std::uint64_t batches_suppressed = 0;
 };
 
 /// One epoch publication, in order.
@@ -77,6 +89,11 @@ struct PublishRecord {
   std::uint64_t epoch = 0;
   std::uint64_t rows = 0;       ///< committed rows in this batch
   std::uint64_t end_step = 0;   ///< absolute market length after the batch
+  /// The groups whose columns this epoch published — exactly those with at
+  /// least one real tick in the batch. Disjoint from the withheld set and
+  /// together with it covers the full catalog (the conservation law the
+  /// delta tests assert). Never empty: an empty delta suppresses the batch.
+  std::vector<CircleGroupSpec> changed_groups;
   /// Wall seconds spent in board ingest + re-estimation (monitoring only —
   /// never part of the commit digest).
   double publish_seconds = 0.0;
@@ -169,6 +186,7 @@ class FeedPipeline {
     double last_value = 0.0;              ///< gap-fill carry
     SpotTrace window_trace;               ///< trailing window for estimation
     std::vector<double> publish_accum;    ///< committed, unpublished prices
+    std::uint64_t accum_real = 0;         ///< real (non-gap) values in accum
   };
 
   /// Delegation target of both public ctors: publish through `fanout`,

@@ -4,12 +4,23 @@
 
 namespace sompi {
 
+namespace {
+
+std::shared_ptr<const std::vector<std::uint64_t>> stamped_versions(const Market& market,
+                                                                   std::uint64_t epoch) {
+  return std::make_shared<const std::vector<std::uint64_t>>(market.group_count(), epoch);
+}
+
+}  // namespace
+
 MarketBoard::MarketBoard(Market initial)
-    : epoch_(1), market_(std::make_shared<const Market>(std::move(initial))) {}
+    : epoch_(1), market_(std::make_shared<const Market>(std::move(initial))) {
+  versions_ = stamped_versions(*market_, epoch_);
+}
 
 MarketSnapshot MarketBoard::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return MarketSnapshot{epoch_, market_};
+  return MarketSnapshot{epoch_, market_, versions_};
 }
 
 std::uint64_t MarketBoard::epoch() const {
@@ -17,11 +28,18 @@ std::uint64_t MarketBoard::epoch() const {
   return epoch_;
 }
 
+std::shared_ptr<const std::vector<std::uint64_t>> MarketBoard::group_versions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return versions_;
+}
+
 std::uint64_t MarketBoard::publish(Market next) {
   auto frozen = std::make_shared<const Market>(std::move(next));
   std::lock_guard<std::mutex> lock(mutex_);
   market_ = std::move(frozen);
-  return ++epoch_;
+  ++epoch_;
+  versions_ = stamped_versions(*market_, epoch_);
+  return epoch_;
 }
 
 std::uint64_t MarketBoard::ingest(const std::vector<PriceUpdate>& updates) {
@@ -31,13 +49,19 @@ std::uint64_t MarketBoard::ingest(const std::vector<PriceUpdate>& updates) {
   // because ingest happens once per market step, not once per request.
   std::lock_guard<std::mutex> lock(mutex_);
   Market next = *market_;
+  const std::size_t zones = next.catalog().zones().size();
+  std::vector<std::uint64_t> vers = *versions_;
   for (const PriceUpdate& update : updates) {
     SpotTrace& trace = next.mutable_trace(update.group);
     SOMPI_REQUIRE_MSG(!trace.empty(), "cannot ingest into an empty trace");
     trace.append(SpotTrace(trace.step_hours(), update.prices));
+    vers.at(update.group.type_index * zones + update.group.zone_index) = epoch_ + 1;
   }
   market_ = std::make_shared<const Market>(std::move(next));
-  return ++epoch_;
+  ++epoch_;
+  if (!updates.empty())
+    versions_ = std::make_shared<const std::vector<std::uint64_t>>(std::move(vers));
+  return epoch_;
 }
 
 }  // namespace sompi

@@ -30,6 +30,10 @@ struct PriceUpdate {
 struct MarketSnapshot {
   std::uint64_t epoch = 0;
   std::shared_ptr<const Market> market;
+  /// Per-group history versions, indexed by catalog ordinal
+  /// (type_index·zones + zone_index); see MarketBoard::group_versions().
+  /// Frozen like the market (copy-on-write).
+  std::shared_ptr<const std::vector<std::uint64_t>> versions;
 };
 
 class MarketBoard {
@@ -49,13 +53,24 @@ class MarketBoard {
   /// Appends new price steps to the named groups' traces. One ingest is one
   /// atomic world transition: all updates land under a single epoch bump.
   /// Returns the new epoch. No-op updates (empty list) still bump the epoch
-  /// so callers can force invalidation.
+  /// so callers can force invalidation; the group versions stay put in that
+  /// case (no history moved), which is exactly what lets a warm re-plan
+  /// reuse every cached table across a forced bump.
   std::uint64_t ingest(const std::vector<PriceUpdate>& updates);
+
+  /// Per-group monotone history versions, indexed by catalog ordinal
+  /// (type_index·zones + zone_index). A group's version is the epoch at
+  /// which its trace content last changed: the constructor and publish()
+  /// stamp every group, ingest() stamps only the named groups. Two
+  /// snapshots whose versions agree at ordinal g have bit-identical traces
+  /// for group g — the invalidation key of the warm-start CostTableStore.
+  std::shared_ptr<const std::vector<std::uint64_t>> group_versions() const;
 
  private:
   mutable std::mutex mutex_;
   std::uint64_t epoch_ = 0;
   std::shared_ptr<const Market> market_;
+  std::shared_ptr<const std::vector<std::uint64_t>> versions_;
 };
 
 }  // namespace sompi

@@ -26,11 +26,13 @@ PlanService::PlanService(const Catalog* catalog, const ExecTimeEstimator* estima
       board_(board),
       config_(std::move(config)),
       optimizer_(catalog, estimator, config_.opt),
-      cache_(config_.cache) {
+      cache_(config_.cache),
+      table_store_(config_.table_store) {
   SOMPI_REQUIRE(catalog_ != nullptr && estimator_ != nullptr && board_ != nullptr);
   SOMPI_REQUIRE(config_.max_concurrent_solves >= 1);
   SOMPI_REQUIRE(config_.latency_window >= 1);
   latency_ring_.reserve(config_.latency_window);
+  replan_ring_.reserve(config_.latency_window);
 }
 
 void PlanService::validate_names(const PlanRequest& request) const {
@@ -94,13 +96,16 @@ std::size_t PlanService::wipe_cache() {
   return dropped;
 }
 
-void PlanService::record_solve(double seconds, const Plan& plan) {
+void PlanService::record_solve(double seconds, const Plan& plan, bool replan) {
   std::lock_guard<std::mutex> lock(latency_mutex_);
   solve_seconds_total_ += seconds;
   model_evaluations_ += plan.model_evaluations;
   evaluations_performed_ += plan.stats.evaluations;
   tuples_pruned_ += plan.stats.tuples_pruned;
   subsets_pruned_ += plan.stats.subsets_pruned;
+  replan_table_hits_ += plan.stats.tables_reused;
+  replan_table_misses_ += plan.stats.tables_built;
+  warm_seeds_ += plan.stats.warm_seeds;
   for (const GroupPlan& g : plan.groups)
     if (g.ckpt_policy != "s3") {
       ++multilevel_plans_;
@@ -111,6 +116,15 @@ void PlanService::record_solve(double seconds, const Plan& plan) {
   } else {
     latency_ring_[latency_next_] = seconds;
     latency_next_ = (latency_next_ + 1) % config_.latency_window;
+  }
+  if (replan) {
+    ++replan_count_;
+    if (replan_ring_.size() < config_.latency_window) {
+      replan_ring_.push_back(seconds);
+    } else {
+      replan_ring_[replan_next_] = seconds;
+      replan_next_ = (replan_next_ + 1) % config_.latency_window;
+    }
   }
 }
 
@@ -195,8 +209,22 @@ PlanResponse PlanService::serve(const PlanRequest& request) {
   std::shared_ptr<const Plan> result;
   try {
     if (config_.solve_hook) config_.solve_hook(key, snap.epoch);
+    // Warm start (DESIGN.md §14): hand the optimizer this scope's cached
+    // artifacts, the snapshot's per-group history versions (so only dirty
+    // groups rebuild), and the previous plan as the incumbent seed. A
+    // *re-plan* is a solve whose scope already produced a plan — exactly
+    // the work an epoch bump used to do from scratch.
+    ReplanContext ctx;
+    bool replan = false;
+    if (config_.warm_replan) {
+      ctx.store = &table_store_;
+      ctx.scope = key;
+      ctx.versions = snap.versions;
+      ctx.incumbent = table_store_.last_plan(key);
+      replan = ctx.incumbent != nullptr;
+    }
     const auto t0 = std::chrono::steady_clock::now();
-    Plan plan = solve(canon, *snap.market);
+    Plan plan = solve_with(canon, *snap.market, config_.warm_replan ? &ctx : nullptr);
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     result = std::make_shared<const Plan>(std::move(plan));
@@ -204,7 +232,8 @@ PlanResponse PlanService::serve(const PlanRequest& request) {
     // identical request finds either the flight or the cached plan, so one
     // (request, epoch) burst can never trigger a second solve.
     cache_.insert(key, snap.epoch, result);
-    record_solve(seconds, *result);
+    if (config_.warm_replan) table_store_.note_plan(key, result);
+    record_solve(seconds, *result, replan);
     solves_.fetch_add(1, std::memory_order_relaxed);
   } catch (...) {
     flight->promise.set_exception(std::current_exception());
@@ -225,26 +254,24 @@ std::shared_ptr<const Plan> PlanService::plan_or_throw(const PlanRequest& reques
 }
 
 Plan PlanService::solve(const PlanRequest& canon, const Market& market) const {
+  return solve_with(canon, market, nullptr);
+}
+
+Plan PlanService::solve_with(const PlanRequest& canon, const Market& market,
+                             ReplanContext* ctx) const {
   if (canon.allowed_types.empty() && canon.allowed_zones.empty())
-    return optimizer_.optimize(canon.app, market, canon.deadline_h);
+    return optimizer_.optimize(canon.app, market, canon.deadline_h, ctx);
 
   const auto allowed = [](const std::vector<std::string>& names, const std::string& name) {
     return names.empty() || std::binary_search(names.begin(), names.end(), name);
   };
 
-  SetupBuilder builder(catalog_, estimator_);
-  std::vector<GroupSetup> candidates =
-      builder.build_candidates(canon.app, market, config_.opt.setup, canon.deadline_h);
-  std::erase_if(candidates, [&](const GroupSetup& g) {
-    return !allowed(canon.allowed_types, catalog_->type(g.spec.type_index).name) ||
-           !allowed(canon.allowed_zones, catalog_->zone(g.spec.zone_index).name);
-  });
-
   // The on-demand recovery tier obeys the type constraint too (zones are a
   // spot-market concept — OnDemandChoice is type-only). Same semantics as
   // OnDemandSelector::select, restricted to the allowed types: cheapest
   // full-run cost within Deadline × (1 − slack), else the fastest allowed
-  // tier marked infeasible.
+  // tier marked infeasible. Selected before the candidate setups because
+  // the warm setup lookup hashes it.
   const OnDemandSelector selector(catalog_, estimator_);
   const double budget_h = canon.deadline_h * (1.0 - config_.opt.slack);
   OnDemandChoice best;
@@ -267,7 +294,23 @@ Plan PlanService::solve(const PlanRequest& canon, const Market& market) const {
   }
   if (!best.feasible) best = fastest;  // describe() leaves feasible = false
 
-  return optimizer_.optimize_over(canon.app, std::move(candidates), best, canon.deadline_h);
+  // SetupBuilder::build_candidates filtered to the allowed groups, with each
+  // build routed through the warm store: same specs, same catalog order,
+  // same deadline cutoff as the cold path (filtering before building is
+  // what lets a constrained scope skip disallowed groups' Monte-Carlo).
+  std::vector<GroupSetup> candidates;
+  for (const CircleGroupSpec& spec : catalog_->all_groups()) {
+    if (!allowed(canon.allowed_types, catalog_->type(spec.type_index).name) ||
+        !allowed(canon.allowed_zones, catalog_->zone(spec.zone_index).name))
+      continue;
+    const double t_h = estimator_->hours(canon.app, catalog_->type(spec.type_index),
+                                         catalog_->zone(spec.zone_index).name);
+    if (t_h > canon.deadline_h) continue;
+    candidates.push_back(optimizer_.setup_for(canon.app, spec, market, best,
+                                              canon.deadline_h, ctx));
+  }
+
+  return optimizer_.optimize_over(canon.app, std::move(candidates), best, canon.deadline_h, ctx);
 }
 
 ServiceStats PlanService::stats() const {
@@ -286,9 +329,17 @@ ServiceStats PlanService::stats() const {
     s.tuples_pruned = tuples_pruned_;
     s.subsets_pruned = subsets_pruned_;
     s.multilevel_plans = multilevel_plans_;
+    s.replan_count = replan_count_;
+    s.warm_seeds = warm_seeds_;
+    s.replan_table_hits = replan_table_hits_;
+    s.replan_table_misses = replan_table_misses_;
     if (!latency_ring_.empty()) {
       s.solve_p50_ms = percentile(latency_ring_, 0.50) * 1e3;
       s.solve_p99_ms = percentile(latency_ring_, 0.99) * 1e3;
+    }
+    if (!replan_ring_.empty()) {
+      s.replan_p50_ms = percentile(replan_ring_, 0.50) * 1e3;
+      s.replan_p99_ms = percentile(replan_ring_, 0.99) * 1e3;
     }
   }
   s.cache_entries = cache_.size();

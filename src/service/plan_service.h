@@ -91,10 +91,24 @@ struct ServiceStats {
   /// least one group (ckpt_policy != "s3") — how often the multi-level
   /// hierarchy actually beat the flat S3 path.
   std::uint64_t multilevel_plans = 0;
+  // Warm-start re-planning (ServiceConfig::warm_replan; DESIGN.md §14). A
+  // *re-plan* is a solve of a scope that already produced a plan — the case
+  // an epoch bump used to turn into a full cold solve.
+  std::uint64_t replan_count = 0;
+  /// Re-plans whose previous plan seeded the branch-and-bound incumbent.
+  std::uint64_t warm_seeds = 0;
+  /// Per-group cost-table blocks reused from / rebuilt into the table store
+  /// across all solves (incremental engine; exact, not sampled).
+  std::uint64_t replan_table_hits = 0;
+  std::uint64_t replan_table_misses = 0;
   /// Percentiles over the trailing ServiceConfig::latency_window solves
   /// (0 when nothing has been solved yet).
   double solve_p50_ms = 0.0;
   double solve_p99_ms = 0.0;
+  /// Same, over re-plan solves only — the epoch-churn latency the warm
+  /// start exists to shrink.
+  double replan_p50_ms = 0.0;
+  double replan_p99_ms = 0.0;
   std::size_t cache_entries = 0;
   std::uint64_t epoch = 0;
 };
@@ -112,6 +126,15 @@ struct ServiceConfig {
   /// a loaded service: parallelism comes from concurrent requests, not from
   /// fanning one solve across the pool.
   OptimizerConfig opt;
+  /// Warm-start re-planning (DESIGN.md §14): epoch bumps trigger an
+  /// incremental re-plan — per-group cost tables are reused from the scope's
+  /// previous solve unless that group's history version moved, and the
+  /// previous plan seeds the branch-and-bound incumbent — instead of a
+  /// cache-drop-and-cold-solve. Plans stay bit-identical to solve() (the
+  /// cold oracle); the knob trades table_store memory for re-plan latency.
+  bool warm_replan = true;
+  /// Byte cap etc. of the warm-start artifact store.
+  CostTableStore::Config table_store;
   /// Test seam: runs on the owning thread right before each optimizer run
   /// with the flight's (canonical key, epoch). Lets tests hold a flight open
   /// (latches) and count solves per key; never set in production.
@@ -158,9 +181,13 @@ class PlanService {
   ServiceStats stats() const;
 
   /// The deterministic reference solve behind every flight: exactly what a
-  /// cache hit promises to be bit-identical to. Public so tests and benches
-  /// can compare against it.
+  /// cache hit promises to be bit-identical to — and what a warm re-plan
+  /// promises too (this is always the COLD path; it never touches the table
+  /// store). Public so tests and benches can compare against it.
   Plan solve(const PlanRequest& canonical_request, const Market& market) const;
+
+  /// Counters of the warm-start artifact store (zeroes with warm_replan off).
+  CostTableStore::Stats table_store_stats() const { return table_store_.stats(); }
 
   const ServiceConfig& config() const { return config_; }
 
@@ -181,7 +208,11 @@ class PlanService {
   void note_epoch(std::uint64_t epoch);
   /// board epoch clamped to the oldest registered live epoch.
   std::uint64_t sweep_horizon(std::uint64_t epoch) const;
-  void record_solve(double seconds, const Plan& plan);
+  /// solve() with an optional warm-start context (nullptr = the cold path;
+  /// solve() itself is exactly solve_with(..., nullptr)).
+  Plan solve_with(const PlanRequest& canonical_request, const Market& market,
+                  ReplanContext* ctx) const;
+  void record_solve(double seconds, const Plan& plan, bool replan);
   /// Removes the flight, releases its solve slot, wakes queued waiters.
   void retire_flight(const std::string& flight_key);
 
@@ -191,6 +222,9 @@ class PlanService {
   ServiceConfig config_;
   SompiOptimizer optimizer_;
   PlanCache cache_;
+  /// Warm-start artifacts + last plan per scope. Internally locked; mutable
+  /// so the const solve path can feed it through a ReplanContext.
+  mutable CostTableStore table_store_;
 
   std::mutex mutex_;  ///< guards flights_, active_solves_, queued_
   std::condition_variable slot_cv_;
@@ -216,8 +250,14 @@ class PlanService {
   std::uint64_t tuples_pruned_ = 0;
   std::uint64_t subsets_pruned_ = 0;
   std::uint64_t multilevel_plans_ = 0;
+  std::uint64_t replan_count_ = 0;
+  std::uint64_t warm_seeds_ = 0;
+  std::uint64_t replan_table_hits_ = 0;
+  std::uint64_t replan_table_misses_ = 0;
   std::vector<double> latency_ring_;
   std::size_t latency_next_ = 0;
+  std::vector<double> replan_ring_;
+  std::size_t replan_next_ = 0;
 };
 
 }  // namespace sompi

@@ -117,8 +117,14 @@ ShardedStats ShardedPlanService::stats() const {
     s.total.tuples_pruned += shard.tuples_pruned;
     s.total.subsets_pruned += shard.subsets_pruned;
     s.total.multilevel_plans += shard.multilevel_plans;
+    s.total.replan_count += shard.replan_count;
+    s.total.warm_seeds += shard.warm_seeds;
+    s.total.replan_table_hits += shard.replan_table_hits;
+    s.total.replan_table_misses += shard.replan_table_misses;
     s.total.solve_p50_ms = std::max(s.total.solve_p50_ms, shard.solve_p50_ms);
     s.total.solve_p99_ms = std::max(s.total.solve_p99_ms, shard.solve_p99_ms);
+    s.total.replan_p50_ms = std::max(s.total.replan_p50_ms, shard.replan_p50_ms);
+    s.total.replan_p99_ms = std::max(s.total.replan_p99_ms, shard.replan_p99_ms);
     s.total.cache_entries += shard.cache_entries;
   }
   s.total.epoch = fanout_->epoch();

@@ -65,9 +65,9 @@ struct ShardedConfig {
 /// Aggregate tier statistics: summed per-shard counters plus the sharding-
 /// specific ones.
 struct ShardedStats {
-  /// Counter-wise sum over shards. solve_p50_ms/p99_ms are the WORST
-  /// shard's percentiles (summing percentiles is meaningless); epoch is the
-  /// fan-out's common epoch.
+  /// Counter-wise sum over shards. solve_p50_ms/p99_ms (and their replan_*
+  /// twins) are the WORST shard's percentiles (summing percentiles is
+  /// meaningless); epoch is the fan-out's common epoch.
   ServiceStats total;
   std::vector<ServiceStats> per_shard;
   std::uint64_t routed = 0;     ///< serve() calls (ring-routed at the tier door)

@@ -310,9 +310,17 @@ TEST(FeedPipeline, DropsStragglersAndDuplicates) {
   // flush force-resolved the pending run: steps 4..9 gap-filled, 10 real.
   EXPECT_EQ(s.committed_steps, 9u);
   EXPECT_EQ(s.gaps_filled, 6u);
+  // Delta publication withholds the all-gap batches {4,5}, {6,7}, {8,9}
+  // (this is the one-group market, so each is a full suppression — no epoch
+  // bump), publishing only {2,3} and the final partial batch {10}: the gap
+  // carry-forward never reaches the board.
+  EXPECT_EQ(s.epochs_published, 2u);
+  EXPECT_EQ(s.batches_suppressed, 3u);
+  EXPECT_EQ(s.columns_withheld, 3u);
   const MarketSnapshot snap = w.board.snapshot();
-  EXPECT_EQ(snap.market->trace({0, 0}).price(10), 1.0);
-  EXPECT_EQ(snap.market->trace({0, 0}).price(7), 4.0);  // carried from step 3
+  ASSERT_EQ(snap.market->trace({0, 0}).steps(), 5u);  // 1, 2, 3, 4, then 10's value
+  EXPECT_EQ(snap.market->trace({0, 0}).price(4), 1.0);
+  EXPECT_EQ(snap.market->trace({0, 0}).price(3), 4.0);
 }
 
 TEST(FeedPipeline, PublishesEpochBatchesAndReEstimates) {
