@@ -63,9 +63,37 @@ struct JsonResult {
   /// extra numeric fields of the record. Unlike the timing fields these are
   /// deterministic at threads=1, which is what makes them gateable in CI
   /// (a wall-clock gate on a shared runner is noise; a work-count gate is
-  /// exact). Names must be valid JSON keys without '"' or '\'.
+  /// exact).
   std::vector<std::pair<std::string, double>> counters;
 };
+
+/// JSON string escaping for names and counter keys: quotes, backslashes and
+/// control characters (corruption-class names, error-frame messages) become
+/// the standard \"/\\/\uXXXX escapes instead of leaking into the file raw.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 /// The value following "--json", or "" when the flag is absent.
 inline std::string json_path_from_args(int argc, char** argv) {
@@ -74,7 +102,7 @@ inline std::string json_path_from_args(int argc, char** argv) {
   return "";
 }
 
-/// Writes the records as a JSON array. Names must not contain '"' or '\'.
+/// Writes the records as a JSON array. Names and counter keys are escaped.
 inline void write_json(const std::string& path, const std::vector<JsonResult>& results) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) throw IoError("cannot write json results to " + path);
@@ -84,9 +112,9 @@ inline void write_json(const std::string& path, const std::vector<JsonResult>& r
     std::fprintf(out,
                  "  {\"name\": \"%s\", \"iters\": %zu, \"mean_ms\": %.6f, "
                  "\"p50_ms\": %.6f, \"p99_ms\": %.6f",
-                 r.name.c_str(), r.iters, r.mean_ms, r.p50_ms, r.p99_ms);
+                 json_escape(r.name).c_str(), r.iters, r.mean_ms, r.p50_ms, r.p99_ms);
     for (const auto& [key, value] : r.counters)
-      std::fprintf(out, ", \"%s\": %.6f", key.c_str(), value);
+      std::fprintf(out, ", \"%s\": %.6f", json_escape(key).c_str(), value);
     std::fprintf(out, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "]\n");

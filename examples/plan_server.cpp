@@ -29,8 +29,19 @@
 //         the ring-home shard — exactly one solve), then push a small batch
 //         through the async submit_batch/harvest API, and print per-shard +
 //         aggregate counters with the dedup ledger's verdict
+//   serve [N=4]
+//         start the wire-serving front end (src/net): an N-shard tier under
+//         a PlanServerLoop with one router-aware and one spray PlanClient
+//         dialed in; subsequent `client` requests go over the wire protocol
+//   client <routed|spray> <APP> <factor> [n=1]
+//         send n plan requests through the chosen wire client (blocking
+//         round trips, correlated by request id); routed lands every key on
+//         its ring home — watch `stats` keep forwarded at 0 — while spray
+//         round-robins and pays one forward per misrouted request
 //   epoch   print the current market epoch
-//   stats   print the service counters and solve-latency percentiles
+//   stats   print the service counters and solve-latency percentiles; with
+//           the wire front end up, also a StatsRequest round trip's tier
+//           ledger (routed/sprayed/forwarded, duplicate solves, frames)
 //   help    this text
 //   quit
 //
@@ -56,6 +67,8 @@
 
 #include "feed/pipeline.h"
 #include "feed/tick_source.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "platform/examples.h"
 #include "platform/parser.h"
 #include "profile/estimator.h"
@@ -109,6 +122,33 @@ void print_stats(const ServiceStats& s) {
               static_cast<unsigned long long>(s.replan_table_hits),
               static_cast<unsigned long long>(s.replan_table_misses), s.replan_p50_ms,
               s.replan_p99_ms);
+}
+
+void print_wire_stats(const net::WireTierStats& w) {
+  std::printf("wire tier (epoch %llu): requests %llu — hits %llu, solves %llu, joins %llu, "
+              "sheds %llu (+%llu at the wire door)\n",
+              static_cast<unsigned long long>(w.epoch),
+              static_cast<unsigned long long>(w.requests),
+              static_cast<unsigned long long>(w.hits),
+              static_cast<unsigned long long>(w.solves),
+              static_cast<unsigned long long>(w.dedup_joins),
+              static_cast<unsigned long long>(w.sheds),
+              static_cast<unsigned long long>(w.wire_sheds));
+  std::printf("routing ledger: routed %llu, sprayed %llu, forwarded %llu%s | "
+              "duplicate solves %llu — %s\n",
+              static_cast<unsigned long long>(w.routed),
+              static_cast<unsigned long long>(w.sprayed),
+              static_cast<unsigned long long>(w.forwarded),
+              w.forwarded == 0 ? " (router-aware clients land home)" : "",
+              static_cast<unsigned long long>(w.duplicate_solves),
+              w.duplicate_solves == 0 ? "exactly-once economy holds" : "VIOLATED");
+  std::printf("wire: %llu connection(s), frames %llu in / %llu out, %llu rejected, "
+              "%llu error(s)\n",
+              static_cast<unsigned long long>(w.connections),
+              static_cast<unsigned long long>(w.frames_received),
+              static_cast<unsigned long long>(w.responses_sent),
+              static_cast<unsigned long long>(w.frames_rejected),
+              static_cast<unsigned long long>(w.wire_errors));
 }
 
 void print_platform(const Catalog& catalog, const platform::Platform& plat,
@@ -189,6 +229,14 @@ int main(int argc, char** argv) {
   PlanService service(&catalog, &est, &board, cfg);
   const OnDemandSelector selector(&catalog, &est);
 
+  // Wire-serving session state (`serve` / `client` commands). Declaration
+  // order is destruction safety: clients close and join their readers
+  // before the server loop they dial into, which drains before its tier.
+  std::unique_ptr<ShardedPlanService> wire_tier;
+  std::unique_ptr<net::PlanServerLoop> wire_server;
+  std::unique_ptr<net::PlanClient> wire_routed;
+  std::unique_ptr<net::PlanClient> wire_spray;
+
   const bool tty = isatty(fileno(stdin)) != 0;
   if (tty)
     std::printf("plan_server ready (epoch %llu, %zu visible steps). Type 'help'.\n",
@@ -211,7 +259,8 @@ int main(int argc, char** argv) {
         std::printf("commands: plan <APP> <factor> [type=..]* [zone=..]* | "
                     "burst <APP> <factor> <n> | tick [steps] | "
                     "feed <steps> [producers] | platform [file|example] [APP] | "
-                    "shards <N> [APP] [factor] [burst] | epoch | stats | quit\n");
+                    "shards <N> [APP] [factor] [burst] | serve [N] | "
+                    "client <routed|spray> <APP> <factor> [n] | epoch | stats | quit\n");
 
       } else if (cmd == "plan" || cmd == "burst") {
         std::string app_name;
@@ -421,11 +470,71 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(ss.sprayed),
                     static_cast<unsigned long long>(ss.total.epoch));
 
+      } else if (cmd == "serve") {
+        std::size_t n = 4;
+        in >> n;
+        n = std::clamp<std::size_t>(n, 1, 16);
+        // Tear down any previous front end in dependency order.
+        wire_spray.reset();
+        wire_routed.reset();
+        wire_server.reset();
+        wire_tier.reset();
+        ShardedConfig scfg;
+        scfg.shards = n;
+        scfg.service.max_concurrent_solves = solves;
+        scfg.service.max_queued_solves = std::max<std::size_t>(queue, 64);
+        scfg.service.opt.max_candidates = 5;
+        scfg.service.opt.setup.log_levels = 5;
+        wire_tier = std::make_unique<ShardedPlanService>(&catalog, &est,
+                                                         *board.snapshot().market, scfg);
+        wire_server = std::make_unique<net::PlanServerLoop>(wire_tier.get(),
+                                                            net::ServerConfig{});
+        wire_routed = std::make_unique<net::PlanClient>(wire_server.get(),
+                                                        net::ClientMode::kRouted);
+        wire_spray = std::make_unique<net::PlanClient>(wire_server.get(),
+                                                       net::ClientMode::kSpray);
+        std::printf("→ wire front end up: %zu shard(s), %zu connection(s) per client "
+                    "(one per shard), epoch %llu\n",
+                    n, wire_routed->connection_count(),
+                    static_cast<unsigned long long>(wire_tier->fanout().epoch()));
+
+      } else if (cmd == "client") {
+        if (wire_server == nullptr) {
+          std::printf("→ no wire front end (run 'serve' first)\n");
+          continue;
+        }
+        std::string mode_name, app_name;
+        double factor = 1.5;
+        int n = 1;
+        in >> mode_name >> app_name >> factor >> n;
+        if (n < 1) n = 1;
+        net::PlanClient* which = mode_name == "spray" ? wire_spray.get() : wire_routed.get();
+        if (mode_name != "spray" && mode_name != "routed") {
+          std::printf("→ client mode must be 'routed' or 'spray'\n");
+          continue;
+        }
+        PlanRequest request;
+        request.app = resolve_app(app_name);
+        request.deadline_h = selector.baseline(request.app).t_h * factor;
+        for (int i = 0; i < n; ++i) {
+          const std::size_t shard = which->pick_shard(request);
+          const auto t0 = std::chrono::steady_clock::now();
+          const PlanResponse r = which->plan(request);
+          const double ms =
+              std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                  .count();
+          std::printf("  [%s → conn %zu]", mode_name.c_str(), shard);
+          print_plan(r, ms);
+        }
+
       } else if (cmd == "epoch") {
         std::printf("epoch %llu\n", static_cast<unsigned long long>(board.epoch()));
 
       } else if (cmd == "stats") {
         print_stats(service.stats());
+        // The wire tier's ledger, fetched THROUGH the wire — a StatsRequest
+        // round trip, so the shell sees exactly what a remote client would.
+        if (wire_routed != nullptr) print_wire_stats(wire_routed->server_stats());
 
       } else {
         std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());

@@ -25,6 +25,9 @@ const char* channel_label(Channel channel) {
     case Channel::kCacheWipe: return "ckpt.cache_wipe";
     case Channel::kPartnerLoss: return "ckpt.partner_loss";
     case Channel::kFlushKill: return "ckpt.flush_kill";
+    case Channel::kWireTornWrite: return "wire.torn_write";
+    case Channel::kWireDrop: return "wire.drop";
+    case Channel::kWireShortRead: return "wire.short_read";
   }
   return "?";
 }
@@ -62,6 +65,11 @@ FaultPlan FaultPlan::from_seed(std::uint64_t seed) {
   plan.p_cache_wipe = rng.uniform(0.0, 0.35);
   plan.p_partner_loss = intensity * rng.uniform(0.0, 0.25);
   plan.p_flush_kill = intensity * rng.uniform(0.0, 0.25);
+  // Wire channels are drawn after the multi-level ones, again so that every
+  // earlier field keeps its exact same-seed value across versions.
+  plan.p_wire_torn = intensity * rng.uniform(0.0, 0.15);
+  plan.p_wire_drop = intensity * rng.uniform(0.0, 0.10);
+  plan.p_wire_short_read = rng.uniform(0.0, 0.35);
   return plan;
 }
 

@@ -39,6 +39,9 @@ enum class Channel : int {
   kCacheWipe,          ///< node-local checkpoint cache level lost (node died)
   kPartnerLoss,        ///< a peer's redundancy shard lost with its node
   kFlushKill,          ///< spot kill lands mid async cache→remote flush
+  kWireTornWrite,      ///< a wire write delivers only a prefix, then drops
+  kWireDrop,           ///< the connection drops before a wire write
+  kWireShortRead,      ///< a wire read is capped to a small chunk (no loss)
 };
 
 const char* channel_label(Channel channel);
@@ -76,6 +79,11 @@ struct FaultPlan {
   double p_cache_wipe = 0.0;    ///< node-local cache level wiped between saves
   double p_partner_loss = 0.0;  ///< one peer redundancy shard lost alongside
   double p_flush_kill = 0.0;    ///< async flush killed before the remote COMMIT
+
+  // --- wire transport (consulted by net::DuplexPipe) ----------------------
+  double p_wire_torn = 0.0;        ///< write truncated to a torn prefix, then EOF
+  double p_wire_drop = 0.0;        ///< connection closed instead of writing
+  double p_wire_short_read = 0.0;  ///< read capped to a tiny chunk (split, no loss)
 
   // --- serving layer (consulted by PlanService / the scenario driver) -----
   double p_shed = 0.0;  ///< forced admission-control shed per request

@@ -51,6 +51,9 @@ double FaultInjector::channel_probability(Channel channel) const {
     case Channel::kCacheWipe: return plan_.p_cache_wipe;
     case Channel::kPartnerLoss: return plan_.p_partner_loss;
     case Channel::kFlushKill: return plan_.p_flush_kill;
+    case Channel::kWireTornWrite: return plan_.p_wire_torn;
+    case Channel::kWireDrop: return plan_.p_wire_drop;
+    case Channel::kWireShortRead: return plan_.p_wire_short_read;
   }
   return 0.0;
 }

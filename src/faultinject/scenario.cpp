@@ -11,6 +11,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <span>
 #include <string>
 #include <thread>
@@ -39,6 +40,9 @@
 #include "platform/platform.h"
 #include "profile/estimator.h"
 #include "profile/paper_profiles.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
 #include "service/market_board.h"
 #include "service/plan_service.h"
 #include "service/sharded/sharded_service.h"
@@ -1550,10 +1554,425 @@ ScenarioOutcome run_warmstart_scenario(std::uint64_t seed) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Scenario 11: the wire boundary is invisible (DESIGN.md §15).
+//
+// Three passes. (A) Codec hardening, pure and deterministic: every message
+// type round-trips byte-identically through encode→frame→chunked decode (a
+// decoded request re-canonicalizes to the IDENTICAL cache key; a decoded
+// plan reproduces its fingerprint byte for byte), and each corruption class
+// — flipped payload bit, flipped magic, truncation, splice, wrong version,
+// wrong type, overlong declaration, malformed payload — is rejected with
+// EXACTLY the expected class counter and never a crash. (B) A no-chaos
+// end-to-end lockstep: a routed PlanClient drives a PlanServerLoop over a
+// seeded {1,2,4,8}-shard tier (with mid-stream epoch bumps through both
+// fan-outs) against the 1-shard in-process oracle — every wire-served plan
+// must be fingerprint-identical, the forwarding counter must stay 0, and
+// the server must report zero codec rejects. (C) A chaos pass (torn writes,
+// drops, short reads from the seed's FaultPlan): async submissions must ALL
+// complete exactly once — as a verified plan, an explicit shed, or an error
+// — nothing hangs, nothing is silently dropped. Chaos outcomes are
+// schedule-dependent, so pass C checks invariants only; the digest mixes
+// exclusively the deterministic observables of passes A and B.
+
+ScenarioOutcome run_wire_scenario(std::uint64_t seed) {
+  ScenarioOutcome out;
+  out.seed = seed;
+  out.kind = "wire";
+  Violations violations;
+
+  Rng rng(seed ^ 0x317E5EED5ULL);
+  Digest digest;
+  digest.mix(out.kind);
+
+  // --- Pass A: codec round trips and corruption classes -------------------
+
+  const auto feed_chunked = [&](net::FrameDecoder& decoder, std::string_view bytes,
+                                std::vector<net::WireFrame>* frames) {
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+      const std::size_t n = std::min<std::size_t>(bytes.size() - pos, 1 + rng.uniform_index(7));
+      decoder.feed(bytes.substr(pos, n));
+      pos += n;
+      while (auto frame = decoder.next()) frames->push_back(std::move(*frame));
+    }
+  };
+
+  const auto random_request = [&] {
+    PlanRequest r;
+    const char* names[] = {"BT", "SP", "FT"};
+    r.app = paper_profile(names[rng.uniform_index(3)]);
+    r.deadline_h = 5.0 + rng.uniform(0.0, 40.0);
+    if (rng.bernoulli(0.5))
+      r.allowed_types = {"zz.type", "aa.type", "aa.type"};  // unsorted, duped
+    if (rng.bernoulli(0.3)) r.allowed_zones = {"zone-c", "zone-a"};
+    return r;
+  };
+
+  const auto synth_plan = [&] {
+    Plan p;
+    p.app = "SYN";
+    p.step_hours = rng.uniform(0.01, 0.5);
+    p.deadline_h = rng.uniform(1.0, 50.0);
+    p.state_gb = rng.uniform(0.1, 8.0);
+    p.od.type_index = rng.uniform_index(8);
+    p.od.t_h = rng.uniform(1.0, 20.0);
+    p.od.instances = 1 + static_cast<int>(rng.uniform_index(16));
+    p.od.rate_usd_h = rng.uniform(0.01, 3.0);
+    p.od.feasible = rng.bernoulli(0.9);
+    const std::size_t n_groups = rng.uniform_index(4);
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      GroupPlan group;
+      group.spec.type_index = rng.uniform_index(8);
+      group.spec.zone_index = rng.uniform_index(4);
+      group.name = "g" + std::to_string(g);
+      group.instances = 1 + static_cast<int>(rng.uniform_index(8));
+      group.t_steps = 1 + static_cast<int>(rng.uniform_index(200));
+      group.o_steps = rng.uniform(0.0, 5.0);
+      group.r_steps = rng.uniform(0.0, 5.0);
+      group.bid_usd = rng.uniform(0.01, 2.0);
+      group.f_steps = static_cast<int>(rng.uniform_index(50));
+      group.ckpt_policy = rng.bernoulli(0.5) ? "s3" : "cache+partner";
+      p.groups.push_back(std::move(group));
+    }
+    p.expected.cost_usd = rng.uniform(0.1, 100.0);
+    p.expected.time_h = rng.uniform(0.1, 50.0);
+    p.expected.spot_cost_usd = rng.uniform(0.0, 50.0);
+    p.expected.od_cost_usd = rng.uniform(0.0, 50.0);
+    p.expected.spot_time_h = rng.uniform(0.0, 50.0);
+    p.expected.od_time_h = rng.uniform(0.0, 50.0);
+    p.expected.p_complete_on_spot = rng.uniform(0.0, 1.0);
+    p.expected.e_min_ratio = rng.uniform(0.0, 1.0);
+    p.spot_feasible = rng.bernoulli(0.8);
+    p.model_evaluations = rng.uniform_index(100000);
+    return p;
+  };
+
+  // A1: message round trips (encode → decode → re-encode byte-identical).
+  for (int round = 0; round < 3; ++round) {
+    const PlanRequest request = random_request();
+    const std::string payload = net::encode_plan_request(request);
+    PlanRequest decoded;
+    if (!net::decode_plan_request(payload, &decoded)) {
+      violations.record("well-formed plan_request payload failed to decode");
+    } else {
+      if (net::encode_plan_request(decoded) != payload)
+        violations.record("plan_request re-encode is not byte-identical");
+      if (canonical_key(canonicalized(decoded)) != canonical_key(canonicalized(request)))
+        violations.record("round-tripped request re-canonicalizes to a different cache key");
+      digest.mix(canonical_key(canonicalized(decoded)));
+    }
+
+    PlanResponse response;
+    response.outcome = rng.bernoulli(0.2) ? PlanOutcome::kShed : PlanOutcome::kSolved;
+    response.epoch = rng();
+    if (response.outcome != PlanOutcome::kShed)
+      response.plan = std::make_shared<const Plan>(synth_plan());
+    const std::string response_payload = net::encode_plan_response(response);
+    PlanResponse response_decoded;
+    if (!net::decode_plan_response(response_payload, &response_decoded)) {
+      violations.record("well-formed plan_response payload failed to decode");
+    } else {
+      if (net::encode_plan_response(response_decoded) != response_payload)
+        violations.record("plan_response re-encode is not byte-identical");
+      if (response.plan != nullptr &&
+          plan_fingerprint(*response_decoded.plan) != plan_fingerprint(*response.plan))
+        violations.record("wire round trip changed the plan fingerprint");
+      if (response.plan != nullptr) digest.mix(plan_fingerprint(*response_decoded.plan));
+    }
+
+    net::WireTierStats stats;
+    stats.requests = rng();
+    stats.forwarded = rng();
+    stats.frames_rejected = rng();
+    net::WireTierStats stats_decoded;
+    if (!net::decode_stats_response(net::encode_stats_response(stats), &stats_decoded) ||
+        !(stats_decoded == stats))
+      violations.record("stats_response does not round-trip");
+
+    std::string message;
+    if (!net::decode_error_response(
+            net::encode_error_response("bad \"quote\" \\ and\nnewline"), &message) ||
+        message != "bad \"quote\" \\ and\nnewline")
+      violations.record("error_response does not round-trip");
+  }
+
+  // A2: clean frames through seeded chunk splits — zero rejects.
+  {
+    net::FrameDecoder decoder;
+    std::vector<net::WireFrame> frames;
+    std::string stream;
+    const std::size_t n_frames = 2 + rng.uniform_index(4);
+    for (std::size_t i = 0; i < n_frames; ++i)
+      stream += net::encode_frame(net::MsgType::kPlanRequest, 100 + i,
+                                  net::encode_plan_request(random_request()));
+    feed_chunked(decoder, stream, &frames);
+    decoder.finish();
+    if (frames.size() != n_frames)
+      violations.record("clean frame stream did not decode every frame");
+    if (decoder.stats().rejects() != 0)
+      violations.record("clean frame stream produced a reject");
+    for (std::size_t i = 0; i < frames.size(); ++i)
+      if (frames[i].request_id != 100 + i)
+        violations.record("clean frame stream reordered or relabeled a frame");
+    digest.mix(static_cast<std::uint64_t>(frames.size()));
+  }
+
+  // A3: one corruption per fresh decoder → exactly one class counter.
+  const std::string victim = net::encode_frame(net::MsgType::kPlanRequest, 7,
+                                               net::encode_plan_request(random_request()));
+  const auto run_decoder = [&](std::string_view bytes, net::WireCodecStats* stats_out) {
+    net::FrameDecoder decoder;
+    std::vector<net::WireFrame> frames;
+    feed_chunked(decoder, bytes, &frames);
+    decoder.finish();
+    *stats_out = decoder.stats();
+    return frames;
+  };
+
+  {  // flipped bit at or after the payload start → crc_mismatch, only
+    std::string corrupt = victim;
+    const std::size_t at =
+        net::kWireHeaderBytes + rng.uniform_index(corrupt.size() - net::kWireHeaderBytes);
+    corrupt[at] = static_cast<char>(corrupt[at] ^ (1 << rng.uniform_index(8)));
+    net::WireCodecStats stats;
+    const auto frames = run_decoder(corrupt, &stats);
+    if (!frames.empty() || stats.crc_mismatch != 1 || stats.rejects() != 1)
+      violations.record("payload bit flip was not rejected as exactly one crc_mismatch");
+    digest.mix(stats.crc_mismatch);
+  }
+  {  // flipped bit in the magic → bad_magic, nothing decodes
+    std::string corrupt = victim;
+    const std::size_t at = rng.uniform_index(4);
+    corrupt[at] = static_cast<char>(corrupt[at] ^ (1 << rng.uniform_index(8)));
+    net::WireCodecStats stats;
+    const auto frames = run_decoder(corrupt, &stats);
+    if (!frames.empty() || stats.bad_magic < 1)
+      violations.record("magic bit flip decoded or did not count bad_magic");
+  }
+  {  // truncation → exactly one short_frame at finish()
+    const std::size_t keep = 1 + rng.uniform_index(victim.size() - 1);
+    net::WireCodecStats stats;
+    const auto frames = run_decoder(std::string_view(victim).substr(0, keep), &stats);
+    if (!frames.empty() || stats.short_frame != 1 || stats.rejects() != 1)
+      violations.record("truncated frame was not rejected as exactly one short_frame");
+    digest.mix(stats.short_frame);
+  }
+  {  // splice: a torn 1–3 byte prefix then a whole frame → one bad_magic,
+     // and the whole frame still decodes (a bad frame fails the REQUEST,
+     // never the connection)
+    const std::string spliced =
+        victim.substr(0, 1 + rng.uniform_index(3)) + victim;
+    net::WireCodecStats stats;
+    const auto frames = run_decoder(spliced, &stats);
+    if (frames.size() != 1 || stats.bad_magic != 1 || stats.rejects() != 1)
+      violations.record("spliced stream did not resync to exactly the intact frame");
+    else if (frames[0].request_id != 7)
+      violations.record("resynced frame lost its request id");
+  }
+  {  // unknown version (CRC valid) → exactly one unknown_version
+    const std::string frame = net::encode_frame_raw(
+        static_cast<std::uint16_t>(2 + rng.uniform_index(1000)), 1, 9, "payload");
+    net::WireCodecStats stats;
+    const auto frames = run_decoder(frame, &stats);
+    if (!frames.empty() || stats.unknown_version != 1 || stats.rejects() != 1)
+      violations.record("future-version frame was not rejected as exactly unknown_version");
+  }
+  {  // unknown type (CRC valid) → exactly one unknown_type
+    const std::uint16_t bad_type =
+        rng.bernoulli(0.5) ? 0 : static_cast<std::uint16_t>(6 + rng.uniform_index(1000));
+    const std::string frame = net::encode_frame_raw(net::kWireVersion, bad_type, 9, "payload");
+    net::WireCodecStats stats;
+    const auto frames = run_decoder(frame, &stats);
+    if (!frames.empty() || stats.unknown_type != 1 || stats.rejects() != 1)
+      violations.record("unknown-type frame was not rejected as exactly unknown_type");
+  }
+  {  // declared payload over the decoder's cap → exactly one overlong_frame
+    net::FrameDecoder decoder(net::FrameDecoder::Config{64});
+    const std::string big(65 + rng.uniform_index(100), '\0');
+    decoder.feed(net::encode_frame(net::MsgType::kPlanRequest, 9, big));
+    while (decoder.next().has_value())
+      violations.record("overlong frame decoded");
+    decoder.finish();
+    if (decoder.stats().overlong_frame != 1 || decoder.stats().rejects() != 1)
+      violations.record("overlong frame was not rejected as exactly one overlong_frame");
+  }
+  {  // CRC-valid frame whose payload fails its message parse → bad_payload
+    std::string payload = net::encode_plan_request(random_request());
+    payload.pop_back();  // guaranteed-malformed: truncated inside a field
+    net::FrameDecoder decoder;
+    std::vector<net::WireFrame> frames;
+    feed_chunked(decoder, net::encode_frame(net::MsgType::kPlanRequest, 11, payload), &frames);
+    decoder.finish();
+    if (frames.size() != 1) {
+      violations.record("framed malformed payload did not reach the payload parser");
+    } else {
+      PlanRequest ignored;
+      if (net::decode_plan_request(frames[0].payload, &ignored))
+        violations.record("truncated plan_request payload decoded");
+      decoder.note_bad_payload();
+      if (decoder.stats().bad_payload != 1 || decoder.stats().rejects() != 1)
+        violations.record("bad payload was not counted as exactly one bad_payload");
+    }
+  }
+
+  // --- Pass B: no-chaos end-to-end lockstep against the in-process oracle --
+
+  const Catalog catalog = paper_catalog();
+  const ExecTimeEstimator estimator;
+  const Market market =
+      generate_market(catalog, paper_market_profile(catalog), 1.5, 0.25, rng());
+
+  const std::size_t shard_choices[] = {1, 2, 4, 8};
+  ShardedConfig config;
+  config.shards = shard_choices[rng.uniform_index(4)];
+  config.vnodes = 16;
+  config.salt = rng();
+  config.service.cache.shards = 2;
+  config.service.cache.capacity = 32;
+  config.service.max_concurrent_solves = 2;
+  config.service.max_queued_solves = 16;
+  config.service.latency_window = 32;
+  config.service.opt = tiny_optimizer_config();
+  ShardedConfig oracle_config = config;
+  oracle_config.shards = 1;
+
+  const OnDemandSelector selector(&catalog, &estimator);
+  std::vector<PlanRequest> pool;
+  for (const char* name : {"BT", "SP", "FT"}) {
+    PlanRequest r;
+    r.app = paper_profile(name);
+    r.deadline_h = selector.baseline(r.app).t_h * (1.2 + rng.uniform(0.0, 3.0));
+    pool.push_back(std::move(r));
+  }
+
+  {
+    ShardedPlanService tier(&catalog, &estimator, market, config);
+    ShardedPlanService oracle(&catalog, &estimator, market, oracle_config);
+    net::ServerConfig server_config;
+    server_config.workers = 2;
+    server_config.max_in_flight = 64;
+    net::PlanServerLoop server(&tier, server_config);
+    net::PlanClient client(&server, net::ClientMode::kRouted);
+
+    const std::size_t n_requests = 5 + rng.uniform_index(5);
+    for (std::size_t i = 0; i < n_requests; ++i) {
+      if (rng.bernoulli(0.25)) {
+        const std::vector<PriceUpdate> updates{
+            PriceUpdate{{0, 0}, {0.01 + rng.uniform(0.0, 0.05)}}};
+        tier.fanout().ingest(updates);
+        oracle.fanout().ingest(updates);
+      }
+      const PlanRequest& request = pool[rng.uniform_index(pool.size())];
+      try {
+        const PlanResponse got = client.plan(request);
+        const PlanResponse want = oracle.serve(request);
+        digest.mix(std::string(outcome_label(got.outcome)));
+        digest.mix(got.epoch);
+        if (got.epoch != want.epoch)
+          violations.record("wire tier and oracle answered at different epochs");
+        if (got.plan == nullptr || want.plan == nullptr) {
+          violations.record("roomy no-chaos wire scenario produced a shed");
+          continue;
+        }
+        if (plan_fingerprint(*got.plan) != plan_fingerprint(*want.plan)) {
+          violations.record("wire-served plan is not fingerprint-identical to the oracle");
+          continue;
+        }
+        digest.mix(plan_fingerprint(*got.plan));
+      } catch (const std::exception& e) {
+        violations.record(std::string("no-chaos wire request failed: ") + e.what());
+      }
+    }
+
+    const ShardedStats tier_stats = tier.stats();
+    if (tier_stats.forwarded != 0)
+      violations.record("router-aware client paid a cross-shard forward without chaos");
+    if (tier_stats.sprayed != n_requests)
+      violations.record("wire requests did not all enter via their landing shard");
+    if (tier_stats.duplicate_solves != 0)
+      violations.record("wire serving produced a duplicate solve without chaos");
+    try {
+      const net::WireTierStats wire_stats = client.server_stats();
+      if (wire_stats.frames_rejected != 0)
+        violations.record("server rejected a frame on a clean transport");
+      if (wire_stats.wire_errors != 0)
+        violations.record("server sent an error frame on a clean request stream");
+      if (wire_stats.wire_sheds != 0)
+        violations.record("server shed within a roomy in-flight budget");
+      if (wire_stats.requests != n_requests)
+        violations.record("tier request count over the wire lost a request");
+      digest.mix(wire_stats.hits);
+      digest.mix(wire_stats.solves);
+      digest.mix(wire_stats.forwarded);
+      digest.mix(wire_stats.epoch);
+    } catch (const std::exception& e) {
+      violations.record(std::string("stats round trip failed: ") + e.what());
+    }
+  }
+
+  // --- Pass C: chaos — completeness only, nothing digested ----------------
+
+  {
+    ShardedPlanService tier(&catalog, &estimator, market, config);
+    ShardedPlanService oracle(&catalog, &estimator, market, oracle_config);
+    std::vector<std::string> reference;
+    for (const PlanRequest& request : pool) {
+      const PlanResponse want = oracle.serve(request);
+      reference.push_back(want.plan == nullptr ? std::string() : plan_fingerprint(*want.plan));
+    }
+
+    FaultInjector faults{FaultPlan::from_seed(seed ^ 0x3172EC4A05ULL)};
+    net::ServerConfig server_config;
+    server_config.workers = 2;
+    server_config.max_in_flight = 2 + rng.uniform_index(8);
+    server_config.faults = &faults;
+    net::PlanServerLoop server(&tier, server_config);
+    net::PlanClient client(&server, net::ClientMode::kRouted);
+
+    std::vector<std::size_t> picks;
+    std::vector<std::uint64_t> ids;
+    const std::size_t n_chaos = 4 + rng.uniform_index(5);
+    for (std::size_t i = 0; i < n_chaos; ++i) {
+      const std::size_t pick = rng.uniform_index(pool.size());
+      picks.push_back(pick);
+      ids.push_back(client.submit(pool[pick]));
+    }
+    client.drain();
+    const std::vector<net::ClientCompletion> completions = client.harvest();
+    if (completions.size() != n_chaos)
+      violations.record("chaos run lost or duplicated a completion");
+    std::set<std::uint64_t> seen;
+    for (const net::ClientCompletion& completion : completions) {
+      if (!seen.insert(completion.request_id).second)
+        violations.record("chaos run delivered a request id twice");
+      const auto at = std::find(ids.begin(), ids.end(), completion.request_id);
+      if (at == ids.end()) {
+        violations.record("chaos run delivered an unknown request id");
+        continue;
+      }
+      if (!completion.error.empty()) continue;  // chaos may fail any request
+      if (completion.response.plan == nullptr) {
+        if (completion.response.outcome != PlanOutcome::kShed)
+          violations.record("planless response was not an explicit shed");
+        continue;
+      }
+      const std::size_t pick = picks[static_cast<std::size_t>(at - ids.begin())];
+      if (plan_fingerprint(*completion.response.plan) != reference[pick])
+        violations.record("chaos-surviving plan diverged from the in-process oracle");
+    }
+  }
+
+  out.digest = digest.value();
+  out.failed = violations.any();
+  out.detail = violations.first();
+  return out;
+}
+
 }  // namespace
 
 const char* scenario_kind_name(std::uint64_t seed) {
-  switch (seed % 10) {
+  switch (seed % 11) {
     case 0: return "checkpoint";
     case 1: return "incremental";
     case 2: return "replay";
@@ -1563,12 +1982,13 @@ const char* scenario_kind_name(std::uint64_t seed) {
     case 6: return "multilevel";
     case 7: return "platform";
     case 8: return "sharded";
-    default: return "warmstart";
+    case 9: return "warmstart";
+    default: return "wire";
   }
 }
 
 ScenarioOutcome run_scenario(std::uint64_t seed) {
-  switch (seed % 10) {
+  switch (seed % 11) {
     case 0: return run_checkpoint_scenario(seed, /*incremental=*/false);
     case 1: return run_checkpoint_scenario(seed, /*incremental=*/true);
     case 2: return run_replay_scenario(seed);
@@ -1578,7 +1998,8 @@ ScenarioOutcome run_scenario(std::uint64_t seed) {
     case 6: return run_multilevel_scenario(seed);
     case 7: return run_platform_scenario(seed);
     case 8: return run_sharded_scenario(seed);
-    default: return run_warmstart_scenario(seed);
+    case 9: return run_warmstart_scenario(seed);
+    default: return run_wire_scenario(seed);
   }
 }
 

@@ -2,7 +2,7 @@
 // subsystem under an injected failure schedule, plus the invariants that
 // must hold for ANY schedule.
 //
-// The ten scenario kinds (selected by seed % 10) and their invariants:
+// The eleven scenario kinds (selected by seed % 11) and their invariants:
 //
 //   checkpoint / incremental — an iterative mini-MPI app checkpoints under
 //     storage faults, torn uploads, protocol crashes and a tick-kill.
@@ -69,6 +69,20 @@
 //     counters sum to the aggregate and the outcome classes partition the
 //     requests; the solve ledger balances the solve counter, with zero
 //     duplicate solves whenever no cache wipe fired.
+//
+//   wire — the plan tier's wire boundary (src/net) is invisible. Codec:
+//     every message type round-trips byte-identically through seeded chunk
+//     splits (a decoded request re-canonicalizes to the IDENTICAL cache
+//     key, a decoded plan reproduces its fingerprint byte for byte), and
+//     each corruption class — flipped payload bit, flipped magic,
+//     truncation, splice, unknown version/type, overlong declaration,
+//     malformed payload — rejects with exactly the expected class counter,
+//     never a crash. End to end: a router-aware client over a seeded
+//     {1,2,4,8}-shard PlanServerLoop (with mid-stream epoch bumps) serves
+//     plans fingerprint-identical to the in-process 1-shard oracle with a
+//     zero forwarding counter and zero codec rejects; under seeded wire
+//     chaos (torn writes, drops, short reads) every async submission still
+//     completes exactly once — verified plan, explicit shed, or error.
 //
 //   warmstart — one MarketBoard under a random epoch-delta stream (random
 //     dirty-group sets plus empty forced bumps) is served by two warm

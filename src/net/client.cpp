@@ -1,0 +1,339 @@
+#include "net/client.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/error.h"
+#include "service/request.h"
+
+namespace sompi::net {
+
+namespace {
+
+void fold_codec_delta(WireCodecStats* aggregate, WireCodecStats* folded,
+                      const WireCodecStats& now) {
+  WireCodecStats delta = now;
+  delta.frames_decoded -= folded->frames_decoded;
+  delta.bytes_consumed -= folded->bytes_consumed;
+  delta.bad_magic -= folded->bad_magic;
+  delta.short_frame -= folded->short_frame;
+  delta.overlong_frame -= folded->overlong_frame;
+  delta.crc_mismatch -= folded->crc_mismatch;
+  delta.unknown_version -= folded->unknown_version;
+  delta.unknown_type -= folded->unknown_type;
+  delta.bad_payload -= folded->bad_payload;
+  *aggregate += delta;
+  *folded = now;
+}
+
+}  // namespace
+
+PlanClient::PlanClient(PlanServerLoop* server, ClientMode mode)
+    : router_(RouterConfig{server->tier()->config().shards, server->tier()->config().vnodes,
+                           server->tier()->config().salt}),
+      mode_(mode) {
+  // One connection per shard; connection i is shard i's "listener".
+  const std::size_t shards = server->tier()->shard_count();
+  connections_.reserve(shards);
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    auto connection = std::make_unique<Connection>();
+    connection->endpoint = server->connect(shard);
+    connections_.push_back(std::move(connection));
+  }
+  for (std::size_t i = 0; i < connections_.size(); ++i)
+    connections_[i]->reader = std::thread([this, i] { reader_loop(i); });
+}
+
+PlanClient::~PlanClient() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closing_ = true;
+  }
+  for (const auto& connection : connections_) connection->endpoint->close();
+  for (const auto& connection : connections_)
+    if (connection->reader.joinable()) connection->reader.join();
+}
+
+std::size_t PlanClient::pick_shard(const PlanRequest& request) const {
+  if (mode_ == ClientMode::kSpray)
+    return static_cast<std::size_t>(spray_cursor_.load(std::memory_order_relaxed)) %
+           connections_.size();
+  return route_for(encode_plan_request(request), request);
+}
+
+std::size_t PlanClient::route_for(const std::string& payload,
+                                  const PlanRequest& request) const {
+  {
+    std::lock_guard<std::mutex> lock(route_mutex_);
+    if (const auto it = route_memo_.find(payload); it != route_memo_.end())
+      return it->second;
+  }
+  std::size_t shard;
+  // A request the server will reject (invalid deadline etc.) cannot be
+  // canonicalized locally; it still needs SOME connection to be rejected on.
+  try {
+    shard = router_.route(canonical_key(canonicalized(request)));
+  } catch (...) {
+    shard = 0;
+  }
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  if (route_memo_.size() >= kRouteMemoCapacity) route_memo_.clear();
+  route_memo_.emplace(payload, shard);
+  return shard;
+}
+
+std::uint64_t PlanClient::send(std::size_t shard, MsgType type, std::string_view payload) {
+  Connection& connection = *connections_[shard];
+  const std::uint64_t id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SOMPI_REQUIRE_MSG(!closing_, "send() on a closing client");
+    connection.outstanding.insert(id);
+  }
+  const std::string bytes = encode_frame(type, id, payload);
+  bool wrote;
+  {
+    std::lock_guard<std::mutex> lock(connection.write_mutex);
+    wrote = connection.endpoint->write(bytes);
+  }
+  if (!wrote) {
+    ClientCompletion failed;
+    failed.request_id = id;
+    failed.error = "connection dropped (write)";
+    complete(id, std::move(failed));
+  }
+  return id;
+}
+
+std::uint64_t PlanClient::submit(const PlanRequest& request) {
+  const std::string payload = encode_plan_request(request);
+  const std::size_t shard =
+      mode_ == ClientMode::kSpray
+          ? static_cast<std::size_t>(
+                spray_cursor_.fetch_add(1, std::memory_order_relaxed)) %
+                connections_.size()
+          : route_for(payload, request);
+  return send(shard, MsgType::kPlanRequest, payload);
+}
+
+std::vector<std::uint64_t> PlanClient::submit_batch(const std::vector<PlanRequest>& requests) {
+  // Coalesce per connection: encode every frame first, register all ids,
+  // then ONE pipe write per shard — one server-reader wakeup per shard per
+  // batch instead of one per request.
+  std::vector<std::uint64_t> ids(requests.size());
+  std::vector<std::size_t> shards(requests.size());
+  std::vector<std::string> buffers(connections_.size());
+  std::vector<std::vector<std::uint64_t>> batch_ids(connections_.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const std::string payload = encode_plan_request(requests[i]);
+    const std::size_t shard =
+        mode_ == ClientMode::kSpray
+            ? static_cast<std::size_t>(
+                  spray_cursor_.fetch_add(1, std::memory_order_relaxed)) %
+                  connections_.size()
+            : route_for(payload, requests[i]);
+    const std::uint64_t id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    ids[i] = id;
+    shards[i] = shard;
+    buffers[shard] += encode_frame(MsgType::kPlanRequest, id, payload);
+    batch_ids[shard].push_back(id);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SOMPI_REQUIRE_MSG(!closing_, "submit_batch() on a closing client");
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      connections_[shards[i]]->outstanding.insert(ids[i]);
+  }
+  for (std::size_t shard = 0; shard < connections_.size(); ++shard) {
+    if (buffers[shard].empty()) continue;
+    bool wrote;
+    {
+      std::lock_guard<std::mutex> lock(connections_[shard]->write_mutex);
+      wrote = connections_[shard]->endpoint->write(buffers[shard]);
+    }
+    if (wrote) continue;
+    for (const std::uint64_t id : batch_ids[shard]) {
+      ClientCompletion failed;
+      failed.request_id = id;
+      failed.error = "connection dropped (write)";
+      complete(id, std::move(failed));
+    }
+  }
+  return ids;
+}
+
+PlanResponse PlanClient::plan(const PlanRequest& request) {
+  const std::uint64_t id = submit(request);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    awaited_.insert(id);
+  }
+  ClientCompletion completion = await(id);
+  if (!completion.error.empty()) throw std::runtime_error(completion.error);
+  return std::move(completion.response);
+}
+
+WireTierStats PlanClient::server_stats() {
+  const std::uint64_t id = send(0, MsgType::kStatsRequest, encode_stats_request());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    awaited_.insert(id);
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] {
+    return stats_done_.count(id) != 0 || done_.count(id) != 0;
+  });
+  awaited_.erase(id);
+  if (const auto it = stats_done_.find(id); it != stats_done_.end()) {
+    WireTierStats stats = it->second;
+    stats_done_.erase(it);
+    return stats;
+  }
+  ClientCompletion completion = std::move(done_.at(id));
+  done_.erase(id);
+  throw std::runtime_error(completion.error.empty() ? "stats request failed"
+                                                    : completion.error);
+}
+
+ClientCompletion PlanClient::await(std::uint64_t request_id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return done_.count(request_id) != 0; });
+  ClientCompletion completion = std::move(done_.at(request_id));
+  done_.erase(request_id);
+  awaited_.erase(request_id);
+  return completion;
+}
+
+std::vector<ClientCompletion> PlanClient::harvest(std::size_t max) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ClientCompletion> out;
+  for (auto it = done_.begin(); it != done_.end();) {
+    if (max != 0 && out.size() >= max) break;
+    if (awaited_.count(it->first) != 0) {
+      ++it;
+      continue;
+    }
+    out.push_back(std::move(it->second));
+    it = done_.erase(it);
+  }
+  return out;
+}
+
+void PlanClient::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] {
+    return std::all_of(connections_.begin(), connections_.end(),
+                       [](const std::unique_ptr<Connection>& c) {
+                         return c->outstanding.empty();
+                       });
+  });
+}
+
+WireCodecStats PlanClient::codec_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return codec_stats_;
+}
+
+void PlanClient::complete(std::uint64_t request_id, ClientCompletion completion) {
+  std::vector<ClientCompletion> one;
+  one.push_back(std::move(completion));
+  (void)request_id;
+  complete_many(std::move(one));
+}
+
+void PlanClient::complete_many(std::vector<ClientCompletion> completions) {
+  if (completions.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (ClientCompletion& completion : completions) {
+      const std::uint64_t request_id = completion.request_id;
+      for (const auto& connection : connections_) connection->outstanding.erase(request_id);
+      // Idempotent: a write-failure completion may race the reader's
+      // dropped-connection sweep for the same id.
+      if (done_.count(request_id) == 0 && stats_done_.count(request_id) == 0)
+        done_.emplace(request_id, std::move(completion));
+    }
+  }
+  done_cv_.notify_all();
+}
+
+void PlanClient::reader_loop(std::size_t index) {
+  Connection& connection = *connections_[index];
+  FrameDecoder decoder;
+  for (;;) {
+    const std::string chunk = connection.endpoint->read(65536);
+    if (chunk.empty()) break;
+    decoder.feed(chunk);
+    // Decode the whole chunk before touching the client mutex: a batch of
+    // coalesced responses lands as one chunk, so it costs one lock and one
+    // wakeup instead of one per frame.
+    std::vector<ClientCompletion> ready;
+    while (auto frame = decoder.next()) {
+      const std::uint64_t id = frame->request_id;
+      ClientCompletion completion;
+      completion.request_id = id;
+      switch (frame->type) {
+        case MsgType::kPlanResponse: {
+          if (!decode_plan_response(frame->payload, &completion.response)) {
+            decoder.note_bad_payload();
+            completion.error = "malformed plan_response payload";
+          }
+          ready.push_back(std::move(completion));
+          break;
+        }
+        case MsgType::kStatsResponse: {
+          WireTierStats stats;
+          if (decode_stats_response(frame->payload, &stats)) {
+            {
+              std::lock_guard<std::mutex> lock(mutex_);
+              connection.outstanding.erase(id);
+              stats_done_[id] = stats;
+            }
+            done_cv_.notify_all();
+          } else {
+            decoder.note_bad_payload();
+            completion.error = "malformed stats_response payload";
+            ready.push_back(std::move(completion));
+          }
+          break;
+        }
+        case MsgType::kErrorResponse: {
+          std::string message;
+          if (!decode_error_response(frame->payload, &message)) {
+            decoder.note_bad_payload();
+            message = "malformed error_response payload";
+          }
+          completion.error = message.empty() ? "server error" : message;
+          ready.push_back(std::move(completion));
+          break;
+        }
+        case MsgType::kPlanRequest:
+        case MsgType::kStatsRequest:
+          // Client-bound streams never carry these; a CRC-valid frame that
+          // does is a payload-level protocol violation.
+          decoder.note_bad_payload();
+          break;
+      }
+    }
+    complete_many(std::move(ready));
+    std::lock_guard<std::mutex> lock(mutex_);
+    fold_codec_delta(&codec_stats_, &connection.folded, decoder.stats());
+  }
+  decoder.finish();
+  // Connection is down: fail exactly the requests still outstanding on it.
+  std::vector<std::uint64_t> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fold_codec_delta(&codec_stats_, &connection.folded, decoder.stats());
+    orphans.assign(connection.outstanding.begin(), connection.outstanding.end());
+  }
+  for (const std::uint64_t id : orphans) {
+    ClientCompletion dropped;
+    dropped.request_id = id;
+    dropped.error = "connection dropped";
+    complete(id, std::move(dropped));
+  }
+}
+
+}  // namespace sompi::net

@@ -245,6 +245,20 @@ PlanResponse PlanService::serve(const PlanRequest& request) {
   return {PlanOutcome::kSolved, snap.epoch, std::move(result)};
 }
 
+std::optional<PlanResponse> PlanService::try_cached(const std::string& canonical_key) {
+  // Same floor-before-snapshot discipline as serve(): while this probe is
+  // live no sweep can evict the entry it is about to return.
+  const EpochRegistration registration(this, board_->epoch());
+  const MarketSnapshot snap = board_->snapshot();
+  note_epoch(snap.epoch);
+  if (auto plan = cache_.lookup(canonical_key, snap.epoch)) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return PlanResponse{PlanOutcome::kHit, snap.epoch, std::move(plan)};
+  }
+  return std::nullopt;
+}
+
 std::shared_ptr<const Plan> PlanService::plan_or_throw(const PlanRequest& request) {
   PlanResponse response = serve(request);
   if (response.outcome == PlanOutcome::kShed)

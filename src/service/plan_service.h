@@ -33,6 +33,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -161,6 +162,16 @@ class PlanService {
 
   /// Like serve(), but sheds become OverloadError.
   std::shared_ptr<const Plan> plan_or_throw(const PlanRequest& request);
+
+  /// Non-blocking cache probe on an ALREADY-CANONICAL key: if the current
+  /// epoch holds a cached plan for it, counts the request as a served hit
+  /// and returns it; otherwise returns nullopt WITHOUT touching any counter
+  /// — the caller falls through to serve(), which does its own accounting.
+  /// Never sheds, joins a flight, or blocks on a solve (injected shed chaos
+  /// rolls only on the serve() path). The wire server uses this to answer
+  /// warm hits inline in its reader thread instead of paying the worker and
+  /// pump handoffs.
+  std::optional<PlanResponse> try_cached(const std::string& canonical_key);
 
   /// Eagerly drops cache entries older than every epoch any in-progress
   /// request could still ask for (the *sweep horizon*: the board's current

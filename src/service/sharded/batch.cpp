@@ -20,15 +20,51 @@ AsyncBatchService::AsyncBatchService(ShardedPlanService* tier, BatchConfig confi
 AsyncBatchService::~AsyncBatchService() { stop(); }
 
 std::uint64_t AsyncBatchService::submit(const PlanRequest& request) {
+  return enqueue(request, std::nullopt);
+}
+
+std::uint64_t AsyncBatchService::submit_on(std::size_t landing_shard,
+                                           const PlanRequest& request) {
+  SOMPI_REQUIRE(landing_shard < tier_->shard_count());
+  return enqueue(request, landing_shard);
+}
+
+std::uint64_t AsyncBatchService::enqueue(const PlanRequest& request,
+                                         std::optional<std::size_t> landing) {
   std::unique_lock<std::mutex> lock(mutex_);
   queue_cv_.wait(lock, [this] { return stopping_ || pending_.size() < config_.queue_capacity; });
   SOMPI_REQUIRE_MSG(!stopping_, "submit() after stop()");
   const std::uint64_t ticket = next_ticket_++;
-  pending_.push_back(Pending{ticket, request});
+  pending_.push_back(Pending{ticket, request, landing});
   max_queue_depth_ = std::max(max_queue_depth_, pending_.size());
   lock.unlock();
   queue_cv_.notify_all();
   return ticket;
+}
+
+std::vector<std::uint64_t> AsyncBatchService::submit_many_on(
+    std::size_t landing_shard, const std::vector<PlanRequest>& requests) {
+  SOMPI_REQUIRE(landing_shard < tier_->shard_count());
+  std::vector<std::uint64_t> tickets;
+  tickets.reserve(requests.size());
+  std::size_t next = 0;
+  while (next < requests.size()) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return stopping_ || pending_.size() < config_.queue_capacity; });
+      SOMPI_REQUIRE_MSG(!stopping_, "submit_many_on() after stop()");
+      while (next < requests.size() && pending_.size() < config_.queue_capacity) {
+        const std::uint64_t ticket = next_ticket_++;
+        pending_.push_back(Pending{ticket, requests[next], landing_shard});
+        tickets.push_back(ticket);
+        ++next;
+      }
+      max_queue_depth_ = std::max(max_queue_depth_, pending_.size());
+    }
+    queue_cv_.notify_all();
+  }
+  return tickets;
 }
 
 std::vector<std::uint64_t> AsyncBatchService::submit_batch(
@@ -56,11 +92,14 @@ void AsyncBatchService::worker_loop() {
     BatchCompletion completion;
     completion.ticket = work.ticket;
     try {
-      completion.response =
-          config_.spray
-              ? tier_->serve_on(static_cast<std::size_t>(work.ticket % tier_->shard_count()),
-                                work.request)
-              : tier_->serve(work.request);
+      if (work.landing.has_value())
+        completion.response = tier_->serve_on(*work.landing, work.request);
+      else
+        completion.response =
+            config_.spray
+                ? tier_->serve_on(static_cast<std::size_t>(work.ticket % tier_->shard_count()),
+                                  work.request)
+                : tier_->serve(work.request);
     } catch (const std::exception& e) {
       completion.error = e.what();
     } catch (...) {
@@ -80,6 +119,7 @@ void AsyncBatchService::complete(BatchCompletion completion) {
     --in_flight_;
     idle = pending_.empty() && in_flight_ == 0;
   }
+  done_cv_.notify_all();
   if (idle) idle_cv_.notify_all();
 }
 
@@ -93,6 +133,18 @@ std::vector<BatchCompletion> AsyncBatchService::harvest(std::size_t max) {
   completed_.erase(completed_.begin(), completed_.begin() + static_cast<std::ptrdiff_t>(n));
   harvested_count_ += n;
   return out;
+}
+
+std::vector<BatchCompletion> AsyncBatchService::harvest_wait(
+    std::chrono::milliseconds timeout, std::size_t max) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait_for(lock, timeout, [this] {
+      return !completed_.empty() ||
+             (stopping_ && pending_.empty() && in_flight_ == 0);
+    });
+  }
+  return harvest(max);
 }
 
 void AsyncBatchService::drain() {
@@ -110,6 +162,7 @@ void AsyncBatchService::stop() {
   for (std::thread& worker : workers_)
     if (worker.joinable()) worker.join();
   workers_.clear();
+  done_cv_.notify_all();  // unblock harvest_wait: nothing more can arrive
 }
 
 AsyncBatchService::Stats AsyncBatchService::stats() const {

@@ -19,10 +19,12 @@
 // inside the tier still bound each worker's latency).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -67,9 +69,30 @@ class AsyncBatchService {
   /// Enqueues a batch; returns the tickets in request order.
   std::vector<std::uint64_t> submit_batch(const std::vector<PlanRequest>& requests);
 
+  /// Like submit(), but the request is served via serve_on(landing_shard)
+  /// regardless of config.spray — the wire server uses this to record which
+  /// connection (= which shard's listener) a request physically arrived on,
+  /// so the tier's routed/sprayed/forwarded ledger reflects the CLIENT's
+  /// routing quality, not the worker pool's.
+  std::uint64_t submit_on(std::size_t landing_shard, const PlanRequest& request);
+
+  /// Bulk submit_on: enqueues the whole batch under ONE queue-lock
+  /// acquisition and wakes the workers once, instead of once per request —
+  /// on a loaded (or single-core) host that is the difference between a
+  /// burst costing one context switch and costing N. Returns the tickets in
+  /// request order. Blocks in waves if the batch exceeds free queue room.
+  std::vector<std::uint64_t> submit_many_on(std::size_t landing_shard,
+                                            const std::vector<PlanRequest>& requests);
+
   /// Takes up to `max` finished completions (0 = all available), in
   /// completion order. Never blocks; each completion is returned once.
   std::vector<BatchCompletion> harvest(std::size_t max = 0);
+
+  /// Blocks until at least one completion is available (or the timeout
+  /// passes, or stop() was called and no more can arrive), then harvests as
+  /// harvest(max). An empty result after a timeout is normal backpressure.
+  std::vector<BatchCompletion> harvest_wait(std::chrono::milliseconds timeout,
+                                            std::size_t max = 0);
 
   /// Blocks until every submitted request has completed (queue empty and no
   /// worker mid-request). Completions then await harvest().
@@ -92,8 +115,12 @@ class AsyncBatchService {
   struct Pending {
     std::uint64_t ticket = 0;
     PlanRequest request;
+    /// Set by submit_on(): serve via serve_on(*landing) instead of the
+    /// config-selected path.
+    std::optional<std::size_t> landing;
   };
 
+  std::uint64_t enqueue(const PlanRequest& request, std::optional<std::size_t> landing);
   void worker_loop();
   void complete(BatchCompletion completion);
 
@@ -103,6 +130,7 @@ class AsyncBatchService {
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;  ///< waits: submit (room), workers (work)
   std::condition_variable idle_cv_;   ///< waits: drain (pending empty, none in flight)
+  std::condition_variable done_cv_;   ///< waits: harvest_wait (a completion landed)
   std::deque<Pending> pending_;
   std::vector<BatchCompletion> completed_;
   std::size_t in_flight_ = 0;

@@ -78,6 +78,25 @@ PlanResponse ShardedPlanService::serve_on(std::size_t landing_shard,
   return services_[home]->serve(request);
 }
 
+std::optional<PlanResponse> ShardedPlanService::try_serve_hit(std::size_t landing_shard,
+                                                              const PlanRequest& request) {
+  SOMPI_REQUIRE_MSG(landing_shard < services_.size(),
+                    "landing shard out of range: " + std::to_string(landing_shard));
+  std::string key;
+  std::size_t home = 0;
+  try {
+    key = canonical_key(canonicalized(request));
+    home = router_.route(key);
+  } catch (...) {
+    return std::nullopt;  // invalid request: the serve path owns the error
+  }
+  std::optional<PlanResponse> hit = services_[home]->try_cached(key);
+  if (!hit.has_value()) return std::nullopt;
+  sprayed_.fetch_add(1, std::memory_order_relaxed);
+  if (home != landing_shard) forwarded_.fetch_add(1, std::memory_order_relaxed);
+  return hit;
+}
+
 std::size_t ShardedPlanService::invalidate_stale() {
   std::size_t dropped = 0;
   for (const auto& service : services_) dropped += service->invalidate_stale();

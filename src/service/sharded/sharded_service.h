@@ -36,6 +36,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -92,6 +93,16 @@ class ShardedPlanService {
   /// shard-local single-flight collapses concurrent identical requests from
   /// every landing shard onto one solve.
   PlanResponse serve_on(std::size_t landing_shard, const PlanRequest& request);
+
+  /// Non-blocking warm-hit fast path for front ends (the wire server's
+  /// reader threads): if the request's home shard holds an epoch-current
+  /// cached plan, serves it — counted exactly like a serve_on() hit
+  /// (sprayed, and forwarded when `landing_shard` is not home) — and
+  /// returns it. Otherwise returns nullopt with NO counter movement; the
+  /// caller falls through to serve_on(), which owns all accounting,
+  /// single-flight, shed and error semantics (including invalid requests).
+  std::optional<PlanResponse> try_serve_hit(std::size_t landing_shard,
+                                            const PlanRequest& request);
 
   /// The ring owner of a request / an already-canonical key.
   std::size_t home_shard(const PlanRequest& request) const;

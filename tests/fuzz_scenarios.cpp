@@ -1,7 +1,7 @@
 // Property-based scenario fuzzer over the fault-injection subsystem.
 //
 // Generates seeded chaos scenarios (see src/faultinject/scenario.h for the
-// eight kinds and their invariants) and checks that every invariant holds
+// scenario kinds and their invariants) and checks that every invariant holds
 // under every generated failure schedule. Each failing seed prints a
 // one-line repro command; the first few seeds are re-run serially and their
 // digests compared against the pooled run, which checks the determinism

@@ -1,8 +1,12 @@
-// Unit tests for bench/bench_util.h — specifically the nearest-rank
-// percentile the latency benches report. The linear-interpolation
-// percentile in common/stats.h is the right estimator for smooth
-// distributions; for tail latency over small N it invents values between
-// the two largest observations, so the benches use nearest-rank instead.
+// Unit tests for bench/bench_util.h — the nearest-rank percentile the
+// latency benches report, and the JSON emitter's string escaping. The
+// linear-interpolation percentile in common/stats.h is the right estimator
+// for smooth distributions; for tail latency over small N it invents values
+// between the two largest observations, so the benches use nearest-rank
+// instead.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -68,6 +72,51 @@ TEST(PercentileNearestRank, InputVectorIsNotMutated) {
   const std::vector<double> copy = values;
   (void)percentile_nearest_rank(values, 0.5);
   EXPECT_EQ(values, copy);
+}
+
+TEST(JsonEscape, PassesPlainStringsThrough) {
+  EXPECT_EQ(json_escape("wire_shards_8"), "wire_shards_8");
+  EXPECT_EQ(json_escape(""), "");
+  EXPECT_EQ(json_escape("p50 ms / req"), "p50 ms / req");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("bad \"magic\""), "bad \\\"magic\\\"");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscape, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape("cr\rbs\bff\f"), "cr\\rbs\\bff\\f");
+  EXPECT_EQ(json_escape(std::string("nul\x01!")), "nul\\u0001!");
+}
+
+TEST(JsonEscape, WriteJsonEmitsEscapedNamesAndCounterKeys) {
+  // The motivating leak: corruption-class counter names and error-frame
+  // messages carry quotes/newlines; they must land in BENCH_*.json as valid
+  // JSON, not as raw bytes that break the parser.
+  const std::string path = ::testing::TempDir() + "bench_util_escape.json";
+  JsonResult r;
+  r.name = "reject \"crc_mismatch\"\n";
+  r.iters = 1;
+  r.counters = {{"bad \"magic\"", 2.0}, {"tab\tkey", 3.0}};
+  write_json(path, {r});
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  EXPECT_NE(text.find("\"reject \\\"crc_mismatch\\\"\\n\""), std::string::npos);
+  EXPECT_NE(text.find("\"bad \\\"magic\\\"\": 2.000000"), std::string::npos);
+  EXPECT_NE(text.find("\"tab\\tkey\": 3.000000"), std::string::npos);
+  // No raw newline inside any string: every line of the file must be a
+  // structural line, so the record count equals results.size() + 2.
+  std::size_t lines = 0;
+  for (const char c : text)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 3u);
+  std::remove(path.c_str());
 }
 
 }  // namespace
